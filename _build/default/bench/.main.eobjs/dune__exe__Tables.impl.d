@@ -1,0 +1,1 @@
+bench/tables.ml: Array Cell_library Clib Constraint_kernel Cstr Dclib Delay Dependency Dval Editor Engine Fmt Geometry Hashtbl Int List Network Selection Signal_types Stem String Types Var Workloads

@@ -1,0 +1,1 @@
+bench/workloads.ml: Array Checking Clib Constraint_kernel Cstr Dclib Dval Engine Fmt Fun Int List Network Option Printf Stem Types Var

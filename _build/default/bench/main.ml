@@ -1,0 +1,286 @@
+(* The experiment harness.
+
+   Part 1 prints the deterministic figure reproductions (E1-E10 tables;
+   see DESIGN.md's experiment index and EXPERIMENTS.md for the
+   paper-vs-measured record).  Part 2 times the efficiency claims with
+   Bechamel: one Test.make per experiment, all in this executable.
+
+   Run with: dune exec bench/main.exe *)
+
+open Bechamel
+open Toolkit
+
+(* ------------------------------------------------------------------ *)
+(* Timing helpers                                                      *)
+(* ------------------------------------------------------------------ *)
+
+let benchmark_and_print tests =
+  let cfg = Benchmark.cfg ~limit:2000 ~quota:(Time.second 0.3) ~kde:None () in
+  let instances = Instance.[ monotonic_clock ] in
+  let ols =
+    Analyze.ols ~r_square:true ~bootstrap:0 ~predictors:[| Measure.run |]
+  in
+  List.iter
+    (fun test ->
+      let raw = Benchmark.all cfg instances test in
+      let results = Analyze.all ols Instance.monotonic_clock raw in
+      (* print in insertion order of the test elements *)
+      List.iter
+        (fun elt ->
+          let name = Test.Elt.name elt in
+          match Hashtbl.find_opt results name with
+          | None -> ()
+          | Some res -> (
+            match Analyze.OLS.estimates res with
+            | Some (est :: _) ->
+              let pretty =
+                if est > 1e6 then Fmt.str "%8.3f ms" (est /. 1e6)
+                else if est > 1e3 then Fmt.str "%8.3f us" (est /. 1e3)
+                else Fmt.str "%8.1f ns" est
+              in
+              Fmt.pr "  %-46s %s/run@." name pretty
+            | Some [] | None -> Fmt.pr "  %-46s (no estimate)@." name))
+        (Test.elements test))
+    tests
+
+let section title = Fmt.pr "@.==== %s ====@." title
+
+(* ------------------------------------------------------------------ *)
+(* Bechamel tests, one per experiment                                  *)
+(* ------------------------------------------------------------------ *)
+
+(* E11: propagation cost grows with Σ|constraints(v)| (chain sweep) *)
+let complexity_sweep =
+  let mk n =
+    let _, run = Workloads.equality_chain n in
+    Test.make ~name:(Printf.sprintf "E11 chain n=%d" n) (Staged.stage run)
+  in
+  Test.make_grouped ~name:"complexity" ~fmt:"%s %s" (List.map mk [ 10; 100; 1000 ])
+
+let star_sweep =
+  let mk n =
+    let _, run = Workloads.equality_star n in
+    Test.make ~name:(Printf.sprintf "E11 star n=%d" n) (Staged.stage run)
+  in
+  Test.make_grouped ~name:"star" ~fmt:"%s %s" (List.map mk [ 10; 100; 1000 ])
+
+(* E3: hierarchical vs flattened networks *)
+let hier_vs_flat =
+  let mk label build =
+    let _, run = build in
+    Test.make ~name:label (Staged.stage run)
+  in
+  Test.make_grouped ~name:"hier" ~fmt:"%s %s"
+    [
+      mk "E3 hierarchical k=50 n=32" (Workloads.hierarchical_design ~k:50 ~n:32);
+      mk "E3 flat k=50 n=32" (Workloads.flat_design ~k:50 ~n:32);
+      mk "E3 hierarchical k=200 n=8" (Workloads.hierarchical_design ~k:200 ~n:8);
+      mk "E3 flat k=200 n=8" (Workloads.flat_design ~k:200 ~n:8);
+    ]
+
+(* E4: agenda scheduling vs eager functional recomputation *)
+let agenda_vs_eager =
+  let mk label eager m =
+    let _, run = Workloads.fan_in_sum ~eager m in
+    Test.make ~name:label (Staged.stage run)
+  in
+  Test.make_grouped ~name:"agenda" ~fmt:"%s %s"
+    [
+      mk "E4 agenda m=64" false 64;
+      mk "E4 eager m=64" true 64;
+      mk "E4 agenda m=256" false 256;
+      mk "E4 eager m=256" true 256;
+    ]
+
+(* E4b: the same fan-in with an expensive functional computation — here
+   avoiding the m-1 redundant transient recomputations pays off in
+   wall-clock too, not just in inference counts *)
+let agenda_vs_eager_heavy =
+  let mk label eager m =
+    let _, run = Workloads.fan_in_sum ~cost:2000 ~eager m in
+    Test.make ~name:label (Staged.stage run)
+  in
+  Test.make_grouped ~name:"agenda-heavy" ~fmt:"%s %s"
+    [
+      mk "E4b agenda m=64 (heavy f)" false 64;
+      mk "E4b eager m=64 (heavy f)" true 64;
+    ]
+
+(* E4c: compiled replay (§9.3 network compilation) vs interpreted
+   propagation on a functional DAG — the proceduralization ablation *)
+let compiled_vs_interpreted =
+  let open Constraint_kernel in
+  let build_dag () =
+    (* a layered DAG: 64 inputs summed pairwise down to one root *)
+    let net = Engine.create_network ~name:"dag" () in
+    let ivar name = Var.create net ~owner:"d" ~name ~equal:Int.equal ~pp:Fmt.int () in
+    let sum = function [] -> None | xs -> Some (List.fold_left ( + ) 0 xs) in
+    let rec layer level vars =
+      match vars with
+      | [] | [ _ ] -> vars
+      | _ ->
+        let rec pair acc = function
+          | a :: b :: rest ->
+            let r = ivar (Printf.sprintf "l%d_%d" level (List.length acc)) in
+            let _ = Clib.functional ~kind:"uni-addition" ~f:sum ~result:r net [ a; b ] in
+            pair (r :: acc) rest
+          | [ a ] -> a :: acc
+          | [] -> acc
+        in
+        layer (level + 1) (pair [] vars)
+    in
+    let inputs = List.init 64 (fun i -> ivar (Printf.sprintf "i%d" i)) in
+    ignore (layer 0 inputs);
+    (net, inputs)
+  in
+  let mk_interp =
+    let net, inputs = build_dag () in
+    let tick = ref 0 in
+    List.iter (fun v -> ignore (Engine.set_user net v 0)) inputs;
+    Test.make ~name:"E4c interpreted propagation (64-input DAG)"
+      (Staged.stage (fun () ->
+           incr tick;
+           List.iter (fun v -> ignore (Engine.set_user net v !tick)) inputs))
+  in
+  let mk_compiled =
+    let net, inputs = build_dag () in
+    List.iter (fun v -> ignore (Engine.set_user net v 0)) inputs;
+    let plan = Compile.plan net in
+    let tick = ref 0 in
+    Test.make ~name:"E4c compiled replay (64-input DAG)"
+      (Staged.stage (fun () ->
+           incr tick;
+           List.iter (fun v -> Var.poke v !tick ~just:Types.User) inputs;
+           Compile.replay plan))
+  in
+  Test.make_grouped ~name:"compiled" ~fmt:"%s %s" [ mk_interp; mk_compiled ]
+
+(* E8b: three-level hierarchical delay computation of the compiled
+   ripple adder (gates -> slices -> adder), from cold *)
+let ripple_scaling =
+  let mk bits =
+    Test.make ~name:(Printf.sprintf "E8b ripple adder delay, %d bits (cold)" bits)
+      (Staged.stage (fun () ->
+           let env = Stem.Env.create () in
+           let gates = Cell_library.Gates.make env in
+           let ra = Cell_library.Composed.ripple_adder env gates ~bits in
+           ignore
+             (Delay.Delay_network.delay env ra.Cell_library.Composed.ra_cell
+                ~from_:ra.Cell_library.Composed.ra_cin
+                ~to_:ra.Cell_library.Composed.ra_cout)))
+  in
+  Test.make_grouped ~name:"ripple" ~fmt:"%s %s" [ mk 4; mk 16 ]
+
+(* E10: selection with and without pruning on the synthetic hierarchy *)
+let selection_pruning =
+  let mk label prune levels fanout =
+    let env = Stem.Env.create () in
+    let root, _ = Cell_library.Adders.synthetic_family env ~levels ~fanout in
+    let sc =
+      Cell_library.Datapath.alu env ~adder:root ~delay_spec:12.0
+        ~area_spec:1000000
+    in
+    let run () =
+      ignore
+        (Selection.Select.select env sc.Cell_library.Datapath.adder_inst
+           ~priorities:[ Selection.Select.Delays ]
+           ~prune ())
+    in
+    Test.make ~name:label (Staged.stage run)
+  in
+  Test.make_grouped ~name:"pruning" ~fmt:"%s %s"
+    [
+      mk "E10 select pruned  (3 levels x3)" true 3 3;
+      mk "E10 select exhaustive (3 levels x3)" false 3 3;
+    ]
+
+(* E12: lazy property recomputation vs eager *)
+let lazy_vs_eager =
+  let mk label eager m =
+    let _, run, _ = Workloads.lazy_vs_eager ~eager m in
+    Test.make ~name:label (Staged.stage run)
+  in
+  Test.make_grouped ~name:"lazy" ~fmt:"%s %s"
+    [
+      mk "E12 lazy m=100" false 100;
+      mk "E12 eager m=100" true 100;
+    ]
+
+(* E13: incremental vs batch checking *)
+let incremental_vs_batch =
+  let mk_inc =
+    let env, vars = Workloads.checking_workload ~cells:400 in
+    Test.make ~name:"E13 incremental 400 vars x20 edits"
+      (Staged.stage (fun () -> Workloads.incremental_edits env vars ~edits:20))
+  in
+  let mk_batch =
+    let env, vars = Workloads.checking_workload ~cells:400 in
+    Test.make ~name:"E13 batch 400 vars x20 edits"
+      (Staged.stage (fun () -> Workloads.batch_edits env vars ~edits:20))
+  in
+  Test.make_grouped ~name:"checking" ~fmt:"%s %s" [ mk_inc; mk_batch ]
+
+(* E14: constraint removal — dependency-directed erasure + local
+   re-propagation vs full reset + global re-assertion *)
+let erasure =
+  let mk_dep =
+    let _, run = Workloads.erasure_directed ~n:200 ~bystanders:2000 in
+    Test.make ~name:"E14 directed remove+recover" (Staged.stage run)
+  in
+  let mk_full =
+    let _, run = Workloads.erasure_naive ~n:200 ~bystanders:2000 in
+    Test.make ~name:"E14 naive reset+recover" (Staged.stage run)
+  in
+  Test.make_grouped ~name:"erasure" ~fmt:"%s %s" [ mk_dep; mk_full ]
+
+(* E8/E1 end-to-end: full hierarchical delay recomputation of the
+   Fig. 5.2 design from scratch *)
+let end_to_end =
+  let mk_acc =
+    Test.make ~name:"end-to-end: build+check ACCUMULATOR"
+      (Staged.stage (fun () ->
+           let env = Stem.Env.create () in
+           let acc = Cell_library.Datapath.accumulator ~spec:180.0 env in
+           ignore
+             (Delay.Delay_network.delay env acc.Cell_library.Datapath.acc
+                ~from_:"in" ~to_:"out")))
+  in
+  let mk_sel =
+    Test.make ~name:"end-to-end: Fig. 8.1 selection"
+      (Staged.stage (fun () ->
+           let env = Stem.Env.create () in
+           let adders = Cell_library.Adders.fig_8_1 env in
+           let sc =
+             Cell_library.Datapath.alu env ~adder:adders.Cell_library.Adders.add8
+               ~delay_spec:11.0 ~area_spec:300
+           in
+           ignore
+             (Selection.Select.select env sc.Cell_library.Datapath.adder_inst
+                ~priorities:
+                  Selection.Select.[ BBox; Signals; Delays ]
+                ())))
+  in
+  Test.make_grouped ~name:"end-to-end" ~fmt:"%s %s" [ mk_acc; mk_sel ]
+
+let () =
+  Fmt.pr "STEM constraint propagation — experiment harness@.";
+  Fmt.pr "(figure reproductions, then Bechamel timings; see EXPERIMENTS.md)@.";
+  section "Part 1: figure reproductions";
+  Tables.all ();
+  section "Part 2: Bechamel timings";
+  benchmark_and_print
+    [
+      complexity_sweep;
+      star_sweep;
+      hier_vs_flat;
+      agenda_vs_eager;
+      agenda_vs_eager_heavy;
+      compiled_vs_interpreted;
+      ripple_scaling;
+      selection_pruning;
+      lazy_vs_eager;
+      incremental_vs_batch;
+      erasure;
+      end_to_end;
+    ];
+  Fmt.pr "@.done.@."

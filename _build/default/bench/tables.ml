@@ -1,0 +1,438 @@
+(* Deterministic reproductions of every worked figure in the thesis
+   evaluation, printed as tables/transcripts.  EXPERIMENTS.md records the
+   paper-vs-measured comparison for each. *)
+
+open Constraint_kernel
+open Stem.Design
+module Cell = Stem.Cell
+module Enet = Stem.Enet
+module Point = Geometry.Point
+module Rect = Geometry.Rect
+module St = Signal_types.Standard
+module Sel = Selection.Select
+module Dn = Delay.Delay_network
+
+let header id title = Fmt.pr "@.---- %s: %s ----@." id title
+
+let row fmt = Fmt.pr fmt
+
+(* ---------------- E1: Fig. 4.5 ---------------- *)
+
+let fig_4_5 () =
+  header "E1 (Fig. 4.5)" "propagation through equality + maximum";
+  let net = Engine.create_network ~name:"fig45" () in
+  let var name = Var.create net ~owner:"f" ~name ~equal:Int.equal ~pp:Fmt.int () in
+  let v1 = var "v1" and v2 = var "v2" and v3 = var "v3" and v4 = var "v4" in
+  let _ = Clib.equality net [ v1; v2 ] in
+  let maxi = function [] -> None | x :: xs -> Some (List.fold_left max x xs) in
+  let _ = Clib.functional ~kind:"uni-maximum" ~f:maxi ~result:v4 net [ v2; v3 ] in
+  ignore (Engine.set_user net v3 5);
+  ignore (Engine.set_user net v1 7);
+  row "  after v3<-5, v1<-7:   v1=%s v2=%s v3=%s v4=%s   (paper: 7 7 5 7)@."
+    (Fmt.str "%a" (Fmt.option Fmt.int) (Var.value v1))
+    (Fmt.str "%a" (Fmt.option Fmt.int) (Var.value v2))
+    (Fmt.str "%a" (Fmt.option Fmt.int) (Var.value v3))
+    (Fmt.str "%a" (Fmt.option Fmt.int) (Var.value v4));
+  let events = ref [] in
+  Engine.set_trace net (Some (fun ev -> events := ev :: !events));
+  ignore (Engine.set_user net v1 9);
+  Engine.set_trace net None;
+  row "  after v1<-9:          v1=%s v2=%s v3=%s v4=%s   (paper: 9 9 5 9)@."
+    (Fmt.str "%a" (Fmt.option Fmt.int) (Var.value v1))
+    (Fmt.str "%a" (Fmt.option Fmt.int) (Var.value v2))
+    (Fmt.str "%a" (Fmt.option Fmt.int) (Var.value v3))
+    (Fmt.str "%a" (Fmt.option Fmt.int) (Var.value v4));
+  row "  propagation transcript:@.";
+  List.iter
+    (fun ev ->
+      match ev with
+      | Types.T_assign _ | Types.T_activate _ | Types.T_schedule _ ->
+        row "    %a@." Editor.pp_trace_event ev
+      | _ -> ())
+    (List.rev !events)
+
+(* ---------------- E2: Fig. 4.9 ---------------- *)
+
+let fig_4_9 () =
+  header "E2 (Fig. 4.9)" "cyclic constraints trigger a violation and roll back";
+  let net = Engine.create_network ~name:"fig49" () in
+  let var name = Var.create net ~owner:"f" ~name ~equal:Int.equal ~pp:Fmt.int () in
+  let v1 = var "v1" and v2 = var "v2" and v3 = var "v3" in
+  let imm_add result a k label =
+    let propagate ctx c changed =
+      match changed with
+      | Some v when Var.equal v result -> Ok ()
+      | _ -> (
+        match Var.value a with
+        | Some x ->
+          Engine.set_by_constraint ctx result (x + k) ~source:c
+            ~record:Types.All_arguments
+        | None -> Ok ())
+    in
+    let satisfied _ =
+      match (Var.value a, Var.value result) with
+      | Some x, Some r -> r = x + k
+      | _ -> true
+    in
+    let c = Cstr.make net ~kind:"addition" ~label ~propagate ~satisfied [ result; a ] in
+    ignore (Network.add_constraint net c)
+  in
+  imm_add v2 v1 1 "v2=v1+1";
+  imm_add v3 v2 3 "v3=v2+3";
+  imm_add v1 v3 2 "v1=v3+2";
+  let result = Engine.set_user net v1 10 in
+  row "  set v1 <- 10 into the 3-addition cycle:@.";
+  (match result with
+  | Ok () -> row "    unexpectedly succeeded@."
+  | Error v -> row "    %a@." Types.pp_violation v);
+  row "  values after rollback: v1=%a v2=%a v3=%a   (paper: all restored)@."
+    (Fmt.option ~none:(Fmt.any "NIL") Fmt.int)
+    (Var.value v1)
+    (Fmt.option ~none:(Fmt.any "NIL") Fmt.int)
+    (Var.value v2)
+    (Fmt.option ~none:(Fmt.any "NIL") Fmt.int)
+    (Var.value v3)
+
+(* ---------------- E3 table: Fig. 5.2 ---------------- *)
+
+let fig_5_2 () =
+  header "E3 (Fig. 5.2)" "hierarchical delay checking in the ACCUMULATOR";
+  let run spec =
+    let env = Stem.Env.create () in
+    let violations = ref 0 in
+    Engine.set_violation_handler env.env_cnet (fun _ -> incr violations);
+    let acc = Cell_library.Datapath.accumulator ~spec env in
+    let d = Dn.delay env acc.Cell_library.Datapath.acc ~from_:"in" ~to_:"out" in
+    (d, !violations)
+  in
+  row "  %-28s %-14s %-10s@." "spec" "computed" "violations";
+  let d160, v160 = run 160.0 in
+  row "  %-28s %-14s %-10d   (paper: 60+110=170 > 160 violates)@."
+    "160 ns (the figure's budget)"
+    (match d160 with Some d -> Fmt.str "%g ns" d | None -> "rolled back")
+    v160;
+  let d180, v180 = run 180.0 in
+  row "  %-28s %-14s %-10d@." "180 ns (relaxed)"
+    (match d180 with Some d -> Fmt.str "%g ns" d | None -> "rolled back")
+    v180
+
+(* ---------------- E5: Fig. 7.1 ---------------- *)
+
+let fig_7_1 () =
+  header "E5 (Fig. 7.1)" "bit-width constraint violation on connection";
+  let env = Stem.Env.create () in
+  let mk name dir width =
+    let c = Cell.create env ~name () in
+    ignore
+      (Cell.add_signal env c ~name:"p" ~dir ~data:St.bit ~elec:St.cmos ~width ());
+    c
+  in
+  let src = mk "SRC4" Output 4 and sink = mk "SINK8" Input 8 in
+  let top = Cell.create env ~name:"TOP" () in
+  let i1 = Cell.instantiate env ~parent:top ~of_:src ~name:"s" () in
+  let i2 = Cell.instantiate env ~parent:top ~of_:sink ~name:"k" () in
+  let net = Cell.add_net env top ~name:"n" in
+  let r1 = Enet.connect env net (Sub_pin (i1, "p")) in
+  row "  connect 4-bit source:  %s@."
+    (match r1 with Ok () -> "ok, net width <- 4" | Error _ -> "violation");
+  let r2 = Enet.connect env net (Sub_pin (i2, "p")) in
+  row "  connect 8-bit sink:    %s   (paper: violation warns the designer)@."
+    (match r2 with
+    | Ok () -> "ok?!"
+    | Error v -> Fmt.str "%a" Types.pp_violation v)
+
+(* ---------------- E6: Figs. 7.2-7.5 ---------------- *)
+
+let fig_7_5 () =
+  header "E6 (Figs. 7.2-7.5)" "signal-type inference and refinement";
+  let env = Stem.Env.create () in
+  let cell name data =
+    let c = Cell.create env ~name () in
+    ignore (Cell.add_signal env c ~name:"p" ~dir:Inout ?data ());
+    c
+  in
+  let top = Cell.create env ~name:"TOP" () in
+  let net = Cell.add_net env top ~name:"n" in
+  let connect c =
+    let i = Cell.instantiate env ~parent:top ~of_:c ~name:(c.cc_name ^ "_i") () in
+    Enet.connect env net (Sub_pin (i, "p"))
+  in
+  let show label r =
+    row "  %-34s -> net type %-22s %s@." label
+      (match Var.value net.en_data with
+      | Some d -> Dval.to_string d
+      | None -> "NIL")
+      (match r with Ok () -> "" | Error _ -> "VIOLATION")
+  in
+  show "connect untyped cell" (connect (cell "ANON" None));
+  show "connect IntegerSignal cell" (connect (cell "INT" (Some St.integer_signal)));
+  show "connect BCDSignal cell (refines)" (connect (cell "BCD" (Some St.bcd)));
+  show "connect A2CIntSignal cell (sibling)" (connect (cell "A2C" (Some St.a2c_int)))
+
+(* ---------------- E7: Figs. 7.6-7.9 ---------------- *)
+
+let fig_7_9 () =
+  header "E7 (Figs. 7.6-7.9)" "bounding boxes: defaulting, containment, aspect ratio";
+  let env = Stem.Env.create () in
+  let leaf = Cell.create env ~name:"LEAF" () in
+  ignore (Cell.set_class_bbox env leaf (Rect.make Point.origin ~width:10 ~height:20));
+  let top = Cell.create env ~name:"TOP" () in
+  let i =
+    Cell.instantiate env ~parent:top ~of_:leaf ~name:"u"
+      ~transform:(Geometry.Transform.make ~orient:Geometry.Transform.R90 Point.origin)
+      ()
+  in
+  row "  class box 10x20, placed R90 -> instance default %a@."
+    (Fmt.option ~none:(Fmt.any "NIL") Dval.pp)
+    (Var.value i.inst_bbox);
+  let try_box w h =
+    let r = Cell.set_instance_bbox env i (Rect.of_corners (Point.make (-20) 0) (Point.make (w - 20) h)) in
+    row "  stretch to %dx%d: %s@." w h
+      (match r with Ok () -> "accepted" | Error _ -> "VIOLATION (too small)")
+  in
+  try_box 24 12;
+  try_box 18 6;
+  (* the io-pins stretch to the instance box *)
+  ignore (Cell.add_signal env leaf ~name:"x" ~dir:Input ~pins:[ Point.make 0 10 ] ());
+  let pins = Stem.Stretch.pin_positions env i in
+  row "  stretched pin positions: %a@."
+    Fmt.(list ~sep:comma (fun ppf (n, p) -> Fmt.pf ppf "%s@%a" n Point.pp p))
+    pins;
+  (* aspect-ratio predicate (Fig. 7.9) *)
+  let framed = Cell.create env ~name:"FRAMED" () in
+  let _ =
+    Dclib.aspect_ratio (Stem.Env.cnet env) (Cell.class_bbox_var framed) ~ratio:2.0
+  in
+  let ok1 = Cell.set_class_bbox env framed (Rect.make Point.origin ~width:40 ~height:20) in
+  let ok2 = Cell.set_class_bbox env framed (Rect.make Point.origin ~width:50 ~height:20) in
+  row "  aspect 2.0 predicate: 40x20 %s, 50x20 %s@."
+    (match ok1 with Ok () -> "accepted" | Error _ -> "VIOLATION")
+    (match ok2 with Ok () -> "accepted" | Error _ -> "VIOLATION")
+
+(* ---------------- E8: Figs. 7.10-7.12 ---------------- *)
+
+let fig_7_12 () =
+  header "E8 (Figs. 7.10-7.12)" "delay networks: MAX of per-path SUMs";
+  let env = Stem.Env.create () in
+  let gates = Cell_library.Gates.make env in
+  let slice = Cell_library.Gates.adder_slice env gates in
+  ignore (Dn.delay env slice ~from_:"a" ~to_:"cout");
+  row "  FASLICE a->cout paths:@.";
+  List.iter
+    (fun path ->
+      let d =
+        List.fold_left
+          (fun acc arc ->
+            match
+              Var.value
+                (Hashtbl.find arc.Delay.Delay_path.arc_inst.inst_delays
+                   (delay_key ~from_:arc.Delay.Delay_path.arc_delay.cd_from
+                      ~to_:arc.Delay.Delay_path.arc_delay.cd_to))
+            with
+            | Some (Dval.Float f) -> acc +. f
+            | _ -> acc)
+          0.0 path
+      in
+      row "    %-40s %6.3f ns@." (Fmt.str "%a" Delay.Delay_path.pp_path path) d)
+    (Delay.Delay_path.enumerate slice ~from_:"a" ~to_:"cout");
+  (match Dn.delay env slice ~from_:"a" ~to_:"cout" with
+  | Some d -> row "  class delay a->cout = MAX = %.3f ns@." d
+  | None -> row "  no delay@.");
+  match Dn.critical_path env slice ~from_:"a" ~to_:"cout" with
+  | Some (path, d) ->
+    row "  critical path: %a (%.3f ns)@." Delay.Delay_path.pp_path path d
+  | None -> ()
+
+(* ---------------- E9: Fig. 8.1 ---------------- *)
+
+let fig_8_1 () =
+  header "E9 (Fig. 8.1)" "module selection under tight area / tight delay";
+  row "  %-34s %-18s %s@." "ALU specification" "valid realisations" "(paper)";
+  let case label delay_spec area_spec expect =
+    let env = Stem.Env.create () in
+    let adders = Cell_library.Adders.fig_8_1 env in
+    let sc =
+      Cell_library.Datapath.alu env ~adder:adders.Cell_library.Adders.add8
+        ~delay_spec ~area_spec
+    in
+    let picks =
+      Sel.select env sc.Cell_library.Datapath.adder_inst
+        ~priorities:[ Sel.BBox; Sel.Signals; Sel.Delays ]
+        ()
+    in
+    row "  %-34s %-18s %s@." label
+      (String.concat "," (List.map (fun c -> c.cc_name) picks))
+      expect
+  in
+  case "delay<=11D area<=3A (tight area)" 11.0 300 "(ADD8.RC)";
+  case "delay<=8D area<=4.2A (tight delay)" 8.0 420 "(ADD8.CS)";
+  case "delay<=20D area<=10A (loose)" 20.0 1000 "(both)";
+  case "delay<=7D area<=2.5A (impossible)" 7.0 250 "(none)"
+
+(* ---------------- E9b: Fig. 8.1 with computed characteristics ------ *)
+
+let fig_8_1_structural () =
+  header "E9b (Fig. 8.1, structural)"
+    "selection against characteristics computed from gate level";
+  let build () =
+    let env = Stem.Env.create () in
+    let gates = Cell_library.Gates.make env in
+    let generic, rc_w, cs_w =
+      Cell_library.Composed.structural_selection_family env gates
+    in
+    (env, generic, rc_w, cs_w)
+  in
+  let env, _, rc_w, cs_w = build () in
+  let characteristics c =
+    ( Dn.delay env c ~from_:"a" ~to_:"s",
+      Stem.Cell.area env c )
+  in
+  let show c =
+    let d, a = characteristics c in
+    row "  %-10s a->s %-10s area %-8s (computed, #APPLICATION)@." c.cc_name
+      (match d with Some d -> Fmt.str "%.2f ns" d | None -> "?")
+      (match a with Some a -> Fmt.str "%d λ²" a | None -> "?")
+  in
+  show rc_w;
+  show cs_w;
+  let cs_delay =
+    match fst (characteristics cs_w) with Some d -> d | None -> 0.0
+  in
+  let rc_area =
+    match snd (characteristics rc_w) with Some a -> a | None -> 0
+  in
+  let case label delay_spec area_spec =
+    let env, generic, _, _ = build () in
+    let sc = Cell_library.Datapath.alu env ~adder:generic ~delay_spec ~area_spec in
+    let picks =
+      Sel.select env sc.Cell_library.Datapath.adder_inst
+        ~priorities:[ Sel.BBox; Sel.Signals; Sel.Delays ]
+        ()
+    in
+    row "  %-34s -> %s@." label
+      (String.concat "," (List.map (fun c -> c.cc_name) picks))
+  in
+  case "tight delay (3 + cs + 1 ns)" (3.0 +. cs_delay +. 1.0) 1000000;
+  case "tight area (rc + LU8 + slack)" 1000.0 (rc_area + 250);
+  row "  (same verdicts as the declared-number Fig. 8.1, derived bottom-up)@."
+
+(* ---------------- E10 table: Fig. 8.4 ---------------- *)
+
+let fig_8_4 () =
+  header "E10 (Fig. 8.4)" "search-tree pruning via generic 'ideal' properties";
+  row "  %-10s %-28s %-12s %-10s %-8s@." "prune" "valid" "candidates" "generics"
+    "pruned";
+  let case prune =
+    let env = Stem.Env.create () in
+    let family = Cell_library.Adders.fig_8_4 env in
+    let sc =
+      Cell_library.Datapath.alu env ~adder:family.Cell_library.Adders.adder8
+        ~delay_spec:10.0 ~area_spec:1000000
+    in
+    let stats = Sel.fresh_stats () in
+    let picks =
+      Sel.select env sc.Cell_library.Datapath.adder_inst ~priorities:[ Sel.Delays ]
+        ~prune ~stats ()
+    in
+    row "  %-10b %-28s %-12d %-10d %-8d@." prune
+      (String.concat "," (List.map (fun c -> c.cc_name) picks))
+      stats.Sel.candidates_tested stats.Sel.generics_tested
+      stats.Sel.subtrees_pruned
+  in
+  case true;
+  case false;
+  row "  (paper: failing RippleCarryAdder8 prunes RCAdd8S/RCAdd8F untested)@."
+
+(* ---------------- operation-count ablations ---------------- *)
+
+let count_table () =
+  header "E3/E4/E11" "operation counts (inferences per episode)";
+  let count net run =
+    Engine.reset_stats net;
+    run ();
+    (Engine.stats net).Types.st_inferences
+  in
+  row "  E11 complexity ∝ Σ|constraints(v)| — equality chain:@.";
+  row "    %-10s %-12s@." "length" "inferences";
+  List.iter
+    (fun n ->
+      let net, run = Workloads.equality_chain n in
+      row "    %-10d %-12d@." n (count net run))
+    [ 10; 100; 1000 ];
+  row "  E11 — equality star:@.";
+  row "    %-10s %-12s@." "branches" "inferences";
+  List.iter
+    (fun n ->
+      let net, run = Workloads.equality_star n in
+      row "    %-10d %-12d@." n (count net run))
+    [ 10; 100; 1000 ];
+  row "  E4 agenda vs eager functional recomputation (fan-in m):@.";
+  row "    %-10s %-14s %-14s@." "m" "agenda" "eager";
+  List.iter
+    (fun m ->
+      let net_a, run_a = Workloads.fan_in_sum ~eager:false m in
+      let net_e, run_e = Workloads.fan_in_sum ~eager:true m in
+      row "    %-10d %-14d %-14d@." m (count net_a run_a) (count net_e run_e))
+    [ 4; 16; 64 ];
+  row "  E3 hierarchical vs flat (chain k=50, n instances):@.";
+  row "    %-10s %-14s %-14s@." "n" "hierarchical" "flat";
+  List.iter
+    (fun n ->
+      let net_h, run_h = Workloads.hierarchical_design ~k:50 ~n in
+      let net_f, run_f = Workloads.flat_design ~k:50 ~n in
+      row "    %-10d %-14d %-14d@." n (count net_h run_h) (count net_f run_f))
+    [ 1; 8; 32 ];
+  row "  E12 lazy vs eager property recomputation (m edits, then read):@.";
+  row "    %-10s %-14s %-14s@." "m" "lazy" "eager";
+  List.iter
+    (fun m ->
+      let _, run_l, rc_l = Workloads.lazy_vs_eager ~eager:false m in
+      let _, run_e, rc_e = Workloads.lazy_vs_eager ~eager:true m in
+      run_l ();
+      run_e ();
+      row "    %-10d %-14d %-14d@." m !rc_l !rc_e)
+    [ 1; 10; 100 ];
+  row "  E13 incremental vs batch checking (100 vars, m edits — checks):@.";
+  row "    %-10s %-14s %-14s@." "m" "incremental" "batch";
+  List.iter
+    (fun m ->
+      let env_i, vars_i = Workloads.checking_workload ~cells:100 in
+      Engine.reset_stats (Stem.Env.cnet env_i);
+      Workloads.incremental_edits env_i vars_i ~edits:m;
+      let inc = (Engine.stats (Stem.Env.cnet env_i)).Types.st_checks in
+      let env_b, vars_b = Workloads.checking_workload ~cells:100 in
+      (* the batch sweep examines every constraint on every edit *)
+      let batch = ref 0 in
+      let net_b = Stem.Env.cnet env_b in
+      Engine.disable net_b;
+      let n_cstrs = List.length net_b.Types.net_cstrs in
+      for e = 1 to m do
+        ignore
+          (Engine.set_user net_b
+             vars_b.(e mod Array.length vars_b)
+             (Dval.Float (float_of_int e)));
+        batch := !batch + n_cstrs
+      done;
+      Engine.enable net_b;
+      row "    %-10d %-14d %-14d@." m inc !batch)
+    [ 1; 10; 100 ];
+  row "  E14 erasure on removal (chain n=200, 500 bystanders — vars touched):@.";
+  let net, vars, cstrs, _ = Workloads.erasure_workload ~n:200 ~bystanders:500 in
+  let dependents = Dependency.dependents_of_constraint cstrs.(0) in
+  row "    dependency-directed: erases %d variables@." (List.length dependents);
+  row "    naive full reset:    erases %d variables@."
+    (List.length net.Types.net_vars);
+  ignore vars
+
+let all () =
+  fig_4_5 ();
+  fig_4_9 ();
+  fig_5_2 ();
+  fig_7_1 ();
+  fig_7_5 ();
+  fig_7_9 ();
+  fig_7_12 ();
+  fig_8_1 ();
+  fig_8_1_structural ();
+  fig_8_4 ();
+  count_table ()

@@ -1,0 +1,316 @@
+(* Workload builders for the experiment harness.  Each function builds a
+   fresh network/design and returns closures the tables and the Bechamel
+   benches share, so printed operation counts and timed runs exercise
+   exactly the same code. *)
+
+open Constraint_kernel
+
+let ivar net name = Var.create net ~owner:"w" ~name ~equal:Int.equal ~pp:Fmt.int ()
+
+let sum = function [] -> None | xs -> Some (List.fold_left ( + ) 0 xs)
+
+let spin cost x =
+  (* burn deterministic work proportional to [cost] *)
+  let acc = ref x in
+  for i = 1 to cost do
+    acc := (!acc * 7) + i
+  done;
+  !acc
+
+(* ------------------------------------------------------------------ *)
+(* E11: propagation cost scales with Σ_v |constraints(v)| (§9.2.3)     *)
+(* ------------------------------------------------------------------ *)
+
+(* A chain of [n] equality constraints.  One user assignment at the head
+   visits every constraint exactly once. *)
+let equality_chain n =
+  let net = Engine.create_network ~name:"chain" () in
+  let vars = Array.init (n + 1) (fun i -> ivar net (Printf.sprintf "v%d" i)) in
+  for i = 0 to n - 1 do
+    ignore (Clib.equality net [ vars.(i); vars.(i + 1) ])
+  done;
+  let tick = ref 0 in
+  let run () =
+    incr tick;
+    ignore (Engine.set_user net vars.(0) !tick)
+  in
+  (net, run)
+
+(* A star: one hub variable shared by [n] binary equalities. *)
+let equality_star n =
+  let net = Engine.create_network ~name:"star" () in
+  let hub = ivar net "hub" in
+  for i = 0 to n - 1 do
+    ignore (Clib.equality net [ hub; ivar net (Printf.sprintf "s%d" i) ])
+  done;
+  let tick = ref 0 in
+  let run () =
+    incr tick;
+    ignore (Engine.set_user net hub !tick)
+  in
+  (net, run)
+
+(* ------------------------------------------------------------------ *)
+(* E4: agenda scheduling vs eager functional propagation (§4.2.1)      *)
+(* ------------------------------------------------------------------ *)
+
+(* [m] inputs all driven from one source through equalities, summed by a
+   single functional constraint.  With the agenda the sum recomputes
+   once per episode; the eager variant recomputes after every input
+   change. *)
+let fan_in_sum ?(cost = 0) ~eager m =
+  (* [cost] adds artificial work to the functional computation, modelling
+     an expensive derived characteristic (e.g. a bounding-box union or a
+     delay-path recomputation) *)
+  let net = Engine.create_network ~name:"fanin" () in
+  let src = ivar net "src" in
+  let inputs = List.init m (fun i -> ivar net (Printf.sprintf "a%d" i)) in
+  let s = ivar net "sum" in
+  List.iter (fun a -> ignore (Clib.equality net [ src; a ])) inputs;
+  if eager then begin
+    (* an immediate (unscheduled) version of uni-addition *)
+    let propagate ctx c changed =
+      match changed with
+      | Some v when Var.equal v s -> Ok ()
+      | _ -> (
+        let vals = List.map Var.value inputs in
+        if List.exists Option.is_none vals then Ok ()
+        else
+          match sum (List.map Option.get vals) with
+          | None -> Ok ()
+          | Some r ->
+            let r = if cost = 0 then r else spin cost r - spin cost r + r in
+            Engine.set_by_constraint ctx s r ~source:c ~record:Types.All_arguments)
+    in
+    let satisfied _ =
+      let vals = List.map Var.value inputs in
+      match (Var.value s, sum (List.filter_map Fun.id vals)) with
+      | Some actual, Some expected when List.for_all Option.is_some vals ->
+        actual = expected
+      | _ -> true
+    in
+    let c =
+      Cstr.make net ~kind:"imm-addition" ~propagate ~satisfied (s :: inputs)
+    in
+    ignore (Network.add_constraint net c);
+    (* eager recomputation legitimately revises the sum once per input:
+       lift the cyclic-propagation bound so the baseline can run *)
+    net.Types.net_max_changes <- m + 2
+  end
+  else begin
+    let f xs =
+      match sum xs with
+      | None -> None
+      | Some r -> Some (if cost = 0 then r else spin cost r - spin cost r + r)
+    in
+    ignore (Clib.functional ~kind:"uni-addition" ~f ~result:s net inputs)
+  end;
+  let tick = ref 0 in
+  let run () =
+    incr tick;
+    ignore (Engine.set_user net src !tick)
+  in
+  (net, run)
+
+(* ------------------------------------------------------------------ *)
+(* E3: hierarchical vs flattened constraint networks (§5.1, Fig. 5.1)  *)
+(* ------------------------------------------------------------------ *)
+
+(* Hierarchical: one internal chain of length [k] ends in a "class"
+   variable; [n] "instance" variables hang off it through implicit
+   links, each watched by one predicate.  Changing the chain head costs
+   ~k + n inferences.
+
+   Flat: the internal chain is replicated once per instance (what a
+   non-hierarchical system would do, Fig. 5.1): ~n·k inferences. *)
+let hierarchical_design ~k ~n =
+  let net = Engine.create_network ~name:"hier" () in
+  let chain = Array.init (k + 1) (fun i -> ivar net (Printf.sprintf "c%d" i)) in
+  for i = 0 to k - 1 do
+    ignore (Clib.equality net [ chain.(i); chain.(i + 1) ])
+  done;
+  let class_var = chain.(k) in
+  for j = 0 to n - 1 do
+    let inst = ivar net (Printf.sprintf "inst%d" j) in
+    (* implicit link: class value flows to the instance (adjusted by +j
+       to stand for per-instance loading) *)
+    let _ =
+      Clib.one_way net ~kind:"implicit"
+        ~f:(fun x -> Some (x + j))
+        ~from_:class_var ~to_:inst
+    in
+    let _ =
+      Clib.predicate net ~kind:"spec"
+        ~pred:(function [ Some x ] -> x < max_int | _ -> true)
+        [ inst ]
+    in
+    ()
+  done;
+  let tick = ref 0 in
+  let run () =
+    incr tick;
+    ignore (Engine.set_user net chain.(0) !tick)
+  in
+  (net, run)
+
+let flat_design ~k ~n =
+  let net = Engine.create_network ~name:"flat" () in
+  let heads = ref [] in
+  for j = 0 to n - 1 do
+    let chain =
+      Array.init (k + 1) (fun i -> ivar net (Printf.sprintf "c%d_%d" j i))
+    in
+    for i = 0 to k - 1 do
+      ignore (Clib.equality net [ chain.(i); chain.(i + 1) ])
+    done;
+    let inst = ivar net (Printf.sprintf "inst%d" j) in
+    let _ =
+      Clib.one_way net ~kind:"implicit"
+        ~f:(fun x -> Some (x + j))
+        ~from_:chain.(k) ~to_:inst
+    in
+    let _ =
+      Clib.predicate net ~kind:"spec"
+        ~pred:(function [ Some x ] -> x < max_int | _ -> true)
+        [ inst ]
+    in
+    heads := chain.(0) :: !heads
+  done;
+  let heads = !heads in
+  let tick = ref 0 in
+  let run () =
+    incr tick;
+    (* the flattened system must update every replica *)
+    List.iter (fun h -> ignore (Engine.set_user net h !tick)) heads
+  in
+  (net, run)
+
+(* ------------------------------------------------------------------ *)
+(* E12: update-constraints + lazy recomputation vs eager (Ch. 6)       *)
+(* ------------------------------------------------------------------ *)
+
+(* [m] edits to a source variable invalidate a derived property; lazily
+   it recomputes once at the final read, eagerly after every edit. *)
+let lazy_vs_eager ~eager m =
+  let env = Stem.Env.create () in
+  let net = Stem.Env.cnet env in
+  let src = Dclib.variable net ~owner:"w" ~name:"src" () in
+  let recomputes = ref 0 in
+  let prop = ref None in
+  let p =
+    Stem.Property.make env ~owner:"w" ~name:"derived"
+      ~recalc:(fun () ->
+        incr recomputes;
+        match Var.value src with
+        | Some (Dval.Int x) -> Some (Dval.Int (x * 2))
+        | _ -> None)
+      ()
+  in
+  prop := Some p;
+  let _ = Clib.update net ~sources:[ src ] ~targets:[ Stem.Property.var p ] in
+  let tick = ref 0 in
+  let run () =
+    for _ = 1 to m do
+      incr tick;
+      ignore (Engine.set_user net src (Dval.Int !tick));
+      if eager then ignore (Stem.Property.read env p)
+    done;
+    ignore (Stem.Property.read env p)
+  in
+  (env, run, recomputes)
+
+(* ------------------------------------------------------------------ *)
+(* E13: incremental vs batch design checking (Ch. 7)                   *)
+(* ------------------------------------------------------------------ *)
+
+(* A population of [cells] independent constrained variables; [edits]
+   value changes.  Incrementally each edit checks only its own
+   constraints; the batch discipline re-sweeps everything after every
+   edit. *)
+let checking_workload ~cells =
+  let env = Stem.Env.create () in
+  let net = Stem.Env.cnet env in
+  let vars =
+    Array.init cells (fun i ->
+        let v = Dclib.variable net ~owner:"w" ~name:(Printf.sprintf "d%d" i) () in
+        let _ =
+          Dclib.less_equal_const net v (Dval.Float 1e9)
+            ~label:(Printf.sprintf "spec%d" i)
+        in
+        v)
+  in
+  (env, vars)
+
+let edit_tick = ref 0
+
+let incremental_edits env vars ~edits =
+  let net = Stem.Env.cnet env in
+  let n = Array.length vars in
+  for e = 1 to edits do
+    incr edit_tick;
+    ignore
+      (Engine.set_user net vars.(e mod n) (Dval.Float (float_of_int !edit_tick)))
+  done
+
+let batch_edits env vars ~edits =
+  let net = Stem.Env.cnet env in
+  let n = Array.length vars in
+  Engine.disable net;
+  for e = 1 to edits do
+    incr edit_tick;
+    ignore
+      (Engine.set_user net vars.(e mod n) (Dval.Float (float_of_int !edit_tick)));
+    (* the traditional flow: no background checking, full sweep instead *)
+    ignore (Checking.Check.batch_check env)
+  done;
+  Engine.enable net
+
+(* ------------------------------------------------------------------ *)
+(* E14: dependency-directed erasure on constraint removal (§4.2.5)     *)
+(* ------------------------------------------------------------------ *)
+
+(* A long derivation chain v0 -eq- v1 -eq- ... -eq- vn plus [w] isolated
+   user-set bystander variables.  Removing the constraint near the head
+   must erase (and later recompute) only the chain's dependents; a
+   system without dependency records can only reset everything and
+   re-assert every user value. *)
+let erasure_workload ~n ~bystanders =
+  let net = Engine.create_network ~name:"erase" () in
+  let vars = Array.init (n + 1) (fun i -> ivar net (Printf.sprintf "v%d" i)) in
+  let cstrs =
+    Array.init n (fun i ->
+        let c, _ = Clib.equality net [ vars.(i); vars.(i + 1) ] in
+        c)
+  in
+  let bystander_vars =
+    Array.init bystanders (fun i ->
+        let v = ivar net (Printf.sprintf "b%d" i) in
+        ignore (Engine.set_user net v i);
+        v)
+  in
+  ignore (Engine.set_user net vars.(0) 42);
+  (net, vars, cstrs, bystander_vars)
+
+(* Dependency-directed removal: erase the dependents, reattach an
+   equivalent constraint; re-initialisation restores consistency by
+   propagating only through the affected chain (§4.2.5). *)
+let erasure_directed ~n ~bystanders =
+  let net, vars, cstrs, _ = erasure_workload ~n ~bystanders in
+  let head = ref cstrs.(0) in
+  let run () =
+    Network.remove_constraint net !head;
+    let c, _ = Clib.equality net [ vars.(0); vars.(1) ] in
+    head := c
+  in
+  (net, run)
+
+(* The no-dependency-records alternative: reset every variable in the
+   network and re-assert every user value. *)
+let erasure_naive ~n ~bystanders =
+  let net, vars, _, bystander_vars = erasure_workload ~n ~bystanders in
+  let run () =
+    List.iter Var.clear net.Types.net_vars;
+    Array.iteri (fun i v -> ignore (Engine.set_user net v i)) bystander_vars;
+    ignore (Engine.set_user net vars.(0) 42)
+  in
+  (net, run)

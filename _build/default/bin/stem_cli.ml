@@ -1,0 +1,246 @@
+(* The stem command-line interface: the textual stand-in for STEM's
+   interactive browsers and constraint editors.
+
+     stem accumulator [--spec NS]     the Fig. 5.2 delay scenario
+     stem select --delay D --area A   module selection on the Fig. 8.1 ALU
+     stem simulate [--stages N]       compile + extract + simulate a chain
+     stem inspect [--trace]           build a demo design, dump its network
+     stem check                       incremental vs batch checking demo *)
+
+open Cmdliner
+open Stem.Design
+module Cell = Stem.Cell
+
+let setup_logs () =
+  Logs.set_reporter (Logs_fmt.reporter ());
+  Logs.set_level (Some Logs.Warning)
+
+(* ---------------- accumulator ---------------- *)
+
+let run_accumulator spec =
+  setup_logs ();
+  let env = Stem.Env.create () in
+  Fmt.pr "ACCUMULATOR = REG8 (60 ns) -> ADDER8 (105 ns + 5 ns loading), spec %g ns@."
+    spec;
+  Constraint_kernel.Engine.set_violation_handler env.env_cnet (fun v ->
+      Fmt.pr "!! %a@." Constraint_kernel.Types.pp_violation v);
+  let acc = Cell_library.Datapath.accumulator ~spec env in
+  (match
+     Delay.Delay_network.delay env acc.Cell_library.Datapath.acc ~from_:"in"
+       ~to_:"out"
+   with
+  | Some d -> Fmt.pr "computed in->out delay: %g ns@." d
+  | None -> Fmt.pr "delay not installed (specification violated)@.");
+  (match
+     Delay.Delay_network.critical_path env acc.Cell_library.Datapath.acc
+       ~from_:"in" ~to_:"out"
+   with
+  | Some (path, d) ->
+    Fmt.pr "critical path (%g ns): %a@." d Delay.Delay_path.pp_path path
+  | None -> ());
+  0
+
+let accumulator_cmd =
+  let spec =
+    Arg.(value & opt float 160.0 & info [ "spec" ] ~docv:"NS" ~doc:"Delay budget in ns.")
+  in
+  Cmd.v
+    (Cmd.info "accumulator" ~doc:"Run the Fig. 5.2 hierarchical delay scenario")
+    Term.(const run_accumulator $ spec)
+
+(* ---------------- select ---------------- *)
+
+let run_select delay_spec area_spec prune =
+  setup_logs ();
+  let env = Stem.Env.create () in
+  let adders = Cell_library.Adders.fig_8_1 env in
+  let scenario =
+    Cell_library.Datapath.alu env ~adder:adders.Cell_library.Adders.add8
+      ~delay_spec ~area_spec
+  in
+  let stats = Selection.Select.fresh_stats () in
+  let picks =
+    Selection.Select.select env scenario.Cell_library.Datapath.adder_inst
+      ~priorities:
+        [ Selection.Select.BBox; Selection.Select.Signals; Selection.Select.Delays ]
+      ~prune ~stats ()
+  in
+  Fmt.pr "ALU specs: delay <= %g ns, area <= %d λ²@." delay_spec area_spec;
+  Fmt.pr "valid realisations of the generic ADD8: %a@."
+    Fmt.(list ~sep:comma string)
+    (List.map (fun c -> c.cc_name) picks);
+  Fmt.pr "search effort: %a@." Selection.Select.pp_stats stats;
+  0
+
+let select_cmd =
+  let delay_spec =
+    Arg.(value & opt float 11.0 & info [ "delay" ] ~docv:"NS" ~doc:"ALU delay spec (ns).")
+  in
+  let area_spec =
+    Arg.(value & opt int 300 & info [ "area" ] ~docv:"L2" ~doc:"ALU area spec (λ²).")
+  in
+  let prune =
+    Arg.(value & opt bool true & info [ "prune" ] ~doc:"Prune via generic-class tests.")
+  in
+  Cmd.v
+    (Cmd.info "select" ~doc:"Module selection on the Fig. 8.1 ALU")
+    Term.(const run_select $ delay_spec $ area_spec $ prune)
+
+(* ---------------- simulate ---------------- *)
+
+let run_simulate stages =
+  setup_logs ();
+  let env = Stem.Env.create () in
+  let gates = Cell_library.Gates.make env in
+  Spice.Gate_templates.inverter env gates.Cell_library.Gates.inverter ~in_:"in"
+    ~out:"out";
+  let chain = Cell_library.Gates.inverter_chain env gates ~n:stages in
+  (match Delay.Delay_network.delay env chain ~from_:"in" ~to_:"out" with
+  | Some d -> Fmt.pr "constraint-network estimate: %g ns@." d
+  | None -> ());
+  let sim = Spice.Spice_view.simulation env chain in
+  let stimuli = [ Spice.Sim.step ~at:2.0 ~low:0.0 ~high:5.0 "in" ] in
+  let t_end = 5.0 +. (2.0 *. float_of_int stages) in
+  let res = Spice.Spice_view.run sim ~stimuli ~t_end () in
+  let inp = Option.get (Spice.Sim.waveform res "in") in
+  let out = Option.get (Spice.Sim.waveform res "out") in
+  (match Spice.Measure.propagation_delay ~input:inp ~output:out ~threshold:2.5 () with
+  | Some d -> Fmt.pr "simulated delay: %.3f ns@." d
+  | None -> Fmt.pr "no output transition@.");
+  Fmt.pr "%s@." (Spice.Measure.ascii_plot ~width:64 ~height:8 out);
+  0
+
+let simulate_cmd =
+  let stages =
+    Arg.(value & opt int 3 & info [ "stages" ] ~docv:"N" ~doc:"Chain length.")
+  in
+  Cmd.v
+    (Cmd.info "simulate" ~doc:"Compile, extract and simulate an inverter chain")
+    Term.(const run_simulate $ stages)
+
+(* ---------------- inspect ---------------- *)
+
+let run_inspect trace =
+  setup_logs ();
+  let env = Stem.Env.create () in
+  if trace then
+    Constraint_kernel.Engine.set_trace env.env_cnet
+      (Some (fun ev -> Fmt.pr "  %a@." Constraint_kernel.Editor.pp_trace_event ev));
+  let acc = Cell_library.Datapath.accumulator ~spec:180.0 env in
+  ignore
+    (Delay.Delay_network.delay env acc.Cell_library.Datapath.acc ~from_:"in"
+       ~to_:"out");
+  Constraint_kernel.Engine.set_trace env.env_cnet None;
+  Fmt.pr "%a@." Constraint_kernel.Editor.dump_network env.env_cnet;
+  let cd = acc.Cell_library.Datapath.acc_delay in
+  Fmt.pr "@.%a@." Constraint_kernel.Editor.trace_antecedents cd.cd_var;
+  0
+
+let inspect_cmd =
+  let trace =
+    Arg.(value & flag & info [ "trace" ] ~doc:"Print every propagation event.")
+  in
+  Cmd.v
+    (Cmd.info "inspect" ~doc:"Build the demo design and dump its constraint network")
+    Term.(const run_inspect $ trace)
+
+(* ---------------- check ---------------- *)
+
+let run_check () =
+  setup_logs ();
+  let env = Stem.Env.create () in
+  let violations = ref 0 in
+  Constraint_kernel.Engine.set_violation_handler env.env_cnet (fun _ -> incr violations);
+  let acc = Cell_library.Datapath.accumulator ~spec:160.0 env in
+  ignore
+    (Delay.Delay_network.delay env acc.Cell_library.Datapath.acc ~from_:"in"
+       ~to_:"out");
+  Fmt.pr "incremental checking caught %d violation(s) during entry@." !violations;
+  let examined, bad = Checking.Check.batch_check env in
+  Fmt.pr "batch sweep: %d constraints examined, %d violated now@." examined
+    (List.length bad);
+  Fmt.pr "%s@." (Checking.Check.report env acc.Cell_library.Datapath.acc);
+  0
+
+let check_cmd =
+  Cmd.v
+    (Cmd.info "check" ~doc:"Incremental vs batch design checking")
+    Term.(const run_check $ const ())
+
+(* ---------------- edit ---------------- *)
+
+let run_edit scenario =
+  setup_logs ();
+  let env = Stem.Env.create () in
+  (match scenario with
+  | "accumulator" -> ignore (Cell_library.Datapath.accumulator ~spec:180.0 env)
+  | "alu" ->
+    let adders = Cell_library.Adders.fig_8_1 env in
+    ignore
+      (Cell_library.Datapath.alu env ~adder:adders.Cell_library.Adders.add8
+         ~delay_spec:11.0 ~area_spec:300)
+  | other -> Fmt.pr "unknown scenario %S, using accumulator@." other);
+  (* pull the delay values so the editor has a live network to walk *)
+  List.iter
+    (fun cls ->
+      List.iter
+        (fun cd ->
+          ignore
+            (Delay.Delay_network.delay env cls ~from_:cd.cd_from ~to_:cd.cd_to))
+        cls.cc_delays)
+    (Stem.Env.cells env);
+  Shell.run env;
+  0
+
+let edit_cmd =
+  let scenario =
+    Arg.(value & opt string "accumulator"
+         & info [ "scenario" ] ~docv:"NAME" ~doc:"accumulator or alu.")
+  in
+  Cmd.v
+    (Cmd.info "edit" ~doc:"Interactive constraint editor on a demo design (§5.4)")
+    Term.(const run_edit $ scenario)
+
+(* ---------------- ripple ---------------- *)
+
+let run_ripple bits =
+  setup_logs ();
+  let env = Stem.Env.create () in
+  let gates = Cell_library.Gates.make env in
+  let ra = Cell_library.Composed.ripple_adder env gates ~bits in
+  let cell = ra.Cell_library.Composed.ra_cell in
+  Fmt.pr "compiled %s: %d slices, %d nets@." cell.cc_name
+    (List.length (Cell.subcells cell))
+    (List.length (Cell.nets cell));
+  (match Cell.bounding_box env cell with
+  | Some box -> Fmt.pr "bounding box: %a@." Geometry.Rect.pp box
+  | None -> ());
+  let show from_ to_ =
+    match Delay.Delay_network.delay env cell ~from_ ~to_ with
+    | Some d -> Fmt.pr "  %-18s -> %-18s %7.3f ns@." from_ to_ d
+    | None -> Fmt.pr "  %-18s -> %-18s (unknown)@." from_ to_
+  in
+  Fmt.pr "delays (gate -> slice -> adder hierarchy):@.";
+  show ra.Cell_library.Composed.ra_cin ra.Cell_library.Composed.ra_cout;
+  show ra.Cell_library.Composed.ra_a.(0) ra.Cell_library.Composed.ra_cout;
+  show ra.Cell_library.Composed.ra_a.(0) ra.Cell_library.Composed.ra_s.(0);
+  0
+
+let ripple_cmd =
+  let bits =
+    Arg.(value & opt int 8 & info [ "bits" ] ~docv:"N" ~doc:"Adder width.")
+  in
+  Cmd.v
+    (Cmd.info "ripple"
+       ~doc:"Compile a gate-level ripple-carry adder and report its delays")
+    Term.(const run_ripple $ bits)
+
+let main_cmd =
+  let doc = "STEM: constraint propagation in an object-oriented IC design environment" in
+  Cmd.group (Cmd.info "stem" ~version:"1.0.0" ~doc)
+    [
+      accumulator_cmd; select_cmd; simulate_cmd; inspect_cmd; check_cmd;
+      edit_cmd; ripple_cmd;
+    ]
+
+let () = exit (Cmd.eval' main_cmd)

@@ -1,0 +1,1 @@
+examples/accumulator_delay.ml: Cell_library Constraint_kernel Delay Dval Engine Fmt List Stem Types

@@ -1,0 +1,1 @@
+examples/adder_selection.ml: Cell_library Constraint_kernel Delay Fmt List Selection Stem

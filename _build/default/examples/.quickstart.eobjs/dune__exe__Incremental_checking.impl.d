@@ -1,0 +1,1 @@
+examples/incremental_checking.ml: Checking Constraint_kernel Cstr Dclib Dval Fmt Geometry List Signal_types Stem Types Var

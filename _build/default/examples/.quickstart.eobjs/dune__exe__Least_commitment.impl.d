@@ -1,0 +1,1 @@
+examples/least_commitment.ml: Cell_library Constraint_kernel Delay Dval Fmt List Option Selection Stem

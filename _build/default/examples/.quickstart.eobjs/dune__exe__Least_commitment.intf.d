@@ -1,0 +1,1 @@
+examples/least_commitment.mli:

@@ -1,0 +1,1 @@
+examples/quickstart.ml: Clib Constraint_kernel Editor Engine Fmt Int List Types Var

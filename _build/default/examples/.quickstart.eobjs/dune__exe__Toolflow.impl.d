@@ -1,0 +1,1 @@
+examples/toolflow.ml: Cell_library Compilers Delay Fmt List Option Spice Stem

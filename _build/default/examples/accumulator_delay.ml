@@ -1,0 +1,58 @@
+(* The least-commitment delay scenario of Fig. 5.2.
+
+   An ACCUMULATOR cascades an 8-bit REGISTER (60 ns) into an 8-bit ADDER
+   (105 ns nominal, 110 ns after adjustment for the 5 pF output load).
+   Against a 160 ns budget the computed 170 ns violates; hierarchical
+   constraint propagation reports it the moment the characteristics meet
+   the specification. We then play the designer: first relax the budget,
+   then instead speed the register up and watch the change propagate up
+   the hierarchy.
+
+   Run with: dune exec examples/accumulator_delay.exe *)
+
+open Constraint_kernel
+open Stem.Design
+module Dn = Delay.Delay_network
+
+let section title = Fmt.pr "@.== %s ==@." title
+
+let () =
+  section "ACCUMULATOR with a 160 ns budget (Fig. 5.2)";
+  let env = Stem.Env.create () in
+  Engine.set_violation_handler env.env_cnet (fun v ->
+      Fmt.pr "  !! %a@." Types.pp_violation v);
+  let acc = Cell_library.Datapath.accumulator ~spec:160.0 env in
+  (match Dn.delay env acc.Cell_library.Datapath.acc ~from_:"in" ~to_:"out" with
+  | Some d -> Fmt.pr "  in->out delay: %g ns@." d
+  | None -> Fmt.pr "  in->out delay: unknown (the 170 ns total violates the spec)@.");
+
+  section "same design, 180 ns budget";
+  let env = Stem.Env.create () in
+  let acc = Cell_library.Datapath.accumulator ~spec:180.0 env in
+  let top = acc.Cell_library.Datapath.acc in
+  (match Dn.delay env top ~from_:"in" ~to_:"out" with
+  | Some d -> Fmt.pr "  in->out delay: %g ns (60 + 105 + 5 loading)@." d
+  | None -> Fmt.pr "  no delay?@.");
+  (match Dn.critical_path env top ~from_:"in" ~to_:"out" with
+  | Some (path, d) ->
+    Fmt.pr "  critical path (%g ns): %a@." d Delay.Delay_path.pp_path path
+  | None -> ());
+
+  section "least commitment: speed the register up to 45 ns";
+  let reg_delay = List.hd acc.Cell_library.Datapath.acc_reg.cc_delays in
+  (match Engine.set_user env.env_cnet reg_delay.cd_var (Dval.Float 45.0) with
+  | Ok () -> Fmt.pr "  register characteristic updated@."
+  | Error v -> Fmt.pr "  !! %a@." Types.pp_violation v);
+  (match Dn.delay env top ~from_:"in" ~to_:"out" with
+  | Some d -> Fmt.pr "  accumulator delay now: %g ns@." d
+  | None -> Fmt.pr "  no delay?@.");
+
+  section "the adder's own 120 ns internal specification (§5.1)";
+  let add_delay = List.hd acc.Cell_library.Datapath.acc_adder.cc_delays in
+  Fmt.pr "  trying to degrade the adder to 130 ns:@.";
+  (match Engine.set_user env.env_cnet add_delay.cd_var (Dval.Float 130.0) with
+  | Ok () -> Fmt.pr "  accepted?!@."
+  | Error _ -> Fmt.pr "  rejected by the adder's internal spec; value restored@.");
+  match Dn.delay env top ~from_:"in" ~to_:"out" with
+  | Some d -> Fmt.pr "  accumulator delay still: %g ns@." d
+  | None -> Fmt.pr "  no delay?@."

@@ -1,0 +1,75 @@
+(* Module validation and selection (Fig. 8.1).
+
+   An ALU cascades an 8-bit logic unit (3D, 2A) with a *generic* 8-bit
+   adder. The generic ADD8 has two realisations: ADD8.RC (ripple-carry,
+   8D, A) and ADD8.CS (carry-select, 5D, 2.2A). Under a tight area
+   specification module selection picks the ripple-carry adder; under a
+   tight delay specification it picks the carry-select one.
+
+   Run with: dune exec examples/adder_selection.exe *)
+
+open Stem.Design
+module Sel = Selection.Select
+module Adders = Cell_library.Adders
+module Datapath = Cell_library.Datapath
+
+let section title = Fmt.pr "@.== %s ==@." title
+
+let run_case ~label ~delay_spec ~area_spec =
+  section label;
+  let env = Stem.Env.create () in
+  let adders = Adders.fig_8_1 env in
+  let scenario = Datapath.alu env ~adder:adders.Adders.add8 ~delay_spec ~area_spec in
+  let stats = Sel.fresh_stats () in
+  let picks =
+    Sel.select env scenario.Datapath.adder_inst
+      ~priorities:[ Sel.BBox; Sel.Signals; Sel.Delays ]
+      ~stats ()
+  in
+  Fmt.pr "  specs: delay <= %g ns, area <= %d λ²@." delay_spec area_spec;
+  Fmt.pr "  valid realisations: %a@."
+    Fmt.(list ~sep:comma string)
+    (List.map (fun c -> c.cc_name) picks);
+  Fmt.pr "  search: %a@." Sel.pp_stats stats;
+  (env, scenario, picks)
+
+let () =
+  let _ = run_case ~label:"Fig. 8.1(b): tight area" ~delay_spec:11.0 ~area_spec:300 in
+  let env, scenario, picks =
+    run_case ~label:"Fig. 8.1(c): tight delay" ~delay_spec:8.0 ~area_spec:420
+  in
+
+  section "realise the winner";
+  (match picks with
+  | [ winner ] -> (
+    match Sel.realize env scenario.Datapath.adder_inst winner with
+    | Ok () ->
+      Fmt.pr "  instance now realises %s@." scenario.Datapath.adder_inst.inst_of.cc_name;
+      (match
+         Delay.Delay_network.delay env scenario.Datapath.alu ~from_:"in" ~to_:"out"
+       with
+      | Some d -> Fmt.pr "  ALU delay with the concrete adder: %g ns@." d
+      | None -> Fmt.pr "  ALU delay unknown@.")
+    | Error v ->
+      Fmt.pr "  realisation failed: %a@." Constraint_kernel.Types.pp_violation v)
+  | _ -> Fmt.pr "  (expected exactly one winner)@.");
+
+  section "Fig. 8.4: tree pruning on a deeper hierarchy";
+  let env = Stem.Env.create () in
+  let family = Adders.fig_8_4 env in
+  let scenario =
+    Datapath.alu env ~adder:family.Adders.adder8 ~delay_spec:10.0 ~area_spec:1000000
+  in
+  let run ~prune =
+    let stats = Sel.fresh_stats () in
+    let picks =
+      Sel.select env scenario.Datapath.adder_inst ~priorities:[ Sel.Delays ] ~prune
+        ~stats ()
+    in
+    Fmt.pr "  prune=%b -> %a | %a@." prune
+      Fmt.(list ~sep:comma string)
+      (List.map (fun c -> c.cc_name) picks)
+      Sel.pp_stats stats
+  in
+  run ~prune:true;
+  run ~prune:false

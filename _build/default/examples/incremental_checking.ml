@@ -1,0 +1,85 @@
+(* Incremental design checking (Ch. 7).
+
+   Signal types, bit widths and bounding boxes are checked as the design
+   is entered, not in a batch afterwards: every net connection and every
+   assignment triggers exactly the affected constraints.
+
+   Run with: dune exec examples/incremental_checking.exe *)
+
+open Constraint_kernel
+open Stem.Design
+module Cell = Stem.Cell
+module Enet = Stem.Enet
+module Point = Geometry.Point
+module Rect = Geometry.Rect
+module St = Signal_types.Standard
+
+let section title = Fmt.pr "@.== %s ==@." title
+
+let report = function
+  | Ok () -> Fmt.pr "  ok@."
+  | Error v -> Fmt.pr "  !! %a@." Types.pp_violation v
+
+let () =
+  let env = Stem.Env.create () in
+
+  section "signal typing on nets (§7.1)";
+  (* a producer with an 8-bit two's-complement output *)
+  let producer = Cell.create env ~name:"PRODUCER" () in
+  ignore
+    (Cell.add_signal env producer ~name:"out" ~dir:Output ~data:St.a2c_int
+       ~elec:St.cmos ~width:8 ());
+  (* a consumer whose input is completely unspecified *)
+  let consumer = Cell.create env ~name:"CONSUMER" () in
+  ignore (Cell.add_signal env consumer ~name:"in" ~dir:Input ());
+  let top = Cell.create env ~name:"TOP" () in
+  let p = Cell.instantiate env ~parent:top ~of_:producer ~name:"p" () in
+  let c = Cell.instantiate env ~parent:top ~of_:consumer ~name:"c" () in
+  let net = Cell.add_net env top ~name:"bus" in
+  Fmt.pr "  connect producer:@.";
+  report (Enet.connect env net (Sub_pin (p, "out")));
+  Fmt.pr "  connect untyped consumer (types inferred):@.";
+  report (Enet.connect env net (Sub_pin (c, "in")));
+  let cin = find_signal consumer "in" in
+  Fmt.pr "  consumer.in now: width=%a data=%a elec=%a@."
+    Fmt.(option ~none:(any "?") Dval.pp)
+    (Var.value cin.ss_width)
+    Fmt.(option ~none:(any "?") Dval.pp)
+    (Var.value cin.ss_data)
+    Fmt.(option ~none:(any "?") Dval.pp)
+    (Var.value cin.ss_elec);
+
+  Fmt.pr "  connect a 4-bit BCD cell to the same bus (Fig. 7.1):@.";
+  let bad = Cell.create env ~name:"BCD4" () in
+  ignore
+    (Cell.add_signal env bad ~name:"in" ~dir:Input ~data:St.bcd ~elec:St.cmos
+       ~width:4 ());
+  let b = Cell.instantiate env ~parent:top ~of_:bad ~name:"b" () in
+  report (Enet.connect env net (Sub_pin (b, "in")));
+
+  section "bounding boxes (§7.2)";
+  let leaf = Cell.create env ~name:"LEAF" () in
+  ignore (Cell.add_signal env leaf ~name:"x" ~dir:Input ());
+  Fmt.pr "  class box 10x20:@.";
+  report (Cell.set_class_bbox env leaf (Rect.make Point.origin ~width:10 ~height:20));
+  let i1 = Cell.instantiate env ~parent:top ~of_:leaf ~name:"u1" () in
+  Fmt.pr "  instance box defaulted to %a@."
+    Fmt.(option ~none:(any "?") Dval.pp)
+    (Var.value i1.inst_bbox);
+  Fmt.pr "  stretch to 14x24 (legal):@.";
+  report (Cell.set_instance_bbox env i1 (Rect.make Point.origin ~width:14 ~height:24));
+  Fmt.pr "  shrink to 6x20 (smaller than the class, Fig. 7.7):@.";
+  report (Cell.set_instance_bbox env i1 (Rect.make Point.origin ~width:6 ~height:20));
+
+  section "aspect-ratio predicate (Fig. 7.9)";
+  let framed = Cell.create env ~name:"FRAMED" () in
+  let _ = Dclib.aspect_ratio (Stem.Env.cnet env) (Cell.class_bbox_var framed) ~ratio:2.0 in
+  Fmt.pr "  40x20 (ratio 2):@.";
+  report (Cell.set_class_bbox env framed (Rect.make Point.origin ~width:40 ~height:20));
+  Fmt.pr "  50x20 (ratio 2.5):@.";
+  report (Cell.set_class_bbox env framed (Rect.make Point.origin ~width:50 ~height:20));
+
+  section "batch check of the whole environment (the old way)";
+  let examined, bad = Checking.Check.batch_check env in
+  Fmt.pr "  %d constraints examined, %d violated@." examined (List.length bad);
+  List.iter (fun c -> Fmt.pr "  - %a@." Cstr.pp c) bad

@@ -1,0 +1,95 @@
+(* The least-commitment strategy end to end (§1.1, Ch. 8, §9.1).
+
+   1. Start top-down: an ALU is designed around a *generic* 8-bit adder
+      carrying only a designer estimate.
+   2. Design bottom-up in parallel: two real adders are compiled from
+      gate-level slices; their characteristics (delay, area) are
+      *computed* from structure and flow into wrapper realisations.
+   3. Let the environment pick: module selection validates each
+      realisation against every constraint in the ALU's context.
+   4. Commit late: realise the winner, and watch the design's delay
+      update through the hierarchy.
+
+   Run with: dune exec examples/least_commitment.exe *)
+
+open Stem.Design
+module Cell = Stem.Cell
+module Composed = Cell_library.Composed
+module Dn = Delay.Delay_network
+module Sel = Selection.Select
+
+let section title = Fmt.pr "@.== %s ==@." title
+
+let () =
+  let env = Stem.Env.create () in
+  let gates = Cell_library.Gates.make env in
+
+  section "1. bottom-up: compile two structural adders";
+  let generic, rc_w, cs_w = Composed.structural_selection_family env gates in
+  let show_wrapper c =
+    let d = Dn.delay env c ~from_:"a" ~to_:"s" in
+    let a = Cell.area env c in
+    Fmt.pr "  %-10s a->s %s, area %s   (computed from gate-level structure)@."
+      c.cc_name
+      (match d with Some d -> Fmt.str "%6.2f ns" d | None -> "?")
+      (match a with Some a -> Fmt.str "%6d λ²" a | None -> "?")
+  in
+  show_wrapper rc_w;
+  show_wrapper cs_w;
+
+  section "2. top-down: the ALU commits only to the generic adder";
+  let cs_delay = Option.get (Dn.delay env cs_w ~from_:"a" ~to_:"s") in
+  let delay_spec = 3.0 +. cs_delay +. 1.0 in
+  let sc =
+    Cell_library.Datapath.alu env ~adder:generic ~delay_spec ~area_spec:100000
+  in
+  Fmt.pr "  ALU = LU8 -> %s, delay spec %.2f ns@." generic.cc_name delay_spec;
+
+  section "3. module selection under the context's constraints";
+  let stats = Sel.fresh_stats () in
+  let picks =
+    Sel.select env sc.Cell_library.Datapath.adder_inst
+      ~priorities:[ Sel.BBox; Sel.Signals; Sel.Delays ]
+      ~stats ()
+  in
+  Fmt.pr "  valid realisations: %a  (%a)@."
+    Fmt.(list ~sep:comma string)
+    (List.map (fun c -> c.cc_name) picks)
+    Sel.pp_stats stats;
+  let ranked =
+    Selection.Rank.rank env picks ~for_:sc.Cell_library.Datapath.adder_inst
+      ~delay_weight:1.0 ~area_weight:0.05 ()
+  in
+  List.iter
+    (fun (c, m) ->
+      Fmt.pr "  merit %-10s %s@." c.cc_name
+        (match m with Some m -> Fmt.str "%.2f" m | None -> "?"))
+    ranked;
+
+  section "4. commit: realise the winner";
+  (match picks with
+  | winner :: _ -> (
+    match Sel.realize env sc.Cell_library.Datapath.adder_inst winner with
+    | Ok () ->
+      Fmt.pr "  adder instance now realises %s@."
+        sc.Cell_library.Datapath.adder_inst.inst_of.cc_name;
+      (match Dn.delay env sc.Cell_library.Datapath.alu ~from_:"in" ~to_:"out" with
+      | Some d -> Fmt.pr "  ALU in->out delay: %.2f ns (spec %.2f)@." d delay_spec
+      | None -> Fmt.pr "  ALU delay unknown@.")
+    | Error v ->
+      Fmt.pr "  realisation failed: %a@." Constraint_kernel.Types.pp_violation v)
+  | [] -> Fmt.pr "  nothing to realise@.");
+
+  section "5. the loop stays live: a faster NAND reprices the library";
+  List.iter
+    (fun cd ->
+      ignore
+        (Constraint_kernel.Engine.set_user env.env_cnet cd.cd_var (Dval.Float 0.6)))
+    gates.Cell_library.Gates.nand2.cc_delays;
+  let rc = Option.get (Stem.Env.find_cell env "RCADD8") in
+  (match
+     Dn.delay env rc ~from_:"t0_cin" ~to_:"t7_cout"
+   with
+  | Some d -> Fmt.pr "  RCADD8 carry chain with faster NANDs: %.2f ns@." d
+  | None -> Fmt.pr "  no delay@.");
+  Fmt.pr "  (characteristics keep flowing up as soon as they change)@."

@@ -1,0 +1,60 @@
+(* Tool integration and consistency maintenance (Ch. 6).
+
+   Compile an inverter row with the VectorCompiler, extract its SPICE
+   net-list through a calculated view, run the (internal) transient
+   simulation, measure the propagation delay, compare it with the
+   constraint network's RC estimate — then edit the design and watch the
+   simulation views go stale.
+
+   Run with: dune exec examples/toolflow.exe *)
+
+open Stem.Design
+module Cell = Stem.Cell
+module B = Compilers.Builders
+
+let section title = Fmt.pr "@.== %s ==@." title
+
+let () =
+  let env = Stem.Env.create () in
+  let gates = Cell_library.Gates.make env in
+  let inv = gates.Cell_library.Gates.inverter in
+  Spice.Gate_templates.inverter env inv ~in_:"in" ~out:"out";
+
+  section "compile a 3-inverter chain";
+  let chain = Cell_library.Gates.inverter_chain env gates ~n:3 in
+  Fmt.pr "  %s: %d subcells, %d nets@." chain.cc_name
+    (List.length (Cell.subcells chain))
+    (List.length (Cell.nets chain));
+
+  section "constraint-network delay estimate (Fig. 7.10 model)";
+  (match Delay.Delay_network.delay env chain ~from_:"in" ~to_:"out" with
+  | Some d -> Fmt.pr "  estimated in->out delay: %g ns@." d
+  | None -> Fmt.pr "  no estimate@.");
+
+  section "SpiceNet: extracted net-list (view)";
+  let sn = Spice.Spice_view.spice_net env chain in
+  Fmt.pr "%s@." (Spice.Spice_view.deck sn);
+
+  section "SpiceSimulation: transient run";
+  let sim = Spice.Spice_view.simulation env chain in
+  let stimuli = [ Spice.Sim.step ~at:2.0 ~low:0.0 ~high:5.0 "in" ] in
+  let res = Spice.Spice_view.run sim ~stimuli ~t_end:12.0 () in
+  Fmt.pr "  %d integration steps@." res.Spice.Sim.res_steps;
+  let inp = Option.get (Spice.Sim.waveform res "in") in
+  let out = Option.get (Spice.Sim.waveform res "out") in
+  (match Spice.Measure.propagation_delay ~input:inp ~output:out ~threshold:2.5 () with
+  | Some d -> Fmt.pr "  simulated in->out delay: %.3f ns@." d
+  | None -> Fmt.pr "  no transition seen@.");
+
+  section "SpicePlot";
+  Fmt.pr "%s@." (Spice.Measure.ascii_plot ~width:64 ~height:8 inp);
+  Fmt.pr "%s@." (Spice.Measure.ascii_plot ~width:64 ~height:8 out);
+
+  section "consistency: edits mark simulations outdated (§6.4.2)";
+  Fmt.pr "  outdated before edit: %b@." (Spice.Spice_view.is_outdated sim);
+  (* the designer speeds up the inverter: a structural/electrical edit *)
+  Stem.View.changed ~key:"structure" inv;
+  Fmt.pr "  outdated after editing INV: %b@." (Spice.Spice_view.is_outdated sim);
+  Fmt.pr "  net-list view erased too: %b@." (Spice.Spice_view.is_erased sn);
+  let _ = Spice.Spice_view.run sim ~stimuli ~t_end:12.0 () in
+  Fmt.pr "  re-run: outdated again: %b@." (Spice.Spice_view.is_outdated sim)

@@ -1,0 +1,1 @@
+lib/cell_library/adders.ml: Float Geometry List Printf Signal_types Stem

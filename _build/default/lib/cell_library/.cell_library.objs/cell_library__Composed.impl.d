@@ -1,0 +1,1 @@
+lib/cell_library/composed.ml: Adders Array Compilers Constraint_kernel Delay Dval Gates Geometry List Option Printf Signal_types Stem

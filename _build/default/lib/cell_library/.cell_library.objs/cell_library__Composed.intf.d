@@ -1,0 +1,1 @@
+lib/cell_library/composed.mli: Gates Stem

@@ -1,0 +1,1 @@
+lib/cell_library/datapath.ml: Checking Geometry List Signal_types Stem

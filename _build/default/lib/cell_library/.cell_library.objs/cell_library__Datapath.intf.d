@@ -1,0 +1,1 @@
+lib/cell_library/datapath.mli: Stem

@@ -1,0 +1,1 @@
+lib/cell_library/gates.ml: Geometry List Printf Signal_types Stem

@@ -1,0 +1,105 @@
+open Stem.Design
+module Cell = Stem.Cell
+module Point = Geometry.Point
+module Rect = Geometry.Rect
+module St = Signal_types.Standard
+
+let add_adder_interface env cls =
+  let sig_ name dir data width =
+    ignore (Cell.add_signal env cls ~name ~dir ~data ~elec:St.cmos ~width ())
+  in
+  sig_ "a" Input St.a2c_int 8;
+  sig_ "b" Input St.a2c_int 8;
+  sig_ "cin" Input St.bit 1;
+  sig_ "s" Output St.a2c_int 8;
+  sig_ "cout" Output St.bit 1
+
+(* Characterised module-level adder: declared delay a->s (and cin->cout,
+   one fifth of it) and a bounding box of the given area at aspect
+   height 10. *)
+let characterize env cls ~delay ~area =
+  ignore (Cell.set_class_bbox env cls (Rect.make Point.origin ~width:(area / 10) ~height:10));
+  ignore (Cell.declare_delay env cls ~from_:"a" ~to_:"s" ~estimate:delay ());
+  ignore (Cell.declare_delay env cls ~from_:"cin" ~to_:"cout" ~estimate:(delay /. 5.) ())
+
+type fig81 = { add8 : cell_class; add8_rc : cell_class; add8_cs : cell_class }
+
+let fig_8_1 env =
+  let add8 = Cell.create env ~name:"ADD8" ~generic:true ~doc:"generic 8-bit adder" () in
+  add_adder_interface env add8;
+  (* ideal characteristics: delay of the fastest subclass, area of the
+     smallest (Fig. 8.4's pruning convention) *)
+  characterize env add8 ~delay:5.0 ~area:100;
+  let add8_rc =
+    Cell.create env ~name:"ADD8.RC" ~super:add8 ~doc:"ripple-carry realisation" ()
+  in
+  characterize env add8_rc ~delay:8.0 ~area:100;
+  let add8_cs =
+    Cell.create env ~name:"ADD8.CS" ~super:add8 ~doc:"carry-select realisation" ()
+  in
+  characterize env add8_cs ~delay:5.0 ~area:220;
+  { add8; add8_rc; add8_cs }
+
+type fig84 = {
+  adder8 : cell_class;
+  ripple : cell_class;
+  rc_small : cell_class;
+  rc_fast : cell_class;
+  carry_select : cell_class;
+  cs_small : cell_class;
+  cs_fast : cell_class;
+}
+
+let fig_8_4 env =
+  let adder8 = Cell.create env ~name:"Adder8" ~generic:true () in
+  add_adder_interface env adder8;
+  characterize env adder8 ~delay:5.0 ~area:800;
+  let sub ?(generic = false) name super ~delay ~area =
+    let c = Cell.create env ~name ~super ~generic () in
+    characterize env c ~delay ~area;
+    c
+  in
+  let ripple = sub ~generic:true "RippleCarryAdder8" adder8 ~delay:8.0 ~area:800 in
+  let rc_small = sub "RCAdd8S" ripple ~delay:16.0 ~area:800 in
+  let rc_fast = sub "RCAdd8F" ripple ~delay:8.0 ~area:1600 in
+  let carry_select = sub ~generic:true "CarrySelect8" adder8 ~delay:5.0 ~area:1800 in
+  let cs_small = sub "CSAdd8S" carry_select ~delay:7.0 ~area:1800 in
+  let cs_fast = sub "CSAdd8F" carry_select ~delay:5.0 ~area:2600 in
+  { adder8; ripple; rc_small; rc_fast; carry_select; cs_small; cs_fast }
+
+(* Deterministic pseudo-random stream for the synthetic family. *)
+let mix seed i = ((seed * 1103515245) + i * 12345) land 0x3fffffff
+
+let synthetic_family env ~levels ~fanout =
+  let leaf_count = ref 0 in
+  (* returns (class, min delay of subtree, min area of subtree) *)
+  let rec build super name level seed =
+    if level >= levels then begin
+      incr leaf_count;
+      let h = mix seed !leaf_count in
+      let delay = 5.0 +. (15.0 *. float_of_int (h mod 1000) /. 1000.0) in
+      let area = 100 + (h / 1000 mod 30) * 10 in
+      let c = Cell.create env ~name ?super () in
+      (match super with None -> add_adder_interface env c | Some _ -> ());
+      characterize env c ~delay ~area;
+      (c, delay, area)
+    end
+    else begin
+      let c = Cell.create env ~name ?super ~generic:true () in
+      (match super with None -> add_adder_interface env c | Some _ -> ());
+      let children =
+        List.init fanout (fun i ->
+            let _, d, a =
+              build (Some c) (Printf.sprintf "%s.%d" name i) (level + 1)
+                (mix seed (i + 1))
+            in
+            (d, a))
+      in
+      let min_d = List.fold_left (fun m (d, _) -> Float.min m d) infinity children in
+      let min_a = List.fold_left (fun m (_, a) -> min m a) max_int children in
+      characterize env c ~delay:min_d ~area:min_a;
+      (c, min_d, min_a)
+    end
+  in
+  let root, _, _ = build None "GEN" 0 42 in
+  (root, !leaf_count)

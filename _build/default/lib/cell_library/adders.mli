@@ -1,0 +1,50 @@
+(** Module-level adder families: the generic-cell hierarchies of
+    chapter 8 (Fig. 8.1 and Fig. 8.4).
+
+    These are module-level cells: delays are declared characteristics
+    (in units of D = 1 ns) and areas are bounding boxes (A = 100 λ²),
+    exactly the numbers the thesis figures use. Module-level signals
+    omit RC characteristics so the figure arithmetic is exact. *)
+
+open Stem.Design
+
+(** Fig. 8.1: [ADD8] is a generic 8-bit adder whose ideal
+    characteristics are the best of its subclasses (delay 5D from the
+    carry-select, area A from the ripple-carry); [ADD8.RC] has delay 8D
+    and area A; [ADD8.CS] has delay 5D and area 2.2A. *)
+type fig81 = {
+  add8 : cell_class; (** generic *)
+  add8_rc : cell_class;
+  add8_cs : cell_class;
+}
+
+val fig_8_1 : env -> fig81
+
+(** Fig. 8.4: a deeper hierarchy for search-tree pruning. [adder8] is
+    the generic root; [ripple] is a generic intermediate whose ideal
+    characteristics are the area of its smallest subclass ([rc_small])
+    and the delay of its fastest ([rc_fast]); [carry_select] mirrors it. *)
+type fig84 = {
+  adder8 : cell_class; (** generic root, ideal: delay 5D, area 8A *)
+  ripple : cell_class; (** generic, ideal: delay 8D, area 8A *)
+  rc_small : cell_class; (** delay 16D, area 8A *)
+  rc_fast : cell_class; (** delay 8D, area 16A *)
+  carry_select : cell_class; (** generic, ideal: delay 5D, area 18A *)
+  cs_small : cell_class; (** delay 7D, area 18A *)
+  cs_fast : cell_class; (** delay 5D, area 26A *)
+}
+
+val fig_8_4 : env -> fig84
+
+(** [synthetic_family env ~levels ~fanout] — a deterministic generic
+    class tree for the pruning sweep: [levels] levels of generic cells
+    with [fanout] children each; leaves get pseudo-random delays in
+    [5D, 20D] and areas in [A, 4A]; every generic's ideal
+    characteristics are the minima over its subtree. Returns the root
+    and the number of concrete leaves. *)
+val synthetic_family : env -> levels:int -> fanout:int -> cell_class * int
+
+(** The shared 8-bit adder interface: inputs [a], [b] (8-bit two's
+    complement), [cin]; outputs [s] (8-bit), [cout]. Exposed so other
+    cells can be made interface-compatible. *)
+val add_adder_interface : env -> cell_class -> unit

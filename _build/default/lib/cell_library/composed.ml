@@ -1,0 +1,179 @@
+open Stem.Design
+module Cell = Stem.Cell
+module B = Compilers.Builders
+
+type ripple = {
+  ra_cell : cell_class;
+  ra_bits : int;
+  ra_cin : string;
+  ra_cout : string;
+  ra_a : string array;
+  ra_b : string array;
+  ra_s : string array;
+}
+
+let ripple_adder ?name env gates ~bits =
+  if bits < 1 then invalid_arg "ripple_adder: bits must be positive";
+  let name =
+    match name with Some n -> n | None -> Printf.sprintf "RCADD%d" bits
+  in
+  let slice = Gates.adder_slice env gates in
+  let result = B.vector env ~name ~of_:slice ~n:bits () in
+  let cell = result.Compilers.Tile.tr_cell in
+  let exported inst_name signal =
+    match
+      List.find_opt
+        (fun (i, s, _) -> i = inst_name && s = signal)
+        result.Compilers.Tile.tr_exported
+    with
+    | Some (_, _, io) -> io
+    | None ->
+      invalid_arg
+        (Printf.sprintf "ripple_adder: pin %s.%s was not exported" inst_name signal)
+  in
+  let tile i = Printf.sprintf "t%d" i in
+  let ra_cin = exported (tile 0) "cin" in
+  let ra_cout = exported (tile (bits - 1)) "cout" in
+  let ra_a = Array.init bits (fun i -> exported (tile i) "a") in
+  let ra_b = Array.init bits (fun i -> exported (tile i) "b") in
+  let ra_s = Array.init bits (fun i -> exported (tile i) "s") in
+  (* critical delays of the compiled adder: the full carry chain, plus
+     the lsb-operand arrival paths *)
+  ignore (Cell.declare_delay env cell ~from_:ra_cin ~to_:ra_cout ());
+  ignore (Cell.declare_delay env cell ~from_:ra_a.(0) ~to_:ra_cout ());
+  ignore (Cell.declare_delay env cell ~from_:ra_a.(0) ~to_:ra_s.(0) ());
+  ignore (Cell.declare_delay env cell ~from_:ra_cin ~to_:(ra_s.(bits - 1)) ());
+  ignore (Cell.declare_delay env cell ~from_:ra_a.(0) ~to_:(ra_s.(bits - 1)) ());
+  { ra_cell = cell; ra_bits = bits; ra_cin; ra_cout; ra_a; ra_b; ra_s }
+
+type carry_select = {
+  cs_cell : cell_class;
+  cs_bits : int;
+  cs_cin : string;
+  cs_cout : string;
+  cs_low : ripple;
+}
+
+let carry_select_adder env gates ~bits =
+  if bits < 2 || bits mod 2 <> 0 then
+    invalid_arg "carry_select_adder: bits must be even and >= 2";
+  let half = bits / 2 in
+  let low =
+    ripple_adder env gates ~bits:half ~name:(Printf.sprintf "CSLOW%d" bits)
+  in
+  let high =
+    ripple_adder env gates ~bits:half ~name:(Printf.sprintf "CSHIGH%d" bits)
+  in
+  let mux = gates.Gates.mux2 in
+  let cs = Stem.Cell.create env ~name:(Printf.sprintf "CSADD%d" bits)
+      ~doc:"structural carry-select adder" () in
+  let module St = Signal_types.Standard in
+  let input name =
+    ignore
+      (Cell.add_signal env cs ~name ~dir:Input ~data:St.bit ~elec:St.cmos ~width:1 ())
+  in
+  let output name =
+    ignore
+      (Cell.add_signal env cs ~name ~dir:Output ~data:St.bit ~elec:St.cmos
+         ~width:1 ~cap:0.05 ())
+  in
+  input "cin";
+  for i = 0 to bits - 1 do
+    input (Printf.sprintf "a%d" i);
+    input (Printf.sprintf "b%d" i)
+  done;
+  for i = 0 to bits - 1 do
+    output (Printf.sprintf "s%d" i)
+  done;
+  output "cout";
+  let place name of_ x y =
+    Cell.instantiate env ~parent:cs ~of_ ~name
+      ~transform:(Geometry.Transform.translation (Geometry.Point.make x y))
+      ()
+  in
+  let low_w = half * 26 in
+  let low_i = place "low" low.ra_cell 0 0 in
+  let h0 = place "h0" high.ra_cell 0 30 in
+  let h1 = place "h1" high.ra_cell 0 60 in
+  let muxes = Array.init half (fun j -> place (Printf.sprintf "m%d" j) mux (low_w + 8) (j * 10)) in
+  let mc = place "mc" mux (low_w + 8) (half * 10) in
+  let wire name members =
+    let net = Stem.Cell.add_net env cs ~name in
+    List.iter (fun m -> ignore (Stem.Enet.connect env net m)) members
+  in
+  wire "n_cin" [ Own_pin "cin"; Sub_pin (low_i, low.ra_cin) ];
+  for i = 0 to half - 1 do
+    wire (Printf.sprintf "n_a%d" i) [ Own_pin (Printf.sprintf "a%d" i); Sub_pin (low_i, low.ra_a.(i)) ];
+    wire (Printf.sprintf "n_b%d" i) [ Own_pin (Printf.sprintf "b%d" i); Sub_pin (low_i, low.ra_b.(i)) ];
+    wire (Printf.sprintf "n_s%d" i) [ Sub_pin (low_i, low.ra_s.(i)); Own_pin (Printf.sprintf "s%d" i) ]
+  done;
+  for j = 0 to half - 1 do
+    let bit = half + j in
+    wire (Printf.sprintf "n_a%d" bit)
+      [ Own_pin (Printf.sprintf "a%d" bit); Sub_pin (h0, high.ra_a.(j)); Sub_pin (h1, high.ra_a.(j)) ];
+    wire (Printf.sprintf "n_b%d" bit)
+      [ Own_pin (Printf.sprintf "b%d" bit); Sub_pin (h0, high.ra_b.(j)); Sub_pin (h1, high.ra_b.(j)) ];
+    wire (Printf.sprintf "n_h0s%d" j) [ Sub_pin (h0, high.ra_s.(j)); Sub_pin (muxes.(j), "a") ];
+    wire (Printf.sprintf "n_h1s%d" j) [ Sub_pin (h1, high.ra_s.(j)); Sub_pin (muxes.(j), "b") ];
+    wire (Printf.sprintf "n_s%d" bit)
+      [ Sub_pin (muxes.(j), "y"); Own_pin (Printf.sprintf "s%d" bit) ]
+  done;
+  (* the low block's carry-out selects among the speculative high halves *)
+  wire "n_sel"
+    (Sub_pin (low_i, low.ra_cout)
+     :: Sub_pin (mc, "s")
+     :: Array.to_list (Array.map (fun m -> Sub_pin (m, "s")) muxes));
+  wire "n_h0c" [ Sub_pin (h0, high.ra_cout); Sub_pin (mc, "a") ];
+  wire "n_h1c" [ Sub_pin (h1, high.ra_cout); Sub_pin (mc, "b") ];
+  wire "n_cout" [ Sub_pin (mc, "y"); Own_pin "cout" ];
+  ignore (Cell.declare_delay env cs ~from_:"cin" ~to_:"cout" ());
+  ignore (Cell.declare_delay env cs ~from_:"a0" ~to_:"cout" ());
+  ignore (Cell.declare_delay env cs ~from_:"cin" ~to_:(Printf.sprintf "s%d" (bits - 1)) ());
+  ignore (Cell.declare_delay env cs ~from_:"a0" ~to_:(Printf.sprintf "s%d" (bits - 1)) ());
+  { cs_cell = cs; cs_bits = bits; cs_cin = "cin"; cs_cout = "cout"; cs_low = low }
+
+(* Wrapper subclasses of a generic adder whose characteristics are the
+   structurally computed ones — calculated (#APPLICATION) values flowing
+   in bottom-up, closing the least-commitment loop. *)
+let structural_selection_family env gates =
+  let module St = Signal_types.Standard in
+  let rc = ripple_adder env gates ~bits:8 in
+  let csel = carry_select_adder env gates ~bits:8 in
+  let generic = Stem.Cell.create env ~name:"GADD8" ~generic:true
+      ~doc:"generic 8-bit adder (structural family)" () in
+  Adders.add_adder_interface env generic;
+  ignore (Cell.declare_delay env generic ~from_:"a" ~to_:"s" ());
+  ignore (Cell.declare_delay env generic ~from_:"cin" ~to_:"cout" ());
+  let wrap name ~a_s ~cin_cout ~bbox =
+    let c = Stem.Cell.create env ~name ~super:generic () in
+    let set_delay from_ to_ value =
+      match value with
+      | Some d ->
+        let cd = Option.get (find_delay_opt c ~from_ ~to_) in
+        ignore (Constraint_kernel.Engine.set_application env.env_cnet cd.cd_var (Dval.Float d))
+      | None -> ()
+    in
+    set_delay "a" "s" a_s;
+    set_delay "cin" "cout" cin_cout;
+    (match bbox with
+    | Some r ->
+      ignore
+        (Constraint_kernel.Engine.set_application env.env_cnet
+           (Cell.class_bbox_var c) (Dval.Rect r))
+    | None -> ());
+    c
+  in
+  let last_s r = r.ra_s.(r.ra_bits - 1) in
+  let rc_wrapper =
+    wrap "GADD8.RC"
+      ~a_s:(Delay.Delay_network.delay env rc.ra_cell ~from_:rc.ra_a.(0) ~to_:(last_s rc))
+      ~cin_cout:(Delay.Delay_network.delay env rc.ra_cell ~from_:rc.ra_cin ~to_:rc.ra_cout)
+      ~bbox:(Cell.bounding_box env rc.ra_cell)
+  in
+  let cs_wrapper =
+    wrap "GADD8.CS"
+      ~a_s:(Delay.Delay_network.delay env csel.cs_cell ~from_:"a0" ~to_:"s7")
+      ~cin_cout:(Delay.Delay_network.delay env csel.cs_cell ~from_:"cin" ~to_:"cout")
+      ~bbox:(Cell.bounding_box env csel.cs_cell)
+  in
+  (generic, rc_wrapper, cs_wrapper)

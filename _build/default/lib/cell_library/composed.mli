@@ -1,0 +1,53 @@
+(** Compiled datapath cells: module-compiler output used as real design
+    cells (the thesis's Fig. 6.2 workflow, carried through to delay
+    analysis).
+
+    The ripple-carry adder is a {!Compilers.Builders.vector} of
+    gate-level {!Gates.adder_slice} tiles: abutting slices butt their
+    carry pins into the ripple chain; per-bit a/b/s pins and the end
+    carries are exported as io-signals of the compiled cell. Its delays
+    then compute through {e three} levels of hierarchy: gate
+    characteristics → slice delay networks → adder delay networks. *)
+
+open Stem.Design
+
+type ripple = {
+  ra_cell : cell_class;
+  ra_bits : int;
+  ra_cin : string; (* exported io name of the carry input *)
+  ra_cout : string; (* exported io name of the carry output *)
+  ra_a : string array; (* per-bit operand-a io names *)
+  ra_b : string array;
+  ra_s : string array;
+}
+
+(** [ripple_adder env gates ~bits] — compile a [bits]-slice adder and
+    declare its carry-chain delay (cin → cout) plus the lsb-operand
+    delays (a0 → s0, a0 → cout). *)
+val ripple_adder : ?name:string -> env -> Gates.t -> bits:int -> ripple
+
+(** A structural carry-select adder: a low ripple block plus two
+    speculative high blocks (for carry-in 0 and 1) whose outputs a mux
+    bank selects with the low block's carry-out. The carry path is one
+    half-width ripple chain plus one mux, so the computed delay beats
+    the full-width ripple adder while the area roughly doubles —
+    the Fig. 8.1 trade-off, now derived from structure instead of
+    declared. *)
+type carry_select = {
+  cs_cell : cell_class;
+  cs_bits : int;
+  cs_cin : string; (* io name of the carry input *)
+  cs_cout : string; (* io name of the selected carry output *)
+  cs_low : ripple; (* the low-half block (its own compiled cell) *)
+}
+
+(** [carry_select_adder env gates ~bits] — [bits] must be even; the two
+    halves are [bits/2] wide. *)
+val carry_select_adder : env -> Gates.t -> bits:int -> carry_select
+
+(** The least-commitment loop closed: a generic 8-bit adder whose two
+    concrete subclasses carry bounding boxes and delays {e computed}
+    from the structural ripple/carry-select adders (justification
+    [#APPLICATION], flowing in as bottom-up characteristics). Returns
+    [(generic, rc wrapper, cs wrapper)]. *)
+val structural_selection_family : env -> Gates.t -> cell_class * cell_class * cell_class

@@ -1,0 +1,129 @@
+open Stem.Design
+module Cell = Stem.Cell
+module Enet = Stem.Enet
+module Point = Geometry.Point
+module Rect = Geometry.Rect
+module Transform = Geometry.Transform
+module St = Signal_types.Standard
+
+type accumulator = {
+  acc : cell_class;
+  acc_reg : cell_class;
+  acc_adder : cell_class;
+  acc_reg_inst : instance;
+  acc_adder_inst : instance;
+  acc_delay : class_delay;
+}
+
+let accumulator ?(spec = 160.0) env =
+  (* REG8: characteristic delay 60 ns *)
+  let reg = Cell.create env ~name:"REG8" ~doc:"8-bit register" () in
+  ignore
+    (Cell.add_signal env reg ~name:"d" ~dir:Input ~data:St.a2c_int ~elec:St.cmos
+       ~width:8 ());
+  ignore
+    (Cell.add_signal env reg ~name:"clk" ~dir:Input ~data:St.bit ~elec:St.cmos
+       ~width:1 ());
+  ignore
+    (Cell.add_signal env reg ~name:"q" ~dir:Output ~data:St.a2c_int ~elec:St.cmos
+       ~width:8 ~res:0.0 ());
+  ignore (Cell.set_class_bbox env reg (Rect.make Point.origin ~width:40 ~height:40));
+  ignore (Cell.declare_delay env reg ~from_:"d" ~to_:"q" ~estimate:60.0 ());
+  (* ADDER8: nominal 105 ns, 110 ns after loading adjustment (the 5 pF
+     load of the ACCUMULATOR output at 1 kΩ drive); its own internal
+     specification is "120 ns or less" (§5.1) *)
+  let adder = Cell.create env ~name:"ADDER8" ~doc:"8-bit adder" () in
+  ignore
+    (Cell.add_signal env adder ~name:"a" ~dir:Input ~data:St.a2c_int ~elec:St.cmos
+       ~width:8 ~cap:0.0 ());
+  ignore
+    (Cell.add_signal env adder ~name:"b" ~dir:Input ~data:St.a2c_int ~elec:St.cmos
+       ~width:8 ~cap:0.0 ());
+  ignore
+    (Cell.add_signal env adder ~name:"s" ~dir:Output ~data:St.a2c_int
+       ~elec:St.cmos ~width:8 ~res:1.0 ());
+  ignore (Cell.set_class_bbox env adder (Rect.make Point.origin ~width:60 ~height:40));
+  let adder_delay =
+    Cell.declare_delay env adder ~from_:"a" ~to_:"s" ~estimate:105.0 ~spec:120.0 ()
+  in
+  ignore adder_delay;
+  (* ACCUMULATOR: register cascaded into adder, overall spec [spec] ns *)
+  let acc = Cell.create env ~name:"ACCUMULATOR" () in
+  ignore
+    (Cell.add_signal env acc ~name:"in" ~dir:Input ~data:St.a2c_int ~elec:St.cmos
+       ~width:8 ~res:1.0 ());
+  ignore
+    (Cell.add_signal env acc ~name:"clk" ~dir:Input ~data:St.bit ~elec:St.cmos
+       ~width:1 ());
+  ignore
+    (Cell.add_signal env acc ~name:"out" ~dir:Output ~data:St.a2c_int
+       ~elec:St.cmos ~width:8 ~cap:5.0 ());
+  let reg_inst = Cell.instantiate env ~parent:acc ~of_:reg ~name:"reg" () in
+  let adder_inst =
+    Cell.instantiate env ~parent:acc ~of_:adder ~name:"add"
+      ~transform:(Transform.translation (Point.make 40 0))
+      ()
+  in
+  let wire name members =
+    let net = Cell.add_net env acc ~name in
+    List.iter (fun m -> ignore (Enet.connect env net m)) members
+  in
+  wire "n_in" [ Own_pin "in"; Sub_pin (reg_inst, "d") ];
+  wire "n_clk" [ Own_pin "clk"; Sub_pin (reg_inst, "clk") ];
+  wire "n_q" [ Sub_pin (reg_inst, "q"); Sub_pin (adder_inst, "a") ];
+  wire "n_out" [ Sub_pin (adder_inst, "s"); Own_pin "out" ];
+  let acc_delay = Cell.declare_delay env acc ~from_:"in" ~to_:"out" ~spec () in
+  {
+    acc;
+    acc_reg = reg;
+    acc_adder = adder;
+    acc_reg_inst = reg_inst;
+    acc_adder_inst = adder_inst;
+    acc_delay;
+  }
+
+type alu = {
+  alu : cell_class;
+  lu8 : cell_class;
+  lu_inst : instance;
+  adder_inst : instance;
+  alu_delay : class_delay;
+  alu_area_var : var;
+}
+
+let alu env ~adder ~delay_spec ~area_spec =
+  let lu8 = Cell.create env ~name:"LU8" ~doc:"8-bit logic unit" () in
+  ignore
+    (Cell.add_signal env lu8 ~name:"in" ~dir:Input ~data:St.a2c_int ~elec:St.cmos
+       ~width:8 ());
+  ignore
+    (Cell.add_signal env lu8 ~name:"out" ~dir:Output ~data:St.a2c_int
+       ~elec:St.cmos ~width:8 ());
+  ignore (Cell.set_class_bbox env lu8 (Rect.make Point.origin ~width:20 ~height:10));
+  ignore (Cell.declare_delay env lu8 ~from_:"in" ~to_:"out" ~estimate:3.0 ());
+  let alu_cls = Cell.create env ~name:"ALU" () in
+  ignore
+    (Cell.add_signal env alu_cls ~name:"in" ~dir:Input ~data:St.a2c_int
+       ~elec:St.cmos ~width:8 ());
+  ignore
+    (Cell.add_signal env alu_cls ~name:"out" ~dir:Output ~data:St.a2c_int
+       ~elec:St.cmos ~width:8 ());
+  let lu_inst = Cell.instantiate env ~parent:alu_cls ~of_:lu8 ~name:"lu" () in
+  let adder_inst =
+    Cell.instantiate env ~parent:alu_cls ~of_:adder ~name:"add"
+      ~transform:(Transform.translation (Point.make 20 0))
+      ()
+  in
+  let wire name members =
+    let net = Cell.add_net env alu_cls ~name in
+    List.iter (fun m -> ignore (Enet.connect env net m)) members
+  in
+  wire "n_in" [ Own_pin "in"; Sub_pin (lu_inst, "in") ];
+  wire "n_mid" [ Sub_pin (lu_inst, "out"); Sub_pin (adder_inst, "a") ];
+  wire "n_out" [ Sub_pin (adder_inst, "s"); Own_pin "out" ];
+  let alu_delay =
+    Cell.declare_delay env alu_cls ~from_:"in" ~to_:"out" ~spec:delay_spec ()
+  in
+  let alu_area_var = Checking.Area.install env alu_cls in
+  ignore (Checking.Area.spec env alu_area_var ~max_area:area_spec);
+  { alu = alu_cls; lu8; lu_inst; adder_inst; alu_delay; alu_area_var }

@@ -1,0 +1,38 @@
+(** Datapath cells: the ACCUMULATOR of Fig. 5.2 and the ALU of Fig. 8.1. *)
+
+open Stem.Design
+
+(** The Fig. 5.2 scenario: an 8-bit [REG8] (characteristic delay 60 ns)
+    cascaded into an 8-bit [ADDER8] (nominal delay 105 ns; 110 ns after
+    adjustment for loading) inside an [ACCUMULATOR] whose overall delay
+    specification is "[spec] ns or less" (the figure uses 160, which the
+    170 ns total violates). *)
+type accumulator = {
+  acc : cell_class;
+  acc_reg : cell_class;
+  acc_adder : cell_class;
+  acc_reg_inst : instance;
+  acc_adder_inst : instance;
+  acc_delay : class_delay; (* the ACCUMULATOR's in→out class delay *)
+}
+
+(** [accumulator env ~spec ()] — build the scenario. The adder's own
+    class carries a "120 ns or less" internal specification as in §5.1.
+    Building it does NOT yet pull delay values (so violation timing can
+    be observed by the caller); use {!Delay.Delay_network.delay}. *)
+val accumulator : ?spec:float -> env -> accumulator
+
+(** The Fig. 8.1 ALU: [LU8] (logic unit, delay 3D, area 2A) cascaded
+    with an instance of a generic adder class. [delay_spec] and
+    [area_spec] (in D = 1 ns and λ²) become constraints on the ALU's
+    in→out delay and summed area. *)
+type alu = {
+  alu : cell_class;
+  lu8 : cell_class;
+  lu_inst : instance;
+  adder_inst : instance; (* the generic instance module selection targets *)
+  alu_delay : class_delay;
+  alu_area_var : var;
+}
+
+val alu : env -> adder:cell_class -> delay_spec:float -> area_spec:int -> alu

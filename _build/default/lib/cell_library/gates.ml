@@ -1,0 +1,207 @@
+open Stem.Design
+module Cell = Stem.Cell
+module Enet = Stem.Enet
+module Point = Geometry.Point
+module Rect = Geometry.Rect
+module Transform = Geometry.Transform
+module St = Signal_types.Standard
+
+type t = {
+  inverter : cell_class;
+  buffer : cell_class;
+  nand2 : cell_class;
+  nor2 : cell_class;
+  xor2 : cell_class;
+  mux2 : cell_class;
+  full_adder : cell_class;
+  dff : cell_class;
+}
+
+let bit_in env cls ~name ~cap ~pin =
+  Cell.add_signal env cls ~name ~dir:Input ~data:St.bit ~elec:St.cmos ~width:1
+    ~cap ~pins:[ pin ] ()
+
+let bit_out env cls ~name ~res ~pin =
+  Cell.add_signal env cls ~name ~dir:Output ~data:St.bit ~elec:St.cmos ~width:1
+    ~res ~pins:[ pin ] ()
+
+let rect w h = Rect.make Point.origin ~width:w ~height:h
+
+let leaf env ~name ~bbox ~doc =
+  let cls = Cell.create env ~name ~doc () in
+  ignore (Cell.set_class_bbox env cls bbox);
+  cls
+
+let delay env cls ~from_ ~to_ d =
+  ignore (Cell.declare_delay env cls ~from_ ~to_ ~estimate:d ())
+
+let make_inverter env =
+  let c = leaf env ~name:"INV" ~bbox:(rect 4 8) ~doc:"CMOS inverter" in
+  ignore (bit_in env c ~name:"in" ~cap:0.05 ~pin:(Point.make 0 4));
+  ignore (bit_out env c ~name:"out" ~res:2.0 ~pin:(Point.make 4 4));
+  delay env c ~from_:"in" ~to_:"out" 1.0;
+  c
+
+let make_buffer env =
+  let c = leaf env ~name:"BUF" ~bbox:(rect 8 8) ~doc:"non-inverting buffer" in
+  ignore (bit_in env c ~name:"in" ~cap:0.08 ~pin:(Point.make 0 4));
+  ignore (bit_out env c ~name:"out" ~res:1.0 ~pin:(Point.make 8 4));
+  delay env c ~from_:"in" ~to_:"out" 1.5;
+  c
+
+let make_nand2 env =
+  let c = leaf env ~name:"NAND2" ~bbox:(rect 6 8) ~doc:"2-input NAND" in
+  ignore (bit_in env c ~name:"a" ~cap:0.06 ~pin:(Point.make 0 6));
+  ignore (bit_in env c ~name:"b" ~cap:0.06 ~pin:(Point.make 0 2));
+  ignore (bit_out env c ~name:"y" ~res:2.5 ~pin:(Point.make 6 4));
+  delay env c ~from_:"a" ~to_:"y" 1.2;
+  delay env c ~from_:"b" ~to_:"y" 1.2;
+  c
+
+let make_nor2 env =
+  let c = leaf env ~name:"NOR2" ~bbox:(rect 6 8) ~doc:"2-input NOR" in
+  ignore (bit_in env c ~name:"a" ~cap:0.06 ~pin:(Point.make 0 6));
+  ignore (bit_in env c ~name:"b" ~cap:0.06 ~pin:(Point.make 0 2));
+  ignore (bit_out env c ~name:"y" ~res:3.0 ~pin:(Point.make 6 4));
+  delay env c ~from_:"a" ~to_:"y" 1.4;
+  delay env c ~from_:"b" ~to_:"y" 1.4;
+  c
+
+let make_xor2 env =
+  let c = leaf env ~name:"XOR2" ~bbox:(rect 10 8) ~doc:"2-input XOR" in
+  ignore (bit_in env c ~name:"a" ~cap:0.09 ~pin:(Point.make 0 6));
+  ignore (bit_in env c ~name:"b" ~cap:0.09 ~pin:(Point.make 0 2));
+  ignore (bit_out env c ~name:"y" ~res:3.0 ~pin:(Point.make 10 4));
+  delay env c ~from_:"a" ~to_:"y" 2.2;
+  delay env c ~from_:"b" ~to_:"y" 2.2;
+  c
+
+let make_mux2 env =
+  let c = leaf env ~name:"MUX2" ~bbox:(rect 12 8) ~doc:"2-to-1 multiplexer" in
+  ignore (bit_in env c ~name:"a" ~cap:0.07 ~pin:(Point.make 0 6));
+  ignore (bit_in env c ~name:"b" ~cap:0.07 ~pin:(Point.make 0 2));
+  ignore (bit_in env c ~name:"s" ~cap:0.10 ~pin:(Point.make 6 0));
+  ignore (bit_out env c ~name:"y" ~res:2.0 ~pin:(Point.make 12 4));
+  delay env c ~from_:"a" ~to_:"y" 1.0;
+  delay env c ~from_:"b" ~to_:"y" 1.0;
+  delay env c ~from_:"s" ~to_:"y" 1.5;
+  c
+
+let make_full_adder env =
+  let c = leaf env ~name:"FA" ~bbox:(rect 20 30) ~doc:"1-bit full adder" in
+  ignore (bit_in env c ~name:"a" ~cap:0.12 ~pin:(Point.make 0 25));
+  ignore (bit_in env c ~name:"b" ~cap:0.12 ~pin:(Point.make 0 15));
+  ignore (bit_in env c ~name:"cin" ~cap:0.10 ~pin:(Point.make 0 5));
+  ignore (bit_out env c ~name:"s" ~res:3.0 ~pin:(Point.make 20 20));
+  ignore (bit_out env c ~name:"cout" ~res:2.0 ~pin:(Point.make 20 10));
+  delay env c ~from_:"a" ~to_:"s" 2.5;
+  delay env c ~from_:"b" ~to_:"s" 2.5;
+  delay env c ~from_:"cin" ~to_:"s" 1.5;
+  delay env c ~from_:"a" ~to_:"cout" 1.8;
+  delay env c ~from_:"b" ~to_:"cout" 1.8;
+  delay env c ~from_:"cin" ~to_:"cout" 1.0;
+  c
+
+let make_dff env =
+  let c = leaf env ~name:"DFF" ~bbox:(rect 16 20) ~doc:"D flip-flop" in
+  ignore (bit_in env c ~name:"d" ~cap:0.08 ~pin:(Point.make 0 15));
+  ignore (bit_in env c ~name:"clk" ~cap:0.04 ~pin:(Point.make 0 5));
+  ignore (bit_out env c ~name:"q" ~res:2.0 ~pin:(Point.make 16 10));
+  delay env c ~from_:"clk" ~to_:"q" 3.0;
+  delay env c ~from_:"d" ~to_:"q" 3.2;
+  c
+
+let make env =
+  {
+    inverter = make_inverter env;
+    buffer = make_buffer env;
+    nand2 = make_nand2 env;
+    nor2 = make_nor2 env;
+    xor2 = make_xor2 env;
+    mux2 = make_mux2 env;
+    full_adder = make_full_adder env;
+    dff = make_dff env;
+  }
+
+let inverter_chain env gates ~n =
+  if n < 1 then invalid_arg "inverter_chain: n must be positive";
+  let name = Printf.sprintf "INVCHAIN%d" n in
+  let c = Cell.create env ~name ~doc:"cascaded inverters (Fig. 6.3)" () in
+  ignore
+    (Cell.add_signal env c ~name:"in" ~dir:Input ~data:St.bit ~elec:St.cmos
+       ~width:1 ~res:1.0 ~pins:[ Point.make 0 4 ] ());
+  ignore
+    (Cell.add_signal env c ~name:"out" ~dir:Output ~data:St.bit ~elec:St.cmos
+       ~width:1 ~cap:0.10 ~pins:[ Point.make (n * 4) 4 ] ());
+  let insts =
+    List.init n (fun i ->
+        Cell.instantiate env ~parent:c ~of_:gates.inverter
+          ~name:(Printf.sprintf "inv%d" i)
+          ~transform:(Transform.translation (Point.make (i * 4) 0))
+          ())
+  in
+  let net_in = Cell.add_net env c ~name:"n_in" in
+  ignore (Enet.connect env net_in (Own_pin "in"));
+  let last_net =
+    List.fold_left
+      (fun (i, net) inst ->
+        ignore (Enet.connect env net (Sub_pin (inst, "in")));
+        let next = Cell.add_net env c ~name:(Printf.sprintf "n%d" (i + 1)) in
+        ignore (Enet.connect env next (Sub_pin (inst, "out")));
+        (i + 1, next))
+      (0, net_in) insts
+    |> snd
+  in
+  ignore (Enet.connect env last_net (Own_pin "out"));
+  ignore (Cell.declare_delay env c ~from_:"in" ~to_:"out" ());
+  c
+
+let adder_slice env gates =
+  let c = Cell.create env ~name:"FASLICE" ~doc:"gate-level adder slice" () in
+  let input name pin =
+    ignore
+      (Cell.add_signal env c ~name ~dir:Input ~data:St.bit ~elec:St.cmos ~width:1
+         ~res:1.0 ~pins:[ pin ] ())
+  in
+  let output name pin =
+    ignore
+      (Cell.add_signal env c ~name ~dir:Output ~data:St.bit ~elec:St.cmos
+         ~width:1 ~cap:0.05 ~pins:[ pin ] ())
+  in
+  input "a" (Point.make 0 20);
+  input "b" (Point.make 0 12);
+  input "cin" (Point.make 0 4);
+  output "s" (Point.make 26 16);
+  (* cin and cout sit at the same height on opposite edges so abutted
+     slices chain their carries (the vector-compiled ripple adder) *)
+  output "cout" (Point.make 26 4);
+  let place name of_ x y =
+    Cell.instantiate env ~parent:c ~of_ ~name
+      ~transform:(Transform.translation (Point.make x y))
+      ()
+  in
+  let x1 = place "x1" gates.xor2 0 16 in
+  let x2 = place "x2" gates.xor2 13 16 in
+  let g = place "g" gates.nand2 0 0 in
+  let t = place "t" gates.nand2 10 0 in
+  (* co ends at x=26 so the slice bounding box reaches the right-edge
+     pins (s, cout) and abutted slices butt exactly *)
+  let co = place "co" gates.nand2 20 0 in
+  let wire name members =
+    let net = Cell.add_net env c ~name in
+    List.iter (fun m -> ignore (Enet.connect env net m)) members;
+    net
+  in
+  ignore (wire "na" [ Own_pin "a"; Sub_pin (x1, "a"); Sub_pin (g, "a") ]);
+  ignore (wire "nb" [ Own_pin "b"; Sub_pin (x1, "b"); Sub_pin (g, "b") ]);
+  ignore (wire "np" [ Sub_pin (x1, "y"); Sub_pin (x2, "a"); Sub_pin (t, "a") ]);
+  ignore (wire "ncin" [ Own_pin "cin"; Sub_pin (x2, "b"); Sub_pin (t, "b") ]);
+  ignore (wire "ns" [ Sub_pin (x2, "y"); Own_pin "s" ]);
+  ignore (wire "ng" [ Sub_pin (g, "y"); Sub_pin (co, "a") ]);
+  ignore (wire "nt" [ Sub_pin (t, "y"); Sub_pin (co, "b") ]);
+  ignore (wire "ncout" [ Sub_pin (co, "y"); Own_pin "cout" ]);
+  ignore (Cell.declare_delay env c ~from_:"a" ~to_:"s" ());
+  ignore (Cell.declare_delay env c ~from_:"a" ~to_:"cout" ());
+  ignore (Cell.declare_delay env c ~from_:"cin" ~to_:"s" ());
+  ignore (Cell.declare_delay env c ~from_:"cin" ~to_:"cout" ());
+  c

@@ -1,0 +1,33 @@
+(** Leaf standard cells with RC delay characteristics (Fig. 7.10 model:
+    internal delay plus drive resistance / load capacitance).
+
+    Units: delays in ns, resistances in kΩ, capacitances in pF,
+    geometry in λ. *)
+
+open Stem.Design
+
+type t = {
+  inverter : cell_class;
+  buffer : cell_class;
+  nand2 : cell_class;
+  nor2 : cell_class;
+  xor2 : cell_class;
+  mux2 : cell_class;
+  full_adder : cell_class;
+  dff : cell_class; (* clocked register bit *)
+}
+
+(** Create the gate family inside an environment. Every gate declares
+    its io-signals (Bit / CMOS, width 1), pin geometry, bounding box,
+    critical delays, and RC characteristics. *)
+val make : env -> t
+
+(** [inverter_chain env gates ~n] — composite cell [INVCHAIN<n>]: [n]
+    cascaded inverters between io-signals [in] and [out] (the Fig. 6.3
+    three-inverter example generalised). Declares the in→out delay. *)
+val inverter_chain : env -> t -> n:int -> cell_class
+
+(** [adder_slice env gates] — a gate-level 1-bit adder slice [FASLICE]
+    built from xor/nand gates, with multiple unequal delay paths from
+    [a] to [s] — the multi-path MAX-of-SUMs workload of Fig. 7.12. *)
+val adder_slice : env -> t -> cell_class

@@ -1,0 +1,1 @@
+lib/checking/area.ml: Constraint_kernel Dclib Dval Fmt Geometry List Stem

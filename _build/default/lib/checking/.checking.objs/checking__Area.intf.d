@@ -1,0 +1,1 @@
+lib/checking/area.mli: Stem

@@ -1,0 +1,1 @@
+lib/checking/check.ml: Constraint_kernel Cstr Editor Fmt Hashtbl List Printf Stem Types Var

@@ -1,0 +1,1 @@
+lib/checking/check.mli: Stem

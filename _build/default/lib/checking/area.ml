@@ -1,0 +1,31 @@
+open Stem.Design
+module Rect = Geometry.Rect
+
+let bbox_area = function
+  | Dval.Rect r -> Some (Dval.Int (Rect.area r))
+  | Dval.Int _ | Dval.Float _ | Dval.Bool _ | Dval.Str _ | Dval.Dtype _
+  | Dval.Etype _ | Dval.Irange _ | Dval.Frange _ ->
+    None
+
+let install env cls =
+  let cnet = env.env_cnet in
+  let inst_area inst =
+    let owner = path_of_instance inst in
+    let v = Dclib.variable cnet ~owner ~name:"area" () in
+    let _ =
+      Constraint_kernel.Clib.one_way cnet ~kind:"bbox-area"
+        ~label:(owner ^ ".area=|bbox|") ~f:bbox_area ~from_:inst.inst_bbox ~to_:v
+    in
+    v
+  in
+  let areas = List.map inst_area cls.cc_structure.st_subcells in
+  let total = Dclib.variable cnet ~owner:cls.cc_name ~name:"area" () in
+  let _ = Dclib.uni_addition cnet ~label:(cls.cc_name ^ ".area=+") ~result:total areas in
+  total
+
+let spec env area_var ~max_area =
+  let c, _ =
+    Dclib.less_equal_const env.env_cnet area_var (Dval.Int max_area)
+      ~label:(Fmt.str "%s<=%d" (Constraint_kernel.Var.path area_var) max_area)
+  in
+  c

@@ -1,0 +1,19 @@
+(** Area bookkeeping by constraint propagation (the Fig. 8.1 model:
+    [ALU.area = LU8.area + ADD8.area]).
+
+    Installs, for the current structure of a composite cell, an area
+    variable per subcell (derived one-way from its instance bounding
+    box) and a cell-level area variable equal to their sum. An area
+    specification is then a plain less-equal predicate on the cell area
+    variable, and every tentative bounding-box assignment — e.g. during
+    module selection — is automatically checked against it. *)
+
+open Stem.Design
+
+(** [install env cls] — build the area network over the cell's current
+    subcells; returns the cell-level area variable ([Int], λ²). The
+    network is static: call again after structural edits. *)
+val install : env -> cell_class -> var
+
+(** [spec env area_var ~max_area] — attach a [≤ max_area] predicate. *)
+val spec : env -> var -> max_area:int -> cstr

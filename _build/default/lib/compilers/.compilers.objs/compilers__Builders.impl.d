@@ -1,0 +1,1 @@
+lib/compilers/builders.ml: Compiler_view Geometry List Printf Stem Tile

@@ -1,0 +1,1 @@
+lib/compilers/builders.mli: Geometry Stem Tile

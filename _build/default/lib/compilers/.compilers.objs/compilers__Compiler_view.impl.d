@@ -1,0 +1,1 @@
+lib/compilers/compiler_view.ml: Geometry List Stem

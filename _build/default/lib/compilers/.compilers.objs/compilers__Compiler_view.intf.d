@@ -1,0 +1,1 @@
+lib/compilers/compiler_view.mli: Geometry Stem

@@ -1,0 +1,1 @@
+lib/compilers/tile.ml: Constraint_kernel Dval Geometry Hashtbl List Printf Stem

@@ -1,0 +1,1 @@
+lib/compilers/tile.mli: Geometry Stem

@@ -1,0 +1,108 @@
+open Stem.Design
+module Point = Geometry.Point
+module Rect = Geometry.Rect
+module Transform = Geometry.Transform
+
+type direction = Rightward | Upward
+
+let class_extent env cls =
+  match Stem.Cell.bounding_box env cls with
+  | Some r -> Rect.extent r
+  | None -> invalid_arg (cls.cc_name ^ " has no bounding box; compile needs one")
+
+let vector env ~name ~of_ ~n ?(direction = Rightward) ?(spacing = 0) () =
+  if n < 1 then invalid_arg "vector: n must be positive";
+  let view = Compiler_view.make env of_ in
+  let extent =
+    match (Compiler_view.get view).Compiler_view.cv_bbox with
+    | Some r -> Rect.extent r
+    | None -> class_extent env of_
+  in
+  let step =
+    match direction with
+    | Rightward -> Point.make (extent.Point.x + spacing) 0
+    | Upward -> Point.make 0 (extent.Point.y + spacing)
+  in
+  let placements =
+    List.init n (fun i ->
+        {
+          Tile.pl_name = Printf.sprintf "t%d" i;
+          pl_class = of_;
+          pl_transform =
+            Transform.translation (Point.make (i * step.Point.x) (i * step.Point.y));
+        })
+  in
+  Tile.assemble env ~name placements
+
+let word env ~name ~left_end ~body ~right_end ~n () =
+  if n < 1 then invalid_arg "word: n must be positive";
+  let w cls = (class_extent env cls).Point.x in
+  let lw = w left_end and bw = w body in
+  let placements =
+    ({ Tile.pl_name = "lend"; pl_class = left_end; pl_transform = Transform.identity }
+    :: List.init n (fun i ->
+           {
+             Tile.pl_name = Printf.sprintf "b%d" i;
+             pl_class = body;
+             pl_transform = Transform.translation (Point.make (lw + (i * bw)) 0);
+           }))
+    @ [
+        {
+          Tile.pl_name = "rend";
+          pl_class = right_end;
+          pl_transform = Transform.translation (Point.make (lw + (n * bw)) 0);
+        };
+      ]
+  in
+  Tile.assemble env ~name placements
+
+let matrix env ~name ~of_ ~rows ~cols () =
+  if rows < 1 || cols < 1 then invalid_arg "matrix: dimensions must be positive";
+  let extent = class_extent env of_ in
+  let placements =
+    List.concat
+      (List.init rows (fun r ->
+           List.init cols (fun c ->
+               {
+                 Tile.pl_name = Printf.sprintf "t%d_%d" r c;
+                 pl_class = of_;
+                 pl_transform =
+                   Transform.translation
+                     (Point.make (c * extent.Point.x) (r * extent.Point.y));
+               })))
+  in
+  Tile.assemble env ~name placements
+
+type graph_entry = {
+  ge_name : string;
+  ge_class : cell_class;
+  ge_at : Point.t;
+  ge_orient : Transform.orientation;
+  ge_repeat : int;
+  ge_step : Point.t;
+}
+
+let graph env ~name ?no_connect entries () =
+  let expand e =
+    if e.ge_repeat < 1 then invalid_arg "graph: repeat must be >= 1";
+    if e.ge_repeat = 1 then
+      [
+        {
+          Tile.pl_name = e.ge_name;
+          pl_class = e.ge_class;
+          pl_transform = Transform.make ~orient:e.ge_orient e.ge_at;
+        };
+      ]
+    else
+      List.init e.ge_repeat (fun i ->
+          let at =
+            Point.add e.ge_at
+              (Point.make (i * e.ge_step.Point.x) (i * e.ge_step.Point.y))
+          in
+          {
+            Tile.pl_name = Printf.sprintf "%s_%d" e.ge_name i;
+            pl_class = e.ge_class;
+            pl_transform = Transform.make ~orient:e.ge_orient at;
+          })
+  in
+  Tile.assemble env ~name ?no_connect (List.concat_map expand entries)

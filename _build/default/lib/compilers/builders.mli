@@ -1,0 +1,47 @@
+(** The four tile-based module compilers of §6.4.1 (Vector, Word, Matrix, Graph).
+
+    Each compiler computes a placement list (using {!Compiler_view} data
+    for the subcell bounding boxes) and hands it to {!Tile.assemble},
+    which butts coincident io-pins into nets and exports the rest. *)
+
+open Stem.Design
+
+type direction = Rightward | Upward
+
+(** [vector env ~name ~of_ ~n ~direction ()] — a linear array of [n]
+    instances of one class, each abutted against the previous
+    ([VectorCompiler]). [spacing] adds a gap between tiles (default 0,
+    i.e. pins butt). *)
+val vector :
+  env -> name:string -> of_:cell_class -> n:int -> ?direction:direction ->
+  ?spacing:int -> unit -> Tile.result
+
+(** [word env ~name ~left_end ~body ~right_end ~n ()] — a vector of [n]
+    body cells with special end cells on both sides ([WordCompiler]). *)
+val word :
+  env -> name:string -> left_end:cell_class -> body:cell_class ->
+  right_end:cell_class -> n:int -> unit -> Tile.result
+
+(** [matrix env ~name ~of_ ~rows ~cols ()] — a two-dimensional array
+    ([MatrixCompiler]); tiles butt horizontally and vertically. *)
+val matrix :
+  env -> name:string -> of_:cell_class -> rows:int -> cols:int -> unit ->
+  Tile.result
+
+(** One entry of a graph-compiler specification: a cell placed at a
+    point, optionally repeated with a step ([GraphCompiler], Fig. 6.2). *)
+type graph_entry = {
+  ge_name : string;
+  ge_class : cell_class;
+  ge_at : Geometry.Point.t;
+  ge_orient : Geometry.Transform.orientation;
+  ge_repeat : int; (* >= 1 *)
+  ge_step : Geometry.Point.t; (* displacement between repetitions *)
+}
+
+(** [graph env ~name entries ~no_connect ()] — place every entry
+    (expanding repetitions with [_0], [_1], … suffixes), butt coincident
+    pins except the withdrawn ones, export the rest. *)
+val graph :
+  env -> name:string -> ?no_connect:(string * string) list -> graph_entry list ->
+  unit -> Tile.result

@@ -1,0 +1,116 @@
+open Stem.Design
+module Cell = Stem.Cell
+module Enet = Stem.Enet
+module Point = Geometry.Point
+module Transform = Geometry.Transform
+
+type placement = {
+  pl_name : string;
+  pl_class : cell_class;
+  pl_transform : Transform.t;
+}
+
+type result = {
+  tr_cell : cell_class;
+  tr_instances : instance list;
+  tr_nets : enet list;
+  tr_exported : (string * string * string) list;
+  tr_violations : violation list;
+}
+
+(* Copy a subcell signal's declared typing onto an exported io-signal of
+   the compiled cell. *)
+let export_signal env cell inst signal_name pos =
+  let ss = find_signal inst.inst_of signal_name in
+  let io_name = inst.inst_name ^ "_" ^ signal_name in
+  let data =
+    match Constraint_kernel.Var.value ss.ss_data with
+    | Some (Dval.Dtype n) -> Some n
+    | _ -> None
+  in
+  let elec =
+    match Constraint_kernel.Var.value ss.ss_elec with
+    | Some (Dval.Etype n) -> Some n
+    | _ -> None
+  in
+  let width =
+    match Constraint_kernel.Var.value ss.ss_width with
+    | Some (Dval.Int w) -> Some w
+    | _ -> None
+  in
+  ignore
+    (Cell.add_signal env cell ~name:io_name ~dir:ss.ss_dir ?data ?elec ?width
+       ?res:ss.ss_res ?cap:ss.ss_cap ~pins:[ pos ] ());
+  io_name
+
+let assemble env ~name ?(no_connect = []) placements =
+  let cell = Cell.create env ~name ~doc:"compiled cell" () in
+  let instances =
+    List.map
+      (fun pl ->
+        Cell.instantiate env ~parent:cell ~of_:pl.pl_class ~name:pl.pl_name
+          ~transform:pl.pl_transform ())
+      placements
+  in
+  (* collect the placed position of every io-pin *)
+  let excluded inst signal = List.mem (inst.inst_name, signal) no_connect in
+  let pin_sites =
+    List.concat_map
+      (fun inst ->
+        List.concat_map
+          (fun ss ->
+            if excluded inst ss.ss_name then []
+            else
+              List.map
+                (fun p ->
+                  (Transform.apply_point inst.inst_transform p, inst, ss.ss_name))
+                ss.ss_pins)
+          inst.inst_of.cc_signals)
+      instances
+  in
+  (* group by placed position: butting pins connect *)
+  let groups : (int * int, (instance * string) list) Hashtbl.t = Hashtbl.create 64 in
+  let order = ref [] in
+  List.iter
+    (fun ((p : Point.t), inst, signal) ->
+      let key = (p.Point.x, p.Point.y) in
+      (match Hashtbl.find_opt groups key with
+      | None ->
+        order := key :: !order;
+        Hashtbl.add groups key [ (inst, signal) ]
+      | Some members -> Hashtbl.replace groups key ((inst, signal) :: members)))
+    pin_sites;
+  let nets = ref [] and exported = ref [] and violations = ref [] in
+  List.iter
+    (fun ((x, y) as key) ->
+      match List.rev (Hashtbl.find groups key) with
+      | [] -> ()
+      | [ (inst, signal) ] ->
+        (* lone pin: export as an io-signal of the compiled cell *)
+        let io_name = export_signal env cell inst signal (Point.make x y) in
+        let net = Cell.add_net env cell ~name:(Printf.sprintf "n_%s" io_name) in
+        (match Enet.connect env net (Own_pin io_name) with
+        | Ok () -> ()
+        | Error e -> violations := e :: !violations);
+        (match Enet.connect env net (Sub_pin (inst, signal)) with
+        | Ok () -> ()
+        | Error e -> violations := e :: !violations);
+        nets := net :: !nets;
+        exported := (inst.inst_name, signal, io_name) :: !exported
+      | members ->
+        let net = Cell.add_net env cell ~name:(Printf.sprintf "n_%d_%d" x y) in
+        List.iter
+          (fun (inst, signal) ->
+            match Enet.connect env net (Sub_pin (inst, signal)) with
+            | Ok () -> ()
+            | Error e -> violations := e :: !violations)
+          members;
+        nets := net :: !nets)
+    (List.rev !order);
+  {
+    tr_cell = cell;
+    tr_instances = instances;
+    tr_nets = List.rev !nets;
+    tr_exported = List.rev !exported;
+    tr_violations = List.rev !violations;
+  }

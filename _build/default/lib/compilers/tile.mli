@@ -1,0 +1,34 @@
+(** The shared tile-assembly engine behind the module compilers
+    (§6.4.1).
+
+    Given a list of placements, the engine instantiates the subcells,
+    connects every set of io-pins that land on the same point (butting),
+    and exports each remaining pin as an io-signal of the compiled cell
+    (name [<instance>_<signal>], typing values copied). Connections are
+    made through {!Stem.Enet}, so all signal-typing constraints are
+    checked as the structure is built. *)
+
+open Stem.Design
+
+type placement = {
+  pl_name : string;
+  pl_class : cell_class;
+  pl_transform : Geometry.Transform.t;
+}
+
+type result = {
+  tr_cell : cell_class;
+  tr_instances : instance list;
+  tr_nets : enet list; (* butting nets, in creation order *)
+  tr_exported : (string * string * string) list;
+      (* (instance, signal, exported io name) *)
+  tr_violations : violation list; (* typing violations met while butting *)
+}
+
+(** [assemble env ~name placements ~no_connect] — build the compiled
+    cell. [no_connect] lists (instance name, signal) pins that must not
+    be butted (the GraphCompiler's withdrawn pins); they are neither
+    connected nor exported. *)
+val assemble :
+  env -> name:string -> ?no_connect:(string * string) list -> placement list ->
+  result

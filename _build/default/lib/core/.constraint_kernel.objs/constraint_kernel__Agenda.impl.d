@@ -1,0 +1,1 @@
+lib/core/agenda.ml: Hashtbl List Queue Types

@@ -1,0 +1,1 @@
+lib/core/agenda.mli: Types

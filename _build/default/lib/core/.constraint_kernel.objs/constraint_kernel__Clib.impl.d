@@ -1,0 +1,1 @@
+lib/core/clib.ml: Cstr Engine List Network Option Result Types Var

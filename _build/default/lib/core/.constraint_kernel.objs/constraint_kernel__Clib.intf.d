@@ -1,0 +1,1 @@
+lib/core/clib.mli: Types

@@ -1,0 +1,1 @@
+lib/core/compile.ml: Hashtbl List Queue Types

@@ -1,0 +1,1 @@
+lib/core/cstr.ml: Fmt List Types Var

@@ -1,0 +1,1 @@
+lib/core/cstr.mli: Format Types

@@ -1,0 +1,1 @@
+lib/core/dependency.ml: Hashtbl List Types Var

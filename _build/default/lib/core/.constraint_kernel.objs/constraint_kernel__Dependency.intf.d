@@ -1,0 +1,1 @@
+lib/core/dependency.mli: Types

@@ -1,0 +1,1 @@
+lib/core/editor.ml: Cstr Dependency Fmt List String Types Var

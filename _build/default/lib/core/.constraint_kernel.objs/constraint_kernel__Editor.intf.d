@@ -1,0 +1,1 @@
+lib/core/editor.mli: Format Types

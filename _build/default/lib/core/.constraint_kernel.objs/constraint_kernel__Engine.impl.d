@@ -1,0 +1,1 @@
+lib/core/engine.ml: Agenda Hashtbl List Logs Printf Result Types Var

@@ -1,0 +1,1 @@
+lib/core/network.ml: Dependency Engine List Result Types Var

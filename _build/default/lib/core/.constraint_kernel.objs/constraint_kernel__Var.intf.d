@@ -1,0 +1,1 @@
+lib/core/var.mli: Format Types

@@ -1,0 +1,48 @@
+open Types
+
+let create () =
+  { ag_queues = Hashtbl.create 7; ag_members = Hashtbl.create 32; ag_priorities = [] }
+
+let member_key c var =
+  (c.c_id, match var with None -> -1 | Some v -> v.v_id)
+
+let schedule a ~priority c ~var =
+  let key = member_key c var in
+  if Hashtbl.mem a.ag_members key then false
+  else begin
+    let q =
+      match Hashtbl.find_opt a.ag_queues priority with
+      | Some q -> q
+      | None ->
+        let q = Queue.create () in
+        Hashtbl.add a.ag_queues priority q;
+        a.ag_priorities <- List.sort compare (priority :: a.ag_priorities);
+        q
+    in
+    Queue.add { e_cstr = c; e_var = var } q;
+    Hashtbl.add a.ag_members key ();
+    true
+  end
+
+let pop a =
+  let rec go = function
+    | [] -> None
+    | p :: rest -> (
+      match Hashtbl.find_opt a.ag_queues p with
+      | None -> go rest
+      | Some q ->
+        if Queue.is_empty q then go rest
+        else
+          let e = Queue.pop q in
+          Hashtbl.remove a.ag_members (member_key e.e_cstr e.e_var);
+          Some e)
+  in
+  go a.ag_priorities
+
+let is_empty a = Hashtbl.length a.ag_members = 0
+
+let length a = Hashtbl.length a.ag_members
+
+let clear a =
+  Hashtbl.reset a.ag_members;
+  Hashtbl.iter (fun _ q -> Queue.clear q) a.ag_queues

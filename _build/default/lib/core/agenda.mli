@@ -1,0 +1,26 @@
+(** Fixed-priority agenda scheduler (§4.2.1).
+
+    An agenda is a set of FIFO queues without duplicate entries, one per
+    priority (lower integer = more urgent). Functional constraints delay
+    their propagation here so that all their arguments get a chance to
+    change before the (single) recomputation runs; implicit hierarchy
+    constraints use the lowest priority so one level of the design
+    hierarchy settles before propagation crosses levels (§5.1.2). *)
+
+open Types
+
+val create : unit -> 'a agenda
+
+(** [schedule a ~priority c ~var] enqueues [(c, var)] unless an identical
+    entry is already pending. Returns [true] if actually enqueued. *)
+val schedule : 'a agenda -> priority:int -> 'a cstr -> var:'a var option -> bool
+
+(** Remove and return the first entry of the highest-priority non-empty
+    queue ([removeHighestPriorityScheduledEntry], Fig. 4.8). *)
+val pop : 'a agenda -> 'a agenda_entry option
+
+val is_empty : 'a agenda -> bool
+
+val length : 'a agenda -> int
+
+val clear : 'a agenda -> unit

@@ -1,0 +1,59 @@
+(** The standard constraint library.
+
+    Each constructor builds the constraint, attaches it to its arguments
+    via {!Network.add_constraint} (which performs the §4.2.5
+    re-initialising propagation) and returns both the constraint and the
+    attachment result. Pass [~attach:false] to build without attaching.
+
+    Value-specific arithmetic is supplied by the caller as closures, so
+    the library works at any value type: the {!Dval} layer provides the
+    numeric instantiations used by STEM. *)
+
+open Types
+
+type 'a attached = 'a cstr * (unit, 'a violation) result
+
+(** Equality constraint: all arguments hold the same value; propagation
+    copies the changed variable's value to every other argument
+    (Fig. 4.4). *)
+val equality : ?attach:bool -> ?label:string -> ?strength:int -> 'a network -> 'a var list -> 'a attached
+
+(** Compatibility constraint (§7.1): satisfied when all pairs of set
+    arguments are [compat]; propagation copies values like equality and
+    relies on the variables' overwrite rules (e.g. the least-abstract
+    rule of Fig. 7.4) to decide refinement. *)
+val compatible :
+  ?attach:bool -> ?label:string -> ?kind:string ->
+  compat:('a -> 'a -> bool) -> 'a network -> 'a var list -> 'a attached
+
+(** Functional (unidirectional) constraint: [result = f inputs]. Delays
+    propagation on the functional agenda so transient recomputation is
+    avoided (§4.2.1); activated by its own result variable it only
+    checks. [f] returns [None] when not computable. *)
+val functional :
+  ?attach:bool -> ?label:string -> ?strength:int -> kind:string ->
+  f:('a list -> 'a option) -> result:'a var -> 'a network -> 'a var list ->
+  'a attached
+
+(** Predicate constraint: no inference, only a satisfaction test over the
+    current (optional) values — the [PredicateConstraint] family of
+    Fig. 7.9. Unset arguments should normally make [pred] true. *)
+val predicate :
+  ?attach:bool -> ?label:string -> kind:string ->
+  pred:('a option list -> bool) -> 'a network -> 'a var list -> 'a attached
+
+(** Update-constraint (Ch. 6): when any source changes {e or is reset},
+    every target is erased (reset to NIL), cascading through further
+    update-constraints. Always satisfied. *)
+val update :
+  ?attach:bool -> ?label:string -> sources:'a var list -> targets:'a var list ->
+  'a network -> 'a attached
+
+(** One-directional single-variable function: whenever [from_] changes,
+    [to_] is set to [f (value from_)]; changes of [to_] do not propagate
+    back. [check] (default: always true) is the satisfaction test given
+    both values. *)
+val one_way :
+  ?attach:bool -> ?label:string -> ?kind:string -> ?strength:int ->
+  ?check:('a -> 'a -> bool) -> f:('a -> 'a option) -> from_:'a var -> to_:'a var ->
+  'a network -> 'a attached

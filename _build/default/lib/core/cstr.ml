@@ -1,0 +1,59 @@
+open Types
+
+let default_in_dependency _c record arg =
+  match record with
+  | All_arguments -> true
+  | Single_var w -> Var.equal w arg
+  | Some_vars ws -> List.exists (Var.equal arg) ws
+  | Opaque -> false
+
+let make net ~kind ?label ?(schedule = Immediate)
+    ?(wants_schedule = fun _ _ -> true) ?(keyed_by_var = false)
+    ?(in_dependency = default_in_dependency) ?(fires_on_reset = false)
+    ?recompute ?(strength = 0) ~propagate ~satisfied args =
+  let c =
+    {
+      c_id = net.net_next_cstr_id;
+      c_kind = kind;
+      c_label = (match label with Some l -> l | None -> kind);
+      c_args = args;
+      c_enabled = true;
+      c_schedule = schedule;
+      c_wants_schedule = wants_schedule;
+      c_schedule_keyed_by_var = keyed_by_var;
+      c_propagate = propagate;
+      c_satisfied = satisfied;
+      c_in_dependency = in_dependency;
+      c_fires_on_reset = fires_on_reset;
+      c_recompute = recompute;
+      c_strength = strength;
+    }
+  in
+  net.net_next_cstr_id <- net.net_next_cstr_id + 1;
+  net.net_cstrs <- c :: net.net_cstrs;
+  c
+
+let strength c = c.c_strength
+
+let id c = c.c_id
+
+let kind c = c.c_kind
+
+let label c = c.c_label
+
+let set_label c l = c.c_label <- l
+
+let args c = c.c_args
+
+let is_enabled c = c.c_enabled
+
+let set_enabled c b = c.c_enabled <- b
+
+let is_satisfied c = c.c_satisfied c
+
+let equal a b = a.c_id = b.c_id
+
+let pp ppf c =
+  Fmt.pf ppf "%s#%d(%a)" c.c_kind c.c_id
+    (Fmt.list ~sep:Fmt.comma Var.pp)
+    c.c_args

@@ -1,0 +1,69 @@
+(** Constraint objects (§4.1.2).
+
+    A constraint's semantics are collectively defined by its inference
+    procedure ([immediateInferenceByChanging:]) and its satisfaction test
+    ([isSatisfied]); new kinds of constraints are made by supplying
+    different closures to [make] (the OCaml rendering of subclassing).
+    Ready-made kinds live in {!Clib}. *)
+
+open Types
+
+(** [make net ~kind ~propagate ~satisfied args] builds and registers a
+    constraint. It does {e not} attach the constraint to its argument
+    variables — use {!Network.add_constraint}, which also performs the
+    re-initialising propagation of §4.2.5.
+
+    @param schedule default [Immediate].
+    @param wants_schedule default: always [true] (only consulted for
+      agenda constraints).
+    @param keyed_by_var agenda-entry deduplication key includes the
+      changed variable (default [false]).
+    @param in_dependency default: interpret the dependency record
+      generically ([All_arguments] means every argument).
+    @param fires_on_reset default [false].
+    @param recompute direct recomputation procedure for the network
+      compiler (set by {!Clib.functional}); default [None].
+    @param strength constraint strength for the strength-aware overwrite
+      rule (§4.2.4 extension); default [0]. *)
+val make :
+  'a network ->
+  kind:string ->
+  ?label:string ->
+  ?schedule:schedule ->
+  ?wants_schedule:('a cstr -> 'a var option -> bool) ->
+  ?keyed_by_var:bool ->
+  ?in_dependency:('a cstr -> 'a dependency -> 'a var -> bool) ->
+  ?fires_on_reset:bool ->
+  ?recompute:(unit -> unit) ->
+  ?strength:int ->
+  propagate:('a ctx -> 'a cstr -> 'a var option -> (unit, 'a violation) result) ->
+  satisfied:('a cstr -> bool) ->
+  'a var list ->
+  'a cstr
+
+(** The generic dependency-record interpretation. *)
+val default_in_dependency : 'a cstr -> 'a dependency -> 'a var -> bool
+
+val strength : 'a cstr -> int
+
+val id : 'a cstr -> int
+
+val kind : 'a cstr -> string
+
+val label : 'a cstr -> string
+
+val set_label : 'a cstr -> string -> unit
+
+val args : 'a cstr -> 'a var list
+
+val is_enabled : 'a cstr -> bool
+
+(** Enable/disable one constraint (§9.3 extension). Disabled constraints
+    neither propagate nor check. *)
+val set_enabled : 'a cstr -> bool -> unit
+
+val is_satisfied : 'a cstr -> bool
+
+val equal : 'a cstr -> 'a cstr -> bool
+
+val pp : Format.formatter -> 'a cstr -> unit

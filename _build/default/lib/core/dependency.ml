@@ -1,0 +1,78 @@
+open Types
+
+let antecedents root =
+  let vars = ref [] and cstrs = ref [] in
+  let vseen = Hashtbl.create 16 and cseen = Hashtbl.create 16 in
+  let rec visit_var v =
+    if not (Hashtbl.mem vseen v.v_id) then begin
+      Hashtbl.add vseen v.v_id ();
+      vars := v :: !vars;
+      match v.v_just with
+      | Propagated { source; record } ->
+        if not (Hashtbl.mem cseen source.c_id) then begin
+          Hashtbl.add cseen source.c_id ();
+          cstrs := source :: !cstrs
+        end;
+        let consider arg =
+          if (not (Var.equal arg v)) && source.c_in_dependency source record arg
+          then visit_var arg
+        in
+        List.iter consider source.c_args
+      | Default | User | Application | Update | Tentative -> ()
+    end
+  in
+  visit_var root;
+  (List.rev !vars, List.rev !cstrs)
+
+let consequences root =
+  let vars = ref [] and cstrs = ref [] in
+  let vseen = Hashtbl.create 16 and cseen = Hashtbl.create 16 in
+  let rec visit_var v =
+    if not (Hashtbl.mem vseen v.v_id) then begin
+      Hashtbl.add vseen v.v_id ();
+      vars := v :: !vars;
+      let consider_cstr c =
+        let consider_arg arg =
+          if not (Var.equal arg v) then
+            match arg.v_just with
+            | Propagated { source; record }
+              when source.c_id = c.c_id && c.c_in_dependency c record v ->
+              if not (Hashtbl.mem cseen c.c_id) then begin
+                Hashtbl.add cseen c.c_id ();
+                cstrs := c :: !cstrs
+              end;
+              visit_var arg
+            | _ -> ()
+        in
+        List.iter consider_arg c.c_args
+      in
+      List.iter consider_cstr (Var.all_constraints v)
+    end
+  in
+  visit_var root;
+  (List.rev !vars, List.rev !cstrs)
+
+let variable_consequences v =
+  let vars, _ = consequences v in
+  List.filter (fun w -> not (Var.equal w v)) vars
+
+let dependents_of_constraint c =
+  let seen = Hashtbl.create 16 in
+  let out = ref [] in
+  let add_consequences v =
+    let vars, _ = consequences v in
+    let record w =
+      if not (Hashtbl.mem seen w.v_id) then begin
+        Hashtbl.add seen w.v_id ();
+        out := w :: !out
+      end
+    in
+    List.iter record vars
+  in
+  let direct v =
+    match v.v_just with
+    | Propagated { source; _ } when source.c_id = c.c_id -> add_consequences v
+    | _ -> ()
+  in
+  List.iter direct c.c_args;
+  List.rev !out

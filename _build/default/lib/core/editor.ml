@@ -1,0 +1,91 @@
+open Types
+
+let describe_var ppf v = Var.pp_full ppf v
+
+let inspect_var ppf v =
+  Fmt.pf ppf "@[<v2>%a@,%a@]" Var.pp_full v
+    (Fmt.list ~sep:Fmt.cut (fun ppf c -> Fmt.pf ppf "- %a" Cstr.pp c))
+    (Var.constraints v)
+
+let inspect_cstr ppf c =
+  Fmt.pf ppf "@[<v2>%s#%d [%s]%s@,%a@]" c.c_kind c.c_id c.c_label
+    (if c.c_enabled then "" else " (disabled)")
+    (Fmt.list ~sep:Fmt.cut (fun ppf v -> Fmt.pf ppf "- %a" Var.pp_full v))
+    c.c_args
+
+let trace_antecedents ppf v =
+  let vars, cstrs = Dependency.antecedents v in
+  Fmt.pf ppf "@[<v2>antecedents of %s:@,%a@,via constraints:@,%a@]" (Var.path v)
+    (Fmt.list ~sep:Fmt.cut (fun ppf w -> Fmt.pf ppf "- %a" Var.pp_full w))
+    vars
+    (Fmt.list ~sep:Fmt.cut (fun ppf c -> Fmt.pf ppf "- %a" Cstr.pp c))
+    cstrs
+
+let trace_consequences ppf v =
+  let vars, cstrs = Dependency.consequences v in
+  Fmt.pf ppf "@[<v2>consequences of %s:@,%a@,via constraints:@,%a@]" (Var.path v)
+    (Fmt.list ~sep:Fmt.cut (fun ppf w -> Fmt.pf ppf "- %a" Var.pp_full w))
+    vars
+    (Fmt.list ~sep:Fmt.cut (fun ppf c -> Fmt.pf ppf "- %a" Cstr.pp c))
+    cstrs
+
+let unsatisfied net =
+  List.filter
+    (fun c ->
+      c.c_enabled
+      && (not (List.mem c.c_kind net.net_disabled_kinds))
+      && not (c.c_satisfied c))
+    (List.rev net.net_cstrs)
+
+let pp_stats ppf s =
+  Fmt.pf ppf
+    "propagations=%d assignments=%d inferences=%d scheduled=%d checks=%d \
+     violations=%d"
+    s.st_propagations s.st_assignments s.st_inferences s.st_scheduled s.st_checks
+    s.st_violations
+
+let dump_network ppf net =
+  let bad = unsatisfied net in
+  Fmt.pf ppf
+    "@[<v2>network %S: %d variables, %d constraints, propagation %s@,stats: %a@,\
+     unsatisfied: %d@,%a@]"
+    net.net_name
+    (List.length net.net_vars)
+    (List.length net.net_cstrs)
+    (if net.net_enabled then "on" else "off")
+    pp_stats net.net_stats (List.length bad)
+    (Fmt.list ~sep:Fmt.cut (fun ppf c -> Fmt.pf ppf "- %a" Cstr.pp c))
+    bad
+
+let find_var net path =
+  List.find_opt (fun v -> Var.path v = path) net.net_vars
+
+let find_cstr net id = List.find_opt (fun c -> c.c_id = id) net.net_cstrs
+
+let contains hay needle =
+  let lh = String.length hay and ln = String.length needle in
+  if ln = 0 then true
+  else
+    let rec go i =
+      if i + ln > lh then false
+      else if String.sub hay i ln = needle then true
+      else go (i + 1)
+    in
+    go 0
+
+let grep_vars net substring =
+  List.filter (fun v -> contains (Var.path v) substring) (List.rev net.net_vars)
+
+let pp_trace_event ppf = function
+  | T_assign (v, x, src) -> Fmt.pf ppf "%s <- %a (%s)" (Var.path v) v.v_pp x src
+  | T_reset (v, src) -> Fmt.pf ppf "%s <- NIL (%s)" (Var.path v) src
+  | T_activate (c, v) ->
+    Fmt.pf ppf "activate %s#%d%a" c.c_kind c.c_id
+      (Fmt.option (fun ppf v -> Fmt.pf ppf " by %s" (Var.path v)))
+      v
+  | T_schedule (c, p) -> Fmt.pf ppf "schedule %s#%d on agenda %d" c.c_kind c.c_id p
+  | T_check (c, ok) ->
+    Fmt.pf ppf "check %s#%d: %s" c.c_kind c.c_id
+      (if ok then "satisfied" else "VIOLATED")
+  | T_violation viol -> pp_violation ppf viol
+  | T_restore v -> Fmt.pf ppf "restore %s" (Var.path v)

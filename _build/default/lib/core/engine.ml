@@ -1,0 +1,350 @@
+open Types
+
+let ( let* ) = Result.bind
+
+let src = Logs.Src.create "constraint_kernel" ~doc:"STEM constraint propagation"
+
+module Log = (val Logs.src_log src : Logs.LOG)
+
+(* ------------------------------------------------------------------ *)
+(* Networks                                                            *)
+(* ------------------------------------------------------------------ *)
+
+let default_handler viol =
+  Log.warn (fun m -> m "%a" pp_violation viol)
+
+let create_network ?(name = "network") () =
+  {
+    net_name = name;
+    net_enabled = true;
+    net_max_changes = 100;
+    net_on_violation = default_handler;
+    net_trace = None;
+    net_next_var_id = 0;
+    net_next_cstr_id = 0;
+    net_vars = [];
+    net_cstrs = [];
+    net_disabled_kinds = [];
+    net_stats = fresh_stats ();
+  }
+
+let enable net = net.net_enabled <- true
+
+let disable net = net.net_enabled <- false
+
+let is_enabled net = net.net_enabled
+
+let disable_kind net kind =
+  if not (List.mem kind net.net_disabled_kinds) then
+    net.net_disabled_kinds <- kind :: net.net_disabled_kinds
+
+let enable_kind net kind =
+  net.net_disabled_kinds <- List.filter (( <> ) kind) net.net_disabled_kinds
+
+let set_violation_handler net h = net.net_on_violation <- h
+
+let set_trace net t = net.net_trace <- t
+
+let stats net = net.net_stats
+
+let reset_stats net =
+  let s = net.net_stats in
+  s.st_assignments <- 0;
+  s.st_inferences <- 0;
+  s.st_checks <- 0;
+  s.st_scheduled <- 0;
+  s.st_violations <- 0;
+  s.st_propagations <- 0
+
+let trace net ev = match net.net_trace with None -> () | Some f -> f ev
+
+(* ------------------------------------------------------------------ *)
+(* Contexts                                                            *)
+(* ------------------------------------------------------------------ *)
+
+let new_ctx net =
+  {
+    cx_net = net;
+    cx_visited_vars = Hashtbl.create 32;
+    cx_change_counts = Hashtbl.create 32;
+    cx_visited_order = [];
+    cx_visited_cstrs = Hashtbl.create 32;
+    cx_cstr_order = [];
+    cx_agenda = Agenda.create ();
+  }
+
+let save_state ctx v =
+  if not (Hashtbl.mem ctx.cx_visited_vars v.v_id) then begin
+    Hashtbl.add ctx.cx_visited_vars v.v_id
+      { sv_var = v; sv_value = v.v_value; sv_just = v.v_just };
+    ctx.cx_visited_order <- v :: ctx.cx_visited_order
+  end
+
+let visited ctx v = Hashtbl.mem ctx.cx_visited_vars v.v_id
+
+let restore ctx =
+  List.iter
+    (fun v ->
+      match Hashtbl.find_opt ctx.cx_visited_vars v.v_id with
+      | None -> ()
+      | Some saved ->
+        v.v_value <- saved.sv_value;
+        v.v_just <- saved.sv_just;
+        trace ctx.cx_net (T_restore v);
+        v.v_on_change v)
+    ctx.cx_visited_order
+
+let cstr_enabled ctx c =
+  c.c_enabled && not (List.mem c.c_kind ctx.cx_net.net_disabled_kinds)
+
+let mark_cstr ctx c =
+  if not (Hashtbl.mem ctx.cx_visited_cstrs c.c_id) then begin
+    Hashtbl.add ctx.cx_visited_cstrs c.c_id ();
+    ctx.cx_cstr_order <- c :: ctx.cx_cstr_order
+  end
+
+(* ------------------------------------------------------------------ *)
+(* Activation and draining                                             *)
+(* ------------------------------------------------------------------ *)
+
+let run_inference ctx c changed =
+  ctx.cx_net.net_stats.st_inferences <- ctx.cx_net.net_stats.st_inferences + 1;
+  trace ctx.cx_net (T_activate (c, changed));
+  c.c_propagate ctx c changed
+
+let activate ctx c ~changed =
+  if not (cstr_enabled ctx c) then Ok ()
+  else begin
+    mark_cstr ctx c;
+    match c.c_schedule with
+    | Immediate -> run_inference ctx c changed
+    | On_agenda priority ->
+      if c.c_wants_schedule c changed then begin
+        let var = if c.c_schedule_keyed_by_var then changed else None in
+        if Agenda.schedule ctx.cx_agenda ~priority c ~var then begin
+          ctx.cx_net.net_stats.st_scheduled <- ctx.cx_net.net_stats.st_scheduled + 1;
+          trace ctx.cx_net (T_schedule (c, priority))
+        end
+      end;
+      Ok ()
+  end
+
+let propagate_from ctx v ~except =
+  let skip c =
+    match except with None -> false | Some e -> e.c_id = c.c_id
+  in
+  let rec go = function
+    | [] -> Ok ()
+    | c :: rest ->
+      if skip c then go rest
+      else
+        let* () = activate ctx c ~changed:(Some v) in
+        go rest
+  in
+  go (Var.all_constraints v)
+
+let drain ctx =
+  let rec go () =
+    match Agenda.pop ctx.cx_agenda with
+    | None -> Ok ()
+    | Some { e_cstr; e_var } ->
+      if cstr_enabled ctx e_cstr then
+        let* () = run_inference ctx e_cstr e_var in
+        go ()
+      else go ()
+  in
+  go ()
+
+let check_visited ctx =
+  let rec go = function
+    | [] -> Ok ()
+    | c :: rest ->
+      if cstr_enabled ctx c then begin
+        ctx.cx_net.net_stats.st_checks <- ctx.cx_net.net_stats.st_checks + 1;
+        let sat = c.c_satisfied c in
+        trace ctx.cx_net (T_check (c, sat));
+        if sat then go rest
+        else
+          Error
+            (violation ~cstr:c
+               (Printf.sprintf "constraint %s#%d not satisfied after propagation"
+                  c.c_kind c.c_id))
+      end
+      else go rest
+  in
+  go (List.rev ctx.cx_cstr_order)
+
+(* ------------------------------------------------------------------ *)
+(* Assignment inside an episode                                        *)
+(* ------------------------------------------------------------------ *)
+
+let bump_change_count ctx v =
+  let n = try Hashtbl.find ctx.cx_change_counts v.v_id with Not_found -> 0 in
+  Hashtbl.replace ctx.cx_change_counts v.v_id (n + 1)
+
+let change_count ctx v =
+  try Hashtbl.find ctx.cx_change_counts v.v_id with Not_found -> 0
+
+let install ctx v x ~just ~source_label =
+  save_state ctx v;
+  bump_change_count ctx v;
+  v.v_value <- Some x;
+  v.v_just <- just;
+  ctx.cx_net.net_stats.st_assignments <- ctx.cx_net.net_stats.st_assignments + 1;
+  trace ctx.cx_net (T_assign (v, x, source_label));
+  v.v_on_change v
+
+let set_by_constraint ctx v x ~source ~record =
+  match v.v_value with
+  | Some cur when v.v_equal cur x ->
+    (* termination criterion: the current value agrees (§4.2.2) *)
+    Ok ()
+  | cur_opt ->
+    if change_count ctx v >= ctx.cx_net.net_max_changes && cur_opt <> None then
+      (* relaxed one-value-change rule (§4.2.2 + the §9.2.3 N-change
+         fix): a variable changing more than N times in one episode
+         signals cyclic propagation *)
+      Error
+        (violation ~cstr:source ~var:v
+           (Printf.sprintf
+              "%s changed %d times during this propagation (cyclic propagation)"
+              (Var.path v) ctx.cx_net.net_max_changes))
+    else begin
+      let decision =
+        match cur_opt with
+        | None -> Accept (* free to change to/from NIL *)
+        | Some _ -> (
+          (* constraint strengths (§4.2.4 extension): a strictly
+             stronger constraint overwrites a weaker one's propagated
+             value; a weaker one never does; equal strengths defer to
+             the variable's own rule (user entries still outrank all
+             propagation) *)
+          match v.v_just with
+          | Propagated { source = old; _ } when source.c_strength > old.c_strength
+            ->
+            Accept
+          | Propagated { source = old; _ } when source.c_strength < old.c_strength
+            ->
+            Ignore
+          | Propagated _ | Default | User | Application | Update | Tentative ->
+            v.v_overwrite v ~proposed:x)
+      in
+      match decision with
+      | Ignore -> Ok ()
+      | Reject why ->
+        Error
+          (violation ~cstr:source ~var:v
+             (Printf.sprintf "cannot overwrite %s: %s" (Var.path v) why))
+      | Accept ->
+        install ctx v x
+          ~just:(Propagated { source; record })
+          ~source_label:(Printf.sprintf "%s#%d" source.c_kind source.c_id);
+        propagate_from ctx v ~except:(Some source)
+    end
+
+let propagate_reset ctx v ~except =
+  let skip c =
+    match except with None -> false | Some e -> e.c_id = c.c_id
+  in
+  let rec go = function
+    | [] -> Ok ()
+    | c :: rest ->
+      if skip c || not c.c_fires_on_reset then go rest
+      else
+        let* () = activate ctx c ~changed:(Some v) in
+        go rest
+  in
+  go (Var.all_constraints v)
+
+let reset_by_constraint ctx v ~source =
+  match v.v_value with
+  | None -> Ok ()
+  | Some _ ->
+    save_state ctx v;
+    v.v_value <- None;
+    v.v_just <- Update;
+    trace ctx.cx_net (T_reset (v, Printf.sprintf "%s#%d" source.c_kind source.c_id));
+    v.v_on_change v;
+    propagate_reset ctx v ~except:(Some source)
+
+let propagate_along ctx v c =
+  let* () = activate ctx c ~changed:(Some v) in
+  drain ctx
+
+(* ------------------------------------------------------------------ *)
+(* Top-level entry points                                              *)
+(* ------------------------------------------------------------------ *)
+
+let run_episode net f =
+  net.net_stats.st_propagations <- net.net_stats.st_propagations + 1;
+  let ctx = new_ctx net in
+  let result =
+    let* () = f ctx in
+    let* () = drain ctx in
+    check_visited ctx
+  in
+  match result with
+  | Ok () -> Ok ()
+  | Error viol ->
+    net.net_stats.st_violations <- net.net_stats.st_violations + 1;
+    trace net (T_violation viol);
+    net.net_on_violation viol;
+    restore ctx;
+    Error viol
+
+let set net v x ~just =
+  if not net.net_enabled then begin
+    Var.poke v x ~just;
+    Ok ()
+  end
+  else
+    let same_just =
+      (* structural comparison is only safe on the simple constructors;
+         [Propagated] carries closures *)
+      match (v.v_just, just) with
+      | Default, Default | User, User | Application, Application
+      | Update, Update | Tentative, Tentative ->
+        true
+      | (Default | User | Application | Update | Tentative | Propagated _), _ ->
+        false
+    in
+    match v.v_value with
+    | Some cur when v.v_equal cur x && same_just -> Ok ()
+    | _ ->
+      run_episode net (fun ctx ->
+          install ctx v x ~just ~source_label:"external";
+          propagate_from ctx v ~except:None)
+
+let set_user net v x = set net v x ~just:User
+
+let set_application net v x = set net v x ~just:Application
+
+let reset net v =
+  if not net.net_enabled then begin
+    Var.clear v;
+    Ok ()
+  end
+  else if v.v_value = None then Ok ()
+  else
+    run_episode net (fun ctx ->
+        save_state ctx v;
+        v.v_value <- None;
+        v.v_just <- Default;
+        trace net (T_reset (v, "external"));
+        v.v_on_change v;
+        propagate_reset ctx v ~except:None)
+
+let can_be_set_to net v x =
+  if not net.net_enabled then true
+  else begin
+    net.net_stats.st_propagations <- net.net_stats.st_propagations + 1;
+    let ctx = new_ctx net in
+    install ctx v x ~just:Tentative ~source_label:"tentative";
+    let result =
+      let* () = propagate_from ctx v ~except:None in
+      let* () = drain ctx in
+      check_visited ctx
+    in
+    restore ctx;
+    Result.is_ok result
+  end

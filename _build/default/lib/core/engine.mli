@@ -1,0 +1,114 @@
+(** The propagation engine (§4.2).
+
+    Constraint propagation is a depth-first traversal of the network that
+    starts with an external assignment ([set]/[set_user]), alternates
+    between variables (responding to [set_by_constraint]) and constraints
+    (responding to [activate]), drains the priority agendas, and finally
+    sends [is_satisfied] to every visited constraint. On any violation
+    the network's handler is notified and every visited variable is
+    restored to its pre-propagation state; the entry point returns
+    [Error] (the paper's NIL validity feedback, §5.2). *)
+
+open Types
+
+(** {1 Networks} *)
+
+(** [create_network name] — a fresh network with propagation enabled,
+    a logging violation handler and empty statistics. *)
+val create_network : ?name:string -> unit -> 'a network
+
+(** The CPSwitch (§5.3). When disabled, assignments are plain stores. *)
+val enable : 'a network -> unit
+
+val disable : 'a network -> unit
+
+val is_enabled : 'a network -> bool
+
+(** Selective disabling of whole constraint kinds (a §9.3 future-work
+    item): disabled kinds neither propagate nor check. *)
+val disable_kind : 'a network -> string -> unit
+
+val enable_kind : 'a network -> string -> unit
+
+val set_violation_handler : 'a network -> ('a violation -> unit) -> unit
+
+val set_trace : 'a network -> ('a trace_event -> unit) option -> unit
+
+val stats : 'a network -> stats
+
+val reset_stats : 'a network -> unit
+
+(** {1 Top-level assignment} *)
+
+(** [set net v x ~just] — the paper's [setTo:justification:]. Stores and
+    propagates; on violation restores everything and returns [Error]. *)
+val set : 'a network -> 'a var -> 'a -> just:'a justification -> (unit, 'a violation) result
+
+val set_user : 'a network -> 'a var -> 'a -> (unit, 'a violation) result
+
+val set_application : 'a network -> 'a var -> 'a -> (unit, 'a violation) result
+
+(** [reset net v] erases the value and cascades the erasure through
+    update-constraints (constraints with [c_fires_on_reset]). *)
+val reset : 'a network -> 'a var -> (unit, 'a violation) result
+
+(** [can_be_set_to net v x] — the tentative test of module validation
+    (Fig. 8.2): assert [x] with justification [#TENTATIVE], propagate,
+    restore unconditionally, and report whether propagation succeeded. *)
+val can_be_set_to : 'a network -> 'a var -> 'a -> bool
+
+(** {1 Inside a propagation episode}
+
+    These are the operations constraint inference procedures use; they
+    take the propagation context threaded through the episode. *)
+
+(** The paper's [setTo:constraint:justification:]: apply the termination
+    criteria (§4.2.2), the one-value-change rule, and the variable's
+    overwrite rule; then assign and propagate to every constraint of the
+    variable except [source]. *)
+val set_by_constraint :
+  'a ctx -> 'a var -> 'a -> source:'a cstr -> record:'a dependency ->
+  (unit, 'a violation) result
+
+(** Erase a value mid-propagation (update-constraints, Ch. 6). Cascades
+    only through constraints with [c_fires_on_reset]. *)
+val reset_by_constraint : 'a ctx -> 'a var -> source:'a cstr -> (unit, 'a violation) result
+
+(** Activate one constraint as if [changed] had just changed
+    ([propagateVariable:]): run its inference immediately or schedule it
+    on its agenda. *)
+val activate : 'a ctx -> 'a cstr -> changed:'a var option -> (unit, 'a violation) result
+
+(** Activate every constraint of [v] (stored and implicit), except
+    [except]. *)
+val propagate_from : 'a ctx -> 'a var -> except:'a cstr option -> (unit, 'a violation) result
+
+(** [propagate_along ctx v c] — the paper's [propagateAlongConstraint:]:
+    let [v] assert its value through [c] only, then drain the agendas.
+    Used when (re-)initialising an edited constraint (§4.2.5). *)
+val propagate_along : 'a ctx -> 'a var -> 'a cstr -> (unit, 'a violation) result
+
+(** Drain the agendas, highest priority first. *)
+val drain : 'a ctx -> (unit, 'a violation) result
+
+(** Send [is_satisfied] to every visited constraint, in activation
+    order. *)
+val check_visited : 'a ctx -> (unit, 'a violation) result
+
+(** {1 Episode plumbing} *)
+
+val new_ctx : 'a network -> 'a ctx
+
+(** Record the variable's pre-propagation state (put-if-absent). *)
+val save_state : 'a ctx -> 'a var -> unit
+
+val visited : 'a ctx -> 'a var -> bool
+
+(** Restore every visited variable to its saved state. *)
+val restore : 'a ctx -> unit
+
+(** [run_episode net f] — create a context, run [f], drain, check visited
+    constraints; on violation notify the handler, restore, and return
+    [Error]. This is the shared skeleton of all top-level entry points
+    (also used by {!Network} when editing constraints). *)
+val run_episode : 'a network -> ('a ctx -> (unit, 'a violation) result) -> (unit, 'a violation) result

@@ -1,0 +1,79 @@
+open Types
+
+let ( let* ) = Result.bind
+
+(* Argument variables assert their values through the edited constraint
+   in order of precedence: user-specified, then constraint-dependent,
+   then other independents (Fig. 4.13). *)
+let precedence_order args =
+  let user, rest =
+    List.partition (fun v -> match v.v_just with User -> true | _ -> false) args
+  in
+  let dependent, other =
+    List.partition
+      (fun v -> match v.v_just with Propagated _ -> true | _ -> false)
+      rest
+  in
+  user @ dependent @ other
+
+let reinitialize net c =
+  if not net.net_enabled then Ok ()
+  else
+    Engine.run_episode net (fun ctx ->
+        let rec go = function
+          | [] -> Ok ()
+          | v :: rest ->
+            if Engine.visited ctx v then go rest
+            else
+              let* () = Engine.propagate_along ctx v c in
+              go rest
+        in
+        go (precedence_order c.c_args))
+
+let add_constraint net c =
+  List.iter (fun v -> Var.attach v c) c.c_args;
+  reinitialize net c
+
+let add_argument net c v =
+  if not (List.exists (Var.equal v) c.c_args) then c.c_args <- c.c_args @ [ v ];
+  Var.attach v c;
+  reinitialize net c
+
+let erase_vars vars =
+  List.iter Var.clear vars
+
+let remove_argument net c v =
+  (* Fig. 4.14: if v's value came from c, reset v and all its
+     consequences; otherwise reset all consequences of c that depend on
+     v. Then detach and re-initialise c over the remaining args. *)
+  begin
+    match v.v_just with
+    | Propagated { source; _ } when source.c_id = c.c_id ->
+      erase_vars (v :: Dependency.variable_consequences v)
+    | _ ->
+      let through_c =
+        List.filter
+          (fun arg ->
+            match arg.v_just with
+            | Propagated { source; record } ->
+              source.c_id = c.c_id && c.c_in_dependency c record v
+            | _ -> false)
+          c.c_args
+      in
+      let deps =
+        List.concat_map
+          (fun arg -> arg :: Dependency.variable_consequences arg)
+          through_c
+      in
+      erase_vars deps
+  end;
+  Var.detach v c;
+  c.c_args <- List.filter (fun a -> not (Var.equal a v)) c.c_args;
+  reinitialize net c
+
+let remove_constraint net c =
+  erase_vars (Dependency.dependents_of_constraint c);
+  List.iter (fun v -> Var.detach v c) c.c_args;
+  c.c_args <- [];
+  c.c_enabled <- false;
+  net.net_cstrs <- List.filter (fun c' -> c'.c_id <> c.c_id) net.net_cstrs

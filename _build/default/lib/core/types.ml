@@ -1,0 +1,224 @@
+(* Core data structures of the constraint-propagation framework (Ch. 4).
+
+   The thesis encodes propagation knowledge in Smalltalk methods that
+   subclasses override.  Here the same knowledge lives in closures stored
+   in the [var] and [cstr] records; "subclassing" is building a record
+   with some closures replaced.  Everything is parametric in the value
+   type ['a], so the kernel is independent of the design-value universe
+   it is later instantiated at. *)
+
+(* Decision taken when a propagated value differs from the variable's
+   current value.  [Accept] installs the new value; [Ignore] keeps the
+   old value and lets the final [is_satisfied] sweep decide whether the
+   disagreement matters (the signal-type rule of Fig. 7.4); [Reject]
+   raises a violation immediately (the default for user-entered
+   values). *)
+type overwrite_decision = Accept | Ignore | Reject of string
+
+(* Immediate constraints propagate first-come-first-served because their
+   propagation direction depends on which variable changed.  Agenda
+   constraints self-schedule on a fixed-priority FIFO queue; lower
+   integer = higher priority (§4.2.1, §5.1.2). *)
+type schedule = Immediate | On_agenda of int
+
+(* Functional constraints delay until their arguments have settled. *)
+let functional_priority = 10
+
+(* Implicit hierarchy constraints are lowest priority so each level of
+   the design hierarchy settles before propagation crosses levels. *)
+let implicit_priority = 100
+
+type 'a violation = {
+  viol_message : string;
+  viol_cstr_id : int option;
+  viol_cstr_kind : string option;
+  viol_var_path : string option; (* owner.name of the offending variable *)
+}
+
+type stats = {
+  mutable st_assignments : int; (* values installed during propagation *)
+  mutable st_inferences : int; (* constraint inference runs *)
+  mutable st_checks : int; (* is_satisfied evaluations *)
+  mutable st_scheduled : int; (* agenda pushes *)
+  mutable st_violations : int;
+  mutable st_propagations : int; (* top-level propagation episodes *)
+}
+
+(* ------------------------------------------------------------------ *)
+(* Variables, constraints, justifications, networks, contexts — one    *)
+(* mutually recursive group.                                           *)
+(* ------------------------------------------------------------------ *)
+
+type 'a justification =
+  | Default (* never assigned, or erased *)
+  | User (* #USER: entered by the designer; outranks propagation *)
+  | Application (* #APPLICATION: calculated by a tool *)
+  | Update (* #UPDATE: erased/reset by an update-constraint *)
+  | Tentative (* #TENTATIVE: asserted during a can-be-set-to test *)
+  | Propagated of 'a propagated
+
+and 'a propagated = { source : 'a cstr; record : 'a dependency }
+
+(* A dependency record is formulated by the source constraint during
+   propagation and interpreted only by that constraint during dependency
+   analysis (via [c_in_dependency]) — §4.2.4. *)
+and 'a dependency =
+  | All_arguments (* functional constraints: result depends on every arg *)
+  | Single_var of 'a var (* e.g. equality: the variable that activated *)
+  | Some_vars of 'a var list
+  | Opaque (* not analysable; dependency search stops here *)
+
+and 'a var = {
+  v_id : int;
+  v_owner : string; (* path of the parent design object *)
+  v_name : string; (* field name within the parent *)
+  v_equal : 'a -> 'a -> bool;
+  v_pp : Format.formatter -> 'a -> unit;
+  mutable v_value : 'a option;
+  mutable v_just : 'a justification;
+  mutable v_cstrs : 'a cstr list;
+  (* Overwrite rule consulted when a propagated value differs from the
+     current one. *)
+  mutable v_overwrite : 'a var -> proposed:'a -> overwrite_decision;
+  (* Extra constraints to activate on assignment — the hook the STEM
+     layer uses for implicit (hierarchical) constraints that are derived
+     from structure rather than stored (§5.1.1). *)
+  mutable v_implicit : 'a var -> 'a cstr list;
+  (* Hook run after the variable's value changes (assign or reset);
+     used by property variables and views for erasure notification. *)
+  mutable v_on_change : 'a var -> unit;
+}
+
+and 'a cstr = {
+  c_id : int;
+  c_kind : string; (* "equality", "uni-maximum", ... *)
+  mutable c_label : string;
+  mutable c_args : 'a var list;
+  mutable c_enabled : bool;
+  c_schedule : schedule;
+  (* For agenda constraints: propagate later for this activation?  A
+     functional constraint answers [false] when activated by its own
+     result variable (Fig. 4.7). *)
+  c_wants_schedule : 'a cstr -> 'a var option -> bool;
+  (* Agenda entries are deduplicated.  Functional constraints schedule
+     with no variable (one recomputation regardless of how many inputs
+     changed); implicit hierarchy constraints key the entry by the
+     changed variable because their inference direction depends on it. *)
+  c_schedule_keyed_by_var : bool;
+  (* immediateInferenceByChanging: — examine the changed variable (or
+     [None] for a scheduled run) and assign inferred values through
+     [Engine.set_by_constraint]. *)
+  c_propagate : 'a ctx -> 'a cstr -> 'a var option -> (unit, 'a violation) result;
+  c_satisfied : 'a cstr -> bool;
+  (* testMembershipOf:inDependency: — is [var] among the antecedents
+     recorded by [dependency]? *)
+  c_in_dependency : 'a cstr -> 'a dependency -> 'a var -> bool;
+  (* Fires when an argument is reset (erased) — true only for
+     update-constraints, which cascade erasure (Ch. 6). *)
+  c_fires_on_reset : bool;
+  (* Direct recomputation procedure for functional constraints: read the
+     inputs, store the result, no propagation.  Used by the network
+     compiler (§9.3); [None] for non-functional constraints. *)
+  c_recompute : (unit -> unit) option;
+  (* Constraint strength (§4.2.4 extension): a propagated value may be
+     overwritten by propagation from a strictly stronger constraint even
+     where the default rule would refuse.  0 = ordinary. *)
+  c_strength : int;
+}
+
+and 'a saved = { sv_var : 'a var; sv_value : 'a option; sv_just : 'a justification }
+
+and 'a agenda_entry = { e_cstr : 'a cstr; e_var : 'a var option }
+
+and 'a agenda = {
+  ag_queues : (int, 'a agenda_entry Queue.t) Hashtbl.t;
+  (* FIFO queues without duplicates, keyed by priority *)
+  ag_members : (int * int, unit) Hashtbl.t; (* (cstr id, var id or -1) *)
+  mutable ag_priorities : int list; (* sorted ascending *)
+}
+
+and 'a network = {
+  net_name : string;
+  mutable net_enabled : bool; (* the CPSwitch of §5.3 *)
+  (* Relaxed one-value-change rule (the §9.2.3 fix for reconvergent
+     fanout): a variable may change up to this many times during one
+     propagation episode before a cyclic-propagation violation fires.
+     The thesis suggests "N heuristically determined from the network";
+     deep hierarchies with wide fan-out re-trigger functional
+     recomputation once per implicit propagation, so the default is
+     generous (100).  Set 1 to recover the strict §4.2.2 rule. *)
+  mutable net_max_changes : int;
+  mutable net_on_violation : 'a violation -> unit;
+  mutable net_trace : ('a trace_event -> unit) option;
+  mutable net_next_var_id : int;
+  mutable net_next_cstr_id : int;
+  mutable net_vars : 'a var list; (* reverse creation order *)
+  mutable net_cstrs : 'a cstr list;
+  mutable net_disabled_kinds : string list;
+  net_stats : stats;
+}
+
+and 'a trace_event =
+  | T_assign of 'a var * 'a * string (* variable, value, source label *)
+  | T_reset of 'a var * string
+  | T_activate of 'a cstr * 'a var option
+  | T_schedule of 'a cstr * int
+  | T_check of 'a cstr * bool
+  | T_violation of 'a violation
+  | T_restore of 'a var
+
+and 'a ctx = {
+  cx_net : 'a network;
+  cx_visited_vars : (int, 'a saved) Hashtbl.t;
+  cx_change_counts : (int, int) Hashtbl.t; (* var id -> changes this episode *)
+  mutable cx_visited_order : 'a var list; (* reverse visit order *)
+  cx_visited_cstrs : (int, unit) Hashtbl.t;
+  mutable cx_cstr_order : 'a cstr list; (* reverse activation order *)
+  cx_agenda : 'a agenda;
+}
+
+let fresh_stats () =
+  {
+    st_assignments = 0;
+    st_inferences = 0;
+    st_checks = 0;
+    st_scheduled = 0;
+    st_violations = 0;
+    st_propagations = 0;
+  }
+
+let violation ?cstr ?var message =
+  {
+    viol_message = message;
+    viol_cstr_id = (match cstr with None -> None | Some c -> Some c.c_id);
+    viol_cstr_kind = (match cstr with None -> None | Some c -> Some c.c_kind);
+    viol_var_path =
+      (match var with None -> None | Some v -> Some (v.v_owner ^ "." ^ v.v_name));
+  }
+
+let pp_violation ppf v =
+  Fmt.pf ppf "violation%a%a: %s"
+    (Fmt.option (fun ppf k -> Fmt.pf ppf " [%s]" k))
+    v.viol_cstr_kind
+    (Fmt.option (fun ppf p -> Fmt.pf ppf " at %s" p))
+    v.viol_var_path v.viol_message
+
+let pp_justification pp_val ppf = function
+  | Default -> Fmt.string ppf "#DEFAULT"
+  | User -> Fmt.string ppf "#USER"
+  | Application -> Fmt.string ppf "#APPLICATION"
+  | Update -> Fmt.string ppf "#UPDATE"
+  | Tentative -> Fmt.string ppf "#TENTATIVE"
+  | Propagated { source; record } ->
+    let pp_record ppf = function
+      | All_arguments -> Fmt.string ppf "all-args"
+      | Single_var v -> Fmt.pf ppf "via %s.%s" v.v_owner v.v_name
+      | Some_vars vs ->
+        Fmt.pf ppf "via {%a}"
+          (Fmt.list ~sep:Fmt.comma (fun ppf v ->
+               Fmt.pf ppf "%s.%s" v.v_owner v.v_name))
+          vs
+      | Opaque -> Fmt.string ppf "opaque"
+    in
+    ignore pp_val;
+    Fmt.pf ppf "by %s#%d (%a)" source.c_kind source.c_id pp_record record

@@ -1,0 +1,1 @@
+lib/delay/delay_network.ml: Constraint_kernel Dclib Delay_path Dval Hashtbl List Network Option Printf Rc_model Stem Var

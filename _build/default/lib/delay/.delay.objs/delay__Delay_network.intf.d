@@ -1,0 +1,1 @@
+lib/delay/delay_network.mli: Delay_path Stem

@@ -1,0 +1,1 @@
+lib/delay/delay_path.ml: Fmt Hashtbl List Stem

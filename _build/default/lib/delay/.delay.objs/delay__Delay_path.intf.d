@@ -1,0 +1,1 @@
+lib/delay/delay_path.mli: Format Stem

@@ -1,0 +1,1 @@
+lib/delay/rc_model.ml: Dval Hashtbl Stem

@@ -1,0 +1,1 @@
+lib/delay/rc_model.mli: Dval Stem

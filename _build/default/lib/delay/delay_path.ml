@@ -1,0 +1,50 @@
+open Stem.Design
+
+type arc = { arc_inst : instance; arc_delay : class_delay }
+
+type path = arc list
+
+let nets_of_own_pin cls signal =
+  List.filter
+    (fun net -> List.exists (member_equal (Own_pin signal)) net.en_members)
+    cls.cc_structure.st_nets
+
+(* Depth-first enumeration of simple paths.  From a net, each subcell
+   input pin on the net can be traversed through any declared class
+   delay of the subcell starting at that pin; the arc exits on the net
+   connected to the delay's destination pin.  Nets already on the
+   current path are never re-entered. *)
+let enumerate cls ~from_ ~to_ =
+  let paths = ref [] in
+  let rec walk net visited rev_path =
+    if List.mem net.en_uid visited then ()
+    else begin
+      let visited = net.en_uid :: visited in
+      if List.exists (member_equal (Own_pin to_)) net.en_members && rev_path <> []
+      then paths := List.rev rev_path :: !paths;
+      let explore = function
+        | Own_pin _ -> ()
+        | Sub_pin (inst, signal) ->
+          let delays =
+            List.filter (fun cd -> cd.cd_from = signal) inst.inst_of.cc_delays
+          in
+          let follow cd =
+            match Hashtbl.find_opt inst.inst_nets cd.cd_to with
+            | None -> ()
+            | Some next ->
+              walk next visited ({ arc_inst = inst; arc_delay = cd } :: rev_path)
+          in
+          List.iter follow delays
+      in
+      List.iter explore net.en_members
+    end
+  in
+  List.iter (fun net -> walk net [] []) (nets_of_own_pin cls from_);
+  List.rev !paths
+
+let pp_path ppf path =
+  Fmt.pf ppf "%a"
+    (Fmt.list ~sep:(Fmt.any " -> ") (fun ppf arc ->
+         Fmt.pf ppf "%s.d(%s,%s)" arc.arc_inst.inst_name arc.arc_delay.cd_from
+           arc.arc_delay.cd_to))
+    path

@@ -1,0 +1,22 @@
+(** Delay-path enumeration (§7.3).
+
+    A delay path connects an input io-signal of a composite cell to an
+    output io-signal through a chain of subcell delay arcs (the delays
+    their classes declare) and nets. Only subcell delays with declared
+    class delay variables are considered, which focuses attention on the
+    critical paths and bounds the combinatorial explosion. *)
+
+open Stem.Design
+
+(** One arc: a subcell instance traversed through one of its declared
+    class delays. *)
+type arc = { arc_inst : instance; arc_delay : class_delay }
+
+type path = arc list
+
+(** [enumerate cls ~from_ ~to_] — all simple delay paths from io-signal
+    [from_] to io-signal [to_] of composite cell [cls]. Paths never
+    revisit a net (cycle safety). *)
+val enumerate : cell_class -> from_:string -> to_:string -> path list
+
+val pp_path : Format.formatter -> path -> unit

@@ -1,0 +1,17 @@
+open Stem.Design
+
+let rc_term _env inst ~to_signal =
+  match Hashtbl.find_opt inst.inst_nets to_signal with
+  | None -> 0.0
+  | Some net -> (
+    match find_signal_opt inst.inst_of to_signal with
+    | None -> 0.0
+    | Some ss -> (
+      match ss.ss_res with
+      | None -> 0.0
+      | Some r -> r *. Stem.Enet.total_load_capacitance net))
+
+let adjust env inst cd nominal =
+  match Dval.number nominal with
+  | None -> None
+  | Some d -> Some (Dval.Float (d +. rc_term env inst ~to_signal:cd.cd_to))

@@ -1,0 +1,1 @@
+lib/dval/dclib.ml: Clib Constraint_kernel Dval Engine Float Geometry List Option Result Types Var

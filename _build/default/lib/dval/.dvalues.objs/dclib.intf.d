@@ -1,0 +1,1 @@
+lib/dval/dclib.mli: Constraint_kernel Dval

@@ -1,0 +1,1 @@
+lib/dval/dval.ml: Float Fmt Geometry List Option Signal_types String

@@ -1,0 +1,1 @@
+lib/dval/dval.mli: Format Geometry Signal_types

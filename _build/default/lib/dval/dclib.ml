@@ -1,0 +1,143 @@
+open Constraint_kernel
+open Types
+
+type var = Dval.t Types.var
+
+type network = Dval.t Types.network
+
+type attached = Dval.t Clib.attached
+
+let uni_addition ?attach ?label net ~result inputs =
+  Clib.functional ?attach ?label ~kind:"uni-addition" ~f:Dval.sum ~result net inputs
+
+let uni_maximum ?attach ?label net ~result inputs =
+  Clib.functional ?attach ?label ~kind:"uni-maximum" ~f:Dval.maximum ~result net inputs
+
+let uni_minimum ?attach ?label net ~result inputs =
+  Clib.functional ?attach ?label ~kind:"uni-minimum" ~f:Dval.minimum ~result net inputs
+
+let uni_scale ?attach ?label net ~k ~result input =
+  let f = function [ v ] -> Dval.scale k v | _ -> None in
+  Clib.functional ?attach ?label ~kind:"uni-scale" ~f ~result net [ input ]
+
+let cmp_pred op = function
+  | [ Some a; Some b ] -> ( match Dval.compare_num a b with Some c -> op c | None -> false)
+  | [ None; _ ] | [ _; None ] -> true
+  | _ -> true
+
+let less_equal_const ?attach ?label net v bound =
+  let pred = function
+    | [ Some x ] -> (
+      match Dval.le x bound with Some b -> b | None -> false)
+    | [ None ] -> true
+    | _ -> true
+  in
+  Clib.predicate ?attach ?label ~kind:"less-equal" ~pred net [ v ]
+
+let greater_equal_const ?attach ?label net v bound =
+  let pred = function
+    | [ Some x ] -> (
+      match Dval.le bound x with Some b -> b | None -> false)
+    | [ None ] -> true
+    | _ -> true
+  in
+  Clib.predicate ?attach ?label ~kind:"greater-equal" ~pred net [ v ]
+
+let less_equal ?attach ?label net a b =
+  Clib.predicate ?attach ?label ~kind:"less-equal-var" ~pred:(cmp_pred (fun c -> c <= 0))
+    net [ a; b ]
+
+let in_range ?attach ?label net v range =
+  let pred = function
+    | [ Some x ] -> ( match Dval.in_range x range with Some b -> b | None -> false)
+    | [ None ] -> true
+    | _ -> true
+  in
+  Clib.predicate ?attach ?label ~kind:"in-range" ~pred net [ v ]
+
+let aspect_ratio ?attach ?label ?(tol = 1e-6) net v ~ratio =
+  let pred = function
+    | [ Some (Dval.Rect r) ] ->
+      Geometry.Rect.height r > 0
+      && Float.abs (Geometry.Rect.aspect_ratio r -. ratio) <= tol
+    | [ Some _ ] -> false
+    | [ None ] -> true
+    | _ -> true
+  in
+  Clib.predicate ?attach ?label ~kind:"aspect-ratio" ~pred net [ v ]
+
+let area_limit ?attach ?label net v ~max_area =
+  let pred = function
+    | [ Some (Dval.Rect r) ] -> Geometry.Rect.area r <= max_area
+    | [ Some _ ] -> false
+    | [ None ] -> true
+    | _ -> true
+  in
+  Clib.predicate ?attach ?label ~kind:"area-limit" ~pred net [ v ]
+
+let pitch_match ?attach ?label net a b ~axis =
+  let dim r =
+    match axis with `X -> Geometry.Rect.width r | `Y -> Geometry.Rect.height r
+  in
+  let pred = function
+    | [ Some (Dval.Rect ra); Some (Dval.Rect rb) ] -> dim ra = dim rb
+    | [ Some _; Some _ ] -> false
+    | _ -> true
+  in
+  Clib.predicate ?attach ?label ~kind:"pitch-match" ~pred net [ a; b ]
+
+(* Bidirectional addition: infer whichever of a, b, sum is missing.
+   With all three present it is a pure check. *)
+let addition ?(attach = true) ?label ~a ~b ~sum net =
+  let ( let* ) = Result.bind in
+  let propagate ctx c _changed =
+    let va = Var.value a and vb = Var.value b and vs = Var.value sum in
+    let set target value record =
+      match value with
+      | Some x -> Engine.set_by_constraint ctx target x ~source:c ~record
+      | None -> Ok ()
+    in
+    match (va, vb, vs) with
+    | Some x, Some y, _ ->
+      let* () = set sum (Dval.add x y) (Some_vars [ a; b ]) in
+      Ok ()
+    | Some x, None, Some z -> set b (Dval.sub z x) (Some_vars [ a; sum ])
+    | None, Some y, Some z -> set a (Dval.sub z y) (Some_vars [ b; sum ])
+    | Some _, None, None | None, Some _, None | None, None, Some _
+    | None, None, None ->
+      Ok ()
+  in
+  let satisfied _c =
+    match (Var.value a, Var.value b, Var.value sum) with
+    | Some x, Some y, Some z -> (
+      match Dval.add x y with Some expected -> Dval.equal z expected | None -> false)
+    | _ -> true
+  in
+  let c =
+    Constraint_kernel.Cstr.make net ~kind:"addition" ?label ~propagate ~satisfied
+      [ a; b; sum ]
+  in
+  if attach then (c, Constraint_kernel.Network.add_constraint net c) else (c, Ok ())
+
+let linear ?attach ?label ~coeffs ~result net inputs =
+  if List.length coeffs <> List.length inputs then
+    invalid_arg "Dclib.linear: coefficient/input length mismatch";
+  let f values =
+    let terms = List.map2 (fun k v -> Dval.scale k v) coeffs values in
+    if List.exists Option.is_none terms then None
+    else Dval.sum (List.map Option.get terms)
+  in
+  Clib.functional ?attach ?label ~kind:"linear" ~f ~result net inputs
+
+let equality ?attach ?label net vars = Clib.equality ?attach ?label net vars
+
+let compatible_types ?attach ?label ?(kind = "compatible") net vars =
+  Clib.compatible ?attach ?label ~kind ~compat:Dval.compatible net vars
+
+let variable net ~owner ~name ?overwrite ?value () =
+  Var.create net ~owner ~name ~equal:Dval.equal ~pp:Dval.pp ?overwrite ?value ()
+
+let type_overwrite v ~proposed =
+  match v.v_value with
+  | None -> Accept
+  | Some cur -> if Dval.is_less_abstract proposed cur then Accept else Ignore

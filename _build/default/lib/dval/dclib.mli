@@ -1,0 +1,78 @@
+(** Design-value constraint library: the {!Constraint_kernel.Clib}
+    constructors instantiated at {!Dval.t} with STEM's arithmetic, plus
+    the domain predicates of chapter 7 (less-than delay specs, aspect
+    ratio, area limits, pitch matching). *)
+
+open Constraint_kernel.Types
+
+type var = Dval.t Constraint_kernel.Types.var
+
+type network = Dval.t Constraint_kernel.Types.network
+
+type attached = Dval.t Constraint_kernel.Clib.attached
+
+(** [uni_addition net ~result inputs] — result = Σ inputs
+    ([UniAdditionConstraint], §7.3). *)
+val uni_addition : ?attach:bool -> ?label:string -> network -> result:var -> var list -> attached
+
+(** [uni_maximum net ~result inputs] — result = max inputs
+    ([UniMaximumConstraint], §7.3). *)
+val uni_maximum : ?attach:bool -> ?label:string -> network -> result:var -> var list -> attached
+
+val uni_minimum : ?attach:bool -> ?label:string -> network -> result:var -> var list -> attached
+
+(** [uni_scale net ~k ~result input] — result = k * input (loading
+    adjustments). *)
+val uni_scale : ?attach:bool -> ?label:string -> network -> k:float -> result:var -> var -> attached
+
+(** [less_equal_const net v bound] — v ≤ bound; the "120ns or less" delay
+    specifications of §5.1. Unset values satisfy vacuously. *)
+val less_equal_const : ?attach:bool -> ?label:string -> network -> var -> Dval.t -> attached
+
+(** [greater_equal_const net v bound]. *)
+val greater_equal_const : ?attach:bool -> ?label:string -> network -> var -> Dval.t -> attached
+
+(** [less_equal net a b] — a ≤ b between two variables. *)
+val less_equal : ?attach:bool -> ?label:string -> network -> var -> var -> attached
+
+(** [in_range net v range] — parameter-range membership. *)
+val in_range : ?attach:bool -> ?label:string -> network -> var -> Dval.t -> attached
+
+(** [aspect_ratio net v ~ratio ~tol] — the [AspectRatioPredicate] of
+    Fig. 7.9 on a [Rect]-valued variable. *)
+val aspect_ratio : ?attach:bool -> ?label:string -> ?tol:float -> network -> var -> ratio:float -> attached
+
+(** [area_limit net v ~max_area] on a [Rect]-valued variable. *)
+val area_limit : ?attach:bool -> ?label:string -> network -> var -> max_area:int -> attached
+
+(** [pitch_match net a b ~axis] — two [Rect] variables agree on width
+    ([`X]) or height ([`Y]); used when abutting cells must pitch-match. *)
+val pitch_match : ?attach:bool -> ?label:string -> network -> var -> var -> axis:[ `X | `Y ] -> attached
+
+(** Bidirectional addition [a + b = sum] — the classic multi-directional
+    adder of CONSTRAINTS (§2.2.4, cited by the thesis as prior art):
+    whenever exactly one of the three variables is unknown it is
+    inferred from the other two, in any direction. *)
+val addition : ?attach:bool -> ?label:string -> a:var -> b:var -> sum:var -> network -> attached
+
+(** [linear net ~coeffs ~result inputs] — result = Σ kᵢ·xᵢ (functional,
+    agenda-scheduled). [coeffs] and [inputs] must have equal length. *)
+val linear : ?attach:bool -> ?label:string -> coeffs:float list -> result:var -> network -> var list -> attached
+
+(** Equality over design values. *)
+val equality : ?attach:bool -> ?label:string -> network -> var list -> attached
+
+(** Type-compatibility constraint (§7.1) over [Dtype]/[Etype] variables. *)
+val compatible_types : ?attach:bool -> ?label:string -> ?kind:string -> network -> var list -> attached
+
+(** A fresh design variable with [Dval] equality/printing. *)
+val variable :
+  network -> owner:string -> name:string ->
+  ?overwrite:(var -> proposed:Dval.t -> overwrite_decision) ->
+  ?value:Dval.t -> unit -> var
+
+(** The least-abstract overwrite rule of Fig. 7.4, for signal typing
+    variables: a propagated type may only replace a strictly more
+    abstract one; anything else is ignored (and judged by the final
+    satisfaction sweep). *)
+val type_overwrite : var -> proposed:Dval.t -> overwrite_decision

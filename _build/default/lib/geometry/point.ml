@@ -1,0 +1,29 @@
+type t = { x : int; y : int }
+
+let make x y = { x; y }
+
+let origin = { x = 0; y = 0 }
+
+let add a b = { x = a.x + b.x; y = a.y + b.y }
+
+let sub a b = { x = a.x - b.x; y = a.y - b.y }
+
+let neg a = { x = -a.x; y = -a.y }
+
+let min a b = { x = Stdlib.min a.x b.x; y = Stdlib.min a.y b.y }
+
+let max a b = { x = Stdlib.max a.x b.x; y = Stdlib.max a.y b.y }
+
+let equal a b = a.x = b.x && a.y = b.y
+
+let compare a b =
+  match Int.compare a.x b.x with 0 -> Int.compare a.y b.y | c -> c
+
+let compare_yx a b =
+  match Int.compare a.y b.y with 0 -> Int.compare a.x b.x | c -> c
+
+let compare_xy = compare
+
+let pp ppf p = Fmt.pf ppf "(%d, %d)" p.x p.y
+
+let to_string p = Fmt.str "%a" pp p

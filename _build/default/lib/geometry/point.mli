@@ -1,0 +1,38 @@
+(** Integer lattice points, the coordinate unit of STEM layouts.
+
+    Coordinates are in abstract layout units (lambda); the paper's layouts
+    are manipulated at this granularity by the module compilers and the
+    bounding-box constraints of chapter 7. *)
+
+type t = { x : int; y : int }
+
+val make : int -> int -> t
+
+val origin : t
+
+val add : t -> t -> t
+
+val sub : t -> t -> t
+
+val neg : t -> t
+
+(** Component-wise minimum. *)
+val min : t -> t -> t
+
+(** Component-wise maximum. *)
+val max : t -> t -> t
+
+val equal : t -> t -> bool
+
+val compare : t -> t -> int
+
+(** Lexicographic by [y] then [x]; the order compiler views use to sort
+    io-pins along a cell edge. *)
+val compare_yx : t -> t -> int
+
+(** Lexicographic by [x] then [y]. *)
+val compare_xy : t -> t -> int
+
+val pp : t Fmt.t
+
+val to_string : t -> string

@@ -1,0 +1,64 @@
+type t = { ll : Point.t; width : int; height : int }
+
+let make ll ~width ~height =
+  if width < 0 || height < 0 then
+    invalid_arg "Rect.make: negative extent";
+  { ll; width; height }
+
+let of_corners a b =
+  let ll = Point.min a b and ur = Point.max a b in
+  { ll; width = ur.Point.x - ll.Point.x; height = ur.Point.y - ll.Point.y }
+
+let zero = { ll = Point.origin; width = 0; height = 0 }
+
+let ll r = r.ll
+
+let ur r = Point.make (r.ll.Point.x + r.width) (r.ll.Point.y + r.height)
+
+let width r = r.width
+
+let height r = r.height
+
+let area r = r.width * r.height
+
+let extent r = Point.make r.width r.height
+
+let center r =
+  Point.make (r.ll.Point.x + (r.width / 2)) (r.ll.Point.y + (r.height / 2))
+
+let equal a b = Point.equal a.ll b.ll && a.width = b.width && a.height = b.height
+
+let contains outer inner =
+  let oll = ll outer and our = ur outer in
+  let ill = ll inner and iur = ur inner in
+  oll.Point.x <= ill.Point.x
+  && oll.Point.y <= ill.Point.y
+  && iur.Point.x <= our.Point.x
+  && iur.Point.y <= our.Point.y
+
+let contains_point r p = contains r { ll = p; width = 0; height = 0 }
+
+let union a b = of_corners (Point.min (ll a) (ll b)) (Point.max (ur a) (ur b))
+
+let union_all = function
+  | [] -> zero
+  | r :: rest -> List.fold_left union r rest
+
+let translate r v = { r with ll = Point.add r.ll v }
+
+let inflate r n =
+  make
+    (Point.make (r.ll.Point.x - n) (r.ll.Point.y - n))
+    ~width:(r.width + (2 * n))
+    ~height:(r.height + (2 * n))
+
+let can_contain outer inner = outer.width >= inner.width && outer.height >= inner.height
+
+let aspect_ratio r =
+  if r.height = 0 then raise Division_by_zero
+  else float_of_int r.width /. float_of_int r.height
+
+let pp ppf r =
+  Fmt.pf ppf "[%a %dx%d]" Point.pp r.ll r.width r.height
+
+let to_string r = Fmt.str "%a" pp r

@@ -1,0 +1,62 @@
+(** Axis-aligned rectangles — bounding boxes of cells and placements.
+
+    A rectangle is stored by its lower-left corner and extent. The empty
+    rectangle (zero extent) is representable; [contains] and [union] treat
+    it as a point. *)
+
+type t = private { ll : Point.t; width : int; height : int }
+
+(** [make ll ~width ~height] builds a rectangle. Raises [Invalid_argument]
+    on a negative extent. *)
+val make : Point.t -> width:int -> height:int -> t
+
+(** [of_corners a b] is the smallest rectangle covering both points. *)
+val of_corners : Point.t -> Point.t -> t
+
+val zero : t
+
+val ll : t -> Point.t
+
+val ur : t -> Point.t
+
+val width : t -> int
+
+val height : t -> int
+
+val area : t -> int
+
+(** Extent as a point [(width, height)]. *)
+val extent : t -> Point.t
+
+val center : t -> Point.t
+
+val equal : t -> t -> bool
+
+(** [contains outer inner] — [inner] lies entirely inside [outer]. *)
+val contains : t -> t -> bool
+
+val contains_point : t -> Point.t -> bool
+
+(** Smallest rectangle covering both. *)
+val union : t -> t -> t
+
+val union_all : t list -> t
+
+(** [translate r v] shifts [r] by vector [v]. *)
+val translate : t -> Point.t -> t
+
+(** [inflate r n] grows the rectangle by [n] on every side. *)
+val inflate : t -> int -> t
+
+(** [can_contain outer inner] — the instance-vs-class test of §7.2: [outer]
+    is at least as large as [inner] in both dimensions (placement area must
+    not be smaller than the class bounding box). *)
+val can_contain : t -> t -> bool
+
+(** Aspect ratio width/height as a float; raises [Division_by_zero] on zero
+    height. *)
+val aspect_ratio : t -> float
+
+val pp : t Fmt.t
+
+val to_string : t -> string

@@ -1,0 +1,81 @@
+type orientation = R0 | R90 | R180 | R270 | MX | MY | MXR90 | MYR90
+
+type t = { orient : orientation; offset : Point.t }
+
+let identity = { orient = R0; offset = Point.origin }
+
+let make ?(orient = R0) offset = { orient; offset }
+
+let translation offset = { orient = R0; offset }
+
+let equal a b = a.orient = b.orient && Point.equal a.offset b.offset
+
+(* Each orientation is an orthogonal integer matrix (a b; c d). *)
+let to_matrix = function
+  | R0 -> (1, 0, 0, 1)
+  | R90 -> (0, -1, 1, 0)
+  | R180 -> (-1, 0, 0, -1)
+  | R270 -> (0, 1, -1, 0)
+  | MX -> (1, 0, 0, -1)
+  | MY -> (-1, 0, 0, 1)
+  | MXR90 -> (0, 1, 1, 0)
+  | MYR90 -> (0, -1, -1, 0)
+
+let of_matrix = function
+  | 1, 0, 0, 1 -> R0
+  | 0, -1, 1, 0 -> R90
+  | -1, 0, 0, -1 -> R180
+  | 0, 1, -1, 0 -> R270
+  | 1, 0, 0, -1 -> MX
+  | -1, 0, 0, 1 -> MY
+  | 0, 1, 1, 0 -> MXR90
+  | 0, -1, -1, 0 -> MYR90
+  | _ -> assert false
+
+let apply_orient o (p : Point.t) =
+  let a, b, c, d = to_matrix o in
+  Point.make ((a * p.Point.x) + (b * p.Point.y)) ((c * p.Point.x) + (d * p.Point.y))
+
+let apply_point t p = Point.add (apply_orient t.orient p) t.offset
+
+let apply_rect t r =
+  Rect.of_corners (apply_point t (Rect.ll r)) (apply_point t (Rect.ur r))
+
+let mul_orient o1 o2 =
+  let a1, b1, c1, d1 = to_matrix o1 and a2, b2, c2, d2 = to_matrix o2 in
+  of_matrix
+    ( (a1 * a2) + (b1 * c2),
+      (a1 * b2) + (b1 * d2),
+      (c1 * a2) + (d1 * c2),
+      (c1 * b2) + (d1 * d2) )
+
+let compose outer inner =
+  {
+    orient = mul_orient outer.orient inner.orient;
+    offset = Point.add (apply_orient outer.orient inner.offset) outer.offset;
+  }
+
+(* The matrices are orthogonal, so the inverse rotation is the transpose. *)
+let invert_orient o =
+  let a, b, c, d = to_matrix o in
+  of_matrix (a, c, b, d)
+
+let invert t =
+  let io = invert_orient t.orient in
+  { orient = io; offset = Point.neg (apply_orient io t.offset) }
+
+let all_orientations = [ R0; R90; R180; R270; MX; MY; MXR90; MYR90 ]
+
+let orientation_name = function
+  | R0 -> "R0"
+  | R90 -> "R90"
+  | R180 -> "R180"
+  | R270 -> "R270"
+  | MX -> "MX"
+  | MY -> "MY"
+  | MXR90 -> "MXR90"
+  | MYR90 -> "MYR90"
+
+let pp_orientation ppf o = Fmt.string ppf (orientation_name o)
+
+let pp ppf t = Fmt.pf ppf "%a+%a" pp_orientation t.orient Point.pp t.offset

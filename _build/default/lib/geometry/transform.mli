@@ -1,0 +1,46 @@
+(** Placement transformations of cell instances.
+
+    A transform is an element of the dihedral group D4 (rotation by
+    multiples of 90 degrees, optionally mirrored) followed by a
+    translation — exactly the transformation matrix a STEM cell instance
+    stores to map the cell class's internal structure into the instance's
+    bounding-box area (§3.3.2, §7.2). *)
+
+type orientation =
+  | R0       (** identity *)
+  | R90      (** rotate 90 degrees counter-clockwise *)
+  | R180
+  | R270
+  | MX       (** mirror about the X axis (flip vertically) *)
+  | MY       (** mirror about the Y axis (flip horizontally) *)
+  | MXR90    (** mirror X then rotate 90 *)
+  | MYR90    (** mirror Y then rotate 90 *)
+
+type t = { orient : orientation; offset : Point.t }
+
+val identity : t
+
+val make : ?orient:orientation -> Point.t -> t
+
+(** [translation v] — pure translation by [v]. *)
+val translation : Point.t -> t
+
+val equal : t -> t -> bool
+
+(** [apply_point t p] transforms a point. *)
+val apply_point : t -> Point.t -> Point.t
+
+(** [apply_rect t r] transforms a rectangle (result is re-normalised to a
+    lower-left representation). *)
+val apply_rect : t -> Rect.t -> Rect.t
+
+(** [compose outer inner] — first apply [inner], then [outer]. *)
+val compose : t -> t -> t
+
+val invert : t -> t
+
+val all_orientations : orientation list
+
+val pp_orientation : orientation Fmt.t
+
+val pp : t Fmt.t

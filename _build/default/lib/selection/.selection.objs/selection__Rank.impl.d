@@ -1,0 +1,1 @@
+lib/selection/rank.ml: Delay Float Hashtbl List Select Stem

@@ -1,0 +1,1 @@
+lib/selection/rank.mli: Stem

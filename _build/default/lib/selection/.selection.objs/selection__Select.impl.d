@@ -1,0 +1,1 @@
+lib/selection/select.ml: Constraint_kernel Delay Dval Engine Fmt Geometry Hashtbl List Stem String Var

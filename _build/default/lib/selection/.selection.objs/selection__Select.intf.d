@@ -1,0 +1,1 @@
+lib/selection/select.mli: Format Stem

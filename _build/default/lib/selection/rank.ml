@@ -1,0 +1,42 @@
+open Stem.Design
+
+let candidate_delay env cand inst =
+  let keys = Hashtbl.fold (fun k _ acc -> k :: acc) inst.inst_delays [] in
+  let delays =
+    List.filter_map
+      (fun key ->
+        match Select.split_delay_key key with
+        | Some (from_, to_) -> Delay.Delay_network.delay env cand ~from_ ~to_
+        | None -> None)
+      keys
+  in
+  match delays with
+  | [] -> None
+  | d :: rest -> Some (List.fold_left Float.max d rest)
+
+let merit env cand ~for_:inst ~delay_weight ~area_weight =
+  let delay = candidate_delay env cand inst in
+  let area = Stem.Cell.area env cand in
+  match (delay, area) with
+  | None, None -> None
+  | d, a ->
+    let dcost = match d with Some d -> delay_weight *. d | None -> 0.0 in
+    let acost =
+      match a with Some a -> area_weight *. (float_of_int a /. 100.0) | None -> 0.0
+    in
+    Some (dcost +. acost)
+
+let rank env cands ~for_ ?(delay_weight = 1.0) ?(area_weight = 1.0) () =
+  let scored =
+    List.map (fun c -> (c, merit env c ~for_ ~delay_weight ~area_weight)) cands
+  in
+  let known, unknown = List.partition (fun (_, m) -> m <> None) scored in
+  let sorted =
+    List.stable_sort
+      (fun (_, m1) (_, m2) ->
+        match (m1, m2) with
+        | Some a, Some b -> Float.compare a b
+        | _ -> 0)
+      known
+  in
+  sorted @ unknown

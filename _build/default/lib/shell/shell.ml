@@ -1,0 +1,154 @@
+(* The interactive constraint editor (§5.4), line-command edition.
+
+   The paper's constraint-editor windows let a designer walk a network,
+   examine all variables of a constraint and all constraints of a
+   variable, trace antecedents and consequences, instantiate or remove
+   constraints, assign values, and toggle propagation.  This REPL offers
+   the same operations over stdin/stdout (so it is also scriptable). *)
+
+open Constraint_kernel
+
+
+let help_text =
+  "commands:\n\
+  \  vars [SUBSTR]          list variables (optionally filtered)\n\
+  \  cstrs                  list constraints\n\
+  \  show PATH              one variable with value and justification\n\
+  \  inspect PATH           variable plus its constraints\n\
+  \  cstr ID                one constraint with its arguments\n\
+  \  set PATH VALUE         assign (designer entry; propagates + checks)\n\
+  \  reset PATH             erase a value (cascades update-constraints)\n\
+  \  antecedents PATH       backward dependency trace\n\
+  \  consequences PATH      forward dependency trace\n\
+  \  disable ID / enable ID toggle one constraint\n\
+  \  remove ID              remove a constraint (erases its dependents)\n\
+  \  on / off               constraint propagation switch (CPSwitch)\n\
+  \  check                  list currently unsatisfied constraints\n\
+  \  dump                   network summary\n\
+  \  help                   this text\n\
+  \  quit                   leave the editor"
+
+let with_var cnet path f =
+  match Editor.find_var cnet path with
+  | Some v -> f v
+  | None -> Fmt.pr "no variable %S (try: vars %s)@." path path
+
+let with_cstr cnet id_str f =
+  match int_of_string_opt id_str with
+  | None -> Fmt.pr "constraint id must be an integer@."
+  | Some id -> (
+    match Editor.find_cstr cnet id with
+    | Some c -> f c
+    | None -> Fmt.pr "no constraint #%d@." id)
+
+let execute env line =
+  let cnet = Stem.Env.cnet env in
+  let words =
+    String.split_on_char ' ' (String.trim line) |> List.filter (fun w -> w <> "")
+  in
+  match words with
+  | [] -> true
+  | [ "quit" ] | [ "q" ] | [ "exit" ] -> false
+  | [ "help" ] ->
+    Fmt.pr "%s@." help_text;
+    true
+  | [ "vars" ] | "vars" :: _ ->
+    let filter = match words with _ :: f :: _ -> f | _ -> "" in
+    List.iter
+      (fun v -> Fmt.pr "  %a@." Var.pp_full v)
+      (Editor.grep_vars cnet filter);
+    true
+  | [ "cstrs" ] ->
+    List.iter
+      (fun c -> Fmt.pr "  %a%s@." Cstr.pp c (if Cstr.is_enabled c then "" else " (disabled)"))
+      (List.rev cnet.Types.net_cstrs);
+    true
+  | [ "show"; path ] ->
+    with_var cnet path (fun v -> Fmt.pr "  %a@." Var.pp_full v);
+    true
+  | [ "inspect"; path ] ->
+    with_var cnet path (fun v -> Fmt.pr "%a@." Editor.inspect_var v);
+    true
+  | [ "cstr"; id ] ->
+    with_cstr cnet id (fun c -> Fmt.pr "%a@." Editor.inspect_cstr c);
+    true
+  | "set" :: path :: rest ->
+    let value_text = String.concat " " rest in
+    (match Dval.of_string value_text with
+    | None -> Fmt.pr "cannot parse value %S (ints, floats, rect X Y W H, data:T, elec:T)@." value_text
+    | Some value ->
+      with_var cnet path (fun v ->
+          match Engine.set_user cnet v value with
+          | Ok () -> Fmt.pr "  ok: %a@." Var.pp_full v
+          | Error viol -> Fmt.pr "  !! %a (values restored)@." Types.pp_violation viol));
+    true
+  | [ "reset"; path ] ->
+    with_var cnet path (fun v ->
+        ignore (Engine.reset cnet v);
+        Fmt.pr "  ok: %a@." Var.pp_full v);
+    true
+  | [ "antecedents"; path ] ->
+    with_var cnet path (fun v -> Fmt.pr "%a@." Editor.trace_antecedents v);
+    true
+  | [ "consequences"; path ] ->
+    with_var cnet path (fun v -> Fmt.pr "%a@." Editor.trace_consequences v);
+    true
+  | [ "disable"; id ] ->
+    with_cstr cnet id (fun c ->
+        Cstr.set_enabled c false;
+        Fmt.pr "  disabled %a@." Cstr.pp c);
+    true
+  | [ "enable"; id ] ->
+    with_cstr cnet id (fun c ->
+        Cstr.set_enabled c true;
+        Fmt.pr "  enabled %a@." Cstr.pp c);
+    true
+  | [ "remove"; id ] ->
+    with_cstr cnet id (fun c ->
+        Network.remove_constraint cnet c;
+        Fmt.pr "  removed #%s; dependent values erased@." id);
+    true
+  | [ "on" ] ->
+    Engine.enable cnet;
+    Fmt.pr "  propagation on@.";
+    true
+  | [ "off" ] ->
+    Engine.disable cnet;
+    Fmt.pr "  propagation off@.";
+    true
+  | [ "check" ] ->
+    (match Editor.unsatisfied cnet with
+    | [] -> Fmt.pr "  all constraints satisfied@."
+    | bad -> List.iter (fun c -> Fmt.pr "  VIOLATED %a@." Cstr.pp c) bad);
+    true
+  | [ "dump" ] ->
+    Fmt.pr "%a@." Editor.dump_network cnet;
+    true
+  | cmd :: _ ->
+    Fmt.pr "unknown command %S (try: help)@." cmd;
+    true
+
+let run env =
+  Fmt.pr "STEM constraint editor — 'help' for commands, 'quit' to leave@.";
+  let rec loop () =
+    Fmt.pr "stem> %!";
+    match In_channel.input_line stdin with
+    | None -> ()
+    | Some line -> if execute env line then loop ()
+  in
+  loop ()
+
+(* run a whole script (for tests and batch use); returns the combined
+   output of all commands *)
+let execute_script env lines =
+  let buf = Buffer.create 256 in
+  let old = Format.get_formatter_output_functions () in
+  Format.set_formatter_output_functions (Buffer.add_substring buf) (fun () -> ());
+  let restore () =
+    Format.print_flush ();
+    let out, flush = old in
+    Format.set_formatter_output_functions out flush
+  in
+  Fun.protect ~finally:restore (fun () ->
+      List.iter (fun line -> ignore (execute env line)) lines);
+  Buffer.contents buf

@@ -1,0 +1,19 @@
+(** The constraint-editor command shell (§5.4), shared by the [stem edit]
+    REPL and by tests/batch scripts.
+
+    Commands: [vars [SUBSTR]], [cstrs], [show PATH], [inspect PATH],
+    [cstr ID], [set PATH VALUE], [reset PATH], [antecedents PATH],
+    [consequences PATH], [enable/disable ID], [remove ID], [on]/[off],
+    [check], [dump], [help], [quit]. *)
+
+(** [execute env line] — run one command against the environment's
+    constraint network, printing to the current formatter. Returns
+    [false] when the command was [quit]. *)
+val execute : Stem.Design.env -> string -> bool
+
+(** Interactive loop over stdin. *)
+val run : Stem.Design.env -> unit
+
+(** [execute_script env lines] — run the commands and return their
+    combined output as a string (testable batch mode). *)
+val execute_script : Stem.Design.env -> string list -> string

@@ -1,0 +1,1 @@
+lib/signal_types/standard.ml: Type_tree

@@ -1,0 +1,1 @@
+lib/signal_types/standard.mli: Type_tree

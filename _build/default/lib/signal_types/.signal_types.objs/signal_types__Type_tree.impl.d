@@ -1,0 +1,1 @@
+lib/signal_types/type_tree.ml: Fmt Hashtbl List Printf

@@ -1,0 +1,1 @@
+lib/signal_types/type_tree.mli: Fmt

@@ -1,0 +1,57 @@
+let make_data_hierarchy () =
+  let h = Type_tree.create "DataType" in
+  let root = Type_tree.root h in
+  let _bit = Type_tree.add h ~parent:root "Bit" in
+  let _float = Type_tree.add h ~parent:root "FloatSignal" in
+  let integer = Type_tree.add h ~parent:root "IntegerSignal" in
+  let _ = Type_tree.add h ~parent:integer "A2CIntSignal" in
+  let _ = Type_tree.add h ~parent:integer "BCDSignal" in
+  let _ = Type_tree.add h ~parent:integer "SignedMagIntSignal" in
+  let _ = Type_tree.add h ~parent:integer "WholeSignal" in
+  h
+
+let make_electrical_hierarchy () =
+  let h = Type_tree.create "ElectricalType" in
+  let root = Type_tree.root h in
+  let _analog = Type_tree.add h ~parent:root "Analog" in
+  let digital = Type_tree.add h ~parent:root "Digital" in
+  let _ = Type_tree.add h ~parent:digital "BIPOLAR" in
+  let _ = Type_tree.add h ~parent:digital "TTL" in
+  let _ = Type_tree.add h ~parent:digital "CMOS" in
+  h
+
+let data_hierarchy = make_data_hierarchy ()
+
+let electrical_hierarchy = make_electrical_hierarchy ()
+
+let data_of_name s = Type_tree.find data_hierarchy s
+
+let electrical_of_name s = Type_tree.find electrical_hierarchy s
+
+let data_type = Type_tree.root data_hierarchy
+
+let bit = data_of_name "Bit"
+
+let float_signal = data_of_name "FloatSignal"
+
+let integer_signal = data_of_name "IntegerSignal"
+
+let a2c_int = data_of_name "A2CIntSignal"
+
+let bcd = data_of_name "BCDSignal"
+
+let signed_mag_int = data_of_name "SignedMagIntSignal"
+
+let whole = data_of_name "WholeSignal"
+
+let electrical_type = Type_tree.root electrical_hierarchy
+
+let analog = electrical_of_name "Analog"
+
+let digital = electrical_of_name "Digital"
+
+let bipolar = electrical_of_name "BIPOLAR"
+
+let ttl = electrical_of_name "TTL"
+
+let cmos = electrical_of_name "CMOS"

@@ -1,0 +1,54 @@
+(** The standard STEM signal-type hierarchies of Fig. 7.2.
+
+    Two separate hierarchies hang off the conceptual root
+    [SmoduleSignalType]: data types and electrical types. Each signal and
+    net carries one node from each hierarchy (plus a bit width); the
+    compatible-constraints of §7.1 operate on these nodes. *)
+
+(** Fresh copies for tests that mutate the registry. *)
+val make_data_hierarchy : unit -> Type_tree.hierarchy
+
+val make_electrical_hierarchy : unit -> Type_tree.hierarchy
+
+(** The shared global hierarchies used by the STEM layer. *)
+val data_hierarchy : Type_tree.hierarchy
+
+val electrical_hierarchy : Type_tree.hierarchy
+
+(** Data types. *)
+
+val data_type : Type_tree.node (** root: [DataType] *)
+
+val bit : Type_tree.node
+
+val float_signal : Type_tree.node
+
+val integer_signal : Type_tree.node
+
+val a2c_int : Type_tree.node (** two's-complement integer *)
+
+val bcd : Type_tree.node
+
+val signed_mag_int : Type_tree.node
+
+val whole : Type_tree.node
+
+(** Electrical types. *)
+
+val electrical_type : Type_tree.node (** root: [ElectricalType] *)
+
+val analog : Type_tree.node
+
+val digital : Type_tree.node
+
+val bipolar : Type_tree.node
+
+val ttl : Type_tree.node
+
+val cmos : Type_tree.node
+
+(** [data_of_name s] / [electrical_of_name s] look up a node in the global
+    hierarchies. Raise [Not_found]. *)
+val data_of_name : string -> Type_tree.node
+
+val electrical_of_name : string -> Type_tree.node

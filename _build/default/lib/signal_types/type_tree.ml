@@ -1,0 +1,84 @@
+type node = {
+  n_name : string;
+  n_parent : node option;
+  mutable n_children : node list;
+  n_depth : int;
+  n_uid : int;
+}
+
+type hierarchy = {
+  h_root : node;
+  h_by_name : (string, node) Hashtbl.t;
+  mutable h_all : node list; (* reverse registration order *)
+  mutable h_next_uid : int;
+}
+
+let create root_name =
+  let root =
+    { n_name = root_name; n_parent = None; n_children = []; n_depth = 0; n_uid = 0 }
+  in
+  let by_name = Hashtbl.create 17 in
+  Hashtbl.add by_name root_name root;
+  { h_root = root; h_by_name = by_name; h_all = [ root ]; h_next_uid = 1 }
+
+let root h = h.h_root
+
+let add h ~parent name =
+  if Hashtbl.mem h.h_by_name name then
+    invalid_arg (Printf.sprintf "Type_tree.add: %S already registered" name);
+  let node =
+    {
+      n_name = name;
+      n_parent = Some parent;
+      n_children = [];
+      n_depth = parent.n_depth + 1;
+      n_uid = h.h_next_uid;
+    }
+  in
+  h.h_next_uid <- h.h_next_uid + 1;
+  parent.n_children <- parent.n_children @ [ node ];
+  Hashtbl.add h.h_by_name name node;
+  h.h_all <- node :: h.h_all;
+  node
+
+let find h name = Hashtbl.find h.h_by_name name
+
+let find_opt h name = Hashtbl.find_opt h.h_by_name name
+
+let name n = n.n_name
+
+let parent n = n.n_parent
+
+let children n = n.n_children
+
+let all h = List.rev h.h_all
+
+let equal a b = a.n_uid = b.n_uid && a.n_name = b.n_name
+
+let rec is_descendant n ~of_ =
+  if equal n of_ then true
+  else match n.n_parent with None -> false | Some p -> is_descendant p ~of_
+
+let is_compatible a b = is_descendant a ~of_:b || is_descendant b ~of_:a
+
+let is_less_abstract a b = (not (equal a b)) && is_descendant a ~of_:b
+
+let least_abstract a b =
+  if is_descendant a ~of_:b then Some a
+  else if is_descendant b ~of_:a then Some b
+  else None
+
+let least_abstract_all = function
+  | [] -> None
+  | n :: rest ->
+    List.fold_left
+      (fun acc m ->
+        match acc with None -> None | Some cur -> least_abstract cur m)
+      (Some n) rest
+
+let rec ancestors n =
+  match n.n_parent with None -> [ n ] | Some p -> n :: ancestors p
+
+let depth n = n.n_depth
+
+let pp ppf n = Fmt.string ppf n.n_name

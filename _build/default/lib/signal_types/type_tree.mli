@@ -1,0 +1,67 @@
+(** Abstraction hierarchies of signal types (Fig. 7.2, §7.1).
+
+    The paper implements data and electrical types as Smalltalk class
+    hierarchies; compatibility and relative abstractness are defined by
+    positions in the hierarchy. Here a hierarchy is an explicit rooted
+    tree of named nodes. New types may be registered at run time, which
+    is how STEM lets tool writers extend the type vocabulary. *)
+
+type node
+(** A type in some hierarchy. Nodes are unique per hierarchy and name. *)
+
+type hierarchy
+
+(** [create root_name] makes a fresh hierarchy whose root (most abstract
+    type) is [root_name]. *)
+val create : string -> hierarchy
+
+val root : hierarchy -> node
+
+(** [add h ~parent name] registers a new type below [parent]. Raises
+    [Invalid_argument] if [name] already exists in [h]. *)
+val add : hierarchy -> parent:node -> string -> node
+
+(** [find h name] looks a type up by name. Raises [Not_found]. *)
+val find : hierarchy -> string -> node
+
+val find_opt : hierarchy -> string -> node option
+
+val name : node -> string
+
+val parent : node -> node option
+
+val children : node -> node list
+
+(** All registered nodes, in registration order. *)
+val all : hierarchy -> node list
+
+val equal : node -> node -> bool
+
+(** [is_descendant a ~of_:b] — [a] lies strictly or non-strictly below
+    [b]? Non-strict: [is_descendant a ~of_:a = true]. *)
+val is_descendant : node -> of_:node -> bool
+
+(** Compatibility of §7.1: two types are compatible iff one is a sub-type
+    of the other (ancestor/descendant relation, either direction). *)
+val is_compatible : node -> node -> bool
+
+(** [is_less_abstract a b] — [a] is a strict descendant of [b], i.e. more
+    specific. Mirrors the thesis's [isLessAbstractThan:] test used by the
+    signal-variable overwrite rule (Fig. 7.4). *)
+val is_less_abstract : node -> node -> bool
+
+(** [least_abstract a b] — of two compatible types, the more specific one.
+    Returns [None] if incompatible. *)
+val least_abstract : node -> node -> node option
+
+(** [least_abstract_all nodes] folds [least_abstract]; [None] if any pair
+    is incompatible or the list is empty. *)
+val least_abstract_all : node list -> node option
+
+(** Nodes from [n] up to the root, inclusive. *)
+val ancestors : node -> node list
+
+(** Depth below the root (root has depth 0). *)
+val depth : node -> int
+
+val pp : node Fmt.t

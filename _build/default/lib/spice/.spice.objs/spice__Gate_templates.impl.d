@@ -1,0 +1,1 @@
+lib/spice/gate_templates.ml: Element Template

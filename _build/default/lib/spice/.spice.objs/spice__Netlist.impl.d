@@ -1,0 +1,1 @@
+lib/spice/netlist.ml: Array Buffer Element Hashtbl List Printf Stem String Template

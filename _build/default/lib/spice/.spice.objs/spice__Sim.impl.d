@@ -1,0 +1,1 @@
+lib/spice/sim.ml: Array Element Float List Netlist

@@ -1,0 +1,1 @@
+lib/spice/spice_view.mli: Netlist Sim Stem

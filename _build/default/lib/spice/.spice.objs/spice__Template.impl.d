@@ -1,0 +1,1 @@
+lib/spice/template.ml: Element Hashtbl Stem

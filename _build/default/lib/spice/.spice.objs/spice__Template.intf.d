@@ -1,0 +1,1 @@
+lib/spice/template.mli: Element Stem

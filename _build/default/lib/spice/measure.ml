@@ -1,0 +1,79 @@
+let crossing (wf : Sim.waveform) ~threshold ~rising ?(after = 0.0) () =
+  let n = Array.length wf.Sim.wf_times in
+  let rec go i =
+    if i >= n then None
+    else
+      let t1 = wf.Sim.wf_times.(i) in
+      if t1 < after then go (i + 1)
+      else if i = 0 then go 1
+      else
+        let v0 = wf.Sim.wf_values.(i - 1) and v1 = wf.Sim.wf_values.(i) in
+        let crossed =
+          if rising then v0 < threshold && v1 >= threshold
+          else v0 > threshold && v1 <= threshold
+        in
+        if crossed then begin
+          let t0 = wf.Sim.wf_times.(i - 1) in
+          let frac = if v1 = v0 then 0.0 else (threshold -. v0) /. (v1 -. v0) in
+          Some (t0 +. (frac *. (t1 -. t0)))
+        end
+        else go (i + 1)
+  in
+  go 0
+
+let propagation_delay ~input ~output ~threshold () =
+  let first wf =
+    match
+      ( crossing wf ~threshold ~rising:true (),
+        crossing wf ~threshold ~rising:false () )
+    with
+    | Some a, Some b -> Some (Float.min a b)
+    | Some a, None | None, Some a -> Some a
+    | None, None -> None
+  in
+  match first input with
+  | None -> None
+  | Some t_in -> (
+    let next wf =
+      match
+        ( crossing wf ~threshold ~rising:true ~after:t_in (),
+          crossing wf ~threshold ~rising:false ~after:t_in () )
+      with
+      | Some a, Some b -> Some (Float.min a b)
+      | Some a, None | None, Some a -> Some a
+      | None, None -> None
+    in
+    match next output with Some t_out -> Some (t_out -. t_in) | None -> None)
+
+let final_value (wf : Sim.waveform) =
+  let n = Array.length wf.Sim.wf_values in
+  if n = 0 then 0.0 else wf.Sim.wf_values.(n - 1)
+
+let extrema (wf : Sim.waveform) =
+  Array.fold_left
+    (fun (lo, hi) v -> (Float.min lo v, Float.max hi v))
+    (infinity, neg_infinity) wf.Sim.wf_values
+
+let ascii_plot ?(width = 60) ?(height = 10) (wf : Sim.waveform) =
+  let n = Array.length wf.Sim.wf_values in
+  if n = 0 then "(empty)"
+  else begin
+    let lo, hi = extrema wf in
+    let lo, hi = if hi -. lo < 1e-9 then (lo -. 0.5, hi +. 0.5) else (lo, hi) in
+    let grid = Array.make_matrix height width ' ' in
+    for col = 0 to width - 1 do
+      let idx = col * (n - 1) / max 1 (width - 1) in
+      let v = wf.Sim.wf_values.(idx) in
+      let row = int_of_float ((v -. lo) /. (hi -. lo) *. float_of_int (height - 1)) in
+      let row = max 0 (min (height - 1) row) in
+      grid.(height - 1 - row).(col) <- '*'
+    done;
+    let buf = Buffer.create (width * height + 64) in
+    Buffer.add_string buf (Printf.sprintf "%s [%g..%g V]\n" wf.Sim.wf_signal lo hi);
+    Array.iter
+      (fun row ->
+        Buffer.add_string buf (String.init width (fun i -> row.(i)));
+        Buffer.add_char buf '\n')
+      grid;
+    Buffer.contents buf
+  end

@@ -1,0 +1,135 @@
+open Stem.Design
+open Element
+
+type node = int
+
+type t = {
+  nl_cell : string;
+  nl_node_count : int;
+  nl_elements : (string * Element.element * node array) list;
+  nl_io : (string * node) list;
+  nl_caps : (node * float) list;
+}
+
+exception Extraction_error of string
+
+let gnd_node = 0
+
+let vdd_node = 1
+
+let extract env cls =
+  let counter = ref 2 in
+  let fresh () =
+    let n = !counter in
+    incr counter;
+    n
+  in
+  let elements = ref [] and caps = ref [] in
+  let rec walk cls path (ports : string -> node) =
+    match Template.find env cls with
+    | Some elems ->
+      let locals = Hashtbl.create 7 in
+      let resolve = function
+        | T_signal s -> ports s
+        | T_node n -> (
+          match Hashtbl.find_opt locals n with
+          | Some id -> id
+          | None ->
+            let id = fresh () in
+            Hashtbl.add locals n id;
+            id)
+        | T_vdd -> vdd_node
+        | T_gnd -> gnd_node
+      in
+      let emit e =
+        let nodes =
+          match e with
+          | Mos m -> [| resolve m.m_d; resolve m.m_g; resolve m.m_s |]
+          | Res r -> [| resolve r.r_a; resolve r.r_b |]
+          | Cap c ->
+            let n = resolve c.c_a in
+            caps := (n, c.c_pf) :: !caps;
+            [| n |]
+        in
+        elements := (path, e, nodes) :: !elements
+      in
+      List.iter emit elems
+    | None ->
+      if cls.cc_structure.st_subcells = [] then
+        raise
+          (Extraction_error
+             (Printf.sprintf "leaf cell %s has no transistor template" cls.cc_name));
+      (* one node per net; nets touching an io-pin reuse the port node *)
+      let net_node = Hashtbl.create 16 in
+      let node_of_net net =
+        match Hashtbl.find_opt net_node net.en_uid with
+        | Some n -> n
+        | None ->
+          let own =
+            List.find_map
+              (function Own_pin s -> Some s | Sub_pin _ -> None)
+              net.en_members
+          in
+          let n = match own with Some s -> ports s | None -> fresh () in
+          Hashtbl.add net_node net.en_uid n;
+          n
+      in
+      List.iter (fun net -> ignore (node_of_net net)) cls.cc_structure.st_nets;
+      let sub_ports inst =
+        let dangling = Hashtbl.create 4 in
+        fun s ->
+          match Hashtbl.find_opt inst.inst_nets s with
+          | Some net -> node_of_net net
+          | None -> (
+            match Hashtbl.find_opt dangling s with
+            | Some n -> n
+            | None ->
+              let n = fresh () in
+              Hashtbl.add dangling s n;
+              n)
+      in
+      List.iter
+        (fun inst ->
+          walk inst.inst_of (path ^ "/" ^ inst.inst_name) (sub_ports inst))
+        cls.cc_structure.st_subcells
+  in
+  let io = List.map (fun ss -> (ss.ss_name, fresh ())) cls.cc_signals in
+  let ports s =
+    match List.assoc_opt s io with
+    | Some n -> n
+    | None -> raise (Extraction_error ("unknown io signal " ^ s))
+  in
+  walk cls cls.cc_name ports;
+  {
+    nl_cell = cls.cc_name;
+    nl_node_count = !counter;
+    nl_elements = List.rev !elements;
+    nl_io = io;
+    nl_caps = !caps;
+  }
+
+let size t = List.length t.nl_elements
+
+let to_deck t =
+  let buf = Buffer.create 1024 in
+  Buffer.add_string buf (Printf.sprintf "* extracted netlist of %s\n" t.nl_cell);
+  List.iter
+    (fun (name, n) -> Buffer.add_string buf (Printf.sprintf "* io %s = node %d\n" name n))
+    t.nl_io;
+  List.iter
+    (fun (path, e, nodes) ->
+      let node_str =
+        String.concat " " (Array.to_list (Array.map string_of_int nodes))
+      in
+      let line =
+        match e with
+        | Mos m ->
+          Printf.sprintf "M%s.%s %s %s" path m.m_name node_str
+            (match m.m_kind with NMOS -> "NFET" | PMOS -> "PFET")
+        | Res r -> Printf.sprintf "R%s.%s %s %gk" path r.r_name node_str r.r_kohm
+        | Cap c -> Printf.sprintf "C%s.%s %s 0 %gp" path c.c_name node_str c.c_pf
+      in
+      Buffer.add_string buf (line ^ "\n"))
+    t.nl_elements;
+  Buffer.add_string buf ".end\n";
+  Buffer.contents buf

@@ -1,0 +1,33 @@
+(** Netlist extraction (the SpiceNet of §6.4.2).
+
+    Flattens a design hierarchy into primitive elements over globally
+    numbered nodes. Leaf cells must have registered templates; composite
+    cells contribute one node per net. Unconnected pins get dangling
+    nodes. The textual deck rendering is what the paper's SpiceNet view
+    displays and the designer edits. *)
+
+open Stem.Design
+
+type node = int
+
+type t = {
+  nl_cell : string;
+  nl_node_count : int;
+  nl_elements : (string * Element.element * node array) list;
+      (* (instance path, template element, resolved terminal nodes:
+         d/g/s for Mos, a/b for Res, a for Cap) *)
+  nl_io : (string * node) list; (* top-level io signal -> node *)
+  nl_caps : (node * float) list; (* explicit capacitances *)
+}
+
+exception Extraction_error of string
+
+(** [extract env cls] — flatten [cls]. Raises [Extraction_error] when a
+    leaf cell has no template. *)
+val extract : env -> cell_class -> t
+
+(** Render a SPICE-like deck. *)
+val to_deck : t -> string
+
+(** Count of primitive elements. *)
+val size : t -> int

@@ -1,0 +1,40 @@
+type spice_net = { sn_view : Netlist.t Stem.View.t }
+
+let spice_net env cls =
+  (* the net-list only depends on structure and electrical content, not
+     on pure layout edits: selective erasure (§6.5.2) *)
+  { sn_view = Stem.View.make_keyed cls ~keys:[ "structure"; "electrical" ] ~compute:(Netlist.extract env) }
+
+let netlist sn = Stem.View.get sn.sn_view
+
+let deck sn = Netlist.to_deck (netlist sn)
+
+let is_erased sn = Stem.View.is_erased sn.sn_view
+
+type simulation = {
+  sim_net : spice_net;
+  mutable sim_last : Sim.result option;
+  mutable sim_outdated : bool;
+}
+
+let simulation env cls =
+  let sn = spice_net env cls in
+  let sim = { sim_net = sn; sim_last = None; sim_outdated = false } in
+  let erase ~key =
+    match key with
+    | None | Some "structure" | Some "electrical" -> sim.sim_outdated <- true
+    | Some _ -> ()
+  in
+  let _unregister = Stem.View.add_dependent cls ~erase in
+  sim
+
+let run sim ~stimuli ~t_end ?dt () =
+  let nl = netlist sim.sim_net in
+  let result = Sim.transient nl ~stimuli ~t_end ?dt () in
+  sim.sim_last <- Some result;
+  sim.sim_outdated <- false;
+  result
+
+let last_result sim = sim.sim_last
+
+let is_outdated sim = sim.sim_outdated

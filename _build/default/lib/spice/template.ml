@@ -1,0 +1,11 @@
+open Stem.Design
+
+let table : (int * int, Element.element list) Hashtbl.t = Hashtbl.create 17
+
+let key env cls = (env.env_id, cls.cc_uid)
+
+let register env cls elements = Hashtbl.replace table (key env cls) elements
+
+let find env cls = Hashtbl.find_opt table (key env cls)
+
+let is_leaf_template env cls = Hashtbl.mem table (key env cls)

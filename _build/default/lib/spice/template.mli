@@ -1,0 +1,13 @@
+(** Transistor-level templates for leaf cells.
+
+    A leaf cell becomes simulatable by registering the primitive
+    elements behind its interface; extraction instantiates the template
+    once per placement. *)
+
+open Stem.Design
+
+val register : env -> cell_class -> Element.element list -> unit
+
+val find : env -> cell_class -> Element.element list option
+
+val is_leaf_template : env -> cell_class -> bool

@@ -1,0 +1,1 @@
+lib/stem/cell.ml: Clib Constraint_kernel Dclib Design Dual Dval Enet Engine Env Geometry Hashtbl List Network Option Printf Property Types Var View

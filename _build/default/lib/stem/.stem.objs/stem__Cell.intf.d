@@ -1,0 +1,1 @@
+lib/stem/cell.mli: Design Dval Geometry Signal_types

@@ -1,0 +1,1 @@
+lib/stem/design.ml: Constraint_kernel Dval Fmt Geometry Hashtbl List Types

@@ -1,0 +1,1 @@
+lib/stem/dual.ml: Constraint_kernel Cstr Design Dval Engine Network Types Var

@@ -1,0 +1,1 @@
+lib/stem/dual.mli: Design Dval

@@ -1,0 +1,1 @@
+lib/stem/enet.ml: Constraint_kernel Dclib Design Env Hashtbl List Network Property View

@@ -1,0 +1,1 @@
+lib/stem/enet.mli: Design

@@ -1,0 +1,1 @@
+lib/stem/env.ml: Constraint_kernel Design Engine List

@@ -1,0 +1,1 @@
+lib/stem/env.mli: Design

@@ -1,0 +1,1 @@
+lib/stem/persist.ml: Buffer Cell Constraint_kernel Design Dval Enet Env Fmt Geometry In_channel List Option Out_channel Printf Property Scanf Signal_types String Var

@@ -1,0 +1,1 @@
+lib/stem/persist.mli: Design

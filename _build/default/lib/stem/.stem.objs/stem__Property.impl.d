@@ -1,0 +1,1 @@
+lib/stem/property.ml: Constraint_kernel Dclib Design Engine Fun Var

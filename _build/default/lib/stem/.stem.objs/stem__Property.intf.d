@@ -1,0 +1,1 @@
+lib/stem/property.mli: Design Dval

@@ -1,0 +1,1 @@
+lib/stem/stretch.ml: Cell Design Geometry List

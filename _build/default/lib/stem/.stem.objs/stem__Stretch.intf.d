@@ -1,0 +1,1 @@
+lib/stem/stretch.mli: Design Geometry

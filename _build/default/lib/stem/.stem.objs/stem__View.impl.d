@@ -1,0 +1,1 @@
+lib/stem/view.ml: Design Hashtbl List

@@ -1,0 +1,1 @@
+lib/stem/view.mli: Design

@@ -1,0 +1,70 @@
+open Constraint_kernel
+open Types
+open Design
+
+let link_property env ~kind ?label ~class_var ~inst_var ~adjust ~check () =
+  let propagate ctx c changed =
+    match changed with
+    | Some v when Var.equal v class_var -> (
+      match Var.value class_var with
+      | None -> Ok ()
+      | Some cv ->
+        (* update the instance only if its value is NIL or was propagated
+           by this very constraint (Fig. 7.7) *)
+        let updatable =
+          match (Var.value inst_var, inst_var.v_just) with
+          | None, _ -> true
+          | Some _, Propagated { source; _ } -> Cstr.equal source c
+          | Some _, (Default | User | Application | Update | Tentative) -> false
+        in
+        if not updatable then Ok ()
+        else (
+          match adjust cv with
+          | None -> Ok ()
+          | Some iv ->
+            Engine.set_by_constraint ctx inst_var iv ~source:c
+              ~record:(Single_var class_var)))
+    | Some _ | None -> Ok () (* instance -> class: check only (§5.1.1) *)
+  in
+  let satisfied _c =
+    match (Var.value class_var, Var.value inst_var) with
+    | Some cv, Some iv -> check cv iv
+    | None, _ | _, None -> true
+  in
+  let wants_schedule _c changed =
+    match changed with Some v -> Var.equal v class_var | None -> false
+  in
+  let c =
+    Cstr.make env.env_cnet ~kind ?label ~schedule:(On_agenda implicit_priority)
+      ~wants_schedule ~keyed_by_var:true
+      ~in_dependency:(fun _ record arg ->
+        match record with
+        | Single_var w -> Var.equal w arg
+        | All_arguments | Some_vars _ | Opaque -> false)
+      ~propagate ~satisfied [ class_var; inst_var ]
+  in
+  ignore (Network.add_constraint env.env_cnet c);
+  c
+
+let link_parameter env ~range_var ~value_var ?default () =
+  let satisfied _c =
+    match (Var.value range_var, Var.value value_var) with
+    | Some range, Some v -> (
+      match Dval.in_range v range with Some b -> b | None -> false)
+    | None, _ | _, None -> true
+  in
+  let propagate _ctx _c _changed = Ok () in
+  let c =
+    Cstr.make env.env_cnet ~kind:"param-range" ~schedule:(On_agenda implicit_priority)
+      ~wants_schedule:(fun _ _ -> false)
+      ~keyed_by_var:true
+      ~in_dependency:(fun _ _ _ -> false)
+      ~propagate ~satisfied [ range_var; value_var ]
+  in
+  ignore (Network.add_constraint env.env_cnet c);
+  (match (default, Var.value value_var) with
+  | Some d, None -> ignore (Engine.set_application env.env_cnet value_var d)
+  | _ -> ());
+  c
+
+let unlink env c = Network.remove_constraint env.env_cnet c

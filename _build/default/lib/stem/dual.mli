@@ -1,0 +1,46 @@
+(** Implicit constraint variables: the links between dual class/instance
+    variables that make constraint propagation hierarchical (§5.1).
+
+    Properties propagate from class to instance (possibly adjusted for
+    placement or loading), never from instance to class; both sides are
+    checked for consistency. Parameters are checked for range
+    membership in both directions and receive class defaults. The
+    implicit constraints schedule on the lowest-priority agenda so that
+    one level of the hierarchy settles before propagation crosses levels
+    (§5.1.2). *)
+
+open Design
+
+(** [link_property env ~kind ~class_var ~inst_var ~adjust ~check]:
+
+    - when the class variable changes, the instance variable is updated
+      to [adjust class_value] — but only if it is unset or was last set
+      by this same implicit constraint (a designer-entered instance
+      value is never overwritten, Fig. 7.7);
+    - when the instance variable changes, nothing propagates;
+    - satisfaction is [check class_value inst_value] (vacuously true
+      while either is unset).
+
+    The constraint is attached and re-initialised (so a class value
+    already present immediately defaults the instance). *)
+val link_property :
+  env ->
+  kind:string ->
+  ?label:string ->
+  class_var:var ->
+  inst_var:var ->
+  adjust:(Dval.t -> Dval.t option) ->
+  check:(Dval.t -> Dval.t -> bool) ->
+  unit ->
+  cstr
+
+(** [link_parameter env ~range_var ~value_var ?default ()]: checks that
+    the instance's parameter value lies within the class's legal range
+    (both when the value and when the range changes); no propagation
+    besides the one-time [default] (installed with justification
+    [#APPLICATION] if the value is unset). *)
+val link_parameter :
+  env -> range_var:var -> value_var:var -> ?default:Dval.t -> unit -> cstr
+
+(** Remove an implicit link (instance deletion). *)
+val unlink : env -> cstr -> unit

@@ -1,0 +1,52 @@
+(** Electrical nets and their implied signal-typing constraints (§7.1).
+
+    A net connects signals of subcells to one another and possibly to
+    io-signals of the containing cell. Every net carries three typing
+    variables (bit width, data type, electrical type) and three
+    constraints relating them to the corresponding variables of every
+    connected signal: an equality on widths and compatible-constraints on
+    both type hierarchies. Connecting and disconnecting signals edits
+    these constraints incrementally, giving incremental design checking
+    for free. *)
+
+open Design
+
+(** [create env parent ~name] — a fresh, unconnected net inside composite
+    cell [parent]. Registers the net in the parent's structure. *)
+val create : env -> cell_class -> name:string -> enet
+
+(** [connect env net member] — add a signal to the net: its typing
+    variables join the net's constraints (with the §4.2.5 re-initialising
+    propagation). Returns the paper's validity feedback: [Error] when the
+    connection violates typing constraints — the connection is kept (the
+    violation is the designer's to resolve), but all propagated values
+    are rolled back. Connecting an already-connected member is a no-op. *)
+val connect : env -> enet -> member -> (unit, violation) result
+
+(** [disconnect env net member] — remove a signal; values that depended
+    on its membership are erased. *)
+val disconnect : env -> enet -> member -> unit
+
+val members : enet -> member list
+
+val is_member : enet -> member -> bool
+
+(** Typing variables of a member's signal: [width, data, elec].
+    ([Own_pin] members resolve against the net's parent cell.) *)
+val member_vars_in : enet -> member -> var * var * var
+
+(** Signal spec behind a member. *)
+val member_spec_in : enet -> member -> signal_spec
+
+(** The member that electrically drives the net: an [Output] subcell pin
+    or an [Input] io-pin of the parent (a signal entering the cell drives
+    its internal net). [None] for undriven nets. *)
+val driver : enet -> member option
+
+(** Drive resistance of the net (kΩ): the driver's [ss_res]. *)
+val drive_resistance : enet -> float option
+
+(** Total load capacitance on the net (pF): sum of [ss_cap] over every
+    loading member ([Input] subcell pins and [Output] io-pins of the
+    parent). *)
+val total_load_capacitance : enet -> float

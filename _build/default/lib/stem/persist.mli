@@ -1,0 +1,35 @@
+(** Textual persistence of the design database.
+
+    The paper's STEM lives inside a Smalltalk image; an open-source
+    release needs designs to survive the process. [save] renders every
+    cell class of an environment — interface, characteristics,
+    parameters, declared delays, designer bounding boxes and internal
+    structure — to a line-oriented text format; [load] replays it
+    through the public {!Cell}/{!Enet} API into a fresh environment, so
+    every constraint is re-created and every connection re-checked as it
+    comes back in.
+
+    Persisted: cell classes (with inheritance and generic flags),
+    signals (direction, types, widths, RC characteristics, pins),
+    parameters (range + default), delay declarations (with estimates and
+    specs), designer class bounding boxes, subcell placements and nets.
+    Not persisted: ad-hoc constraints added directly on the network
+    (aspect-ratio predicates, area networks), instance-level overrides
+    — these belong to a design session, not the cell library. *)
+
+open Design
+
+exception Parse_error of int * string
+(** [(line number, message)]. *)
+
+(** Render the environment's cell library. *)
+val save : env -> string
+
+(** Parse and replay into a fresh environment. Violations met while
+    replaying are collected rather than fatal (the design is loaded as
+    far as it checks). *)
+val load : string -> env * violation list
+
+val save_to_file : env -> string -> unit
+
+val load_from_file : string -> env * violation list

@@ -1,0 +1,35 @@
+open Design
+module Point = Geometry.Point
+module Rect = Geometry.Rect
+module Transform = Geometry.Transform
+
+let scale_axis ~from_lo ~from_len ~to_lo ~to_len x =
+  if from_len = 0 then to_lo + (to_len / 2)
+  else to_lo + ((x - from_lo) * to_len / from_len)
+
+let stretch_point ~from_ ~to_ (p : Point.t) =
+  let fll = Rect.ll from_ and tll = Rect.ll to_ in
+  Point.make
+    (scale_axis ~from_lo:fll.Point.x ~from_len:(Rect.width from_)
+       ~to_lo:tll.Point.x ~to_len:(Rect.width to_) p.Point.x)
+    (scale_axis ~from_lo:fll.Point.y ~from_len:(Rect.height from_)
+       ~to_lo:tll.Point.y ~to_len:(Rect.height to_) p.Point.y)
+
+let pin_positions env inst =
+  let cls = inst.inst_of in
+  let placed p = Transform.apply_point inst.inst_transform p in
+  let pins =
+    List.concat_map
+      (fun ss -> List.map (fun p -> (ss.ss_name, p)) ss.ss_pins)
+      cls.cc_signals
+  in
+  match (Cell.bounding_box env cls, Cell.instance_bbox env inst) with
+  | Some class_box, Some inst_box ->
+    let placed_box = Transform.apply_rect inst.inst_transform class_box in
+    if Rect.equal placed_box inst_box then
+      List.map (fun (name, p) -> (name, placed p)) pins
+    else
+      List.map
+        (fun (name, p) -> (name, stretch_point ~from_:placed_box ~to_:inst_box (placed p)))
+        pins
+  | _ -> List.map (fun (name, p) -> (name, placed p)) pins

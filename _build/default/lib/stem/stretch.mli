@@ -1,0 +1,21 @@
+(** Stretching io-pins to the instance bounding box (§7.2, Fig. 7.6).
+
+    When an instance is placed in an area larger than its class bounding
+    box, STEM extends the signal ports to the perimeter of the instance
+    box. Pins are first placed through the instance transform and then
+    scaled from the placed class box onto the instance box, so pins that
+    sat on an edge of the class box land on the corresponding edge of the
+    instance box. *)
+
+open Design
+
+(** [pin_positions env inst] — every io-pin of the instance's class,
+    stretched to the instance bounding box: [(signal name, position in
+    the parent cell's frame)]. Falls back to the un-stretched placement
+    when either bounding box is unknown. *)
+val pin_positions : env -> instance -> (string * Geometry.Point.t) list
+
+(** [stretch_point ~from_ ~to_ p] — map [p] from rectangle [from_] onto
+    rectangle [to_] by independent linear scaling of both axes (exposed
+    for the module compilers). *)
+val stretch_point : from_:Geometry.Rect.t -> to_:Geometry.Rect.t -> Geometry.Point.t -> Geometry.Point.t

@@ -1,0 +1,1 @@
+test/test_compilers.ml: Alcotest Cell_library Compilers Constraint_kernel Dval Geometry List Option Signal_types Stem

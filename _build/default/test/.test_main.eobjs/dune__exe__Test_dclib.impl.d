@@ -1,0 +1,1 @@
+test/test_dclib.ml: Alcotest Constraint_kernel Dclib Dependency Dval Engine Geometry List Option Signal_types Var

@@ -1,0 +1,1 @@
+test/test_delay.ml: Alcotest Cell_library Constraint_kernel Delay Dval Engine List Stem

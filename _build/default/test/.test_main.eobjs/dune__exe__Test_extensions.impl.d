@@ -1,0 +1,1 @@
+test/test_extensions.ml: Alcotest Array Cell_library Clib Compile Constraint_kernel Cstr Delay Engine Fmt Geometry Int List Option Selection Spice Stem Types Var

@@ -1,0 +1,1 @@
+test/test_geometry.ml: Alcotest Fmt Geometry List Point QCheck QCheck_alcotest Rect Transform

@@ -1,0 +1,1 @@
+test/test_kernel.ml: Agenda Alcotest Astring_contains Clib Constraint_kernel Cstr Dependency Editor Engine Fmt Gen Int List Network Printf QCheck QCheck_alcotest Types Var

@@ -1,0 +1,1 @@
+test/test_kernel_edge.ml: Alcotest Clib Constraint_kernel Cstr Editor Engine Fmt Int List Network Option Types Var

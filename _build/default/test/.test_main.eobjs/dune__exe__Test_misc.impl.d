@@ -1,0 +1,1 @@
+test/test_misc.ml: Alcotest Astring_contains Cell_library Compilers Constraint_kernel Delay Fmt Geometry List Option Selection Stem

@@ -1,0 +1,1 @@
+test/test_persist.ml: Alcotest Astring_contains Cell_library Delay Filename Fun List Option Selection Stem Sys

@@ -1,0 +1,1 @@
+test/test_selection.ml: Alcotest Cell_library Constraint_kernel Delay Dval Fmt List Option Selection Stem

@@ -1,0 +1,1 @@
+test/test_shell.ml: Alcotest Astring_contains Cell_library Delay Shell Stem

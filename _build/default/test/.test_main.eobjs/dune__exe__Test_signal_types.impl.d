@@ -1,0 +1,1 @@
+test/test_signal_types.ml: Alcotest List Option QCheck QCheck_alcotest Signal_types Standard Type_tree

@@ -1,0 +1,1 @@
+test/test_spice.ml: Alcotest Array Astring_contains Cell_library List Option Signal_types Spice Stem

@@ -1,0 +1,1 @@
+test/test_stem.ml: Alcotest Constraint_kernel Dclib Dval Geometry List Option Signal_types Stem Var

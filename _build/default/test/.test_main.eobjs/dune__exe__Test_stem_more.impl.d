@@ -1,0 +1,1 @@
+test/test_stem_more.ml: Alcotest Astring_contains Cell_library Checking Constraint_kernel Delay Dval Engine Geometry List Option Signal_types Stem Var

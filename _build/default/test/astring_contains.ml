@@ -1,0 +1,12 @@
+(* Tiny substring helper for assertion messages (no external dep). *)
+
+let contains haystack needle =
+  let lh = String.length haystack and ln = String.length needle in
+  if ln = 0 then true
+  else
+    let rec go i =
+      if i + ln > lh then false
+      else if String.sub haystack i ln = needle then true
+      else go (i + 1)
+    in
+    go 0

@@ -1,0 +1,194 @@
+(* Tests for the tile-based module compilers and compiler views
+   (§6.4.1). *)
+
+open Stem.Design
+module Cell = Stem.Cell
+module Cv = Compilers.Compiler_view
+module B = Compilers.Builders
+module Point = Geometry.Point
+module Rect = Geometry.Rect
+
+let mk () =
+  let env = Stem.Env.create () in
+  (env, Cell_library.Gates.make env)
+
+let test_compiler_view_buckets () =
+  let env, gates = mk () in
+  let view = Cv.make env gates.Cell_library.Gates.nand2 in
+  let data = Cv.get view in
+  Alcotest.(check int) "two left pins" 2 (List.length data.Cv.cv_left);
+  Alcotest.(check int) "one right pin" 1 (List.length data.Cv.cv_right);
+  Alcotest.(check int) "no top/bottom/inner" 0
+    (List.length data.Cv.cv_top
+    + List.length data.Cv.cv_bottom
+    + List.length data.Cv.cv_inner);
+  (* left pins sorted by increasing y: b (y=2) before a (y=6) *)
+  (match data.Cv.cv_left with
+  | [ p1; p2 ] ->
+    Alcotest.(check string) "b first" "b" p1.Cv.pin_signal;
+    Alcotest.(check string) "a second" "a" p2.Cv.pin_signal
+  | _ -> Alcotest.fail "expected two pins")
+
+let test_compiler_view_erasure () =
+  let env, gates = mk () in
+  let inv = gates.Cell_library.Gates.inverter in
+  let view = Cv.make env inv in
+  ignore (Cv.get view);
+  ignore (Cv.get view);
+  Alcotest.(check int) "computed once" 1 (Cv.recomputations view);
+  Stem.View.changed inv;
+  ignore (Cv.get view);
+  Alcotest.(check int) "recomputed after change" 2 (Cv.recomputations view)
+
+let test_vector_compiler () =
+  let env, gates = mk () in
+  let r = B.vector env ~name:"INVROW" ~of_:gates.Cell_library.Gates.inverter ~n:4 () in
+  Alcotest.(check int) "four instances" 4 (List.length r.Compilers.Tile.tr_instances);
+  Alcotest.(check (list string)) "no typing violations" []
+    (List.map (fun v -> v.Constraint_kernel.Types.viol_message)
+       r.Compilers.Tile.tr_violations);
+  (* internal butting nets: out_i meets in_{i+1}: 3 of them (export
+     nets also have two members, one being the own pin) *)
+  let is_sub = function Sub_pin _ -> true | Own_pin _ -> false in
+  let internal =
+    List.filter
+      (fun net -> List.length (List.filter is_sub net.en_members) > 1)
+      r.Compilers.Tile.tr_nets
+  in
+  Alcotest.(check int) "three butting nets" 3 (List.length internal);
+  (* the chain's own io: first input and last output exported *)
+  Alcotest.(check int) "two exported pins" 2
+    (List.length r.Compilers.Tile.tr_exported);
+  (* compiled cell bbox = 4 abutted inverters *)
+  match Cell.bounding_box env r.Compilers.Tile.tr_cell with
+  | Some box ->
+    Alcotest.(check int) "width 16" 16 (Rect.width box);
+    Alcotest.(check int) "height 8" 8 (Rect.height box)
+  | None -> Alcotest.fail "compiled cell has no bbox"
+
+let test_word_compiler () =
+  let env, gates = mk () in
+  let g = gates.Cell_library.Gates.inverter in
+  let r =
+    B.word env ~name:"WORD" ~left_end:gates.Cell_library.Gates.buffer ~body:g
+      ~right_end:gates.Cell_library.Gates.buffer ~n:2 ()
+  in
+  Alcotest.(check int) "2 body + 2 ends" 4 (List.length r.Compilers.Tile.tr_instances);
+  match Cell.bounding_box env r.Compilers.Tile.tr_cell with
+  | Some box -> Alcotest.(check int) "width 8+4+4+8" 24 (Rect.width box)
+  | None -> Alcotest.fail "no bbox"
+
+let test_matrix_compiler () =
+  let env, gates = mk () in
+  let r =
+    B.matrix env ~name:"MAT" ~of_:gates.Cell_library.Gates.inverter ~rows:2 ~cols:3 ()
+  in
+  Alcotest.(check int) "six instances" 6 (List.length r.Compilers.Tile.tr_instances);
+  match Cell.bounding_box env r.Compilers.Tile.tr_cell with
+  | Some box ->
+    Alcotest.(check int) "width 12" 12 (Rect.width box);
+    Alcotest.(check int) "height 16" 16 (Rect.height box)
+  | None -> Alcotest.fail "no bbox"
+
+let test_graph_compiler_repeat_and_noconnect () =
+  let env, gates = mk () in
+  let inv = gates.Cell_library.Gates.inverter in
+  let entries =
+    [
+      {
+        B.ge_name = "row";
+        ge_class = inv;
+        ge_at = Point.origin;
+        ge_orient = Geometry.Transform.R0;
+        ge_repeat = 3;
+        ge_step = Point.make 4 0;
+      };
+    ]
+  in
+  (* withdraw the middle connection (the GraphCompiler's disallowed
+     connection): row_0.out butts row_1.in, but we withdraw row_1.in *)
+  let r =
+    B.graph env ~name:"GRAPHROW" ~no_connect:[ ("row_1", "in") ] entries ()
+  in
+  Alcotest.(check int) "three instances" 3 (List.length r.Compilers.Tile.tr_instances);
+  let is_sub = function Sub_pin _ -> true | Own_pin _ -> false in
+  let butting =
+    List.filter
+      (fun net -> List.length (List.filter is_sub net.en_members) > 1)
+      r.Compilers.Tile.tr_nets
+  in
+  (* only row_1.out-row_2.in remains butted *)
+  Alcotest.(check int) "one butting net" 1 (List.length butting);
+  (* row_0.out exported alone (its partner was withdrawn) *)
+  Alcotest.(check bool) "row_0.out exported" true
+    (List.exists (fun (i, s, _) -> i = "row_0" && s = "out") r.Compilers.Tile.tr_exported)
+
+let test_butting_type_violation_detected () =
+  (* butt an 8-bit output against a 1-bit input: the compiler reports
+     the typing violation found while connecting *)
+  let env = Stem.Env.create () in
+  let wide = Cell.create env ~name:"WIDE" () in
+  ignore
+    (Cell.add_signal env wide ~name:"out" ~dir:Output
+       ~data:Signal_types.Standard.bit ~elec:Signal_types.Standard.cmos ~width:8
+       ~pins:[ Point.make 4 2 ] ());
+  ignore (Cell.set_class_bbox env wide (Rect.make Point.origin ~width:4 ~height:4));
+  let narrow = Cell.create env ~name:"NARROW" () in
+  ignore
+    (Cell.add_signal env narrow ~name:"in" ~dir:Input
+       ~data:Signal_types.Standard.bit ~elec:Signal_types.Standard.cmos ~width:1
+       ~pins:[ Point.make 0 2 ] ());
+  ignore (Cell.set_class_bbox env narrow (Rect.make Point.origin ~width:4 ~height:4));
+  let r =
+    B.graph env ~name:"BAD"
+      [
+        {
+          B.ge_name = "w";
+          ge_class = wide;
+          ge_at = Point.origin;
+          ge_orient = Geometry.Transform.R0;
+          ge_repeat = 1;
+          ge_step = Point.origin;
+        };
+        {
+          B.ge_name = "n";
+          ge_class = narrow;
+          ge_at = Point.make 4 0;
+          ge_orient = Geometry.Transform.R0;
+          ge_repeat = 1;
+          ge_step = Point.origin;
+        };
+      ]
+      ()
+  in
+  Alcotest.(check bool) "violation reported" true
+    (r.Compilers.Tile.tr_violations <> [])
+
+let test_compiled_cell_is_simulatable_design () =
+  (* the compiled inverter row still type-checks end to end and its
+     exported interface carries the copied types *)
+  let env, gates = mk () in
+  let r = B.vector env ~name:"ROW2" ~of_:gates.Cell_library.Gates.inverter ~n:2 () in
+  let cell = r.Compilers.Tile.tr_cell in
+  Alcotest.(check int) "two io signals" 2 (List.length (Cell.signals cell));
+  List.iter
+    (fun ss ->
+      Alcotest.(check (option string))
+        (ss.ss_name ^ " width copied")
+        (Some "1")
+        (Option.map Dval.to_string (Constraint_kernel.Var.value ss.ss_width)))
+    (Cell.signals cell)
+
+let suite =
+  let tc = Alcotest.test_case in
+  ( "compilers",
+    [
+      tc "compiler view buckets" `Quick test_compiler_view_buckets;
+      tc "compiler view erasure" `Quick test_compiler_view_erasure;
+      tc "vector compiler" `Quick test_vector_compiler;
+      tc "word compiler" `Quick test_word_compiler;
+      tc "matrix compiler" `Quick test_matrix_compiler;
+      tc "graph compiler repeat/no-connect" `Quick test_graph_compiler_repeat_and_noconnect;
+      tc "butting type violation" `Quick test_butting_type_violation_detected;
+      tc "compiled cell interface" `Quick test_compiled_cell_is_simulatable_design;
+    ] )

@@ -1,0 +1,247 @@
+(* Tests for the §9.3 future-work extensions implemented beyond the
+   paper's baseline: network compilation (topological sort + direct
+   replay), constraint strengths, merit ranking of realisations, and the
+   compiled gate-level ripple adder. *)
+
+open Constraint_kernel
+
+let ivar net name = Var.create net ~owner:"x" ~name ~equal:Int.equal ~pp:Fmt.int ()
+
+let sum = function [] -> None | xs -> Some (List.fold_left ( + ) 0 xs)
+
+let ok = function Ok () -> true | Error _ -> false
+
+(* ---------------- Compile ---------------- *)
+
+(* a diamond DAG: s1 = a + b; s2 = b + c; total = s1 + s2 *)
+let diamond () =
+  let net = Engine.create_network ~name:"dag" () in
+  let a = ivar net "a" and b = ivar net "b" and c = ivar net "c" in
+  let s1 = ivar net "s1" and s2 = ivar net "s2" and total = ivar net "total" in
+  let _ = Clib.functional ~kind:"uni-addition" ~f:sum ~result:s1 net [ a; b ] in
+  let _ = Clib.functional ~kind:"uni-addition" ~f:sum ~result:s2 net [ b; c ] in
+  let _ = Clib.functional ~kind:"uni-addition" ~f:sum ~result:total net [ s1; s2 ] in
+  (net, a, b, c, s1, s2, total)
+
+let test_compile_topo_order () =
+  let net, _, _, _, s1, s2, total = diamond () in
+  let plan = Compile.plan net in
+  Alcotest.(check int) "three compiled constraints" 3 (Compile.size plan);
+  let order = Compile.order plan in
+  let pos c = ref (-1) |> fun r ->
+    List.iteri (fun i c' -> if Cstr.equal c c' then r := i) order;
+    !r
+  in
+  let producer v =
+    List.find (fun c -> match Cstr.args c with r :: _ -> Var.equal r v | [] -> false) order
+  in
+  Alcotest.(check bool) "s1 before total" true
+    (pos (producer s1) < pos (producer total));
+  Alcotest.(check bool) "s2 before total" true
+    (pos (producer s2) < pos (producer total))
+
+let test_compile_replay_matches_propagation () =
+  let net, a, b, c, _, _, total = diamond () in
+  ignore (Engine.set_user net a 1);
+  ignore (Engine.set_user net b 2);
+  ignore (Engine.set_user net c 3);
+  Alcotest.(check (option int)) "propagated total" (Some 8) (Var.value total);
+  (* poke new inputs directly (as a batch loader would), then replay *)
+  let plan = Compile.plan net in
+  Var.poke a 10 ~just:Types.User;
+  Var.poke b 20 ~just:Types.User;
+  Var.poke c 30 ~just:Types.User;
+  Compile.replay plan;
+  (* total = (a+b) + (b+c) = 10+20 + 20+30 *)
+  Alcotest.(check (option int)) "replayed total" (Some 80) (Var.value total)
+
+let test_compile_detects_cycles () =
+  let net = Engine.create_network ~name:"cyc" () in
+  let a = ivar net "a" and b = ivar net "b" in
+  (* a = b + 0 and b = a + 0: a functional cycle *)
+  let _ = Clib.functional ~attach:false ~kind:"uni-addition" ~f:sum ~result:a net [ b ] in
+  let _ = Clib.functional ~attach:false ~kind:"uni-addition" ~f:sum ~result:b net [ a ] in
+  Alcotest.(check bool) "cycle raises" true
+    (try
+       ignore (Compile.plan net);
+       false
+     with Compile.Cyclic _ -> true)
+
+let test_compile_skips_non_functional () =
+  let net = Engine.create_network ~name:"mix" () in
+  let a = ivar net "a" and b = ivar net "b" and s = ivar net "s" in
+  let _ = Clib.equality net [ a; b ] in
+  let _ = Clib.functional ~kind:"uni-addition" ~f:sum ~result:s net [ a ] in
+  Alcotest.(check int) "only the functional one compiled" 1
+    (Compile.size (Compile.plan net))
+
+(* ---------------- strengths ---------------- *)
+
+(* two one-way providers of different strengths feeding one target:
+   e.g. a rough estimator (weak) vs a detailed calculator (strong) *)
+let strength_pair () =
+  let net = Engine.create_network ~name:"strength" () in
+  let src_weak = ivar net "src_weak" and src_strong = ivar net "src_strong" in
+  let target = ivar net "t" in
+  let _ =
+    Clib.one_way ~kind:"estimate" ~strength:1 ~f:Option.some ~from_:src_weak
+      ~to_:target net
+  in
+  let _ =
+    Clib.one_way ~kind:"calculate" ~strength:2 ~f:Option.some ~from_:src_strong
+      ~to_:target net
+  in
+  (net, src_weak, src_strong, target)
+
+let test_strength_overwrites_weaker () =
+  let net, src_weak, src_strong, target = strength_pair () in
+  Alcotest.(check bool) "weak asserts" true (ok (Engine.set_user net src_weak 1));
+  Alcotest.(check (option int)) "weak value in" (Some 1) (Var.value target);
+  (* the stronger constraint may overwrite the weaker one's value *)
+  Alcotest.(check bool) "strong overrides" true (ok (Engine.set_user net src_strong 2));
+  Alcotest.(check (option int)) "strong value in" (Some 2) (Var.value target)
+
+let test_weaker_never_overwrites () =
+  let net, src_weak, src_strong, target = strength_pair () in
+  Alcotest.(check bool) "strong asserts" true (ok (Engine.set_user net src_strong 2));
+  (* the weaker provider's propagation is silently ignored *)
+  Alcotest.(check bool) "weak update accepted (but ignored)" true
+    (ok (Engine.set_user net src_weak 1));
+  Alcotest.(check (option int)) "strong value kept" (Some 2) (Var.value target)
+
+let test_strength_does_not_beat_user () =
+  let net = Engine.create_network ~name:"strength3" () in
+  let src = ivar net "src" and target = ivar net "t" in
+  let _ =
+    Clib.one_way ~kind:"calculate" ~strength:9
+      ~check:(fun x y -> x = y)
+      ~f:Option.some ~from_:src ~to_:target net
+  in
+  Alcotest.(check bool) "pin target" true (ok (Engine.set_user net target 5));
+  Alcotest.(check bool) "strong propagation still rejected" false
+    (ok (Engine.set_user net src 6));
+  Alcotest.(check (option int)) "user value kept" (Some 5) (Var.value target)
+
+(* ---------------- merit ranking ---------------- *)
+
+let test_rank_orders_candidates () =
+  let env = Stem.Env.create () in
+  let adders = Cell_library.Adders.fig_8_1 env in
+  let sc =
+    Cell_library.Datapath.alu env ~adder:adders.Cell_library.Adders.add8
+      ~delay_spec:20.0 ~area_spec:1000
+  in
+  let inst = sc.Cell_library.Datapath.adder_inst in
+  let picks =
+    Selection.Select.select env inst
+      ~priorities:Selection.Select.[ BBox; Signals; Delays ]
+      ()
+  in
+  Alcotest.(check int) "both valid" 2 (List.length picks);
+  (* delay-dominated weighting prefers the carry-select adder *)
+  let by_delay = Selection.Rank.rank env picks ~for_:inst ~delay_weight:10.0 ~area_weight:0.1 () in
+  (match by_delay with
+  | (best, Some _) :: _ -> Alcotest.(check string) "fast first" "ADD8.CS" best.Stem.Design.cc_name
+  | _ -> Alcotest.fail "no ranking");
+  (* area-dominated weighting prefers the ripple-carry adder *)
+  let by_area = Selection.Rank.rank env picks ~for_:inst ~delay_weight:0.1 ~area_weight:10.0 () in
+  match by_area with
+  | (best, Some _) :: _ -> Alcotest.(check string) "small first" "ADD8.RC" best.Stem.Design.cc_name
+  | _ -> Alcotest.fail "no ranking"
+
+(* ---------------- compiled ripple adder ---------------- *)
+
+let test_ripple_adder_carry_chain () =
+  let env = Stem.Env.create () in
+  let gates = Cell_library.Gates.make env in
+  let ra = Cell_library.Composed.ripple_adder env gates ~bits:4 in
+  let cell = ra.Cell_library.Composed.ra_cell in
+  Alcotest.(check int) "four slices" 4 (List.length (Stem.Cell.subcells cell));
+  (* gate -> slice -> adder: the carry chain is bits x slice delay *)
+  (match
+     Delay.Delay_network.delay env cell ~from_:ra.Cell_library.Composed.ra_cin
+       ~to_:ra.Cell_library.Composed.ra_cout
+   with
+  | Some d -> Alcotest.(check (float 1e-6)) "4-bit carry chain" (4.0 *. 2.675) d
+  | None -> Alcotest.fail "no carry-chain delay");
+  (* the a0 path enters through the slice's longer a->cout arc *)
+  match
+    Delay.Delay_network.delay env cell
+      ~from_:ra.Cell_library.Composed.ra_a.(0)
+      ~to_:ra.Cell_library.Composed.ra_cout
+  with
+  | Some d ->
+    Alcotest.(check (float 1e-6)) "a0->cout" (5.325 +. (3.0 *. 2.675)) d
+  | None -> Alcotest.fail "no a0 delay"
+
+let test_ripple_adder_scaling () =
+  let env = Stem.Env.create () in
+  let gates = Cell_library.Gates.make env in
+  let carry bits =
+    (* each width gets its own slice class to keep networks disjoint *)
+    let env = Stem.Env.create () in
+    let gates = Cell_library.Gates.make env in
+    let ra = Cell_library.Composed.ripple_adder env gates ~bits in
+    Delay.Delay_network.delay env ra.Cell_library.Composed.ra_cell
+      ~from_:ra.Cell_library.Composed.ra_cin ~to_:ra.Cell_library.Composed.ra_cout
+  in
+  ignore (env, gates);
+  match (carry 2, carry 8) with
+  | Some d2, Some d8 ->
+    Alcotest.(check (float 1e-6)) "linear in bits" (4.0 *. d2) d8
+  | _ -> Alcotest.fail "missing delays"
+
+let test_ripple_adder_bbox () =
+  let env = Stem.Env.create () in
+  let gates = Cell_library.Gates.make env in
+  let ra = Cell_library.Composed.ripple_adder env gates ~bits:4 in
+  match Stem.Cell.bounding_box env ra.Cell_library.Composed.ra_cell with
+  | Some box ->
+    Alcotest.(check int) "width = 4 slices" (4 * 26) (Geometry.Rect.width box);
+    Alcotest.(check int) "height" 24 (Geometry.Rect.height box)
+  | None -> Alcotest.fail "no bbox"
+
+let test_ripple_adder_simulates () =
+  (* the compiled adder's extracted netlist computes 1 + 0 + cin=0 = 1:
+     s0 high, carry low *)
+  let env = Stem.Env.create () in
+  let gates = Cell_library.Gates.make env in
+  Spice.Gate_templates.nand2 env gates.Cell_library.Gates.nand2 ~a:"a" ~b:"b" ~y:"y";
+  Spice.Gate_templates.xor2 env gates.Cell_library.Gates.xor2 ~a:"a" ~b:"b" ~y:"y";
+  let ra = Cell_library.Composed.ripple_adder env gates ~bits:2 in
+  let nl = Spice.Netlist.extract env ra.Cell_library.Composed.ra_cell in
+  Alcotest.(check bool) "flattened to transistors" true (Spice.Netlist.size nl > 40);
+  let stimuli =
+    [
+      Spice.Sim.dc 5.0 0.0 ra.Cell_library.Composed.ra_a.(0);
+      Spice.Sim.dc 0.0 0.0 ra.Cell_library.Composed.ra_b.(0);
+      Spice.Sim.dc 0.0 0.0 ra.Cell_library.Composed.ra_a.(1);
+      Spice.Sim.dc 0.0 0.0 ra.Cell_library.Composed.ra_b.(1);
+      Spice.Sim.dc 0.0 0.0 ra.Cell_library.Composed.ra_cin;
+    ]
+  in
+  let res = Spice.Sim.transient nl ~stimuli ~t_end:40.0 () in
+  let final name =
+    Spice.Measure.final_value (Option.get (Spice.Sim.waveform res name))
+  in
+  Alcotest.(check bool) "s0 = 1" true (final ra.Cell_library.Composed.ra_s.(0) > 4.0);
+  Alcotest.(check bool) "s1 = 0" true (final ra.Cell_library.Composed.ra_s.(1) < 1.0);
+  Alcotest.(check bool) "cout = 0" true (final ra.Cell_library.Composed.ra_cout < 1.0)
+
+let suite =
+  let tc = Alcotest.test_case in
+  ( "extensions",
+    [
+      tc "compile: topological order" `Quick test_compile_topo_order;
+      tc "compile: replay matches propagation" `Quick test_compile_replay_matches_propagation;
+      tc "compile: cycle detection" `Quick test_compile_detects_cycles;
+      tc "compile: functional only" `Quick test_compile_skips_non_functional;
+      tc "strength: stronger overwrites" `Quick test_strength_overwrites_weaker;
+      tc "strength: weaker ignored" `Quick test_weaker_never_overwrites;
+      tc "strength: user still wins" `Quick test_strength_does_not_beat_user;
+      tc "rank: weighted merit ordering" `Quick test_rank_orders_candidates;
+      tc "ripple adder: carry chain delay" `Quick test_ripple_adder_carry_chain;
+      tc "ripple adder: linear scaling" `Quick test_ripple_adder_scaling;
+      tc "ripple adder: compiled bbox" `Quick test_ripple_adder_bbox;
+      tc "ripple adder: transistor simulation" `Slow test_ripple_adder_simulates;
+    ] )

@@ -1,0 +1,153 @@
+(* Unit and property tests for the geometry substrate. *)
+
+open Geometry
+
+let point = Alcotest.testable Point.pp Point.equal
+
+let rect = Alcotest.testable Rect.pp Rect.equal
+
+let check_point = Alcotest.check point
+
+let check_rect = Alcotest.check rect
+
+let p = Point.make
+
+let r llx lly w h = Rect.make (p llx lly) ~width:w ~height:h
+
+(* ---------------- Point ---------------- *)
+
+let test_point_arith () =
+  check_point "add" (p 3 5) (Point.add (p 1 2) (p 2 3));
+  check_point "sub" (p (-1) (-1)) (Point.sub (p 1 2) (p 2 3));
+  check_point "neg" (p (-1) 2) (Point.neg (p 1 (-2)));
+  check_point "min" (p 1 2) (Point.min (p 1 3) (p 4 2));
+  check_point "max" (p 4 3) (Point.max (p 1 3) (p 4 2))
+
+let test_point_order () =
+  Alcotest.(check bool) "compare_yx y first" true (Point.compare_yx (p 9 0) (p 0 1) < 0);
+  Alcotest.(check bool) "compare_xy x first" true (Point.compare_xy (p 0 9) (p 1 0) < 0);
+  Alcotest.(check int) "equal points compare 0" 0 (Point.compare (p 2 2) (p 2 2))
+
+(* ---------------- Rect ---------------- *)
+
+let test_rect_basics () =
+  let box = r 1 2 10 20 in
+  check_point "ll" (p 1 2) (Rect.ll box);
+  check_point "ur" (p 11 22) (Rect.ur box);
+  Alcotest.(check int) "area" 200 (Rect.area box);
+  check_point "center" (p 6 12) (Rect.center box);
+  Alcotest.(check bool) "negative extent rejected" true
+    (try
+       ignore (Rect.make (p 0 0) ~width:(-1) ~height:0);
+       false
+     with Invalid_argument _ -> true)
+
+let test_rect_of_corners () =
+  check_rect "corners normalised" (r 1 2 3 4) (Rect.of_corners (p 4 6) (p 1 2))
+
+let test_rect_contains () =
+  let big = r 0 0 10 10 and small = r 2 2 3 3 in
+  Alcotest.(check bool) "contains" true (Rect.contains big small);
+  Alcotest.(check bool) "not contains" false (Rect.contains small big);
+  Alcotest.(check bool) "self" true (Rect.contains big big);
+  Alcotest.(check bool) "point in" true (Rect.contains_point big (p 10 10));
+  Alcotest.(check bool) "point out" false (Rect.contains_point big (p 11 10))
+
+let test_rect_union () =
+  check_rect "union" (r 0 0 10 12) (Rect.union (r 0 0 4 4) (r 6 6 4 6));
+  check_rect "union_all empty" Rect.zero (Rect.union_all []);
+  check_rect "union_all" (r 0 0 8 8)
+    (Rect.union_all [ r 0 0 2 2; r 6 6 2 2; r 3 3 1 1 ])
+
+let test_rect_can_contain () =
+  Alcotest.(check bool) "bigger ok" true (Rect.can_contain (r 5 5 10 10) (r 0 0 9 10));
+  Alcotest.(check bool) "narrower fails" false
+    (Rect.can_contain (r 0 0 8 10) (r 0 0 9 10))
+
+let test_rect_misc () =
+  check_rect "translate" (r 3 4 2 2) (Rect.translate (r 1 2 2 2) (p 2 2));
+  check_rect "inflate" (r (-1) (-1) 4 4) (Rect.inflate (r 0 0 2 2) 1);
+  Alcotest.(check (float 1e-9)) "aspect" 2.0 (Rect.aspect_ratio (r 0 0 4 2))
+
+(* ---------------- Transform ---------------- *)
+
+let test_transform_apply () =
+  let t = Transform.make ~orient:Transform.R90 (p 10 0) in
+  check_point "rotate then translate" (p 10 1) (Transform.apply_point t (p 1 0));
+  let box = Transform.apply_rect t (r 0 0 4 2) in
+  Alcotest.(check int) "rect width swaps" 2 (Rect.width box);
+  Alcotest.(check int) "rect height swaps" 4 (Rect.height box)
+
+let test_transform_group () =
+  (* composing with the inverse yields the identity, for every orientation *)
+  List.iter
+    (fun o ->
+      let t = Transform.make ~orient:o (p 7 (-3)) in
+      let id = Transform.compose (Transform.invert t) t in
+      Alcotest.(check bool)
+        (Fmt.str "inverse of %a" Transform.pp_orientation o)
+        true
+        (Transform.equal id Transform.identity))
+    Transform.all_orientations
+
+let test_transform_compose_matches_application () =
+  let t1 = Transform.make ~orient:Transform.MX (p 2 5) in
+  let t2 = Transform.make ~orient:Transform.R270 (p (-1) 4) in
+  let composed = Transform.compose t1 t2 in
+  let probe = p 3 9 in
+  check_point "compose = apply twice"
+    (Transform.apply_point t1 (Transform.apply_point t2 probe))
+    (Transform.apply_point composed probe)
+
+(* ---------------- qcheck properties ---------------- *)
+
+let gen_point = QCheck.(map (fun (x, y) -> p x y) (pair (int_range (-50) 50) (int_range (-50) 50)))
+
+let gen_rect =
+  QCheck.(
+    map
+      (fun (pt, (w, h)) -> Rect.make pt ~width:w ~height:h)
+      (pair gen_point (pair (int_range 0 40) (int_range 0 40))))
+
+let gen_orient = QCheck.oneofl Transform.all_orientations
+
+let prop_union_contains =
+  QCheck.Test.make ~name:"union contains both operands" ~count:200
+    QCheck.(pair gen_rect gen_rect)
+    (fun (a, b) ->
+      let u = Rect.union a b in
+      Rect.contains u a && Rect.contains u b)
+
+let prop_transform_preserves_area =
+  QCheck.Test.make ~name:"rigid transform preserves area" ~count:200
+    QCheck.(pair gen_orient (pair gen_point gen_rect))
+    (fun (o, (off, box)) ->
+      let t = Transform.make ~orient:o off in
+      Rect.area (Transform.apply_rect t box) = Rect.area box)
+
+let prop_invert_roundtrip =
+  QCheck.Test.make ~name:"invert round-trips points" ~count:200
+    QCheck.(pair gen_orient (pair gen_point gen_point))
+    (fun (o, (off, probe)) ->
+      let t = Transform.make ~orient:o off in
+      Point.equal probe (Transform.apply_point (Transform.invert t) (Transform.apply_point t probe)))
+
+let suite =
+  let tc = Alcotest.test_case in
+  ( "geometry",
+    [
+      tc "point arithmetic" `Quick test_point_arith;
+      tc "point orderings" `Quick test_point_order;
+      tc "rect basics" `Quick test_rect_basics;
+      tc "rect of_corners" `Quick test_rect_of_corners;
+      tc "rect containment" `Quick test_rect_contains;
+      tc "rect union" `Quick test_rect_union;
+      tc "rect can_contain" `Quick test_rect_can_contain;
+      tc "rect translate/inflate/aspect" `Quick test_rect_misc;
+      tc "transform application" `Quick test_transform_apply;
+      tc "transform group laws" `Quick test_transform_group;
+      tc "transform composition" `Quick test_transform_compose_matches_application;
+      QCheck_alcotest.to_alcotest prop_union_contains;
+      QCheck_alcotest.to_alcotest prop_transform_preserves_area;
+      QCheck_alcotest.to_alcotest prop_invert_roundtrip;
+    ] )

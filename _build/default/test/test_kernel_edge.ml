@@ -1,0 +1,219 @@
+(* Edge cases and failure injection for the propagation kernel: the
+   CPSwitch recovery path, the N-change boundary, Ignore-rule variables,
+   mid-flight constraint removal, trace completeness, and the editor
+   lookups. *)
+
+open Constraint_kernel
+
+let mknet () = Engine.create_network ~name:"edge" ()
+
+let ivar ?overwrite net name =
+  Var.create net ~owner:"e" ~name ~equal:Int.equal ~pp:Fmt.int ?overwrite ()
+
+let ok = function Ok () -> true | Error _ -> false
+
+let test_disabled_then_reinitialize () =
+  (* §5.3: while the switch is off, plain stores can leave the network
+     inconsistent; re-enabling and re-initialising restores order *)
+  let net = mknet () in
+  let a = ivar net "a" and b = ivar net "b" in
+  let eq, _ = Clib.equality net [ a; b ] in
+  Engine.disable net;
+  ignore (Engine.set_user net a 1);
+  ignore (Engine.set_user net b 2);
+  Alcotest.(check bool) "inconsistent while off" false (Cstr.is_satisfied eq);
+  Engine.enable net;
+  (* per the thesis no automatic recovery happens; Network.reinitialize
+     is the explicit repair tool *)
+  Alcotest.(check bool) "reinitialize reports the conflict" false
+    (ok (Network.reinitialize net eq));
+  (* both values were user entries; resolve by resetting one *)
+  ignore (Engine.reset net b);
+  Alcotest.(check bool) "reinitialize now repairs" true
+    (ok (Network.reinitialize net eq));
+  Alcotest.(check (option int)) "b repaired" (Some 1) (Var.value b)
+
+let test_n_change_boundary () =
+  (* with the bound at 1 (the strict thesis rule), reconvergent fanout
+     through a functional constraint violates; with the default it
+     settles *)
+  let build () =
+    let net = mknet () in
+    let src = ivar net "src" in
+    let a = ivar net "a" and b = ivar net "b" and s = ivar net "s" in
+    let _ = Clib.equality net [ src; a ] in
+    let _ = Clib.equality net [ src; b ] in
+    (* immediate sum: recomputes after each input change *)
+    let sum = function [] -> None | xs -> Some (List.fold_left ( + ) 0 xs) in
+    let propagate ctx c changed =
+      match changed with
+      | Some v when Var.equal v s -> Ok ()
+      | _ -> (
+        match (Var.value a, Var.value b) with
+        | Some x, Some y ->
+          Engine.set_by_constraint ctx s
+            (Option.get (sum [ x; y ]))
+            ~source:c ~record:Types.All_arguments
+        | _ -> Ok ())
+    in
+    let c =
+      Cstr.make net ~kind:"imm-sum" ~propagate
+        ~satisfied:(fun _ ->
+          match (Var.value a, Var.value b, Var.value s) with
+          | Some x, Some y, Some z -> z = x + y
+          | _ -> true)
+        [ s; a; b ]
+    in
+    ignore (Network.add_constraint net c);
+    (net, src, s)
+  in
+  let net, src, s = build () in
+  ignore (Engine.set_user net src 1);
+  (* now both a and b change on the next assignment: s revises twice *)
+  Alcotest.(check bool) "default bound settles" true (ok (Engine.set_user net src 2));
+  Alcotest.(check (option int)) "sum correct" (Some 4) (Var.value s);
+  let net, src, _ = build () in
+  ignore (Engine.set_user net src 1);
+  net.Types.net_max_changes <- 1;
+  Alcotest.(check bool) "strict rule trips on reconvergence" false
+    (ok (Engine.set_user net src 2))
+
+let test_ignore_rule_variable () =
+  (* an Ignore-overwrite variable never changes after first set, and the
+     final satisfaction sweep decides *)
+  let sticky v ~proposed:_ =
+    match Var.value v with None -> Types.Accept | Some _ -> Types.Ignore
+  in
+  let net = mknet () in
+  let a = ivar net "a" in
+  let b = ivar ~overwrite:sticky net "b" in
+  let _ = Clib.equality net [ a; b ] in
+  ignore (Engine.set_user net a 1);
+  Alcotest.(check (option int)) "b took first value" (Some 1) (Var.value b);
+  (* the new value is ignored by b, making the equality unsatisfied *)
+  Alcotest.(check bool) "conflict detected by final sweep" false
+    (ok (Engine.set_user net a 2));
+  Alcotest.(check (option int)) "a rolled back" (Some 1) (Var.value a)
+
+let test_remove_constraint_midstream () =
+  (* removing a constraint whose value flowed both ways leaves exactly
+     the independent values *)
+  let net = mknet () in
+  let a = ivar net "a" and b = ivar net "b" and c = ivar net "c" in
+  let eq_ab, _ = Clib.equality net [ a; b ] in
+  let _eq_bc = Clib.equality net [ b; c ] in
+  ignore (Engine.set_user net b 9);
+  Network.remove_constraint net eq_ab;
+  Alcotest.(check (option int)) "a erased" None (Var.value a);
+  Alcotest.(check (option int)) "b kept (user)" (Some 9) (Var.value b);
+  Alcotest.(check (option int)) "c kept (independent path)" (Some 9) (Var.value c);
+  (* the removed constraint no longer reacts *)
+  ignore (Engine.set_user net b 10);
+  Alcotest.(check (option int)) "a stays erased" None (Var.value a);
+  Alcotest.(check (option int)) "c follows" (Some 10) (Var.value c)
+
+let test_trace_event_stream () =
+  let net = mknet () in
+  let a = ivar net "a" and b = ivar net "b" in
+  let _ = Clib.equality net [ a; b ] in
+  let kinds = ref [] in
+  Engine.set_trace net
+    (Some
+       (fun ev ->
+         let k =
+           match ev with
+           | Types.T_assign _ -> "assign"
+           | Types.T_reset _ -> "reset"
+           | Types.T_activate _ -> "activate"
+           | Types.T_schedule _ -> "schedule"
+           | Types.T_check _ -> "check"
+           | Types.T_violation _ -> "violation"
+           | Types.T_restore _ -> "restore"
+         in
+         kinds := k :: !kinds));
+  ignore (Engine.set_user net a 1);
+  let seen = List.rev !kinds in
+  Alcotest.(check bool) "assigns traced" true (List.mem "assign" seen);
+  Alcotest.(check bool) "activations traced" true (List.mem "activate" seen);
+  Alcotest.(check bool) "checks traced" true (List.mem "check" seen);
+  kinds := [];
+  ignore (Engine.set_user net b 2);
+  Alcotest.(check bool) "violation traced" true (List.mem "violation" (List.rev !kinds));
+  Alcotest.(check bool) "restore traced" true (List.mem "restore" (List.rev !kinds));
+  Engine.set_trace net None
+
+let test_editor_lookups () =
+  let net = mknet () in
+  let a = ivar net "alpha" and _b = ivar net "beta" in
+  let eq, _ = Clib.equality net [ a; _b ] in
+  Alcotest.(check bool) "find_var hit" true (Editor.find_var net "e.alpha" <> None);
+  Alcotest.(check bool) "find_var miss" true (Editor.find_var net "e.gamma" = None);
+  Alcotest.(check int) "grep all" 2 (List.length (Editor.grep_vars net "e."));
+  Alcotest.(check int) "grep filter" 1 (List.length (Editor.grep_vars net "alpha"));
+  Alcotest.(check bool) "find_cstr hit" true
+    (Editor.find_cstr net (Cstr.id eq) <> None);
+  Alcotest.(check bool) "find_cstr miss" true (Editor.find_cstr net 999 = None)
+
+let test_update_multiple_targets () =
+  let net = mknet () in
+  let src = ivar net "src" in
+  let t1 = ivar net "t1" and t2 = ivar net "t2" in
+  let _ = Clib.update net ~sources:[ src ] ~targets:[ t1; t2 ] in
+  Var.poke t1 1 ~just:Types.Application;
+  Var.poke t2 2 ~just:Types.Application;
+  ignore (Engine.set_user net src 5);
+  Alcotest.(check (option int)) "t1 erased" None (Var.value t1);
+  Alcotest.(check (option int)) "t2 erased" None (Var.value t2)
+
+let test_one_way_check_violation () =
+  let net = mknet () in
+  let from_ = ivar net "from" and to_ = ivar net "to" in
+  let _ =
+    Clib.one_way net ~check:(fun x y -> y = x * 2) ~f:(fun x -> Some (x * 2))
+      ~from_ ~to_
+  in
+  Alcotest.(check bool) "forward ok" true (ok (Engine.set_user net from_ 3));
+  Alcotest.(check (option int)) "doubled" (Some 6) (Var.value to_);
+  (* assigning an inconsistent target value violates the check *)
+  Alcotest.(check bool) "bad target rejected" false (ok (Engine.set_user net to_ 7));
+  Alcotest.(check bool) "consistent target tolerated" true
+    (ok (Engine.set_user net to_ 6))
+
+let test_attach_detach_idempotent () =
+  let net = mknet () in
+  let a = ivar net "a" in
+  let c, _ = Clib.equality ~attach:false net [ a; ivar net "b" ] in
+  Var.attach a c;
+  Var.attach a c;
+  Alcotest.(check int) "attached once" 1 (List.length (Var.constraints a));
+  Var.detach a c;
+  Var.detach a c;
+  Alcotest.(check int) "detached" 0 (List.length (Var.constraints a))
+
+let test_stats_accounting () =
+  let net = mknet () in
+  let a = ivar net "a" and b = ivar net "b" in
+  let _ = Clib.equality net [ a; b ] in
+  Engine.reset_stats net;
+  ignore (Engine.set_user net a 1);
+  let s = Engine.stats net in
+  Alcotest.(check int) "one episode" 1 s.Types.st_propagations;
+  Alcotest.(check int) "two assignments (a and b)" 2 s.Types.st_assignments;
+  Alcotest.(check bool) "at least one check" true (s.Types.st_checks >= 1);
+  Alcotest.(check int) "no violations" 0 s.Types.st_violations
+
+let suite =
+  let tc = Alcotest.test_case in
+  ( "kernel-edge",
+    [
+      tc "disabled then reinitialize" `Quick test_disabled_then_reinitialize;
+      tc "N-change boundary" `Quick test_n_change_boundary;
+      tc "Ignore-rule variable" `Quick test_ignore_rule_variable;
+      tc "remove constraint midstream" `Quick test_remove_constraint_midstream;
+      tc "trace event stream" `Quick test_trace_event_stream;
+      tc "editor lookups" `Quick test_editor_lookups;
+      tc "update multiple targets" `Quick test_update_multiple_targets;
+      tc "one-way check violation" `Quick test_one_way_check_violation;
+      tc "attach/detach idempotent" `Quick test_attach_detach_idempotent;
+      tc "stats accounting" `Quick test_stats_accounting;
+    ] )

@@ -1,0 +1,21 @@
+let () =
+  Alcotest.run "stem"
+    [
+      Test_geometry.suite;
+      Test_signal_types.suite;
+      Test_kernel.suite;
+      Test_stem.suite;
+      Test_delay.suite;
+      Test_selection.suite;
+      Test_compilers.suite;
+      Test_spice.suite;
+      Test_extensions.suite;
+      Test_properties.suite;
+      Test_dclib.suite;
+      Test_kernel_edge.suite;
+      Test_stem_more.suite;
+      Test_shell.suite;
+      Test_persist.suite;
+      Test_structural.suite;
+      Test_misc.suite;
+    ]

@@ -1,0 +1,115 @@
+(* Remaining coverage: environment registry, merit-ranking edge cases,
+   word-compiler connectivity, and the editor on design-scale networks. *)
+
+open Stem.Design
+module Cell = Stem.Cell
+module B = Compilers.Builders
+
+let test_env_registry () =
+  let env = Stem.Env.create () in
+  let a = Cell.create env ~name:"A" () in
+  let _b = Cell.create env ~name:"B" () in
+  Alcotest.(check int) "two cells" 2 (List.length (Stem.Env.cells env));
+  Alcotest.(check bool) "find hit" true
+    (match Stem.Env.find_cell env "A" with
+    | Some c -> c.cc_uid = a.cc_uid
+    | None -> false);
+  Alcotest.(check bool) "find miss" true (Stem.Env.find_cell env "C" = None);
+  (* registration order is stable *)
+  Alcotest.(check (list string)) "order" [ "A"; "B" ]
+    (List.map (fun c -> c.cc_name) (Stem.Env.cells env))
+
+let test_rank_unknown_merit_last () =
+  let env = Stem.Env.create () in
+  let known = Cell.create env ~name:"KNOWN" () in
+  ignore
+    (Cell.set_class_bbox env known
+       (Geometry.Rect.make Geometry.Point.origin ~width:10 ~height:10));
+  let unknown = Cell.create env ~name:"UNKNOWN" () in
+  let top = Cell.create env ~name:"TOP" () in
+  let inst = Cell.instantiate env ~parent:top ~of_:known ~name:"u" () in
+  let ranked =
+    Selection.Rank.rank env [ unknown; known ] ~for_:inst ()
+  in
+  Alcotest.(check (list string)) "known first, unknown last" [ "KNOWN"; "UNKNOWN" ]
+    (List.map (fun (c, _) -> c.cc_name) ranked);
+  (match ranked with
+  | (_, Some m) :: (_, None) :: [] ->
+    Alcotest.(check (float 1e-9)) "area-only merit" 1.0 m
+  | _ -> Alcotest.fail "unexpected ranking shape")
+
+let test_word_compiler_connectivity () =
+  (* buffers on both ends of an inverter pair: the seam pins butt *)
+  let env = Stem.Env.create () in
+  let gates = Cell_library.Gates.make env in
+  let r =
+    B.word env ~name:"W" ~left_end:gates.Cell_library.Gates.buffer
+      ~body:gates.Cell_library.Gates.inverter
+      ~right_end:gates.Cell_library.Gates.buffer ~n:2 ()
+  in
+  let is_sub = function Sub_pin _ -> true | Own_pin _ -> false in
+  let butting =
+    List.filter
+      (fun net -> List.length (List.filter is_sub net.en_members) > 1)
+      r.Compilers.Tile.tr_nets
+  in
+  (* lend-b0, b0-b1, b1-rend *)
+  Alcotest.(check int) "three seams" 3 (List.length butting);
+  Alcotest.(check (list string)) "no violations" []
+    (List.map
+       (fun v -> v.Constraint_kernel.Types.viol_message)
+       r.Compilers.Tile.tr_violations);
+  (* the word's own interface: lend.in and rend.out *)
+  Alcotest.(check int) "two exported" 2 (List.length r.Compilers.Tile.tr_exported)
+
+let test_editor_on_design_scale () =
+  (* dump and traces stay functional on a real compiled design *)
+  let env = Stem.Env.create () in
+  let gates = Cell_library.Gates.make env in
+  let ra = Cell_library.Composed.ripple_adder env gates ~bits:4 in
+  ignore
+    (Delay.Delay_network.delay env ra.Cell_library.Composed.ra_cell
+       ~from_:ra.Cell_library.Composed.ra_cin ~to_:ra.Cell_library.Composed.ra_cout);
+  let cnet = Stem.Env.cnet env in
+  let dump = Fmt.str "%a" Constraint_kernel.Editor.dump_network cnet in
+  Alcotest.(check bool) "no unsatisfied constraints" true
+    (Astring_contains.contains dump "unsatisfied: 0");
+  let cd =
+    Option.get
+      (find_delay_opt ra.Cell_library.Composed.ra_cell
+         ~from_:ra.Cell_library.Composed.ra_cin
+         ~to_:ra.Cell_library.Composed.ra_cout)
+  in
+  let trace = Fmt.str "%a" Constraint_kernel.Editor.trace_antecedents cd.cd_var in
+  (* the trace reaches gate characteristics three levels down *)
+  Alcotest.(check bool) "reaches NAND characteristics" true
+    (Astring_contains.contains trace "NAND2")
+
+let test_compiler_view_inner_pins () =
+  (* pins not on the bounding-box perimeter are classified as inner *)
+  let env = Stem.Env.create () in
+  let c = Cell.create env ~name:"C" () in
+  ignore (Cell.set_class_bbox env c (Geometry.Rect.make Geometry.Point.origin ~width:10 ~height:10));
+  ignore
+    (Cell.add_signal env c ~name:"edge" ~dir:Input
+       ~pins:[ Geometry.Point.make 0 5 ] ());
+  ignore
+    (Cell.add_signal env c ~name:"middle" ~dir:Input
+       ~pins:[ Geometry.Point.make 5 5 ] ());
+  let view = Compilers.Compiler_view.make env c in
+  let data = Compilers.Compiler_view.get view in
+  Alcotest.(check int) "one left pin" 1
+    (List.length data.Compilers.Compiler_view.cv_left);
+  Alcotest.(check int) "one inner pin" 1
+    (List.length data.Compilers.Compiler_view.cv_inner)
+
+let suite =
+  let tc = Alcotest.test_case in
+  ( "misc",
+    [
+      tc "env registry" `Quick test_env_registry;
+      tc "rank: unknown merit last" `Quick test_rank_unknown_merit_last;
+      tc "word compiler connectivity" `Quick test_word_compiler_connectivity;
+      tc "editor on a compiled design" `Quick test_editor_on_design_scale;
+      tc "compiler view inner pins" `Quick test_compiler_view_inner_pins;
+    ] )

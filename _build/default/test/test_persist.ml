@@ -1,0 +1,139 @@
+(* Round-trip tests for the design-database persistence layer. *)
+
+open Stem.Design
+module Cell = Stem.Cell
+module Persist = Stem.Persist
+module Dn = Delay.Delay_network
+
+let contains = Astring_contains.contains
+
+let test_save_format () =
+  let env = Stem.Env.create () in
+  let gates = Cell_library.Gates.make env in
+  ignore gates;
+  let text = Persist.save env in
+  Alcotest.(check bool) "header" true (contains text "stemdb 1");
+  Alcotest.(check bool) "inverter present" true (contains text "cell INV");
+  Alcotest.(check bool) "signal line" true (contains text "signal in input");
+  Alcotest.(check bool) "delay estimate" true (contains text "delay in out estimate=");
+  Alcotest.(check bool) "bbox line" true (contains text "bbox 0 0 4 8")
+
+let test_roundtrip_gates () =
+  let env = Stem.Env.create () in
+  let gates = Cell_library.Gates.make env in
+  let chain = Cell_library.Gates.inverter_chain env gates ~n:3 in
+  ignore chain;
+  let text = Persist.save env in
+  let env2, violations = Persist.load text in
+  Alcotest.(check int) "no violations on replay" 0 (List.length violations);
+  Alcotest.(check int) "same cell count" (List.length (Stem.Env.cells env))
+    (List.length (Stem.Env.cells env2));
+  (* the reloaded chain computes the same delay *)
+  let chain2 = Option.get (Stem.Env.find_cell env2 "INVCHAIN3") in
+  (match
+     ( Dn.delay env chain ~from_:"in" ~to_:"out",
+       Dn.delay env2 chain2 ~from_:"in" ~to_:"out" )
+   with
+  | Some d1, Some d2 -> Alcotest.(check (float 1e-9)) "same delay" d1 d2
+  | _ -> Alcotest.fail "delay missing after reload");
+  (* reloaded structure matches *)
+  Alcotest.(check int) "same subcells" 3 (List.length (Cell.subcells chain2));
+  Alcotest.(check int) "same nets" 4 (List.length (Cell.nets chain2))
+
+let test_roundtrip_generic_hierarchy () =
+  let env = Stem.Env.create () in
+  let adders = Cell_library.Adders.fig_8_1 env in
+  let sc =
+    Cell_library.Datapath.alu env ~adder:adders.Cell_library.Adders.add8
+      ~delay_spec:11.0 ~area_spec:300
+  in
+  ignore sc;
+  let text = Persist.save env in
+  let env2, _ = Persist.load text in
+  let g = Option.get (Stem.Env.find_cell env2 "ADD8") in
+  Alcotest.(check bool) "generic flag survives" true (Cell.is_generic g);
+  Alcotest.(check int) "subclasses survive" 2 (List.length (Cell.subclasses g));
+  (* selection works on the reloaded design (delay test only: the area
+     network is session state, not persisted) *)
+  let alu2 = Option.get (Stem.Env.find_cell env2 "ALU") in
+  (* re-declare the delay spec context is persisted with the cell *)
+  let inst =
+    List.find (fun i -> i.inst_name = "add") (Cell.subcells alu2)
+  in
+  let picks =
+    Selection.Select.select env2 inst ~priorities:[ Selection.Select.Delays ] ()
+  in
+  Alcotest.(check (list string)) "selection on reloaded design" [ "ADD8.RC"; "ADD8.CS" ]
+    (List.map (fun c -> c.cc_name) picks)
+
+let test_roundtrip_accumulator_spec () =
+  (* specs are persisted: reloading the 160 ns accumulator reproduces the
+     violation *)
+  let env = Stem.Env.create () in
+  ignore (Cell_library.Datapath.accumulator ~spec:160.0 env);
+  let text = Persist.save env in
+  let env2, load_violations = Persist.load text in
+  ignore load_violations;
+  let acc2 = Option.get (Stem.Env.find_cell env2 "ACCUMULATOR") in
+  Alcotest.(check (option (float 1e-9))) "violation reproduced" None
+    (Dn.delay env2 acc2 ~from_:"in" ~to_:"out")
+
+let test_parse_errors () =
+  let bad n text =
+    match Persist.load text with
+    | exception Persist.Parse_error (lineno, _) ->
+      Alcotest.(check int) "error line" n lineno
+    | _ -> Alcotest.fail "expected parse error"
+  in
+  bad 1 "signal x input\n";
+  bad 2 "cell A\nsignal x sideways\n";
+  bad 2 "cell A\nfrobnicate\n";
+  bad 2 "cell A\nsubcell u NOPE\n"
+
+let test_load_tolerates_violations () =
+  (* a library whose connection violates loads with the violation
+     collected, not raised *)
+  let text =
+    "stemdb 1\n\
+     cell W4\n\
+     signal p output width=4\n\
+     end\n\
+     cell W8\n\
+     signal p input width=8\n\
+     end\n\
+     cell TOP\n\
+     subcell a W4 orient=R0 at=0:0\n\
+     subcell b W8 orient=R0 at=0:0\n\
+     net n a.p b.p\n\
+     end\n"
+  in
+  let env, violations = Persist.load text in
+  Alcotest.(check int) "one violation collected" 1 (List.length violations);
+  Alcotest.(check bool) "design still loaded" true
+    (Stem.Env.find_cell env "TOP" <> None)
+
+let test_file_roundtrip () =
+  let env = Stem.Env.create () in
+  ignore (Cell_library.Gates.make env);
+  let path = Filename.temp_file "stemdb" ".txt" in
+  Fun.protect
+    ~finally:(fun () -> Sys.remove path)
+    (fun () ->
+      Persist.save_to_file env path;
+      let env2, violations = Persist.load_from_file path in
+      Alcotest.(check int) "clean reload" 0 (List.length violations);
+      Alcotest.(check int) "same cells" (List.length (Stem.Env.cells env))
+        (List.length (Stem.Env.cells env2)))
+
+let suite =
+  let tc = Alcotest.test_case in
+  ( "persist",
+    [
+      tc "save format" `Quick test_save_format;
+      tc "round-trip gates + chain" `Quick test_roundtrip_gates;
+      tc "round-trip generic hierarchy" `Quick test_roundtrip_generic_hierarchy;
+      tc "round-trip accumulator spec" `Quick test_roundtrip_accumulator_spec;
+      tc "parse errors" `Quick test_parse_errors;
+      tc "load tolerates violations" `Quick test_load_tolerates_violations;
+      tc "file round-trip" `Quick test_file_roundtrip;
+    ] )

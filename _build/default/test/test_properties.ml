@@ -1,0 +1,274 @@
+(* Deeper property-based tests: global invariants of the propagation
+   engine on randomly generated networks and operation sequences, the
+   compile/propagate equivalence, dependency-trace duality, the agenda
+   discipline, and value-parser round trips. *)
+
+open Constraint_kernel
+
+let ivar net name = Var.create net ~owner:"p" ~name ~equal:Int.equal ~pp:Fmt.int ()
+
+let sum = function [] -> None | xs -> Some (List.fold_left ( + ) 0 xs)
+
+(* ------------------------------------------------------------------ *)
+(* Random networks                                                     *)
+(* ------------------------------------------------------------------ *)
+
+(* A random equality graph over [n] variables with [m] random edges
+   (cycles allowed — consistent equalities), plus [f] uni-addition
+   constraints feeding fresh result variables. *)
+let random_network ~n ~edges ~sums rand_int =
+  let net = Engine.create_network ~name:"random" () in
+  let vars = Array.init n (fun i -> ivar net (Printf.sprintf "v%d" i)) in
+  for _ = 1 to edges do
+    let a = vars.(rand_int n) and b = vars.(rand_int n) in
+    if not (Var.equal a b) then ignore (Clib.equality net [ a; b ])
+  done;
+  let results =
+    Array.init sums (fun i ->
+        let r = ivar net (Printf.sprintf "sum%d" i) in
+        let a = vars.(rand_int n) and b = vars.(rand_int n) in
+        let _ = Clib.functional ~kind:"uni-addition" ~f:sum ~result:r net [ a; b ] in
+        r)
+  in
+  (net, vars, results)
+
+let all_satisfied net =
+  List.for_all
+    (fun c -> (not (Cstr.is_enabled c)) || Cstr.is_satisfied c)
+    (List.rev net.Types.net_cstrs)
+
+(* The central safety invariant: no operation — accepted or rejected —
+   ever leaves the network in a state with an unsatisfied constraint.
+   Rejected operations restore; accepted ones were checked; removals
+   erase their dependents. *)
+let prop_network_always_consistent =
+  QCheck.Test.make ~name:"network is never left inconsistent" ~count:60
+    QCheck.(
+      quad (int_range 2 12) (int_range 1 16) (int_range 0 4)
+        (list_of_size Gen.(int_range 1 25) (pair (int_range 0 11) (int_range (-20) 20))))
+    (fun (n, edges, sums, ops) ->
+      let seed = ref 7 in
+      let rand_int k =
+        seed := ((!seed * 1103515245) + 12345) land 0x3fffffff;
+        !seed mod k
+      in
+      let net, vars, _ = random_network ~n ~edges ~sums rand_int in
+      List.for_all
+        (fun (idx, value) ->
+          let v = vars.(idx mod n) in
+          let op = (idx + value) mod 4 in
+          (match op with
+          | 0 -> ignore (Engine.set_user net v value)
+          | 1 -> ignore (Engine.reset net v)
+          | 2 -> ignore (Engine.can_be_set_to net v value)
+          | _ -> (
+            (* remove a random remaining constraint (erases dependents) *)
+            match List.rev net.Types.net_cstrs with
+            | [] -> ()
+            | cstrs ->
+              let c = List.nth cstrs (rand_int (List.length cstrs)) in
+              Network.remove_constraint net c));
+          all_satisfied net)
+        ops)
+
+(* compile/propagate agreement on random two-layer DAGs *)
+let prop_compile_matches_propagation =
+  QCheck.Test.make ~name:"compiled replay = propagated values" ~count:60
+    QCheck.(pair (int_range 2 8) (list_of_size Gen.(int_range 2 8) (int_range (-50) 50)))
+    (fun (pairs, inputs_vals) ->
+      let net = Engine.create_network ~name:"dag" () in
+      let inputs =
+        List.mapi (fun i _ -> ivar net (Printf.sprintf "i%d" i)) inputs_vals
+      in
+      let arr = Array.of_list inputs in
+      let n = Array.length arr in
+      let results =
+        List.init pairs (fun i ->
+            let r = ivar net (Printf.sprintf "r%d" i) in
+            let a = arr.(i mod n) and b = arr.((i * 3 + 1) mod n) in
+            let _ =
+              Clib.functional ~kind:"uni-addition" ~f:sum ~result:r net [ a; b ]
+            in
+            r)
+      in
+      (* drive by propagation *)
+      List.iter2
+        (fun v x -> ignore (Engine.set_user net v x))
+        inputs inputs_vals;
+      let propagated = List.map Var.value results in
+      (* erase results, poke inputs, replay the compiled plan *)
+      let plan = Compile.plan net in
+      List.iter Var.clear results;
+      List.iter2 (fun v x -> Var.poke v x ~just:Types.User) inputs inputs_vals;
+      Compile.replay plan;
+      List.map Var.value results = propagated)
+
+(* dependency duality: w is a consequence of v iff v is an antecedent
+   of w (over propagated values) *)
+let prop_dependency_duality =
+  QCheck.Test.make ~name:"antecedents/consequences duality" ~count:40
+    QCheck.(pair (int_range 3 10) (int_range 1 14))
+    (fun (n, edges) ->
+      let seed = ref 13 in
+      let rand_int k =
+        seed := ((!seed * 48271) + 11) land 0x3fffffff;
+        !seed mod k
+      in
+      let net, vars, _ = random_network ~n ~edges ~sums:2 rand_int in
+      ignore (Engine.set_user net vars.(0) 5);
+      let mem v vs = List.exists (Var.equal v) vs in
+      Array.for_all
+        (fun v ->
+          let conseqs = Dependency.variable_consequences v in
+          List.for_all
+            (fun w ->
+              let ants, _ = Dependency.antecedents w in
+              mem v ants)
+            conseqs)
+        vars)
+
+(* ------------------------------------------------------------------ *)
+(* Agenda discipline (model-based)                                     *)
+(* ------------------------------------------------------------------ *)
+
+let prop_agenda_priority_fifo =
+  QCheck.Test.make ~name:"agenda pops by priority then FIFO" ~count:100
+    QCheck.(list_of_size Gen.(int_range 1 30) (int_range 0 3))
+    (fun priorities ->
+      let net = Engine.create_network ~name:"a" () in
+      let v = ivar net "v" in
+      let agenda = Agenda.create () in
+      (* model: list of (priority, seq) in insertion order *)
+      let cstrs =
+        List.mapi
+          (fun i p ->
+            let c =
+              Cstr.make net ~kind:(Printf.sprintf "c%d" i)
+                ~propagate:(fun _ _ _ -> Ok ())
+                ~satisfied:(fun _ -> true)
+                [ v ]
+            in
+            ignore (Agenda.schedule agenda ~priority:p c ~var:None);
+            (p, i, c))
+          priorities
+      in
+      let expected =
+        List.stable_sort (fun (p1, i1, _) (p2, i2, _) ->
+            match compare p1 p2 with 0 -> compare i1 i2 | c -> c)
+          cstrs
+      in
+      let rec drain acc =
+        match Agenda.pop agenda with
+        | None -> List.rev acc
+        | Some e -> drain (e.Types.e_cstr :: acc)
+      in
+      let popped = drain [] in
+      List.length popped = List.length expected
+      && List.for_all2 (fun c (_, _, c') -> Cstr.equal c c') popped expected)
+
+(* ------------------------------------------------------------------ *)
+(* Dval algebra and parser                                             *)
+(* ------------------------------------------------------------------ *)
+
+let gen_numeric =
+  QCheck.(
+    oneof
+      [
+        map (fun i -> Dval.Int i) (int_range (-1000) 1000);
+        map (fun f -> Dval.Float f) (float_range (-100.0) 100.0);
+      ])
+
+let prop_dval_add_commutes =
+  QCheck.Test.make ~name:"Dval.add commutes" ~count:200
+    QCheck.(pair gen_numeric gen_numeric)
+    (fun (a, b) ->
+      match (Dval.add a b, Dval.add b a) with
+      | Some x, Some y -> Dval.equal x y
+      | None, None -> true
+      | _ -> false)
+
+let prop_dval_max_assoc =
+  QCheck.Test.make ~name:"Dval.maximum order-independent" ~count:200
+    QCheck.(list_of_size Gen.(int_range 1 6) gen_numeric)
+    (fun xs ->
+      match (Dval.maximum xs, Dval.maximum (List.rev xs)) with
+      | Some a, Some b -> Dval.equal a b
+      | None, None -> true
+      | _ -> false)
+
+let prop_dval_compatible_symmetric =
+  let nodes = Signal_types.Type_tree.all Signal_types.Standard.data_hierarchy in
+  QCheck.Test.make ~name:"Dval.compatible symmetric on types" ~count:200
+    QCheck.(pair (oneofl nodes) (oneofl nodes))
+    (fun (a, b) ->
+      Dval.compatible (Dval.Dtype a) (Dval.Dtype b)
+      = Dval.compatible (Dval.Dtype b) (Dval.Dtype a))
+
+let prop_dval_parser_roundtrip_ints =
+  QCheck.Test.make ~name:"of_string round-trips ints" ~count:200
+    QCheck.(int_range (-100000) 100000)
+    (fun i -> Dval.of_string (string_of_int i) = Some (Dval.Int i))
+
+let test_dval_parser_cases () =
+  let check s expected =
+    Alcotest.(check (option string))
+      s expected
+      (Option.map Dval.to_string (Dval.of_string s))
+  in
+  check "8" (Some "8");
+  check "1.5" (Some "1.5");
+  check "true" (Some "true");
+  check "rect 0 0 10 20" (Some "[(0, 0) 10x20]");
+  check "1..32" (Some "[1..32]");
+  check "data:BCDSignal" (Some "data:BCDSignal");
+  check "elec:CMOS" (Some "elec:CMOS");
+  check "\"hello\"" (Some "\"hello\"");
+  check "data:NoSuchType" None;
+  check "rect 0 0 -1 5" None;
+  check "garbage!" None
+
+(* ------------------------------------------------------------------ *)
+(* Stretching                                                          *)
+(* ------------------------------------------------------------------ *)
+
+let gen_rect =
+  QCheck.(
+    map
+      (fun ((x, y), (w, h)) ->
+        Geometry.Rect.make (Geometry.Point.make x y) ~width:(w + 1) ~height:(h + 1))
+      (pair (pair (int_range (-40) 40) (int_range (-40) 40))
+         (pair (int_range 0 40) (int_range 0 40))))
+
+let prop_stretch_corners_to_corners =
+  QCheck.Test.make ~name:"stretch maps corners to corners" ~count:200
+    QCheck.(pair gen_rect gen_rect)
+    (fun (from_, to_) ->
+      let open Geometry in
+      Point.equal (Stem.Stretch.stretch_point ~from_ ~to_ (Rect.ll from_)) (Rect.ll to_)
+      && Point.equal (Stem.Stretch.stretch_point ~from_ ~to_ (Rect.ur from_)) (Rect.ur to_))
+
+let prop_stretch_identity =
+  QCheck.Test.make ~name:"stretch onto itself is identity (corner-exact)" ~count:200
+    gen_rect
+    (fun box ->
+      let open Geometry in
+      let probe = Rect.center box in
+      (* integer scaling by equal extents is exact *)
+      Point.equal (Stem.Stretch.stretch_point ~from_:box ~to_:box probe) probe)
+
+let suite =
+  let tc = Alcotest.test_case in
+  ( "properties",
+    [
+      QCheck_alcotest.to_alcotest prop_network_always_consistent;
+      QCheck_alcotest.to_alcotest prop_compile_matches_propagation;
+      QCheck_alcotest.to_alcotest prop_dependency_duality;
+      QCheck_alcotest.to_alcotest prop_agenda_priority_fifo;
+      QCheck_alcotest.to_alcotest prop_dval_add_commutes;
+      QCheck_alcotest.to_alcotest prop_dval_max_assoc;
+      QCheck_alcotest.to_alcotest prop_dval_compatible_symmetric;
+      QCheck_alcotest.to_alcotest prop_dval_parser_roundtrip_ints;
+      tc "Dval parser cases" `Quick test_dval_parser_cases;
+      QCheck_alcotest.to_alcotest prop_stretch_corners_to_corners;
+      QCheck_alcotest.to_alcotest prop_stretch_identity;
+    ] )

@@ -1,0 +1,94 @@
+(* Tests for the constraint-editor command shell (§5.4). *)
+
+let contains = Astring_contains.contains
+
+let mkenv () =
+  let env = Stem.Env.create () in
+  let acc = Cell_library.Datapath.accumulator ~spec:180.0 env in
+  ignore
+    (Delay.Delay_network.delay env acc.Cell_library.Datapath.acc ~from_:"in"
+       ~to_:"out");
+  env
+
+let run env cmds = Shell.execute_script env cmds
+
+let test_show_and_vars () =
+  let env = mkenv () in
+  let out = run env [ "vars delay" ] in
+  Alcotest.(check bool) "lists delay vars" true (contains out "REG8.d->q.delay");
+  let out = run env [ "show ACCUMULATOR.in->out.delay" ] in
+  Alcotest.(check bool) "shows value" true (contains out "170");
+  let out = run env [ "show NO.SUCH" ] in
+  Alcotest.(check bool) "miss reported" true (contains out "no variable")
+
+let test_set_and_propagate () =
+  let env = mkenv () in
+  let out =
+    run env [ "set REG8.d->q.delay 45.0"; "show ACCUMULATOR.in->out.delay" ]
+  in
+  Alcotest.(check bool) "assignment accepted" true (contains out "ok:");
+  Alcotest.(check bool) "propagated to 155" true (contains out "155")
+
+let test_violating_set_reports () =
+  let env = mkenv () in
+  (* the adder's internal spec is 120 ns *)
+  let out = run env [ "set ADDER8.a->s.delay 130.0"; "show ADDER8.a->s.delay" ] in
+  Alcotest.(check bool) "violation printed" true (contains out "!!");
+  Alcotest.(check bool) "value restored" true (contains out "105")
+
+let test_traces_and_dump () =
+  let env = mkenv () in
+  let out = run env [ "antecedents ACCUMULATOR.in->out.delay" ] in
+  Alcotest.(check bool) "antecedents reach the register" true
+    (contains out "REG8.d->q.delay");
+  let out = run env [ "consequences REG8.d->q.delay" ] in
+  Alcotest.(check bool) "consequences reach the top delay" true
+    (contains out "ACCUMULATOR.in->out.delay");
+  let out = run env [ "dump" ] in
+  Alcotest.(check bool) "dump shows counts" true (contains out "variables")
+
+let test_switch_and_check () =
+  let env = mkenv () in
+  let out =
+    run env
+      [
+        "off";
+        "set ADDER8.a->s.delay 130.0" (* plain store while off *);
+        "check";
+        "on";
+      ]
+  in
+  Alcotest.(check bool) "off acknowledged" true (contains out "propagation off");
+  Alcotest.(check bool) "batch check finds the violation" true
+    (contains out "VIOLATED")
+
+let test_bad_input () =
+  let env = mkenv () in
+  let out = run env [ "set REG8.d->q.delay not-a-value" ] in
+  Alcotest.(check bool) "parse failure reported" true (contains out "cannot parse");
+  let out = run env [ "frobnicate" ] in
+  Alcotest.(check bool) "unknown command reported" true (contains out "unknown command");
+  let out = run env [ "cstr banana" ] in
+  Alcotest.(check bool) "non-integer id reported" true (contains out "integer")
+
+let test_disable_enable_remove () =
+  let env = mkenv () in
+  let out = run env [ "cstrs" ] in
+  Alcotest.(check bool) "constraints listed" true (contains out "less-equal");
+  (* find some constraint id from the listing: use id 0 *)
+  let out = run env [ "disable 0"; "enable 0" ] in
+  Alcotest.(check bool) "toggles reported" true
+    (contains out "disabled" && contains out "enabled")
+
+let suite =
+  let tc = Alcotest.test_case in
+  ( "shell",
+    [
+      tc "show and vars" `Quick test_show_and_vars;
+      tc "set and propagate" `Quick test_set_and_propagate;
+      tc "violating set reports" `Quick test_violating_set_reports;
+      tc "traces and dump" `Quick test_traces_and_dump;
+      tc "switch and check" `Quick test_switch_and_check;
+      tc "bad input" `Quick test_bad_input;
+      tc "disable/enable/remove" `Quick test_disable_enable_remove;
+    ] )

@@ -1,0 +1,102 @@
+(* Tests for the signal-type hierarchies of Fig. 7.2 and the
+   compatibility / abstractness relations of §7.1. *)
+
+open Signal_types
+
+let node = Alcotest.testable Type_tree.pp Type_tree.equal
+
+let test_standard_shape () =
+  Alcotest.(check string) "data root" "DataType" (Type_tree.name Standard.data_type);
+  Alcotest.(check int) "data hierarchy size" 8
+    (List.length (Type_tree.all Standard.data_hierarchy));
+  Alcotest.(check int) "electrical hierarchy size" 6
+    (List.length (Type_tree.all Standard.electrical_hierarchy));
+  Alcotest.check node "parent of TTL" Standard.digital
+    (Option.get (Type_tree.parent Standard.ttl));
+  Alcotest.(check int) "depth of BCD" 2 (Type_tree.depth Standard.bcd)
+
+let test_compatibility () =
+  let open Type_tree in
+  Alcotest.(check bool) "integer ~ bcd" true
+    (is_compatible Standard.integer_signal Standard.bcd);
+  Alcotest.(check bool) "bcd ~ integer (symmetric)" true
+    (is_compatible Standard.bcd Standard.integer_signal);
+  Alcotest.(check bool) "bcd !~ a2c (siblings)" false
+    (is_compatible Standard.bcd Standard.a2c_int);
+  Alcotest.(check bool) "bit !~ integer" false
+    (is_compatible Standard.bit Standard.integer_signal);
+  Alcotest.(check bool) "root ~ everything" true
+    (is_compatible Standard.data_type Standard.whole);
+  Alcotest.(check bool) "self compatible" true (is_compatible Standard.ttl Standard.ttl)
+
+let test_abstractness () =
+  let open Type_tree in
+  Alcotest.(check bool) "bcd less abstract than integer" true
+    (is_less_abstract Standard.bcd Standard.integer_signal);
+  Alcotest.(check bool) "integer not less abstract than bcd" false
+    (is_less_abstract Standard.integer_signal Standard.bcd);
+  Alcotest.(check bool) "not less abstract than self" false
+    (is_less_abstract Standard.ttl Standard.ttl)
+
+let test_least_abstract () =
+  let open Type_tree in
+  Alcotest.check node "least of integer/bcd" Standard.bcd
+    (Option.get (least_abstract Standard.integer_signal Standard.bcd));
+  Alcotest.(check bool) "least of siblings = None" true
+    (least_abstract Standard.bcd Standard.a2c_int = None);
+  Alcotest.check node "least over a chain" Standard.cmos
+    (Option.get
+       (least_abstract_all [ Standard.electrical_type; Standard.digital; Standard.cmos ]));
+  Alcotest.(check bool) "least over incompatible list = None" true
+    (least_abstract_all [ Standard.cmos; Standard.analog ] = None);
+  Alcotest.(check bool) "least over empty = None" true (least_abstract_all [] = None)
+
+let test_registration () =
+  let h = Standard.make_data_hierarchy () in
+  let integer = Type_tree.find h "IntegerSignal" in
+  let gray = Type_tree.add h ~parent:integer "GraySignal" in
+  Alcotest.(check bool) "new type compatible with parent" true
+    (Type_tree.is_compatible gray integer);
+  Alcotest.(check bool) "duplicate registration rejected" true
+    (try
+       ignore (Type_tree.add h ~parent:integer "GraySignal");
+       false
+     with Invalid_argument _ -> true);
+  Alcotest.(check bool) "find_opt hit" true (Type_tree.find_opt h "GraySignal" <> None);
+  Alcotest.(check bool) "find_opt miss" true (Type_tree.find_opt h "Nope" = None);
+  (* the fresh hierarchy is independent of the global one *)
+  Alcotest.(check bool) "global untouched" true
+    (Type_tree.find_opt Standard.data_hierarchy "GraySignal" = None)
+
+let test_ancestors () =
+  let names = List.map Type_tree.name (Type_tree.ancestors Standard.bcd) in
+  Alcotest.(check (list string)) "ancestors chain"
+    [ "BCDSignal"; "IntegerSignal"; "DataType" ] names
+
+let prop_least_abstract_comm =
+  (* least_abstract is commutative and picks a deeper-or-equal node *)
+  let nodes = Type_tree.all Standard.data_hierarchy in
+  QCheck.Test.make ~name:"least_abstract commutative and deepest" ~count:200
+    QCheck.(pair (oneofl nodes) (oneofl nodes))
+    (fun (a, b) ->
+      let ab = Type_tree.least_abstract a b and ba = Type_tree.least_abstract b a in
+      match (ab, ba) with
+      | None, None -> not (Type_tree.is_compatible a b)
+      | Some x, Some y ->
+        Type_tree.equal x y
+        && Type_tree.depth x >= Type_tree.depth a
+        && Type_tree.depth x >= Type_tree.depth b
+      | _ -> false)
+
+let suite =
+  let tc = Alcotest.test_case in
+  ( "signal_types",
+    [
+      tc "standard hierarchy shape" `Quick test_standard_shape;
+      tc "compatibility" `Quick test_compatibility;
+      tc "abstractness" `Quick test_abstractness;
+      tc "least abstract" `Quick test_least_abstract;
+      tc "runtime registration" `Quick test_registration;
+      tc "ancestors" `Quick test_ancestors;
+      QCheck_alcotest.to_alcotest prop_least_abstract_comm;
+    ] )

@@ -1,0 +1,152 @@
+(* Tests for the SPICE substrate: extraction, transient simulation,
+   measurement, and the outdated-marking of simulation views
+   (§6.4.2). *)
+
+open Stem.Design
+module Cell = Stem.Cell
+module Enet = Stem.Enet
+module El = Spice.Element
+module St = Signal_types.Standard
+
+let mk_inverter env =
+  let gates = Cell_library.Gates.make env in
+  let inv = gates.Cell_library.Gates.inverter in
+  Spice.Gate_templates.inverter env inv ~in_:"in" ~out:"out";
+  (gates, inv)
+
+let test_extract_leaf () =
+  let env = Stem.Env.create () in
+  let _, inv = mk_inverter env in
+  let nl = Spice.Netlist.extract env inv in
+  Alcotest.(check int) "3 elements (2 mos + cap)" 3 (Spice.Netlist.size nl);
+  Alcotest.(check int) "two io nodes" 2 (List.length nl.Spice.Netlist.nl_io);
+  let deck = Spice.Netlist.to_deck nl in
+  Alcotest.(check bool) "deck mentions NFET" true
+    (Astring_contains.contains deck "NFET");
+  Alcotest.(check bool) "deck mentions .end" true
+    (Astring_contains.contains deck ".end")
+
+let test_extract_hierarchy () =
+  let env = Stem.Env.create () in
+  let gates, _inv = mk_inverter env in
+  let chain = Cell_library.Gates.inverter_chain env gates ~n:3 in
+  let nl = Spice.Netlist.extract env chain in
+  Alcotest.(check int) "3 inverters flattened" 9 (Spice.Netlist.size nl);
+  (* missing template raises *)
+  let bare = Cell.create env ~name:"BARE" () in
+  ignore (Cell.add_signal env bare ~name:"x" ~dir:Input ());
+  Alcotest.(check bool) "missing template raises" true
+    (try
+       ignore (Spice.Netlist.extract env bare);
+       false
+     with Spice.Netlist.Extraction_error _ -> true)
+
+let test_inverter_inverts () =
+  let env = Stem.Env.create () in
+  let _, inv = mk_inverter env in
+  let nl = Spice.Netlist.extract env inv in
+  let stimuli = [ Spice.Sim.step ~at:2.0 ~low:0.0 ~high:5.0 "in" ] in
+  let res = Spice.Sim.transient nl ~stimuli ~t_end:10.0 () in
+  let out = Option.get (Spice.Sim.waveform res "out") in
+  (* before the step the input is low, so the output settles high *)
+  (* sample just before the input step at t = 2 ns *)
+  let v_early =
+    let rec find i =
+      if i + 1 >= Array.length out.Spice.Sim.wf_times then i
+      else if out.Spice.Sim.wf_times.(i + 1) >= 1.8 then i
+      else find (i + 1)
+    in
+    out.Spice.Sim.wf_values.(find 0)
+  in
+  let v_final = Spice.Measure.final_value out in
+  Alcotest.(check bool) "output was high" true (v_early > 4.0);
+  Alcotest.(check bool) "output settles low" true (v_final < 1.0)
+
+let test_chain_delay_measured () =
+  let env = Stem.Env.create () in
+  let gates, _ = mk_inverter env in
+  let chain = Cell_library.Gates.inverter_chain env gates ~n:3 in
+  let nl = Spice.Netlist.extract env chain in
+  let stimuli = [ Spice.Sim.step ~at:2.0 ~low:0.0 ~high:5.0 "in" ] in
+  let res = Spice.Sim.transient nl ~stimuli ~t_end:15.0 () in
+  let inp = Option.get (Spice.Sim.waveform res "in") in
+  let out = Option.get (Spice.Sim.waveform res "out") in
+  match Spice.Measure.propagation_delay ~input:inp ~output:out ~threshold:2.5 () with
+  | Some d ->
+    (* an odd chain inverts; delay must be positive and sub-ns-scale *)
+    Alcotest.(check bool) "positive delay" true (d > 0.0);
+    Alcotest.(check bool) "plausible magnitude" true (d < 5.0);
+    (* the final output value is inverted: input high -> output low *)
+    Alcotest.(check bool) "inverted polarity" true
+      (Spice.Measure.final_value out < 1.0)
+  | None -> Alcotest.fail "no transition observed"
+
+let test_xor_truth_table () =
+  let env = Stem.Env.create () in
+  let gates = Cell_library.Gates.make env in
+  let xor = gates.Cell_library.Gates.xor2 in
+  Spice.Gate_templates.xor2 env xor ~a:"a" ~b:"b" ~y:"y";
+  let nl = Spice.Netlist.extract env xor in
+  let run va vb =
+    let stimuli = [ Spice.Sim.dc va 0.0 "a"; Spice.Sim.dc vb 0.0 "b" ] in
+    let res = Spice.Sim.transient nl ~stimuli ~t_end:20.0 () in
+    Spice.Measure.final_value (Option.get (Spice.Sim.waveform res "y"))
+  in
+  Alcotest.(check bool) "0^0=0" true (run 0.0 0.0 < 1.0);
+  Alcotest.(check bool) "1^0=1" true (run 5.0 0.0 > 4.0);
+  Alcotest.(check bool) "0^1=1" true (run 0.0 5.0 > 4.0);
+  Alcotest.(check bool) "1^1=0" true (run 5.0 5.0 < 1.0)
+
+let test_spice_view_outdated () =
+  let env = Stem.Env.create () in
+  let gates, _ = mk_inverter env in
+  let chain = Cell_library.Gates.inverter_chain env gates ~n:2 in
+  let sim = Spice.Spice_view.simulation env chain in
+  Alcotest.(check bool) "no result yet" true (Spice.Spice_view.last_result sim = None);
+  let stimuli = [ Spice.Sim.step ~at:1.0 ~low:0.0 ~high:5.0 "in" ] in
+  ignore (Spice.Spice_view.run sim ~stimuli ~t_end:5.0 ());
+  Alcotest.(check bool) "fresh after run" false (Spice.Spice_view.is_outdated sim);
+  (* editing the design marks the simulation outdated (§6.4.2) *)
+  Stem.View.changed ~key:"structure" chain;
+  Alcotest.(check bool) "outdated after edit" true (Spice.Spice_view.is_outdated sim);
+  ignore (Spice.Spice_view.run sim ~stimuli ~t_end:5.0 ());
+  Alcotest.(check bool) "fresh again" false (Spice.Spice_view.is_outdated sim)
+
+let test_spice_net_lazy () =
+  let env = Stem.Env.create () in
+  let gates, _ = mk_inverter env in
+  let chain = Cell_library.Gates.inverter_chain env gates ~n:2 in
+  let sn = Spice.Spice_view.spice_net env chain in
+  ignore (Spice.Spice_view.deck sn);
+  Alcotest.(check bool) "cached" false (Spice.Spice_view.is_erased sn);
+  (* a pure layout change does not erase the net-list view *)
+  Stem.View.changed ~key:"layout" chain;
+  Alcotest.(check bool) "layout change ignored" false (Spice.Spice_view.is_erased sn);
+  Stem.View.changed ~key:"structure" chain;
+  Alcotest.(check bool) "structure change erases" true (Spice.Spice_view.is_erased sn)
+
+let test_ascii_plot () =
+  let wf =
+    {
+      Spice.Sim.wf_signal = "x";
+      wf_times = Array.init 10 float_of_int;
+      wf_values = Array.init 10 (fun i -> float_of_int i);
+    }
+  in
+  let s = Spice.Measure.ascii_plot ~width:10 ~height:5 wf in
+  Alcotest.(check bool) "plot has header" true (Astring_contains.contains s "x [0..9 V]");
+  Alcotest.(check bool) "plot has marks" true (Astring_contains.contains s "*")
+
+let suite =
+  let tc = Alcotest.test_case in
+  ( "spice",
+    [
+      tc "extract leaf" `Quick test_extract_leaf;
+      tc "extract hierarchy" `Quick test_extract_hierarchy;
+      tc "inverter inverts" `Quick test_inverter_inverts;
+      tc "chain delay measured" `Quick test_chain_delay_measured;
+      tc "xor truth table" `Slow test_xor_truth_table;
+      tc "simulation outdated marking" `Quick test_spice_view_outdated;
+      tc "netlist view laziness" `Quick test_spice_net_lazy;
+      tc "ascii plot" `Quick test_ascii_plot;
+    ] )

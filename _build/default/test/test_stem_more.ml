@@ -1,0 +1,163 @@
+(* Second round of STEM integration tests: instance-specific bit widths
+   (§7.1's compiled-cell case), electrical-type conflicts, placement
+   changes, cell reports, and the rebind guard. *)
+
+open Constraint_kernel
+open Stem.Design
+module Cell = Stem.Cell
+module Enet = Stem.Enet
+module Point = Geometry.Point
+module Rect = Geometry.Rect
+module St = Signal_types.Standard
+
+let ok = function Ok () -> true | Error _ -> false
+
+let test_own_width_per_instance () =
+  (* "Compiled cell instances of the same class may have different bit
+     widths, so signals for these cell instances may have their own
+     bitWidth variables" (§7.1) *)
+  let env = Stem.Env.create () in
+  let reg = Cell.create env ~name:"REGN" () in
+  ignore (Cell.add_signal env reg ~name:"d" ~dir:Input ~data:St.bit ~elec:St.cmos ());
+  let top = Cell.create env ~name:"TOP" () in
+  let i1 = Cell.instantiate env ~parent:top ~of_:reg ~name:"r1" () in
+  let i2 = Cell.instantiate env ~parent:top ~of_:reg ~name:"r2" () in
+  let _w1 = Cell.own_width env i1 ~signal:"d" ~width:8 () in
+  let _w2 = Cell.own_width env i2 ~signal:"d" ~width:4 () in
+  (* each instance connects to a net of its own width without conflict *)
+  let src8 = Cell.create env ~name:"SRC8" () in
+  ignore
+    (Cell.add_signal env src8 ~name:"q" ~dir:Output ~data:St.bit ~elec:St.cmos
+       ~width:8 ());
+  let src4 = Cell.create env ~name:"SRC4" () in
+  ignore
+    (Cell.add_signal env src4 ~name:"q" ~dir:Output ~data:St.bit ~elec:St.cmos
+       ~width:4 ());
+  let s8 = Cell.instantiate env ~parent:top ~of_:src8 ~name:"s8" () in
+  let s4 = Cell.instantiate env ~parent:top ~of_:src4 ~name:"s4" () in
+  let n8 = Cell.add_net env top ~name:"n8" in
+  let n4 = Cell.add_net env top ~name:"n4" in
+  Alcotest.(check bool) "8-bit net to r1" true
+    (ok (Enet.connect env n8 (Sub_pin (s8, "q")))
+    && ok (Enet.connect env n8 (Sub_pin (i1, "d"))));
+  Alcotest.(check bool) "4-bit net to r2" true
+    (ok (Enet.connect env n4 (Sub_pin (s4, "q")))
+    && ok (Enet.connect env n4 (Sub_pin (i2, "d"))));
+  (* crossing them violates *)
+  let i3 = Cell.instantiate env ~parent:top ~of_:reg ~name:"r3" () in
+  let _ = Cell.own_width env i3 ~signal:"d" ~width:8 () in
+  Alcotest.(check bool) "8-bit instance on 4-bit net violates" false
+    (ok (Enet.connect env n4 (Sub_pin (i3, "d"))));
+  (* own_width is memoized *)
+  let w1a = Cell.own_width env i1 ~signal:"d" () in
+  let w1b = Cell.own_width env i1 ~signal:"d" () in
+  Alcotest.(check bool) "memoized" true (Var.equal w1a w1b)
+
+let test_electrical_type_conflict () =
+  let env = Stem.Env.create () in
+  let ttl = Cell.create env ~name:"TTLCELL" () in
+  ignore (Cell.add_signal env ttl ~name:"p" ~dir:Output ~elec:St.ttl ());
+  let cmos = Cell.create env ~name:"CMOSCELL" () in
+  ignore (Cell.add_signal env cmos ~name:"p" ~dir:Input ~elec:St.cmos ());
+  let dig = Cell.create env ~name:"DIGCELL" () in
+  ignore (Cell.add_signal env dig ~name:"p" ~dir:Input ~elec:St.digital ());
+  let top = Cell.create env ~name:"TOP" () in
+  let t = Cell.instantiate env ~parent:top ~of_:ttl ~name:"t" () in
+  let c = Cell.instantiate env ~parent:top ~of_:cmos ~name:"c" () in
+  let d = Cell.instantiate env ~parent:top ~of_:dig ~name:"d" () in
+  let net = Cell.add_net env top ~name:"n" in
+  Alcotest.(check bool) "ttl in" true (ok (Enet.connect env net (Sub_pin (t, "p"))));
+  (* Digital is an ancestor of TTL: compatible *)
+  Alcotest.(check bool) "digital compatible" true
+    (ok (Enet.connect env net (Sub_pin (d, "p"))));
+  (* CMOS is a sibling of TTL: incompatible *)
+  Alcotest.(check bool) "cmos sibling rejected" false
+    (ok (Enet.connect env net (Sub_pin (c, "p"))))
+
+let test_set_instance_transform_updates () =
+  let env = Stem.Env.create () in
+  let leaf = Cell.create env ~name:"LEAF" () in
+  ignore (Cell.set_class_bbox env leaf (Rect.make Point.origin ~width:10 ~height:20));
+  let top = Cell.create env ~name:"TOP" () in
+  let i = Cell.instantiate env ~parent:top ~of_:leaf ~name:"u" () in
+  Alcotest.(check (option string)) "initial placement" (Some "[(0, 0) 10x20]")
+    (Option.map Rect.to_string (Cell.instance_bbox env i));
+  Cell.set_instance_transform env i
+    (Geometry.Transform.translation (Point.make 30 0));
+  Alcotest.(check (option string)) "moved placement" (Some "[(30, 0) 10x20]")
+    (Option.map Rect.to_string (Cell.instance_bbox env i));
+  (* parent bbox follows *)
+  Alcotest.(check (option string)) "parent recomputed" (Some "[(30, 0) 10x20]")
+    (Option.map Rect.to_string (Cell.bounding_box env top))
+
+let test_cell_report_and_constraints () =
+  let env = Stem.Env.create () in
+  let acc = Cell_library.Datapath.accumulator ~spec:180.0 env in
+  ignore
+    (Delay.Delay_network.delay env acc.Cell_library.Datapath.acc ~from_:"in"
+       ~to_:"out");
+  let cs = Checking.Check.cell_constraints acc.Cell_library.Datapath.acc in
+  Alcotest.(check bool) "cell has constraints" true (List.length cs > 5);
+  let report = Checking.Check.report env acc.Cell_library.Datapath.acc in
+  Alcotest.(check bool) "clean report" true
+    (Astring_contains.contains report "all constraints satisfied");
+  (* force a violation state by disabling propagation and storing a bad
+     value directly *)
+  Engine.disable env.env_cnet;
+  ignore
+    (Engine.set_user env.env_cnet acc.Cell_library.Datapath.acc_delay.cd_var
+       (Dval.Float 999.0));
+  Engine.enable env.env_cnet;
+  let bad = Checking.Check.check_cell env acc.Cell_library.Datapath.acc in
+  Alcotest.(check bool) "violation listed" true (bad <> [])
+
+let test_rebind_requires_interface () =
+  let env = Stem.Env.create () in
+  let a = Cell.create env ~name:"A" () in
+  ignore (Cell.add_signal env a ~name:"x" ~dir:Input ());
+  let b = Cell.create env ~name:"B" () in
+  (* B lacks signal x *)
+  ignore (Cell.add_signal env b ~name:"y" ~dir:Input ());
+  let top = Cell.create env ~name:"TOP" () in
+  let i = Cell.instantiate env ~parent:top ~of_:a ~name:"u" () in
+  Alcotest.(check bool) "incompatible rebind rejected" true
+    (try
+       ignore (Cell.rebind env i ~to_:b);
+       false
+     with Invalid_argument _ -> true);
+  Alcotest.(check string) "instance unchanged" "A" i.inst_of.cc_name
+
+let test_generic_cell_usable_in_design () =
+  (* generic cells are used "in much the same ways as any other cell"
+     (Ch. 8): placement, connection, checking all work *)
+  let env = Stem.Env.create () in
+  let adders = Cell_library.Adders.fig_8_1 env in
+  let g = adders.Cell_library.Adders.add8 in
+  Alcotest.(check bool) "generic" true (Cell.is_generic g);
+  Alcotest.(check int) "two concrete descendants" 2
+    (List.length (Cell.concrete_descendants g));
+  let top = Cell.create env ~name:"TOP" () in
+  let i = Cell.instantiate env ~parent:top ~of_:g ~name:"u" () in
+  Alcotest.(check bool) "instance box defaulted from ideal" true
+    (Var.value i.inst_bbox <> None);
+  let src = Cell.create env ~name:"SRC" () in
+  ignore
+    (Cell.add_signal env src ~name:"q" ~dir:Output ~data:St.a2c_int ~elec:St.cmos
+       ~width:8 ());
+  let s = Cell.instantiate env ~parent:top ~of_:src ~name:"s" () in
+  let n = Cell.add_net env top ~name:"n" in
+  Alcotest.(check bool) "generic connects and checks" true
+    (ok (Enet.connect env n (Sub_pin (s, "q")))
+    && ok (Enet.connect env n (Sub_pin (i, "a"))))
+
+let suite =
+  let tc = Alcotest.test_case in
+  ( "stem-more",
+    [
+      tc "own width per instance" `Quick test_own_width_per_instance;
+      tc "electrical type conflict" `Quick test_electrical_type_conflict;
+      tc "transform change updates boxes" `Quick test_set_instance_transform_updates;
+      tc "cell report and constraints" `Quick test_cell_report_and_constraints;
+      tc "rebind interface guard" `Quick test_rebind_requires_interface;
+      tc "generic cell in a design" `Quick test_generic_cell_usable_in_design;
+    ] )
