@@ -57,6 +57,24 @@ let complexity_sweep =
   in
   Test.make_grouped ~name:"complexity" ~fmt:"%s %s" (List.map mk [ 10; 100; 1000 ])
 
+(* E15: what the fault-tolerance layer costs on the hot path — the E11
+   chain with step-budget accounting on, and with never-firing fault
+   wrappers on every constraint (the injection indirection alone) *)
+let safety_overhead =
+  let baseline =
+    let _, run = Workloads.equality_chain 1000 in
+    Test.make ~name:"E15 chain n=1000 (safety traps only)" (Staged.stage run)
+  in
+  let budgeted =
+    let _, run = Workloads.chain_budgeted 1000 ~budget:1_000_000 in
+    Test.make ~name:"E15 chain n=1000 + step budget" (Staged.stage run)
+  in
+  let wrapped =
+    let _, run, _ = Workloads.chain_wrapped 1000 in
+    Test.make ~name:"E15 chain n=1000 + idle fault wrappers" (Staged.stage run)
+  in
+  Test.make_grouped ~name:"safety" ~fmt:"%s %s" [ baseline; budgeted; wrapped ]
+
 let star_sweep =
   let mk n =
     let _, run = Workloads.equality_star n in
@@ -271,6 +289,7 @@ let () =
   benchmark_and_print
     [
       complexity_sweep;
+      safety_overhead;
       star_sweep;
       hier_vs_flat;
       agenda_vs_eager;

@@ -51,6 +51,29 @@ let equality_star n =
   (net, run)
 
 (* ------------------------------------------------------------------ *)
+(* E15: overhead of the fault-tolerance layer                          *)
+(* ------------------------------------------------------------------ *)
+
+(* The exception traps around every user closure are always on; these
+   variants measure the two optional parts on the same E11 chain: the
+   per-inference step-budget accounting, and a fault-injection wrapper
+   that never fires (the pure indirection cost of instrumenting every
+   constraint). *)
+let chain_budgeted n ~budget =
+  let net, run = equality_chain n in
+  Engine.set_step_budget net (Some budget);
+  (net, run)
+
+let chain_wrapped n =
+  let net, run = equality_chain n in
+  let injections =
+    List.map
+      (fun c -> Fault.wrap ~mode:(Fault.Throw_on []) c)
+      (List.rev net.Types.net_cstrs)
+  in
+  (net, run, injections)
+
+(* ------------------------------------------------------------------ *)
 (* E4: agenda scheduling vs eager functional propagation (§4.2.1)      *)
 (* ------------------------------------------------------------------ *)
 

@@ -201,6 +201,94 @@ let edit_cmd =
     (Cmd.info "edit" ~doc:"Interactive constraint editor on a demo design (§5.4)")
     Term.(const run_edit $ scenario)
 
+(* ---------------- faults ---------------- *)
+
+(* A deterministic fault-injection demonstration on a plain integer
+   network: a chain of equalities with one flaky constraint in the
+   middle.  Repeated injected failures quarantine the broken constraint;
+   traffic then degrades gracefully (the chain is severed at the broken
+   link but everything else keeps propagating), and the post-restore
+   audit confirms the network is structurally intact throughout. *)
+let run_faults seed threshold prob edits budget =
+  setup_logs ();
+  let open Constraint_kernel in
+  let net = Engine.create_network ~name:"faults" () in
+  Engine.set_fail_threshold net threshold;
+  Engine.set_step_budget net budget;
+  Engine.set_audit_on_restore net true;
+  let n = 8 in
+  let vars =
+    Array.init (n + 1) (fun i ->
+        Var.create net ~owner:"f" ~name:(Printf.sprintf "v%d" i)
+          ~equal:Int.equal ~pp:Fmt.int ())
+  in
+  let cstrs =
+    Array.init n (fun i ->
+        let c, _ = Clib.equality net [ vars.(i); vars.(i + 1) ] in
+        c)
+  in
+  let victim = cstrs.(n / 2) in
+  let inj = Fault.wrap ~seed ~mode:(Fault.Flaky prob) victim in
+  Fmt.pr "chain of %d equalities; %a injected into %a (seed %d)@." n
+    Fault.pp_mode (Fault.Flaky prob) Cstr.pp victim seed;
+  let violations = ref 0 in
+  Engine.set_violation_handler net (fun v ->
+      incr violations;
+      Fmt.pr "  !! %a@." Types.pp_violation v);
+  for tick = 1 to edits do
+    match Engine.set_user net vars.(0) tick with
+    | Ok () -> ()
+    | Error _ -> Fmt.pr "  edit %d rolled back@." tick
+  done;
+  Fmt.pr "@.%d edits, %d violation(s), %d fault(s) fired in %d activation(s)@."
+    edits !violations (Fault.fired inj) (Fault.activations inj);
+  (match Network.quarantined net with
+  | [] -> Fmt.pr "no constraint quarantined@."
+  | qs ->
+    List.iter
+      (fun c ->
+        Fmt.pr "QUARANTINED %a — %s@." Cstr.pp c
+          (Option.value ~default:"?" (Cstr.quarantined c)))
+      qs);
+  (match Network.check_integrity net with
+  | [] -> Fmt.pr "integrity audit: ok@."
+  | issues -> List.iter (fun i -> Fmt.pr "integrity audit: %s@." i) issues);
+  Fmt.pr "final values: head=%a mid=%a tail=%a@."
+    Fmt.(option ~none:(any "NIL") int)
+    (Var.value vars.(0))
+    Fmt.(option ~none:(any "NIL") int)
+    (Var.value vars.(n / 2))
+    Fmt.(option ~none:(any "NIL") int)
+    (Var.value vars.(n));
+  let s = Engine.stats net in
+  Fmt.pr "stats: %a@." Editor.pp_stats s;
+  0
+
+let faults_cmd =
+  let seed =
+    Arg.(value & opt int 0x5eed & info [ "seed" ] ~docv:"N" ~doc:"Fault PRNG seed.")
+  in
+  let threshold =
+    Arg.(value & opt int 3
+         & info [ "threshold" ] ~docv:"N"
+             ~doc:"Failures before a constraint is quarantined (0 = never).")
+  in
+  let prob =
+    Arg.(value & opt float 0.5
+         & info [ "flaky" ] ~docv:"P" ~doc:"Per-activation failure probability.")
+  in
+  let edits =
+    Arg.(value & opt int 20 & info [ "edits" ] ~docv:"N" ~doc:"Assignments to attempt.")
+  in
+  let budget =
+    Arg.(value & opt (some int) None
+         & info [ "budget" ] ~docv:"N" ~doc:"Per-episode inference step budget.")
+  in
+  Cmd.v
+    (Cmd.info "faults"
+       ~doc:"Deterministic fault injection, quarantine and recovery demo")
+    Term.(const run_faults $ seed $ threshold $ prob $ edits $ budget)
+
 (* ---------------- ripple ---------------- *)
 
 let run_ripple bits =
@@ -240,7 +328,7 @@ let main_cmd =
   Cmd.group (Cmd.info "stem" ~version:"1.0.0" ~doc)
     [
       accumulator_cmd; select_cmd; simulate_cmd; inspect_cmd; check_cmd;
-      edit_cmd; ripple_cmd;
+      edit_cmd; ripple_cmd; faults_cmd;
     ]
 
 let () = exit (Cmd.eval' main_cmd)

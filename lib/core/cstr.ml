@@ -27,6 +27,8 @@ let make net ~kind ?label ?(schedule = Immediate)
       c_fires_on_reset = fires_on_reset;
       c_recompute = recompute;
       c_strength = strength;
+      c_failures = 0;
+      c_quarantined = None;
     }
   in
   net.net_next_cstr_id <- net.net_next_cstr_id + 1;
@@ -51,9 +53,23 @@ let set_enabled c b = c.c_enabled <- b
 
 let is_satisfied c = c.c_satisfied c
 
+(* Exception-safe satisfaction for sweeps over arbitrary constraints
+   (batch checking, the editor): a throwing test reads as unsatisfied
+   rather than aborting the sweep. *)
+let is_satisfied_safe c = try c.c_satisfied c with _ -> false
+
+let failures c = c.c_failures
+
+let quarantined c = c.c_quarantined
+
+let is_quarantined c = c.c_quarantined <> None
+
+let clear_failures c = c.c_failures <- 0
+
 let equal a b = a.c_id = b.c_id
 
 let pp ppf c =
-  Fmt.pf ppf "%s#%d(%a)" c.c_kind c.c_id
+  Fmt.pf ppf "%s#%d(%a)%s" c.c_kind c.c_id
     (Fmt.list ~sep:Fmt.comma Var.pp)
     c.c_args
+    (if c.c_quarantined <> None then " [quarantined]" else "")

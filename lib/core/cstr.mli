@@ -64,6 +64,27 @@ val set_enabled : 'a cstr -> bool -> unit
 
 val is_satisfied : 'a cstr -> bool
 
+(** [is_satisfied] with an exception trap: a throwing satisfaction test
+    reads as unsatisfied. For sweeps (batch checking, the editor) that
+    must survive one broken constraint. *)
+val is_satisfied_safe : 'a cstr -> bool
+
+(** {1 Fault state}
+
+    Maintained by the engine's exception traps; see
+    {!Network.quarantined} for the listing/clearing API. *)
+
+(** Trapped exceptions since the counter was last cleared. *)
+val failures : 'a cstr -> int
+
+(** The recorded quarantine reason, when the constraint has been
+    auto-disabled for repeated failures. *)
+val quarantined : 'a cstr -> string option
+
+val is_quarantined : 'a cstr -> bool
+
+val clear_failures : 'a cstr -> unit
+
 val equal : 'a cstr -> 'a cstr -> bool
 
 val pp : Format.formatter -> 'a cstr -> unit

@@ -34,26 +34,31 @@ let unsatisfied net =
     (fun c ->
       c.c_enabled
       && (not (List.mem c.c_kind net.net_disabled_kinds))
-      && not (c.c_satisfied c))
+      && not (Cstr.is_satisfied_safe c))
     (List.rev net.net_cstrs)
 
 let pp_stats ppf s =
   Fmt.pf ppf
     "propagations=%d assignments=%d inferences=%d scheduled=%d checks=%d \
-     violations=%d"
+     violations=%d trapped=%d quarantined=%d"
     s.st_propagations s.st_assignments s.st_inferences s.st_scheduled s.st_checks
-    s.st_violations
+    s.st_violations s.st_trapped s.st_quarantined
 
 let dump_network ppf net =
   let bad = unsatisfied net in
+  let quarantined =
+    List.filter (fun c -> c.c_quarantined <> None) net.net_cstrs
+  in
   Fmt.pf ppf
     "@[<v2>network %S: %d variables, %d constraints, propagation %s@,stats: %a@,\
-     unsatisfied: %d@,%a@]"
+     quarantined: %d@,unsatisfied: %d@,%a@]"
     net.net_name
     (List.length net.net_vars)
     (List.length net.net_cstrs)
     (if net.net_enabled then "on" else "off")
-    pp_stats net.net_stats (List.length bad)
+    pp_stats net.net_stats
+    (List.length quarantined)
+    (List.length bad)
     (Fmt.list ~sep:Fmt.cut (fun ppf c -> Fmt.pf ppf "- %a" Cstr.pp c))
     bad
 
@@ -89,3 +94,5 @@ let pp_trace_event ppf = function
       (if ok then "satisfied" else "VIOLATED")
   | T_violation viol -> pp_violation ppf viol
   | T_restore v -> Fmt.pf ppf "restore %s" (Var.path v)
+  | T_quarantine (c, reason) ->
+    Fmt.pf ppf "quarantine %s#%d: %s" c.c_kind c.c_id reason

@@ -25,6 +25,9 @@ let create_network ?(name = "network") () =
     net_vars = [];
     net_cstrs = [];
     net_disabled_kinds = [];
+    net_fail_threshold = 3;
+    net_step_budget = None;
+    net_audit_on_restore = false;
     net_stats = fresh_stats ();
   }
 
@@ -45,6 +48,12 @@ let set_violation_handler net h = net.net_on_violation <- h
 
 let set_trace net t = net.net_trace <- t
 
+let set_fail_threshold net n = net.net_fail_threshold <- max 0 n
+
+let set_step_budget net b = net.net_step_budget <- b
+
+let set_audit_on_restore net b = net.net_audit_on_restore <- b
+
 let stats net = net.net_stats
 
 let reset_stats net =
@@ -54,9 +63,97 @@ let reset_stats net =
   s.st_checks <- 0;
   s.st_scheduled <- 0;
   s.st_violations <- 0;
-  s.st_propagations <- 0
+  s.st_propagations <- 0;
+  s.st_trapped <- 0;
+  s.st_quarantined <- 0
 
 let trace net ev = match net.net_trace with None -> () | Some f -> f ev
+
+(* ------------------------------------------------------------------ *)
+(* Fault accounting and quarantine                                     *)
+(* ------------------------------------------------------------------ *)
+
+(* An exception escaped a constraint's inference or satisfaction
+   procedure.  Count it, and when the failure count reaches the
+   network's threshold, quarantine the constraint: disable it with a
+   recorded reason so the broken procedure degrades its own cell rather
+   than wedging every episode that touches it. *)
+let note_failure net c ~where exn =
+  net.net_stats.st_trapped <- net.net_stats.st_trapped + 1;
+  c.c_failures <- c.c_failures + 1;
+  if
+    net.net_fail_threshold > 0
+    && c.c_failures >= net.net_fail_threshold
+    && c.c_quarantined = None
+  then begin
+    let reason =
+      Printf.sprintf "%d failure(s); last: exception in %s: %s" c.c_failures
+        where (Printexc.to_string exn)
+    in
+    c.c_quarantined <- Some reason;
+    c.c_enabled <- false;
+    net.net_stats.st_quarantined <- net.net_stats.st_quarantined + 1;
+    trace net (T_quarantine (c, reason));
+    Log.warn (fun m -> m "quarantined %s#%d: %s" c.c_kind c.c_id reason)
+  end
+
+let trapped_violation net ?cstr ?var ~where exn =
+  (match cstr with
+  | Some c -> note_failure net c ~where exn
+  | None -> net.net_stats.st_trapped <- net.net_stats.st_trapped + 1);
+  violation ?cstr ?var ~exn (Printf.sprintf "exception in %s" where)
+
+(* ------------------------------------------------------------------ *)
+(* Network integrity audit                                             *)
+(* ------------------------------------------------------------------ *)
+
+(* Cross-reference and justification audit, run after a post-violation
+   restore when [net_audit_on_restore] is set (and available directly as
+   [Network.check_integrity]).  Returns human-readable descriptions of
+   every inconsistency found; [] means the var/constraint graph and the
+   justification records are mutually consistent. *)
+let check_integrity net =
+  let issues = ref [] in
+  let add fmt = Printf.ksprintf (fun s -> issues := s :: !issues) fmt in
+  let cstr_ids = Hashtbl.create 64 and var_ids = Hashtbl.create 64 in
+  List.iter (fun c -> Hashtbl.replace cstr_ids c.c_id c) net.net_cstrs;
+  List.iter (fun v -> Hashtbl.replace var_ids v.v_id ()) net.net_vars;
+  let path v = v.v_owner ^ "." ^ v.v_name in
+  List.iter
+    (fun v ->
+      List.iter
+        (fun c ->
+          if not (Hashtbl.mem cstr_ids c.c_id) then
+            add "%s lists %s#%d, which is not registered in the network"
+              (path v) c.c_kind c.c_id
+          else if not (List.exists (fun a -> a.v_id = v.v_id) c.c_args) then
+            add "%s is attached to %s#%d but is not among its arguments"
+              (path v) c.c_kind c.c_id)
+        v.v_cstrs;
+      match v.v_just with
+      | Propagated { source; _ } ->
+        if v.v_value = None then
+          add "%s carries a propagated justification but no value" (path v);
+        if not (Hashtbl.mem cstr_ids source.c_id) then
+          add "%s is justified by %s#%d, which was removed from the network"
+            (path v) source.c_kind source.c_id
+        else if not (List.exists (fun a -> a.v_id = v.v_id) source.c_args) then
+          add "%s is justified by %s#%d but is not one of its arguments"
+            (path v) source.c_kind source.c_id
+      | Default | User | Application | Update | Tentative -> ())
+    net.net_vars;
+  List.iter
+    (fun c ->
+      List.iter
+        (fun a ->
+          if not (Hashtbl.mem var_ids a.v_id) then
+            add "%s#%d argument %s is not registered in the network" c.c_kind
+              c.c_id (path a))
+        c.c_args;
+      if c.c_quarantined <> None && c.c_enabled then
+        add "%s#%d is quarantined yet still enabled" c.c_kind c.c_id)
+    net.net_cstrs;
+  List.rev !issues
 
 (* ------------------------------------------------------------------ *)
 (* Contexts                                                            *)
@@ -71,6 +168,7 @@ let new_ctx net =
     cx_visited_cstrs = Hashtbl.create 32;
     cx_cstr_order = [];
     cx_agenda = Agenda.create ();
+    cx_steps = 0;
   }
 
 let save_state ctx v =
@@ -82,6 +180,9 @@ let save_state ctx v =
 
 let visited ctx v = Hashtbl.mem ctx.cx_visited_vars v.v_id
 
+(* Restoration must complete no matter what the change hooks do: a
+   throwing [v_on_change] is counted and logged, never allowed to leave
+   later variables unrestored. *)
 let restore ctx =
   List.iter
     (fun v ->
@@ -91,7 +192,13 @@ let restore ctx =
         v.v_value <- saved.sv_value;
         v.v_just <- saved.sv_just;
         trace ctx.cx_net (T_restore v);
-        v.v_on_change v)
+        (try v.v_on_change v
+         with e ->
+           ctx.cx_net.net_stats.st_trapped <-
+             ctx.cx_net.net_stats.st_trapped + 1;
+           Log.warn (fun m ->
+               m "on-change hook of %s.%s raised during restore: %s" v.v_owner
+                 v.v_name (Printexc.to_string e))))
     ctx.cx_visited_order
 
 let cstr_enabled ctx c =
@@ -108,9 +215,25 @@ let mark_cstr ctx c =
 (* ------------------------------------------------------------------ *)
 
 let run_inference ctx c changed =
-  ctx.cx_net.net_stats.st_inferences <- ctx.cx_net.net_stats.st_inferences + 1;
-  trace ctx.cx_net (T_activate (c, changed));
-  c.c_propagate ctx c changed
+  let net = ctx.cx_net in
+  ctx.cx_steps <- ctx.cx_steps + 1;
+  match net.net_step_budget with
+  | Some budget when ctx.cx_steps > budget ->
+    Error
+      (violation ~cstr:c
+         (Printf.sprintf
+            "step budget exhausted: more than %d inference runs in one episode"
+            budget))
+  | _ -> (
+    net.net_stats.st_inferences <- net.net_stats.st_inferences + 1;
+    trace net (T_activate (c, changed));
+    match c.c_propagate ctx c changed with
+    | result -> result
+    | exception e ->
+      Error
+        (trapped_violation net ~cstr:c
+           ~where:(Printf.sprintf "propagate of %s#%d" c.c_kind c.c_id)
+           e))
 
 let activate ctx c ~changed =
   if not (cstr_enabled ctx c) then Ok ()
@@ -129,6 +252,18 @@ let activate ctx c ~changed =
       Ok ()
   end
 
+(* The implicit-constraint hook is user code too: trap it so a broken
+   structural hook surfaces as a violation on the owning variable. *)
+let constraints_of ctx v =
+  match Var.all_constraints v with
+  | cs -> Ok cs
+  | exception e ->
+    ctx.cx_net.net_stats.st_trapped <- ctx.cx_net.net_stats.st_trapped + 1;
+    Error
+      (violation ~var:v ~exn:e
+         (Printf.sprintf "exception in implicit-constraint hook of %s.%s"
+            v.v_owner v.v_name))
+
 let propagate_from ctx v ~except =
   let skip c =
     match except with None -> false | Some e -> e.c_id = c.c_id
@@ -141,7 +276,8 @@ let propagate_from ctx v ~except =
         let* () = activate ctx c ~changed:(Some v) in
         go rest
   in
-  go (Var.all_constraints v)
+  let* cs = constraints_of ctx v in
+  go cs
 
 let drain ctx =
   let rec go () =
@@ -156,19 +292,26 @@ let drain ctx =
   go ()
 
 let check_visited ctx =
+  let net = ctx.cx_net in
   let rec go = function
     | [] -> Ok ()
     | c :: rest ->
       if cstr_enabled ctx c then begin
-        ctx.cx_net.net_stats.st_checks <- ctx.cx_net.net_stats.st_checks + 1;
-        let sat = c.c_satisfied c in
-        trace ctx.cx_net (T_check (c, sat));
-        if sat then go rest
-        else
+        net.net_stats.st_checks <- net.net_stats.st_checks + 1;
+        match c.c_satisfied c with
+        | sat ->
+          trace net (T_check (c, sat));
+          if sat then go rest
+          else
+            Error
+              (violation ~cstr:c
+                 (Printf.sprintf "constraint %s#%d not satisfied after propagation"
+                    c.c_kind c.c_id))
+        | exception e ->
           Error
-            (violation ~cstr:c
-               (Printf.sprintf "constraint %s#%d not satisfied after propagation"
-                  c.c_kind c.c_id))
+            (trapped_violation net ~cstr:c
+               ~where:(Printf.sprintf "satisfied of %s#%d" c.c_kind c.c_id)
+               e)
       end
       else go rest
   in
@@ -185,6 +328,9 @@ let bump_change_count ctx v =
 let change_count ctx v =
   try Hashtbl.find ctx.cx_change_counts v.v_id with Not_found -> 0
 
+(* The change hook runs with the new value already installed; if it
+   throws, the violation aborts the episode and the saved state (taken
+   before the store) rolls the variable back. *)
 let install ctx v x ~just ~source_label =
   save_state ctx v;
   bump_change_count ctx v;
@@ -192,7 +338,14 @@ let install ctx v x ~just ~source_label =
   v.v_just <- just;
   ctx.cx_net.net_stats.st_assignments <- ctx.cx_net.net_stats.st_assignments + 1;
   trace ctx.cx_net (T_assign (v, x, source_label));
-  v.v_on_change v
+  match v.v_on_change v with
+  | () -> Ok ()
+  | exception e ->
+    ctx.cx_net.net_stats.st_trapped <- ctx.cx_net.net_stats.st_trapped + 1;
+    Error
+      (violation ~var:v ~exn:e
+         (Printf.sprintf "exception in on-change hook of %s.%s" v.v_owner
+            v.v_name))
 
 let set_by_constraint ctx v x ~source ~record =
   match v.v_value with
@@ -212,7 +365,7 @@ let set_by_constraint ctx v x ~source ~record =
     else begin
       let decision =
         match cur_opt with
-        | None -> Accept (* free to change to/from NIL *)
+        | None -> Ok Accept (* free to change to/from NIL *)
         | Some _ -> (
           (* constraint strengths (§4.2.4 extension): a strictly
              stronger constraint overwrites a weaker one's propagated
@@ -222,23 +375,34 @@ let set_by_constraint ctx v x ~source ~record =
           match v.v_just with
           | Propagated { source = old; _ } when source.c_strength > old.c_strength
             ->
-            Accept
+            Ok Accept
           | Propagated { source = old; _ } when source.c_strength < old.c_strength
             ->
-            Ignore
-          | Propagated _ | Default | User | Application | Update | Tentative ->
-            v.v_overwrite v ~proposed:x)
+            Ok Ignore
+          | Propagated _ | Default | User | Application | Update | Tentative -> (
+            match v.v_overwrite v ~proposed:x with
+            | d -> Ok d
+            | exception e ->
+              ctx.cx_net.net_stats.st_trapped <-
+                ctx.cx_net.net_stats.st_trapped + 1;
+              Error
+                (violation ~cstr:source ~var:v ~exn:e
+                   (Printf.sprintf "exception in overwrite rule of %s"
+                      (Var.path v)))))
       in
       match decision with
-      | Ignore -> Ok ()
-      | Reject why ->
+      | Error viol -> Error viol
+      | Ok Ignore -> Ok ()
+      | Ok (Reject why) ->
         Error
           (violation ~cstr:source ~var:v
              (Printf.sprintf "cannot overwrite %s: %s" (Var.path v) why))
-      | Accept ->
-        install ctx v x
-          ~just:(Propagated { source; record })
-          ~source_label:(Printf.sprintf "%s#%d" source.c_kind source.c_id);
+      | Ok Accept ->
+        let* () =
+          install ctx v x
+            ~just:(Propagated { source; record })
+            ~source_label:(Printf.sprintf "%s#%d" source.c_kind source.c_id)
+        in
         propagate_from ctx v ~except:(Some source)
     end
 
@@ -254,17 +418,31 @@ let propagate_reset ctx v ~except =
         let* () = activate ctx c ~changed:(Some v) in
         go rest
   in
-  go (Var.all_constraints v)
+  let* cs = constraints_of ctx v in
+  go cs
+
+let erase ctx v ~just ~source_label =
+  save_state ctx v;
+  v.v_value <- None;
+  v.v_just <- just;
+  trace ctx.cx_net (T_reset (v, source_label));
+  match v.v_on_change v with
+  | () -> Ok ()
+  | exception e ->
+    ctx.cx_net.net_stats.st_trapped <- ctx.cx_net.net_stats.st_trapped + 1;
+    Error
+      (violation ~var:v ~exn:e
+         (Printf.sprintf "exception in on-change hook of %s.%s" v.v_owner
+            v.v_name))
 
 let reset_by_constraint ctx v ~source =
   match v.v_value with
   | None -> Ok ()
   | Some _ ->
-    save_state ctx v;
-    v.v_value <- None;
-    v.v_just <- Update;
-    trace ctx.cx_net (T_reset (v, Printf.sprintf "%s#%d" source.c_kind source.c_id));
-    v.v_on_change v;
+    let* () =
+      erase ctx v ~just:Update
+        ~source_label:(Printf.sprintf "%s#%d" source.c_kind source.c_id)
+    in
     propagate_reset ctx v ~except:(Some source)
 
 let propagate_along ctx v c =
@@ -275,21 +453,52 @@ let propagate_along ctx v c =
 (* Top-level entry points                                              *)
 (* ------------------------------------------------------------------ *)
 
-let run_episode net f =
-  net.net_stats.st_propagations <- net.net_stats.st_propagations + 1;
-  let ctx = new_ctx net in
-  let result =
+(* Episode atomicity (§4.2): [f], the drain and the final check run
+   under a universal exception trap, so any exception that escaped the
+   per-closure wrappers still becomes a violation and still triggers the
+   restore.  The violation handler itself is isolated: a throwing
+   handler cannot abort the recovery that follows it. *)
+let episode_result net ctx f =
+  match
     let* () = f ctx in
     let* () = drain ctx in
     check_visited ctx
-  in
-  match result with
+  with
+  | result -> result
+  | exception e ->
+    net.net_stats.st_trapped <- net.net_stats.st_trapped + 1;
+    Error (violation ~exn:e "exception escaped propagation episode")
+
+let notify_violation net viol =
+  net.net_stats.st_violations <- net.net_stats.st_violations + 1;
+  trace net (T_violation viol);
+  try net.net_on_violation viol
+  with e ->
+    net.net_stats.st_trapped <- net.net_stats.st_trapped + 1;
+    Log.warn (fun m ->
+        m "violation handler raised (ignored so recovery can proceed): %s"
+          (Printexc.to_string e))
+
+let audit_after_restore net =
+  if net.net_audit_on_restore then
+    match check_integrity net with
+    | [] -> ()
+    | issues ->
+      Log.err (fun m ->
+          m "network %S failed the post-restore integrity audit:@,%a"
+            net.net_name
+            (Fmt.list ~sep:Fmt.cut Fmt.string)
+            issues)
+
+let run_episode net f =
+  net.net_stats.st_propagations <- net.net_stats.st_propagations + 1;
+  let ctx = new_ctx net in
+  match episode_result net ctx f with
   | Ok () -> Ok ()
   | Error viol ->
-    net.net_stats.st_violations <- net.net_stats.st_violations + 1;
-    trace net (T_violation viol);
-    net.net_on_violation viol;
+    notify_violation net viol;
     restore ctx;
+    audit_after_restore net;
     Error viol
 
 let set net v x ~just =
@@ -312,7 +521,7 @@ let set net v x ~just =
     | Some cur when v.v_equal cur x && same_just -> Ok ()
     | _ ->
       run_episode net (fun ctx ->
-          install ctx v x ~just ~source_label:"external";
+          let* () = install ctx v x ~just ~source_label:"external" in
           propagate_from ctx v ~except:None)
 
 let set_user net v x = set net v x ~just:User
@@ -327,24 +536,33 @@ let reset net v =
   else if v.v_value = None then Ok ()
   else
     run_episode net (fun ctx ->
-        save_state ctx v;
-        v.v_value <- None;
-        v.v_just <- Default;
-        trace net (T_reset (v, "external"));
-        v.v_on_change v;
+        let* () = erase ctx v ~just:Default ~source_label:"external" in
         propagate_reset ctx v ~except:None)
 
-let can_be_set_to net v x =
-  if not net.net_enabled then true
+(* The tentative test of module validation (Fig. 8.2), with diagnostics:
+   assert with #TENTATIVE, propagate, restore unconditionally, and
+   return the violation (if any) instead of swallowing it.  Violations
+   are counted in the network statistics like any other episode's, but
+   the violation handler is not invoked — a tentative probe is a
+   question, not a failure of the design. *)
+let explain_set net v x =
+  if not net.net_enabled then Ok ()
   else begin
     net.net_stats.st_propagations <- net.net_stats.st_propagations + 1;
     let ctx = new_ctx net in
-    install ctx v x ~just:Tentative ~source_label:"tentative";
     let result =
-      let* () = propagate_from ctx v ~except:None in
-      let* () = drain ctx in
-      check_visited ctx
+      episode_result net ctx (fun ctx ->
+          let* () = install ctx v x ~just:Tentative ~source_label:"tentative" in
+          propagate_from ctx v ~except:None)
     in
+    (match result with
+    | Ok () -> ()
+    | Error viol ->
+      net.net_stats.st_violations <- net.net_stats.st_violations + 1;
+      trace net (T_violation viol));
     restore ctx;
-    Result.is_ok result
+    audit_after_restore net;
+    result
   end
+
+let can_be_set_to net v x = Result.is_ok (explain_set net v x)

@@ -34,6 +34,37 @@ val set_violation_handler : 'a network -> ('a violation -> unit) -> unit
 
 val set_trace : 'a network -> ('a trace_event -> unit) option -> unit
 
+(** {1 Fault tolerance}
+
+    Every user-supplied closure the engine calls — [c_propagate],
+    [c_satisfied], [v_overwrite], [v_on_change], [v_implicit], and the
+    violation handler itself — runs under an exception trap. A raised
+    exception becomes a violation carrying the rendered exception
+    ([viol_exn]), the episode restores its saved state as for any other
+    violation, and the offending constraint's failure counter advances
+    toward quarantine. *)
+
+(** [set_fail_threshold net n] — trapped exceptions a constraint may
+    accumulate before being quarantined (auto-disabled with a recorded
+    reason). [0] disables auto-quarantine; the default is 3. *)
+val set_fail_threshold : 'a network -> int -> unit
+
+(** [set_step_budget net (Some n)] bounds the inference runs of one
+    episode: the [n+1]-th activation aborts the episode with a violation
+    (complementing the per-variable [net_max_changes] rule). [None]
+    (the default) is unbounded. *)
+val set_step_budget : 'a network -> int option -> unit
+
+(** When enabled, {!check_integrity} runs after every post-violation
+    restore and logs any inconsistency (diagnostic mode; default off). *)
+val set_audit_on_restore : 'a network -> bool -> unit
+
+(** Audit the var/constraint cross-references and the justification
+    records of the network. Returns a description of every
+    inconsistency; [[]] means the network is internally consistent.
+    Also exposed as [Network.check_integrity]. *)
+val check_integrity : 'a network -> string list
+
 val stats : 'a network -> stats
 
 val reset_stats : 'a network -> unit
@@ -52,9 +83,16 @@ val set_application : 'a network -> 'a var -> 'a -> (unit, 'a violation) result
     update-constraints (constraints with [c_fires_on_reset]). *)
 val reset : 'a network -> 'a var -> (unit, 'a violation) result
 
-(** [can_be_set_to net v x] — the tentative test of module validation
-    (Fig. 8.2): assert [x] with justification [#TENTATIVE], propagate,
-    restore unconditionally, and report whether propagation succeeded. *)
+(** [explain_set net v x] — the tentative test of module validation
+    (Fig. 8.2) with diagnostics: assert [x] with justification
+    [#TENTATIVE], propagate, restore unconditionally, and return the
+    violation that would reject the assignment (instead of swallowing
+    it). The violation is counted in [net_stats] like any other
+    episode's, but the violation handler is not invoked: a tentative
+    probe is a question, not a failure of the design. *)
+val explain_set : 'a network -> 'a var -> 'a -> (unit, 'a violation) result
+
+(** [can_be_set_to net v x] — [explain_set] reduced to its verdict. *)
 val can_be_set_to : 'a network -> 'a var -> 'a -> bool
 
 (** {1 Inside a propagation episode}
@@ -96,6 +134,9 @@ val drain : 'a ctx -> (unit, 'a violation) result
 val check_visited : 'a ctx -> (unit, 'a violation) result
 
 (** {1 Episode plumbing} *)
+
+(** Emit a trace event through the network's trace hook, if any. *)
+val trace : 'a network -> 'a trace_event -> unit
 
 val new_ctx : 'a network -> 'a ctx
 

@@ -77,3 +77,31 @@ let remove_constraint net c =
   c.c_args <- [];
   c.c_enabled <- false;
   net.net_cstrs <- List.filter (fun c' -> c'.c_id <> c.c_id) net.net_cstrs
+
+(* ------------------------------------------------------------------ *)
+(* Integrity and quarantine                                            *)
+(* ------------------------------------------------------------------ *)
+
+let check_integrity = Engine.check_integrity
+
+let quarantined net =
+  List.filter (fun c -> c.c_quarantined <> None) (List.rev net.net_cstrs)
+
+let quarantine net c ~reason =
+  if c.c_quarantined = None then begin
+    c.c_quarantined <- Some reason;
+    c.c_enabled <- false;
+    net.net_stats.st_quarantined <- net.net_stats.st_quarantined + 1;
+    Engine.trace net (T_quarantine (c, reason))
+  end
+
+(* Lifting a quarantine re-enables the constraint and re-initialises it
+   (§4.2.5) so values that went stale while it was out of service are
+   brought back into agreement; a violation here means the constraint
+   is still in conflict and stays enabled but unsatisfied, exactly as
+   for [add_constraint]. *)
+let clear_quarantine net c =
+  c.c_quarantined <- None;
+  c.c_failures <- 0;
+  c.c_enabled <- true;
+  reinitialize net c

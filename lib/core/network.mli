@@ -36,3 +36,24 @@ val remove_constraint : 'a network -> 'a cstr -> unit
     propagation of [c]'s arguments (exposed for tools that poke values
     while propagation is disabled and then re-enable it). *)
 val reinitialize : 'a network -> 'a cstr -> (unit, 'a violation) result
+
+(** {1 Integrity and quarantine} *)
+
+(** Audit var/constraint cross-references and justification records;
+    returns a description of every inconsistency ([[]] = consistent).
+    Alias of {!Engine.check_integrity}. *)
+val check_integrity : 'a network -> string list
+
+(** Constraints currently quarantined (auto-disabled after repeated
+    closure failures, or manually via {!quarantine}), in creation
+    order. The reason is available as [Cstr.quarantined]. *)
+val quarantined : 'a network -> 'a cstr list
+
+(** Manually quarantine a constraint (e.g. a tool interface known to be
+    down): disable it and record [reason]. *)
+val quarantine : 'a network -> 'a cstr -> reason:string -> unit
+
+(** Lift a quarantine: clear the failure counter, re-enable, and
+    re-initialise the constraint. [Error] means its arguments are still
+    in conflict (as for {!add_constraint}). *)
+val clear_quarantine : 'a network -> 'a cstr -> (unit, 'a violation) result

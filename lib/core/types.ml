@@ -33,6 +33,10 @@ type 'a violation = {
   viol_cstr_id : int option;
   viol_cstr_kind : string option;
   viol_var_path : string option; (* owner.name of the offending variable *)
+  (* When the violation stands for an exception trapped in a user
+     closure (propagate, satisfied, overwrite, on-change, implicit), the
+     rendered exception; [None] for ordinary semantic violations. *)
+  viol_exn : string option;
 }
 
 type stats = {
@@ -42,6 +46,8 @@ type stats = {
   mutable st_scheduled : int; (* agenda pushes *)
   mutable st_violations : int;
   mutable st_propagations : int; (* top-level propagation episodes *)
+  mutable st_trapped : int; (* exceptions trapped in user closures *)
+  mutable st_quarantined : int; (* constraints auto-disabled for failures *)
 }
 
 (* ------------------------------------------------------------------ *)
@@ -107,9 +113,11 @@ and 'a cstr = {
   c_schedule_keyed_by_var : bool;
   (* immediateInferenceByChanging: — examine the changed variable (or
      [None] for a scheduled run) and assign inferred values through
-     [Engine.set_by_constraint]. *)
-  c_propagate : 'a ctx -> 'a cstr -> 'a var option -> (unit, 'a violation) result;
-  c_satisfied : 'a cstr -> bool;
+     [Engine.set_by_constraint].  Mutable so the fault-injection harness
+     ({!Fault}) can wrap the procedures of a live constraint in place. *)
+  mutable c_propagate :
+    'a ctx -> 'a cstr -> 'a var option -> (unit, 'a violation) result;
+  mutable c_satisfied : 'a cstr -> bool;
   (* testMembershipOf:inDependency: — is [var] among the antecedents
      recorded by [dependency]? *)
   c_in_dependency : 'a cstr -> 'a dependency -> 'a var -> bool;
@@ -124,6 +132,14 @@ and 'a cstr = {
      overwritten by propagation from a strictly stronger constraint even
      where the default rule would refuse.  0 = ordinary. *)
   c_strength : int;
+  (* Fault tolerance: exceptions trapped in this constraint's propagate
+     or satisfied procedure since the counter was last cleared. *)
+  mutable c_failures : int;
+  (* When the failure count reaches the network's threshold the
+     constraint is quarantined: disabled with a recorded reason, so one
+     broken inference procedure degrades its own cell instead of
+     wedging the whole network.  [None] = healthy. *)
+  mutable c_quarantined : string option;
 }
 
 and 'a saved = { sv_var : 'a var; sv_value : 'a option; sv_just : 'a justification }
@@ -155,6 +171,16 @@ and 'a network = {
   mutable net_vars : 'a var list; (* reverse creation order *)
   mutable net_cstrs : 'a cstr list;
   mutable net_disabled_kinds : string list;
+  (* Trapped exceptions before a constraint is quarantined; 0 disables
+     auto-quarantine (every failure still becomes a violation). *)
+  mutable net_fail_threshold : int;
+  (* Upper bound on inference runs per episode, complementing
+     [net_max_changes]: a runaway (or fault-injected) propagation
+     surfaces as a violation instead of looping.  [None] = unbounded. *)
+  mutable net_step_budget : int option;
+  (* Run {!Engine.check_integrity} after every post-violation restore
+     and log what it finds (diagnostic mode; off by default). *)
+  mutable net_audit_on_restore : bool;
   net_stats : stats;
 }
 
@@ -166,6 +192,7 @@ and 'a trace_event =
   | T_check of 'a cstr * bool
   | T_violation of 'a violation
   | T_restore of 'a var
+  | T_quarantine of 'a cstr * string (* constraint auto-disabled, reason *)
 
 and 'a ctx = {
   cx_net : 'a network;
@@ -175,6 +202,7 @@ and 'a ctx = {
   cx_visited_cstrs : (int, unit) Hashtbl.t;
   mutable cx_cstr_order : 'a cstr list; (* reverse activation order *)
   cx_agenda : 'a agenda;
+  mutable cx_steps : int; (* inference runs this episode (step budget) *)
 }
 
 let fresh_stats () =
@@ -185,23 +213,28 @@ let fresh_stats () =
     st_scheduled = 0;
     st_violations = 0;
     st_propagations = 0;
+    st_trapped = 0;
+    st_quarantined = 0;
   }
 
-let violation ?cstr ?var message =
+let violation ?cstr ?var ?exn message =
   {
     viol_message = message;
     viol_cstr_id = (match cstr with None -> None | Some c -> Some c.c_id);
     viol_cstr_kind = (match cstr with None -> None | Some c -> Some c.c_kind);
     viol_var_path =
       (match var with None -> None | Some v -> Some (v.v_owner ^ "." ^ v.v_name));
+    viol_exn = Option.map Printexc.to_string exn;
   }
 
 let pp_violation ppf v =
-  Fmt.pf ppf "violation%a%a: %s"
+  Fmt.pf ppf "violation%a%a: %s%a"
     (Fmt.option (fun ppf k -> Fmt.pf ppf " [%s]" k))
     v.viol_cstr_kind
     (Fmt.option (fun ppf p -> Fmt.pf ppf " at %s" p))
     v.viol_var_path v.viol_message
+    (Fmt.option (fun ppf e -> Fmt.pf ppf " (trapped: %s)" e))
+    v.viol_exn
 
 let pp_justification pp_val ppf = function
   | Default -> Fmt.string ppf "#DEFAULT"

@@ -61,6 +61,12 @@ let clear v =
   v.v_just <- Default;
   v.v_on_change v
 
+let set_on_change v f = v.v_on_change <- f
+
+let set_implicit v f = v.v_implicit <- f
+
+let set_overwrite v f = v.v_overwrite <- f
+
 let attach v c =
   if not (List.exists (fun c' -> c'.c_id = c.c_id) v.v_cstrs) then
     v.v_cstrs <- v.v_cstrs @ [ c ]

@@ -60,6 +60,19 @@ val poke : 'a var -> 'a -> just:'a justification -> unit
     propagation. *)
 val clear : 'a var -> unit
 
+(** Replace the after-change hook ([v_on_change]). The engine traps
+    exceptions from the hook: during an episode they become violations;
+    during a restore they are logged and skipped so the rollback always
+    completes. *)
+val set_on_change : 'a var -> ('a var -> unit) -> unit
+
+(** Replace the implicit-constraint hook ([v_implicit], §5.1.1). *)
+val set_implicit : 'a var -> ('a var -> 'a cstr list) -> unit
+
+(** Replace the overwrite rule ([v_overwrite]). *)
+val set_overwrite :
+  'a var -> ('a var -> proposed:'a -> overwrite_decision) -> unit
+
 (** Attach / detach a constraint to the variable's constraint list only
     (no re-propagation — that is {!Network}'s job). Attachment is
     idempotent. *)

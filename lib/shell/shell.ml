@@ -24,6 +24,11 @@ let help_text =
   \  remove ID              remove a constraint (erases its dependents)\n\
   \  on / off               constraint propagation switch (CPSwitch)\n\
   \  check                  list currently unsatisfied constraints\n\
+  \  quarantine             list quarantined constraints with reasons\n\
+  \  clearq ID              lift a quarantine and re-initialise\n\
+  \  threshold N            failures before auto-quarantine (0 = never)\n\
+  \  budget N|off           per-episode inference step budget\n\
+  \  audit                  cross-reference / justification integrity audit\n\
   \  dump                   network summary\n\
   \  help                   this text\n\
   \  quit                   leave the editor"
@@ -120,6 +125,53 @@ let execute env line =
     (match Editor.unsatisfied cnet with
     | [] -> Fmt.pr "  all constraints satisfied@."
     | bad -> List.iter (fun c -> Fmt.pr "  VIOLATED %a@." Cstr.pp c) bad);
+    true
+  | [ "quarantine" ] ->
+    (match Network.quarantined cnet with
+    | [] -> Fmt.pr "  no quarantined constraints@."
+    | qs ->
+      List.iter
+        (fun c ->
+          Fmt.pr "  %a — %s@." Cstr.pp c
+            (Option.value ~default:"(no reason recorded)" (Cstr.quarantined c)))
+        qs);
+    true
+  | [ "clearq"; id ] ->
+    with_cstr cnet id (fun c ->
+        if not (Cstr.is_quarantined c) then
+          Fmt.pr "  #%s is not quarantined@." id
+        else
+          match Network.clear_quarantine cnet c with
+          | Ok () -> Fmt.pr "  quarantine lifted: %a@." Cstr.pp c
+          | Error viol ->
+            Fmt.pr "  quarantine lifted, but re-initialisation failed: %a@."
+              Types.pp_violation viol);
+    true
+  | [ "threshold"; n ] ->
+    (match int_of_string_opt n with
+    | Some n when n >= 0 ->
+      Engine.set_fail_threshold cnet n;
+      if n = 0 then Fmt.pr "  auto-quarantine off@."
+      else Fmt.pr "  quarantine after %d failure(s)@." n
+    | _ -> Fmt.pr "  threshold must be a non-negative integer@.");
+    true
+  | [ "budget"; b ] ->
+    (match b with
+    | "off" ->
+      Engine.set_step_budget cnet None;
+      Fmt.pr "  step budget off@.";
+      true
+    | _ ->
+      (match int_of_string_opt b with
+      | Some n when n > 0 ->
+        Engine.set_step_budget cnet (Some n);
+        Fmt.pr "  step budget: %d inference(s) per episode@." n
+      | _ -> Fmt.pr "  budget must be a positive integer or 'off'@.");
+      true)
+  | [ "audit" ] ->
+    (match Network.check_integrity cnet with
+    | [] -> Fmt.pr "  network integrity ok@."
+    | issues -> List.iter (fun i -> Fmt.pr "  INTEGRITY %s@." i) issues);
     true
   | [ "dump" ] ->
     Fmt.pr "%a@." Editor.dump_network cnet;

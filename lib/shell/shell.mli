@@ -4,7 +4,8 @@
     Commands: [vars [SUBSTR]], [cstrs], [show PATH], [inspect PATH],
     [cstr ID], [set PATH VALUE], [reset PATH], [antecedents PATH],
     [consequences PATH], [enable/disable ID], [remove ID], [on]/[off],
-    [check], [dump], [help], [quit]. *)
+    [check], [quarantine], [clearq ID], [threshold N], [budget N|off],
+    [audit], [dump], [help], [quit]. *)
 
 (** [execute env line] — run one command against the environment's
     constraint network, printing to the current formatter. Returns

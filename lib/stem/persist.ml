@@ -126,8 +126,21 @@ let save env =
   List.iter (save_cell buf) (Env.cells env);
   Buffer.contents buf
 
-let save_to_file env path = Out_channel.with_open_text path (fun oc ->
-    Out_channel.output_string oc (save env))
+(* Crash-safe: render to a temp file in the target directory, then
+   rename over the destination.  A crash mid-write leaves the previous
+   database intact; the stray temp file is removed on any exit path. *)
+let save_to_file env path =
+  let text = save env in
+  let tmp =
+    Filename.temp_file ~temp_dir:(Filename.dirname path) ".stemdb" ".tmp"
+  in
+  Fun.protect
+    ~finally:(fun () -> if Sys.file_exists tmp then Sys.remove tmp)
+    (fun () ->
+      Out_channel.with_open_text tmp (fun oc ->
+          Out_channel.output_string oc text;
+          Out_channel.flush oc);
+      Sys.rename tmp path)
 
 (* ------------------------------------------------------------------ *)
 (* Reader                                                              *)
@@ -194,12 +207,13 @@ let load text =
   List.iteri
     (fun i line ->
       let lineno = i + 1 in
-      let line = String.trim line in
-      if line = "" || line.[0] = '#' then ()
-      else
-        let fields = split_fields line in
-        let a = attrs fields in
-        match fields with
+      try
+        let line = String.trim line in
+        if line = "" || line.[0] = '#' then ()
+        else
+          let fields = split_fields line in
+          let a = attrs fields in
+          match fields with
         | "stemdb" :: _ -> ()
         | [ "end" ] -> current := None
         | "cell" :: name :: _ ->
@@ -322,9 +336,17 @@ let load text =
                 in
                 note (Enet.connect env net member))
             members
-        | directive :: _ ->
-          raise (Parse_error (lineno, "unknown directive " ^ directive))
-        | [] -> ())
+          | directive :: _ ->
+            raise (Parse_error (lineno, "unknown directive " ^ directive))
+          | [] -> ()
+      with
+      | Parse_error _ as e -> raise e
+      | e ->
+        (* any stray exception from a directive handler still reports
+           the offending line *)
+        raise
+          (Parse_error
+             (lineno, "error applying directive: " ^ Printexc.to_string e)))
     lines;
   (env, List.rev !violations)
 

@@ -20,7 +20,10 @@
 open Design
 
 exception Parse_error of int * string
-(** [(line number, message)]. *)
+(** [(line number, message)].  Every parse failure carries the
+    1-based line number of the offending directive — including
+    unexpected exceptions escaping a directive handler, which are
+    converted rather than allowed to abort the load without context. *)
 
 (** Render the environment's cell library. *)
 val save : env -> string
@@ -30,6 +33,9 @@ val save : env -> string
     far as it checks). *)
 val load : string -> env * violation list
 
+(** Crash-safe write: the database is rendered to a temporary file in
+    the destination's directory and atomically renamed into place, so
+    an interrupted save never truncates or corrupts an existing file. *)
 val save_to_file : env -> string -> unit
 
 val load_from_file : string -> env * violation list

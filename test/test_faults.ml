@@ -1,0 +1,325 @@
+(* The fault-tolerance layer: exception-safe episodes (every user
+   closure trapped, restore always runs), constraint quarantine,
+   deterministic fault injection, the episode step budget, and the
+   network integrity audit. *)
+
+open Constraint_kernel
+
+let mknet () = Engine.create_network ~name:"faults" ()
+
+let ivar ?overwrite net name =
+  Var.create net ~owner:"f" ~name ~equal:Int.equal ~pp:Fmt.int ?overwrite ()
+
+let ok = function Ok () -> true | Error _ -> false
+
+(* Snapshot (value, justification) of every variable; compare both
+   structurally on the value and physically on the justification, so a
+   restored [Propagated] record must be the very same record. *)
+let snapshot net = List.map (fun v -> (v, Var.value v, Var.justification v)) net.Types.net_vars
+
+let check_rolled_back what snap =
+  List.iter
+    (fun (v, value, just) ->
+      Alcotest.(check (option int))
+        (Printf.sprintf "%s: %s value restored" what (Var.path v))
+        value (Var.value v);
+      Alcotest.(check bool)
+        (Printf.sprintf "%s: %s justification restored" what (Var.path v))
+        true
+        (Var.justification v == just))
+    snap
+
+let test_throw_mid_episode_restores () =
+  let net = mknet () in
+  let a = ivar net "a" and b = ivar net "b" and c = ivar net "c" in
+  let _ = Clib.equality net [ a; b ] in
+  let eq_bc, _ = Clib.equality net [ b; c ] in
+  ignore (Engine.set_user net a 1);
+  let snap = snapshot net in
+  let inj = Fault.wrap ~mode:(Fault.Throw_on [ 1 ]) eq_bc in
+  (match Engine.set_user net a 2 with
+  | Ok () -> Alcotest.fail "episode with a throwing constraint must violate"
+  | Error viol ->
+    Alcotest.(check bool) "violation carries the trapped exception" true
+      (viol.Types.viol_exn <> None);
+    Alcotest.(check (option string)) "violation names the constraint"
+      (Some "equality") viol.Types.viol_cstr_kind);
+  check_rolled_back "throwing propagate" snap;
+  Alcotest.(check int) "one fault fired" 1 (Fault.fired inj);
+  Fault.restore inj;
+  Alcotest.(check bool) "constraint works again after unwrap" true
+    (ok (Engine.set_user net a 3));
+  Alcotest.(check (option int)) "propagates end to end" (Some 3) (Var.value c)
+
+let test_throwing_satisfied () =
+  let net = mknet () in
+  let a = ivar net "a" and b = ivar net "b" in
+  let eq, _ = Clib.equality net [ a; b ] in
+  ignore (Engine.set_user net a 1);
+  let snap = snapshot net in
+  let inj = Fault.wrap ~site:Fault.Satisfied ~mode:(Fault.Throw_every 1) eq in
+  Alcotest.(check bool) "throwing satisfied violates" false
+    (ok (Engine.set_user net a 2));
+  check_rolled_back "throwing satisfied" snap;
+  Fault.restore inj
+
+let test_throwing_on_change () =
+  let net = mknet () in
+  let a = ivar net "a" and b = ivar net "b" in
+  let _ = Clib.equality net [ a; b ] in
+  ignore (Engine.set_user net a 1);
+  let snap = snapshot net in
+  (* the hook throws on every subsequent change, including the ones the
+     restore itself performs — the rollback must complete anyway *)
+  Var.set_on_change b (fun _ -> failwith "boom in on-change");
+  (match Engine.set_user net a 2 with
+  | Ok () -> Alcotest.fail "throwing on-change must violate"
+  | Error viol ->
+    Alcotest.(check bool) "exception context recorded" true
+      (viol.Types.viol_exn <> None));
+  Var.set_on_change b (fun _ -> ());
+  check_rolled_back "throwing on-change" snap
+
+let test_throwing_violation_handler () =
+  let net = mknet () in
+  let a = ivar net "a" and b = ivar net "b" in
+  let _ = Clib.equality net [ a; b ] in
+  ignore (Engine.set_user net a 1);
+  ignore (Engine.set_user net b 1);
+  let snap = snapshot net in
+  Engine.set_violation_handler net (fun _ -> failwith "handler is broken too");
+  (* force a plain semantic violation: conflicting user values *)
+  Var.set_overwrite b (fun _ ~proposed:_ -> Types.Reject "pinned");
+  Alcotest.(check bool) "episode still reports the violation" false
+    (ok (Engine.set_user net a 2));
+  check_rolled_back "throwing handler" snap;
+  Alcotest.(check bool) "handler exception counted" true
+    ((Engine.stats net).Types.st_trapped >= 1)
+
+let test_throwing_overwrite_rule () =
+  let net = mknet () in
+  let a = ivar net "a" in
+  let b = ivar ~overwrite:(fun _ ~proposed:_ -> failwith "bad rule") net "b" in
+  let _ = Clib.equality net [ a; b ] in
+  ignore (Engine.set_user net b 1);
+  let snap = snapshot net in
+  (match Engine.set_user net a 2 with
+  | Ok () -> Alcotest.fail "throwing overwrite rule must violate"
+  | Error viol ->
+    Alcotest.(check bool) "overwrite exception trapped" true
+      (viol.Types.viol_exn <> None));
+  check_rolled_back "throwing overwrite" snap
+
+let test_throwing_implicit_hook () =
+  let net = mknet () in
+  let a = ivar net "a" and b = ivar net "b" in
+  let _ = Clib.equality net [ a; b ] in
+  ignore (Engine.set_user net a 1);
+  let snap = snapshot net in
+  Var.set_implicit b (fun _ -> failwith "structure walk failed");
+  (match Engine.set_user net a 2 with
+  | Ok () -> Alcotest.fail "throwing implicit hook must violate"
+  | Error viol ->
+    Alcotest.(check (option string)) "violation names the variable"
+      (Some "f.b") viol.Types.viol_var_path);
+  Var.set_implicit b (fun _ -> []);
+  check_rolled_back "throwing implicit hook" snap
+
+let test_quarantine_threshold () =
+  let net = mknet () in
+  Engine.set_fail_threshold net 3;
+  let a = ivar net "a" and b = ivar net "b" and c = ivar net "c" in
+  let eq_ab, _ = Clib.equality net [ a; b ] in
+  let _ = Clib.equality net [ a; c ] in
+  let inj = Fault.wrap ~mode:(Fault.Throw_every 1) eq_ab in
+  let quarantine_events = ref 0 in
+  Engine.set_trace net
+    (Some (function Types.T_quarantine _ -> incr quarantine_events | _ -> ()));
+  Alcotest.(check bool) "1st failure violates" false (ok (Engine.set_user net a 1));
+  Alcotest.(check bool) "not yet quarantined" false (Cstr.is_quarantined eq_ab);
+  Alcotest.(check bool) "2nd failure violates" false (ok (Engine.set_user net a 2));
+  Alcotest.(check bool) "3rd failure violates" false (ok (Engine.set_user net a 3));
+  Engine.set_trace net None;
+  Alcotest.(check bool) "quarantined at the threshold" true
+    (Cstr.is_quarantined eq_ab);
+  Alcotest.(check int) "quarantine traced once" 1 !quarantine_events;
+  Alcotest.(check int) "listed on the network" 1
+    (List.length (Network.quarantined net));
+  Alcotest.(check int) "stats count it" 1
+    (Engine.stats net).Types.st_quarantined;
+  (* degraded service: the broken constraint is out, the rest works *)
+  Alcotest.(check bool) "network serves traffic around the quarantine" true
+    (ok (Engine.set_user net a 4));
+  Alcotest.(check (option int)) "healthy constraint still propagates" (Some 4)
+    (Var.value c);
+  Alcotest.(check (option int)) "quarantined constraint no longer does" None
+    (Var.value b);
+  (* repair the procedure, lift the quarantine: re-initialisation brings
+     the stale argument back into agreement *)
+  Fault.restore inj;
+  Alcotest.(check bool) "clear_quarantine reinitialises" true
+    (ok (Network.clear_quarantine net eq_ab));
+  Alcotest.(check bool) "healthy again" false (Cstr.is_quarantined eq_ab);
+  Alcotest.(check (option int)) "b caught up" (Some 4) (Var.value b);
+  Alcotest.(check int) "failure counter cleared" 0 (Cstr.failures eq_ab)
+
+let test_spurious_violations_do_not_quarantine () =
+  let net = mknet () in
+  Engine.set_fail_threshold net 1;
+  let a = ivar net "a" and b = ivar net "b" in
+  let eq, _ = Clib.equality net [ a; b ] in
+  ignore (Engine.set_user net a 1);
+  let snap = snapshot net in
+  let inj = Fault.wrap ~mode:(Fault.Spurious_on [ 1; 2; 3 ]) eq in
+  Alcotest.(check bool) "spurious violation fails the episode" false
+    (ok (Engine.set_user net a 2));
+  check_rolled_back "spurious violation" snap;
+  (* a constraint *reporting* violations is doing its job; only trapped
+     exceptions advance the failure counter *)
+  Alcotest.(check int) "no failures recorded" 0 (Cstr.failures eq);
+  Alcotest.(check bool) "never quarantined" false (Cstr.is_quarantined eq);
+  Fault.restore inj
+
+let test_step_budget_exhaustion () =
+  let net = mknet () in
+  (* permissive overwrite so the livelock pair can truly chase each
+     other instead of stalling on the default user-protection rule *)
+  let accept _ ~proposed:_ = Types.Accept in
+  let a = ivar ~overwrite:accept net "a"
+  and b = ivar ~overwrite:accept net "b" in
+  let _ = Fault.livelock net ~bump:(fun x -> x + 1) a b in
+  net.Types.net_max_changes <- max_int;
+  Engine.set_step_budget net (Some 50);
+  (match Engine.set_user net a 0 with
+  | Ok () -> Alcotest.fail "livelock must exhaust the step budget"
+  | Error viol ->
+    Alcotest.(check bool) "violation names the budget" true
+      (Astring_contains.contains viol.Types.viol_message "step budget"));
+  Alcotest.(check (option int)) "a rolled back" None (Var.value a);
+  Alcotest.(check (option int)) "b rolled back" None (Var.value b)
+
+let test_flaky_determinism () =
+  let build seed =
+    let net = mknet () in
+    let a = ivar net "a" and b = ivar net "b" in
+    let eq, _ = Clib.equality net [ a; b ] in
+    let inj = Fault.wrap ~seed ~mode:(Fault.Flaky 0.5) eq in
+    let outcomes =
+      List.init 32 (fun i -> ok (Engine.set_user net a i))
+    in
+    (outcomes, Fault.fired inj)
+  in
+  let o1, f1 = build 7 and o2, f2 = build 7 in
+  Alcotest.(check (list bool)) "same seed, same outcome sequence" o1 o2;
+  Alcotest.(check int) "same seed, same fault count" f1 f2;
+  Alcotest.(check bool) "faults actually fired" true (f1 > 0);
+  Alcotest.(check bool) "and some episodes survived" true
+    (List.exists (fun x -> x) o1)
+
+let test_chaos_and_recovery () =
+  let net = mknet () in
+  Engine.set_fail_threshold net 0;
+  let vars = Array.init 6 (fun i -> ivar net (Printf.sprintf "v%d" i)) in
+  for i = 0 to 4 do
+    ignore (Clib.equality net [ vars.(i); vars.(i + 1) ])
+  done;
+  let injections = Fault.chaos ~seed:3 ~p:1.0 net in
+  Alcotest.(check int) "every constraint wrapped" 5 (List.length injections);
+  Alcotest.(check bool) "p=1.0 chaos fails every episode" false
+    (ok (Engine.set_user net vars.(0) 1));
+  Alcotest.(check (option int)) "nothing stuck" None (Var.value vars.(0));
+  List.iter Fault.restore injections;
+  Alcotest.(check bool) "network recovers after unwrap" true
+    (ok (Engine.set_user net vars.(0) 2));
+  Alcotest.(check (option int)) "chain propagates" (Some 2)
+    (Var.value vars.(5))
+
+let test_audit_detects_corruption () =
+  let net = mknet () in
+  let a = ivar net "a" and b = ivar net "b" in
+  let _ = Clib.equality net [ a; b ] in
+  ignore (Engine.set_user net a 1);
+  Alcotest.(check (list string)) "healthy network audits clean" []
+    (Network.check_integrity net);
+  (* simulate corruption a buggy tool could cause: drop the constraint
+     from the registry while variables still reference it *)
+  net.Types.net_cstrs <- [];
+  let issues = Network.check_integrity net in
+  Alcotest.(check bool) "corruption detected" true (List.length issues >= 1);
+  Alcotest.(check bool) "names the dangling reference" true
+    (List.exists
+       (fun i -> Astring_contains.contains i "not registered")
+       issues)
+
+let test_explain_set () =
+  let net = mknet () in
+  let a = ivar net "a" and b = ivar net "b" in
+  let _ = Clib.equality net [ a; b ] in
+  ignore (Engine.set_user net b 5);
+  Engine.reset_stats net;
+  Alcotest.(check bool) "compatible probe" true (ok (Engine.explain_set net a 5));
+  (match Engine.explain_set net a 6 with
+  | Ok () -> Alcotest.fail "conflicting probe must explain its violation"
+  | Error viol ->
+    Alcotest.(check (option string)) "diagnostic names the constraint kind"
+      (Some "equality") viol.Types.viol_cstr_kind);
+  Alcotest.(check (option int)) "a untouched" (Some 5) (Var.value a);
+  Alcotest.(check (option int)) "b untouched" (Some 5) (Var.value b);
+  let s = Engine.stats net in
+  Alcotest.(check int) "tentative episodes counted" 2 s.Types.st_propagations;
+  Alcotest.(check int) "tentative violation counted" 1 s.Types.st_violations;
+  Alcotest.(check bool) "can_be_set_to agrees" true
+    (Engine.can_be_set_to net a 5 && not (Engine.can_be_set_to net a 6))
+
+let test_shell_fault_commands () =
+  let env = Stem.Env.create () in
+  let net = Stem.Env.cnet env in
+  let v1 =
+    Dclib.variable net ~owner:"cell" ~name:"x" ()
+  and v2 = Dclib.variable net ~owner:"cell" ~name:"y" () in
+  let eq, _ = Clib.equality net [ v1; v2 ] in
+  Network.quarantine net eq ~reason:"tool interface down";
+  let run lines = Shell.execute_script env lines in
+  let out = run [ "quarantine" ] in
+  Alcotest.(check bool) "quarantine lists the constraint" true
+    (Astring_contains.contains out "tool interface down");
+  let out = run [ Printf.sprintf "clearq %d" (Cstr.id eq) ] in
+  Alcotest.(check bool) "clearq lifts it" true
+    (Astring_contains.contains out "quarantine lifted");
+  Alcotest.(check bool) "really lifted" false (Cstr.is_quarantined eq);
+  let out = run [ "quarantine" ] in
+  Alcotest.(check bool) "listing now empty" true
+    (Astring_contains.contains out "no quarantined constraints");
+  let out = run [ "audit" ] in
+  Alcotest.(check bool) "audit clean" true
+    (Astring_contains.contains out "integrity ok");
+  let out = run [ "budget 25"; "threshold 1"; "budget off"; "threshold 0" ] in
+  Alcotest.(check bool) "budget set" true
+    (Astring_contains.contains out "step budget: 25");
+  Alcotest.(check bool) "budget cleared" true
+    (Astring_contains.contains out "step budget off");
+  Alcotest.(check bool) "threshold set" true
+    (Astring_contains.contains out "quarantine after 1");
+  Alcotest.(check bool) "threshold cleared" true
+    (Astring_contains.contains out "auto-quarantine off")
+
+let suite =
+  let tc = Alcotest.test_case in
+  ( "faults",
+    [
+      tc "throwing propagate restores" `Quick test_throw_mid_episode_restores;
+      tc "throwing satisfied restores" `Quick test_throwing_satisfied;
+      tc "throwing on-change restores" `Quick test_throwing_on_change;
+      tc "throwing violation handler" `Quick test_throwing_violation_handler;
+      tc "throwing overwrite rule" `Quick test_throwing_overwrite_rule;
+      tc "throwing implicit hook" `Quick test_throwing_implicit_hook;
+      tc "quarantine at threshold" `Quick test_quarantine_threshold;
+      tc "spurious violations don't quarantine" `Quick
+        test_spurious_violations_do_not_quarantine;
+      tc "step budget exhaustion" `Quick test_step_budget_exhaustion;
+      tc "flaky faults are deterministic" `Quick test_flaky_determinism;
+      tc "chaos and recovery" `Quick test_chaos_and_recovery;
+      tc "audit detects corruption" `Quick test_audit_detects_corruption;
+      tc "explain_set diagnostics" `Quick test_explain_set;
+      tc "shell fault commands" `Quick test_shell_fault_commands;
+    ] )

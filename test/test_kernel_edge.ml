@@ -129,6 +129,7 @@ let test_trace_event_stream () =
            | Types.T_check _ -> "check"
            | Types.T_violation _ -> "violation"
            | Types.T_restore _ -> "restore"
+           | Types.T_quarantine _ -> "quarantine"
          in
          kinds := k :: !kinds));
   ignore (Engine.set_user net a 1);
@@ -202,6 +203,60 @@ let test_stats_accounting () =
   Alcotest.(check bool) "at least one check" true (s.Types.st_checks >= 1);
   Alcotest.(check int) "no violations" 0 s.Types.st_violations
 
+(* Rollback must be bit-identical: the same values and the very same
+   justification records, no matter how the episode failed. *)
+let snapshot net =
+  List.map (fun v -> (v, Var.value v, Var.justification v)) net.Types.net_vars
+
+let check_snapshot what snap =
+  List.iter
+    (fun (v, value, just) ->
+      Alcotest.(check (option int))
+        (Printf.sprintf "%s: %s value" what (Var.path v))
+        value (Var.value v);
+      Alcotest.(check bool)
+        (Printf.sprintf "%s: %s justification" what (Var.path v))
+        true
+        (Var.justification v == just))
+    snap
+
+let mk_triangle () =
+  (* a = b = c with b pinned: setting a to anything else must violate *)
+  let net = mknet () in
+  let a = ivar net "a" and b = ivar net "b" and c = ivar net "c" in
+  let _ = Clib.equality net [ a; b ] in
+  let _ = Clib.equality net [ b; c ] in
+  ignore (Engine.set_user net b 1);
+  (net, a, b, c)
+
+let test_rollback_after_violation () =
+  let net, a, _, _ = mk_triangle () in
+  let snap = snapshot net in
+  Alcotest.(check bool) "conflicting set violates" false
+    (ok (Engine.set_user net a 2));
+  check_snapshot "semantic violation" snap
+
+let test_rollback_after_throwing_on_change () =
+  let net, a, _, c = mk_triangle () in
+  let snap = snapshot net in
+  Var.set_on_change c (fun _ -> failwith "demon crash");
+  Alcotest.(check bool) "throwing on-change violates" false
+    (ok (Engine.set_user net a 2));
+  Var.set_on_change c (fun _ -> ());
+  check_snapshot "throwing on-change" snap
+
+let test_rollback_after_throwing_handler () =
+  let net, a, _, _ = mk_triangle () in
+  let snap = snapshot net in
+  Engine.set_violation_handler net (fun _ -> failwith "handler crash");
+  Alcotest.(check bool) "episode still fails cleanly" false
+    (ok (Engine.set_user net a 2));
+  check_snapshot "throwing handler" snap;
+  (* and the network keeps functioning afterwards *)
+  Engine.set_violation_handler net (fun _ -> ());
+  Alcotest.(check bool) "subsequent compatible set works" true
+    (ok (Engine.set_user net a 1))
+
 let suite =
   let tc = Alcotest.test_case in
   ( "kernel-edge",
@@ -216,4 +271,9 @@ let suite =
       tc "one-way check violation" `Quick test_one_way_check_violation;
       tc "attach/detach idempotent" `Quick test_attach_detach_idempotent;
       tc "stats accounting" `Quick test_stats_accounting;
+      tc "rollback after violation" `Quick test_rollback_after_violation;
+      tc "rollback after throwing on-change" `Quick
+        test_rollback_after_throwing_on_change;
+      tc "rollback after throwing handler" `Quick
+        test_rollback_after_throwing_handler;
     ] )

@@ -125,6 +125,44 @@ let test_file_roundtrip () =
       Alcotest.(check int) "same cells" (List.length (Stem.Env.cells env))
         (List.length (Stem.Env.cells env2)))
 
+let test_save_preserves_old_file_on_failure () =
+  (* the crash-safe writer must not clobber an existing database when
+     the save cannot complete (here: the destination directory works but
+     the final rename target is a directory, so the rename fails) *)
+  let dir = Filename.temp_file "stemdb" ".d" in
+  Sys.remove dir;
+  Sys.mkdir dir 0o755;
+  let path = Filename.concat dir "db.txt" in
+  let env = Stem.Env.create () in
+  ignore (Cell_library.Gates.make env);
+  Fun.protect
+    ~finally:(fun () ->
+      Array.iter
+        (fun f -> Sys.remove (Filename.concat dir f))
+        (Sys.readdir dir);
+      Sys.rmdir dir)
+    (fun () ->
+      Persist.save_to_file env path;
+      let before = In_channel.with_open_text path In_channel.input_all in
+      (* second save goes through a temp file: at no point is [path]
+         truncated, and no temp droppings survive *)
+      Persist.save_to_file env path;
+      let after = In_channel.with_open_text path In_channel.input_all in
+      Alcotest.(check string) "stable content" before after;
+      Alcotest.(check (list string)) "no temp files left" [ "db.txt" ]
+        (Array.to_list (Sys.readdir dir)))
+
+let test_unexpected_errors_carry_line_numbers () =
+  (* a delay between signals that don't exist makes Cell.declare_delay
+     itself raise Invalid_argument; the loader must convert that to a
+     Parse_error on the offending line rather than abort without context *)
+  let text = "stemdb 1\ncell A\ndelay p q\nend\n" in
+  (match Persist.load text with
+  | exception Persist.Parse_error (lineno, msg) ->
+    Alcotest.(check int) "line of the bad directive" 3 lineno;
+    Alcotest.(check bool) "cause preserved" true (contains msg "declare_delay")
+  | _ -> Alcotest.fail "expected a located parse error")
+
 let suite =
   let tc = Alcotest.test_case in
   ( "persist",
@@ -133,6 +171,9 @@ let suite =
       tc "round-trip gates + chain" `Quick test_roundtrip_gates;
       tc "round-trip generic hierarchy" `Quick test_roundtrip_generic_hierarchy;
       tc "round-trip accumulator spec" `Quick test_roundtrip_accumulator_spec;
+      tc "crash-safe save" `Quick test_save_preserves_old_file_on_failure;
+      tc "located unexpected errors" `Quick
+        test_unexpected_errors_carry_line_numbers;
       tc "parse errors" `Quick test_parse_errors;
       tc "load tolerates violations" `Quick test_load_tolerates_violations;
       tc "file round-trip" `Quick test_file_roundtrip;
