@@ -154,15 +154,15 @@ let compiled_vs_interpreted =
   let mk_interp =
     let net, inputs = build_dag () in
     let tick = ref 0 in
-    List.iter (fun v -> ignore (Engine.set_user net v 0)) inputs;
+    List.iter (fun v -> ignore (Engine.set net v 0)) inputs;
     Test.make ~name:"E4c interpreted propagation (64-input DAG)"
       (Staged.stage (fun () ->
            incr tick;
-           List.iter (fun v -> ignore (Engine.set_user net v !tick)) inputs))
+           List.iter (fun v -> ignore (Engine.set net v !tick)) inputs))
   in
   let mk_compiled =
     let net, inputs = build_dag () in
-    List.iter (fun v -> ignore (Engine.set_user net v 0)) inputs;
+    List.iter (fun v -> ignore (Engine.set net v 0)) inputs;
     let plan = Compile.plan net in
     let tick = ref 0 in
     Test.make ~name:"E4c compiled replay (64-input DAG)"

@@ -26,17 +26,18 @@ let fig_4_5 () =
   let _ = Clib.equality net [ v1; v2 ] in
   let maxi = function [] -> None | x :: xs -> Some (List.fold_left max x xs) in
   let _ = Clib.functional ~kind:"uni-maximum" ~f:maxi ~result:v4 net [ v2; v3 ] in
-  ignore (Engine.set_user net v3 5);
-  ignore (Engine.set_user net v1 7);
+  ignore (Engine.set net v3 5);
+  ignore (Engine.set net v1 7);
   row "  after v3<-5, v1<-7:   v1=%s v2=%s v3=%s v4=%s   (paper: 7 7 5 7)@."
     (Fmt.str "%a" (Fmt.option Fmt.int) (Var.value v1))
     (Fmt.str "%a" (Fmt.option Fmt.int) (Var.value v2))
     (Fmt.str "%a" (Fmt.option Fmt.int) (Var.value v3))
     (Fmt.str "%a" (Fmt.option Fmt.int) (Var.value v4));
   let events = ref [] in
-  Engine.set_trace net (Some (fun ev -> events := ev :: !events));
-  ignore (Engine.set_user net v1 9);
-  Engine.set_trace net None;
+  Engine.add_sink net
+    (Types.sink ~name:"transcript" (fun te -> events := te.Types.te_event :: !events));
+  ignore (Engine.set net v1 9);
+  ignore (Engine.remove_sink net "transcript");
   row "  after v1<-9:          v1=%s v2=%s v3=%s v4=%s   (paper: 9 9 5 9)@."
     (Fmt.str "%a" (Fmt.option Fmt.int) (Var.value v1))
     (Fmt.str "%a" (Fmt.option Fmt.int) (Var.value v2))
@@ -80,7 +81,7 @@ let fig_4_9 () =
   imm_add v2 v1 1 "v2=v1+1";
   imm_add v3 v2 3 "v3=v2+3";
   imm_add v1 v3 2 "v1=v3+2";
-  let result = Engine.set_user net v1 10 in
+  let result = Engine.set net v1 10 in
   row "  set v1 <- 10 into the 3-addition cycle:@.";
   (match result with
   | Ok () -> row "    unexpectedly succeeded@."
@@ -408,7 +409,7 @@ let count_table () =
       let n_cstrs = List.length net_b.Types.net_cstrs in
       for e = 1 to m do
         ignore
-          (Engine.set_user net_b
+          (Engine.set net_b
              vars_b.(e mod Array.length vars_b)
              (Dval.Float (float_of_int e)));
         batch := !batch + n_cstrs

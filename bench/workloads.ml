@@ -32,7 +32,7 @@ let equality_chain n =
   let tick = ref 0 in
   let run () =
     incr tick;
-    ignore (Engine.set_user net vars.(0) !tick)
+    ignore (Engine.set net vars.(0) !tick)
   in
   (net, run)
 
@@ -46,7 +46,7 @@ let equality_star n =
   let tick = ref 0 in
   let run () =
     incr tick;
-    ignore (Engine.set_user net hub !tick)
+    ignore (Engine.set net hub !tick)
   in
   (net, run)
 
@@ -131,7 +131,7 @@ let fan_in_sum ?(cost = 0) ~eager m =
   let tick = ref 0 in
   let run () =
     incr tick;
-    ignore (Engine.set_user net src !tick)
+    ignore (Engine.set net src !tick)
   in
   (net, run)
 
@@ -172,7 +172,7 @@ let hierarchical_design ~k ~n =
   let tick = ref 0 in
   let run () =
     incr tick;
-    ignore (Engine.set_user net chain.(0) !tick)
+    ignore (Engine.set net chain.(0) !tick)
   in
   (net, run)
 
@@ -204,7 +204,7 @@ let flat_design ~k ~n =
   let run () =
     incr tick;
     (* the flattened system must update every replica *)
-    List.iter (fun h -> ignore (Engine.set_user net h !tick)) heads
+    List.iter (fun h -> ignore (Engine.set net h !tick)) heads
   in
   (net, run)
 
@@ -235,7 +235,7 @@ let lazy_vs_eager ~eager m =
   let run () =
     for _ = 1 to m do
       incr tick;
-      ignore (Engine.set_user net src (Dval.Int !tick));
+      ignore (Engine.set net src (Dval.Int !tick));
       if eager then ignore (Stem.Property.read env p)
     done;
     ignore (Stem.Property.read env p)
@@ -272,7 +272,7 @@ let incremental_edits env vars ~edits =
   for e = 1 to edits do
     incr edit_tick;
     ignore
-      (Engine.set_user net vars.(e mod n) (Dval.Float (float_of_int !edit_tick)))
+      (Engine.set net vars.(e mod n) (Dval.Float (float_of_int !edit_tick)))
   done
 
 let batch_edits env vars ~edits =
@@ -282,7 +282,7 @@ let batch_edits env vars ~edits =
   for e = 1 to edits do
     incr edit_tick;
     ignore
-      (Engine.set_user net vars.(e mod n) (Dval.Float (float_of_int !edit_tick)));
+      (Engine.set net vars.(e mod n) (Dval.Float (float_of_int !edit_tick)));
     (* the traditional flow: no background checking, full sweep instead *)
     ignore (Checking.Check.batch_check env)
   done;
@@ -308,10 +308,10 @@ let erasure_workload ~n ~bystanders =
   let bystander_vars =
     Array.init bystanders (fun i ->
         let v = ivar net (Printf.sprintf "b%d" i) in
-        ignore (Engine.set_user net v i);
+        ignore (Engine.set net v i);
         v)
   in
-  ignore (Engine.set_user net vars.(0) 42);
+  ignore (Engine.set net vars.(0) 42);
   (net, vars, cstrs, bystander_vars)
 
 (* Dependency-directed removal: erase the dependents, reattach an
@@ -333,7 +333,19 @@ let erasure_naive ~n ~bystanders =
   let net, vars, _, bystander_vars = erasure_workload ~n ~bystanders in
   let run () =
     List.iter Var.clear net.Types.net_vars;
-    Array.iteri (fun i v -> ignore (Engine.set_user net v i)) bystander_vars;
-    ignore (Engine.set_user net vars.(0) 42)
+    Array.iteri (fun i v -> ignore (Engine.set net v i)) bystander_vars;
+    ignore (Engine.set net vars.(0) 42)
   in
+  (net, run)
+
+(* ------------------------------------------------------------------ *)
+(* E16: overhead of the observability layer                            *)
+(* ------------------------------------------------------------------ *)
+
+(* The E11 chain again, with a chosen set of trace sinks subscribed.
+   [attach] receives the fresh network and hooks up whatever sinks the
+   config under measurement wants. *)
+let chain_observed n ~attach =
+  let net, run = equality_chain n in
+  attach net;
   (net, run)

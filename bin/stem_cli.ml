@@ -124,13 +124,13 @@ let run_inspect trace =
   setup_logs ();
   let env = Stem.Env.create () in
   if trace then
-    Constraint_kernel.Engine.set_trace env.env_cnet
-      (Some (fun ev -> Fmt.pr "  %a@." Constraint_kernel.Editor.pp_trace_event ev));
+    Constraint_kernel.Engine.add_sink env.env_cnet
+      (Obs.Sink.logger ~name:"inspect" Fmt.stdout);
   let acc = Cell_library.Datapath.accumulator ~spec:180.0 env in
   ignore
     (Delay.Delay_network.delay env acc.Cell_library.Datapath.acc ~from_:"in"
        ~to_:"out");
-  Constraint_kernel.Engine.set_trace env.env_cnet None;
+  ignore (Constraint_kernel.Engine.remove_sink env.env_cnet "inspect");
   Fmt.pr "%a@." Constraint_kernel.Editor.dump_network env.env_cnet;
   let cd = acc.Cell_library.Datapath.acc_delay in
   Fmt.pr "@.%a@." Constraint_kernel.Editor.trace_antecedents cd.cd_var;
@@ -236,7 +236,7 @@ let run_faults seed threshold prob edits budget =
       incr violations;
       Fmt.pr "  !! %a@." Types.pp_violation v);
   for tick = 1 to edits do
-    match Engine.set_user net vars.(0) tick with
+    match Engine.set net vars.(0) tick with
     | Ok () -> ()
     | Error _ -> Fmt.pr "  edit %d rolled back@." tick
   done;
@@ -289,6 +289,66 @@ let faults_cmd =
        ~doc:"Deterministic fault injection, quarantine and recovery demo")
     Term.(const run_faults $ seed $ threshold $ prob $ edits $ budget)
 
+(* ---------------- trace ---------------- *)
+
+(* Observability demo: the Fig. 5.2 accumulator with the full board
+   attached (ring + metrics + profiler) and an optional JSONL export.
+   A few edits — including one the adder's internal spec rejects and
+   one tentative probe — give the spans, hotspots and histograms
+   something to show. *)
+let run_trace jsonl edits =
+  setup_logs ();
+  let open Constraint_kernel in
+  let env = Stem.Env.create () in
+  let net = env.env_cnet in
+  let board = Obs.Board.attach net in
+  let jsonl_oc =
+    match jsonl with
+    | None -> None
+    | Some file ->
+      let oc = open_out file in
+      Engine.add_sink net (Obs.Jsonl.channel_sink ~pp_value:Dval.to_string oc);
+      Some (file, oc)
+  in
+  let acc = Cell_library.Datapath.accumulator ~spec:180.0 env in
+  let top = acc.Cell_library.Datapath.acc in
+  ignore (Delay.Delay_network.delay env top ~from_:"in" ~to_:"out");
+  let reg_delay = List.hd acc.Cell_library.Datapath.acc_reg.cc_delays in
+  let add_delay = List.hd acc.Cell_library.Datapath.acc_adder.cc_delays in
+  for i = 1 to edits do
+    (* alternate healthy edits with one the adder's 120 ns internal
+       spec rejects, plus a tentative probe per round *)
+    ignore (Engine.set net reg_delay.cd_var (Dval.Float (45.0 +. float_of_int (i mod 3))));
+    ignore (Engine.can_be_set_to net add_delay.cd_var (Dval.Float 115.0));
+    ignore (Engine.set net add_delay.cd_var (Dval.Float 130.0))
+  done;
+  Fmt.pr "== episode spans (most recent last) ==@.";
+  List.iter (fun sp -> Fmt.pr "  %a@." Types.pp_span sp) (Obs.Board.spans board);
+  Fmt.pr "@.== hotspots (top constraint kinds by activations) ==@.%a@."
+    (Obs.Profiler.pp_hotspots ~k:5)
+    (Obs.Board.profiler board);
+  Fmt.pr "@.== metrics ==@.%a@." Obs.Metrics.render (Obs.Board.metrics board);
+  Fmt.pr "@.== kernel stats ==@.%a@." Editor.pp_stats (Engine.stats net);
+  (match jsonl_oc with
+  | None -> ()
+  | Some (file, oc) ->
+    close_out oc;
+    Fmt.pr "@.trace written to %s@." file);
+  0
+
+let trace_cmd =
+  let jsonl =
+    Arg.(value & opt (some string) None
+         & info [ "jsonl" ] ~docv:"FILE" ~doc:"Export the trace as JSON lines.")
+  in
+  let edits =
+    Arg.(value & opt int 4 & info [ "edits" ] ~docv:"N" ~doc:"Edit rounds to run.")
+  in
+  Cmd.v
+    (Cmd.info "trace"
+       ~doc:"Observability demo: episode spans, metrics and hotspots")
+    Term.(const run_trace $ jsonl $ edits)
+
 (* ---------------- ripple ---------------- *)
 
 let run_ripple bits =
@@ -328,7 +388,7 @@ let main_cmd =
   Cmd.group (Cmd.info "stem" ~version:"1.0.0" ~doc)
     [
       accumulator_cmd; select_cmd; simulate_cmd; inspect_cmd; check_cmd;
-      edit_cmd; ripple_cmd; faults_cmd;
+      edit_cmd; ripple_cmd; faults_cmd; trace_cmd;
     ]
 
 let () = exit (Cmd.eval' main_cmd)

@@ -40,7 +40,7 @@ let () =
 
   section "least commitment: speed the register up to 45 ns";
   let reg_delay = List.hd acc.Cell_library.Datapath.acc_reg.cc_delays in
-  (match Engine.set_user env.env_cnet reg_delay.cd_var (Dval.Float 45.0) with
+  (match Engine.set env.env_cnet reg_delay.cd_var (Dval.Float 45.0) with
   | Ok () -> Fmt.pr "  register characteristic updated@."
   | Error v -> Fmt.pr "  !! %a@." Types.pp_violation v);
   (match Dn.delay env top ~from_:"in" ~to_:"out" with
@@ -50,7 +50,7 @@ let () =
   section "the adder's own 120 ns internal specification (§5.1)";
   let add_delay = List.hd acc.Cell_library.Datapath.acc_adder.cc_delays in
   Fmt.pr "  trying to degrade the adder to 130 ns:@.";
-  (match Engine.set_user env.env_cnet add_delay.cd_var (Dval.Float 130.0) with
+  (match Engine.set env.env_cnet add_delay.cd_var (Dval.Float 130.0) with
   | Ok () -> Fmt.pr "  accepted?!@."
   | Error _ -> Fmt.pr "  rejected by the adder's internal spec; value restored@.");
   match Dn.delay env top ~from_:"in" ~to_:"out" with

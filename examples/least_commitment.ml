@@ -84,7 +84,7 @@ let () =
   List.iter
     (fun cd ->
       ignore
-        (Constraint_kernel.Engine.set_user env.env_cnet cd.cd_var (Dval.Float 0.6)))
+        (Constraint_kernel.Engine.set env.env_cnet cd.cd_var (Dval.Float 0.6)))
     gates.Cell_library.Gates.nand2.cc_delays;
   let rc = Option.get (Stem.Env.find_cell env "RCADD8") in
   (match

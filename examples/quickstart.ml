@@ -24,18 +24,18 @@ let () =
   let _ = Clib.equality net [ v1; v2 ] in
   let maxi = function [] -> None | x :: xs -> Some (List.fold_left max x xs) in
   let _ = Clib.functional ~kind:"uni-maximum" ~f:maxi ~result:v4 net [ v2; v3 ] in
-  ignore (Engine.set_user net v3 5);
-  ignore (Engine.set_user net v1 7);
+  ignore (Engine.set net v3 5);
+  ignore (Engine.set net v1 7);
   List.iter show [ v1; v2; v3; v4 ];
 
   section "change v1 to 9: the change ripples";
-  ignore (Engine.set_user net v1 9);
+  ignore (Engine.set net v1 9);
   List.iter show [ v1; v2; v3; v4 ];
 
   section "violations roll back";
   (* pin v2 as a designer entry, then try to disagree through v1 *)
   let v5 = var "v5" in
-  ignore (Engine.set_user net v5 100);
+  ignore (Engine.set net v5 100);
   let _, attach_result = Clib.equality net [ v4; v5 ] in
   (match attach_result with
   | Ok () -> Fmt.pr "  (attached cleanly?)@."

@@ -150,7 +150,7 @@ let structural_selection_family env gates =
       match value with
       | Some d ->
         let cd = Option.get (find_delay_opt c ~from_ ~to_) in
-        ignore (Constraint_kernel.Engine.set_application env.env_cnet cd.cd_var (Dval.Float d))
+        ignore (Constraint_kernel.Engine.set ~just:Constraint_kernel.Types.Application env.env_cnet cd.cd_var (Dval.Float d))
       | None -> ()
     in
     set_delay "a" "s" a_s;
@@ -158,7 +158,7 @@ let structural_selection_family env gates =
     (match bbox with
     | Some r ->
       ignore
-        (Constraint_kernel.Engine.set_application env.env_cnet
+        (Constraint_kernel.Engine.set ~just:Constraint_kernel.Types.Application env.env_cnet
            (Cell.class_bbox_var c) (Dval.Rect r))
     | None -> ());
     c

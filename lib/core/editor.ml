@@ -40,9 +40,9 @@ let unsatisfied net =
 let pp_stats ppf s =
   Fmt.pf ppf
     "propagations=%d assignments=%d inferences=%d scheduled=%d checks=%d \
-     violations=%d trapped=%d quarantined=%d"
+     violations=%d trapped=%d quarantined=%d sink_errors=%d"
     s.st_propagations s.st_assignments s.st_inferences s.st_scheduled s.st_checks
-    s.st_violations s.st_trapped s.st_quarantined
+    s.st_violations s.st_trapped s.st_quarantined s.st_sink_errors
 
 let dump_network ppf net =
   let bad = unsatisfied net in
@@ -56,7 +56,7 @@ let dump_network ppf net =
     (List.length net.net_vars)
     (List.length net.net_cstrs)
     (if net.net_enabled then "on" else "off")
-    pp_stats net.net_stats
+    pp_stats (snapshot_stats net.net_stats)
     (List.length quarantined)
     (List.length bad)
     (Fmt.list ~sep:Fmt.cut (fun ppf c -> Fmt.pf ppf "- %a" Cstr.pp c))
@@ -96,3 +96,5 @@ let pp_trace_event ppf = function
   | T_restore v -> Fmt.pf ppf "restore %s" (Var.path v)
   | T_quarantine (c, reason) ->
     Fmt.pf ppf "quarantine %s#%d: %s" c.c_kind c.c_id reason
+  | T_episode_start (id, label) -> Fmt.pf ppf "episode #%d start (%s)" id label
+  | T_episode_end sp -> Fmt.pf ppf "episode %a" pp_span sp

@@ -19,7 +19,11 @@ let create_network ?(name = "network") () =
     net_enabled = true;
     net_max_changes = 100;
     net_on_violation = default_handler;
-    net_trace = None;
+    net_sinks = [];
+    net_clock = Unix.gettimeofday;
+    net_next_episode = 0;
+    net_cur_episode = 0;
+    net_next_seq = 0;
     net_next_var_id = 0;
     net_next_cstr_id = 0;
     net_vars = [];
@@ -28,7 +32,7 @@ let create_network ?(name = "network") () =
     net_fail_threshold = 3;
     net_step_budget = None;
     net_audit_on_restore = false;
-    net_stats = fresh_stats ();
+    net_stats = fresh_counters ();
   }
 
 let enable net = net.net_enabled <- true
@@ -46,7 +50,37 @@ let enable_kind net kind =
 
 let set_violation_handler net h = net.net_on_violation <- h
 
-let set_trace net t = net.net_trace <- t
+(* ------------------------------------------------------------------ *)
+(* Trace sinks                                                         *)
+(* ------------------------------------------------------------------ *)
+
+(* Sinks fan out in registration order.  Registering a sink under a
+   name that is already taken replaces the old sink in place, so a
+   long-lived subscriber (a file exporter, say) can be swapped without
+   losing its position in the order. *)
+let add_sink net s =
+  if List.exists (fun s' -> s'.snk_name = s.snk_name) net.net_sinks then
+    net.net_sinks <-
+      List.map (fun s' -> if s'.snk_name = s.snk_name then s else s') net.net_sinks
+  else net.net_sinks <- net.net_sinks @ [ s ]
+
+let remove_sink net name =
+  let before = List.length net.net_sinks in
+  net.net_sinks <- List.filter (fun s -> s.snk_name <> name) net.net_sinks;
+  List.length net.net_sinks < before
+
+let sinks net = net.net_sinks
+
+let clear_sinks net = net.net_sinks <- []
+
+let legacy_trace_name = "legacy-trace"
+
+let set_trace net = function
+  | None -> ignore (remove_sink net legacy_trace_name)
+  | Some f ->
+    add_sink net { snk_name = legacy_trace_name; snk_emit = (fun _ _ ev -> f ev) }
+
+let set_clock net clock = net.net_clock <- clock
 
 let set_fail_threshold net n = net.net_fail_threshold <- max 0 n
 
@@ -54,20 +88,44 @@ let set_step_budget net b = net.net_step_budget <- b
 
 let set_audit_on_restore net b = net.net_audit_on_restore <- b
 
-let stats net = net.net_stats
+let stats net = snapshot_stats net.net_stats
 
 let reset_stats net =
   let s = net.net_stats in
-  s.st_assignments <- 0;
-  s.st_inferences <- 0;
-  s.st_checks <- 0;
-  s.st_scheduled <- 0;
-  s.st_violations <- 0;
-  s.st_propagations <- 0;
-  s.st_trapped <- 0;
-  s.st_quarantined <- 0
+  s.k_assignments <- 0;
+  s.k_inferences <- 0;
+  s.k_checks <- 0;
+  s.k_scheduled <- 0;
+  s.k_violations <- 0;
+  s.k_propagations <- 0;
+  s.k_trapped <- 0;
+  s.k_quarantined <- 0;
+  s.k_sink_errors <- 0
 
-let trace net ev = match net.net_trace with None -> () | Some f -> f ev
+(* A throwing sink is an observability failure, never a propagation
+   failure: trap, count, log, keep going — both to the remaining sinks
+   and with the episode itself. *)
+let rec fan_out net ep seq ev = function
+  | [] -> ()
+  | s :: rest ->
+    (try s.snk_emit ep seq ev
+     with e ->
+       net.net_stats.k_sink_errors <- net.net_stats.k_sink_errors + 1;
+       Log.warn (fun m ->
+           m "trace sink %S raised (ignored): %s" s.snk_name
+             (Printexc.to_string e)));
+    fan_out net ep seq ev rest
+
+let trace net ev =
+  match net.net_sinks with
+  | [] -> ()
+  | sinks ->
+    net.net_next_seq <- net.net_next_seq + 1;
+    fan_out net net.net_cur_episode net.net_next_seq ev sinks
+
+(* Hot-path call sites test this before even allocating the event, so a
+   quiet network pays one pointer comparison per would-be event. *)
+let[@inline] tracing net = net.net_sinks != []
 
 (* ------------------------------------------------------------------ *)
 (* Fault accounting and quarantine                                     *)
@@ -79,7 +137,7 @@ let trace net ev = match net.net_trace with None -> () | Some f -> f ev
    recorded reason so the broken procedure degrades its own cell rather
    than wedging every episode that touches it. *)
 let note_failure net c ~where exn =
-  net.net_stats.st_trapped <- net.net_stats.st_trapped + 1;
+  net.net_stats.k_trapped <- net.net_stats.k_trapped + 1;
   c.c_failures <- c.c_failures + 1;
   if
     net.net_fail_threshold > 0
@@ -92,7 +150,7 @@ let note_failure net c ~where exn =
     in
     c.c_quarantined <- Some reason;
     c.c_enabled <- false;
-    net.net_stats.st_quarantined <- net.net_stats.st_quarantined + 1;
+    net.net_stats.k_quarantined <- net.net_stats.k_quarantined + 1;
     trace net (T_quarantine (c, reason));
     Log.warn (fun m -> m "quarantined %s#%d: %s" c.c_kind c.c_id reason)
   end
@@ -100,60 +158,16 @@ let note_failure net c ~where exn =
 let trapped_violation net ?cstr ?var ~where exn =
   (match cstr with
   | Some c -> note_failure net c ~where exn
-  | None -> net.net_stats.st_trapped <- net.net_stats.st_trapped + 1);
+  | None -> net.net_stats.k_trapped <- net.net_stats.k_trapped + 1);
   violation ?cstr ?var ~exn (Printf.sprintf "exception in %s" where)
 
 (* ------------------------------------------------------------------ *)
 (* Network integrity audit                                             *)
 (* ------------------------------------------------------------------ *)
 
-(* Cross-reference and justification audit, run after a post-violation
-   restore when [net_audit_on_restore] is set (and available directly as
-   [Network.check_integrity]).  Returns human-readable descriptions of
-   every inconsistency found; [] means the var/constraint graph and the
-   justification records are mutually consistent. *)
-let check_integrity net =
-  let issues = ref [] in
-  let add fmt = Printf.ksprintf (fun s -> issues := s :: !issues) fmt in
-  let cstr_ids = Hashtbl.create 64 and var_ids = Hashtbl.create 64 in
-  List.iter (fun c -> Hashtbl.replace cstr_ids c.c_id c) net.net_cstrs;
-  List.iter (fun v -> Hashtbl.replace var_ids v.v_id ()) net.net_vars;
-  let path v = v.v_owner ^ "." ^ v.v_name in
-  List.iter
-    (fun v ->
-      List.iter
-        (fun c ->
-          if not (Hashtbl.mem cstr_ids c.c_id) then
-            add "%s lists %s#%d, which is not registered in the network"
-              (path v) c.c_kind c.c_id
-          else if not (List.exists (fun a -> a.v_id = v.v_id) c.c_args) then
-            add "%s is attached to %s#%d but is not among its arguments"
-              (path v) c.c_kind c.c_id)
-        v.v_cstrs;
-      match v.v_just with
-      | Propagated { source; _ } ->
-        if v.v_value = None then
-          add "%s carries a propagated justification but no value" (path v);
-        if not (Hashtbl.mem cstr_ids source.c_id) then
-          add "%s is justified by %s#%d, which was removed from the network"
-            (path v) source.c_kind source.c_id
-        else if not (List.exists (fun a -> a.v_id = v.v_id) source.c_args) then
-          add "%s is justified by %s#%d but is not one of its arguments"
-            (path v) source.c_kind source.c_id
-      | Default | User | Application | Update | Tentative -> ())
-    net.net_vars;
-  List.iter
-    (fun c ->
-      List.iter
-        (fun a ->
-          if not (Hashtbl.mem var_ids a.v_id) then
-            add "%s#%d argument %s is not registered in the network" c.c_kind
-              c.c_id (path a))
-        c.c_args;
-      if c.c_quarantined <> None && c.c_enabled then
-        add "%s#%d is quarantined yet still enabled" c.c_kind c.c_id)
-    net.net_cstrs;
-  List.rev !issues
+(* Canonical home: [Network.check_integrity] (implementation shared via
+   {!Integrity}); this alias remains for one release. *)
+let check_integrity = Integrity.check_integrity
 
 (* ------------------------------------------------------------------ *)
 (* Contexts                                                            *)
@@ -169,6 +183,7 @@ let new_ctx net =
     cx_cstr_order = [];
     cx_agenda = Agenda.create ();
     cx_steps = 0;
+    cx_agenda_hwm = 0;
   }
 
 let save_state ctx v =
@@ -191,11 +206,11 @@ let restore ctx =
       | Some saved ->
         v.v_value <- saved.sv_value;
         v.v_just <- saved.sv_just;
-        trace ctx.cx_net (T_restore v);
+        if tracing ctx.cx_net then trace ctx.cx_net (T_restore v);
         (try v.v_on_change v
          with e ->
-           ctx.cx_net.net_stats.st_trapped <-
-             ctx.cx_net.net_stats.st_trapped + 1;
+           ctx.cx_net.net_stats.k_trapped <-
+             ctx.cx_net.net_stats.k_trapped + 1;
            Log.warn (fun m ->
                m "on-change hook of %s.%s raised during restore: %s" v.v_owner
                  v.v_name (Printexc.to_string e))))
@@ -225,8 +240,8 @@ let run_inference ctx c changed =
             "step budget exhausted: more than %d inference runs in one episode"
             budget))
   | _ -> (
-    net.net_stats.st_inferences <- net.net_stats.st_inferences + 1;
-    trace net (T_activate (c, changed));
+    net.net_stats.k_inferences <- net.net_stats.k_inferences + 1;
+    if tracing net then trace net (T_activate (c, changed));
     match c.c_propagate ctx c changed with
     | result -> result
     | exception e ->
@@ -245,8 +260,10 @@ let activate ctx c ~changed =
       if c.c_wants_schedule c changed then begin
         let var = if c.c_schedule_keyed_by_var then changed else None in
         if Agenda.schedule ctx.cx_agenda ~priority c ~var then begin
-          ctx.cx_net.net_stats.st_scheduled <- ctx.cx_net.net_stats.st_scheduled + 1;
-          trace ctx.cx_net (T_schedule (c, priority))
+          ctx.cx_net.net_stats.k_scheduled <- ctx.cx_net.net_stats.k_scheduled + 1;
+          let depth = Agenda.length ctx.cx_agenda in
+          if depth > ctx.cx_agenda_hwm then ctx.cx_agenda_hwm <- depth;
+          if tracing ctx.cx_net then trace ctx.cx_net (T_schedule (c, priority))
         end
       end;
       Ok ()
@@ -258,7 +275,7 @@ let constraints_of ctx v =
   match Var.all_constraints v with
   | cs -> Ok cs
   | exception e ->
-    ctx.cx_net.net_stats.st_trapped <- ctx.cx_net.net_stats.st_trapped + 1;
+    ctx.cx_net.net_stats.k_trapped <- ctx.cx_net.net_stats.k_trapped + 1;
     Error
       (violation ~var:v ~exn:e
          (Printf.sprintf "exception in implicit-constraint hook of %s.%s"
@@ -297,10 +314,10 @@ let check_visited ctx =
     | [] -> Ok ()
     | c :: rest ->
       if cstr_enabled ctx c then begin
-        net.net_stats.st_checks <- net.net_stats.st_checks + 1;
+        net.net_stats.k_checks <- net.net_stats.k_checks + 1;
         match c.c_satisfied c with
         | sat ->
-          trace net (T_check (c, sat));
+          if tracing net then trace net (T_check (c, sat));
           if sat then go rest
           else
             Error
@@ -336,12 +353,12 @@ let install ctx v x ~just ~source_label =
   bump_change_count ctx v;
   v.v_value <- Some x;
   v.v_just <- just;
-  ctx.cx_net.net_stats.st_assignments <- ctx.cx_net.net_stats.st_assignments + 1;
-  trace ctx.cx_net (T_assign (v, x, source_label));
+  ctx.cx_net.net_stats.k_assignments <- ctx.cx_net.net_stats.k_assignments + 1;
+  if tracing ctx.cx_net then trace ctx.cx_net (T_assign (v, x, source_label));
   match v.v_on_change v with
   | () -> Ok ()
   | exception e ->
-    ctx.cx_net.net_stats.st_trapped <- ctx.cx_net.net_stats.st_trapped + 1;
+    ctx.cx_net.net_stats.k_trapped <- ctx.cx_net.net_stats.k_trapped + 1;
     Error
       (violation ~var:v ~exn:e
          (Printf.sprintf "exception in on-change hook of %s.%s" v.v_owner
@@ -383,8 +400,8 @@ let set_by_constraint ctx v x ~source ~record =
             match v.v_overwrite v ~proposed:x with
             | d -> Ok d
             | exception e ->
-              ctx.cx_net.net_stats.st_trapped <-
-                ctx.cx_net.net_stats.st_trapped + 1;
+              ctx.cx_net.net_stats.k_trapped <-
+                ctx.cx_net.net_stats.k_trapped + 1;
               Error
                 (violation ~cstr:source ~var:v ~exn:e
                    (Printf.sprintf "exception in overwrite rule of %s"
@@ -425,11 +442,11 @@ let erase ctx v ~just ~source_label =
   save_state ctx v;
   v.v_value <- None;
   v.v_just <- just;
-  trace ctx.cx_net (T_reset (v, source_label));
+  if tracing ctx.cx_net then trace ctx.cx_net (T_reset (v, source_label));
   match v.v_on_change v with
   | () -> Ok ()
   | exception e ->
-    ctx.cx_net.net_stats.st_trapped <- ctx.cx_net.net_stats.st_trapped + 1;
+    ctx.cx_net.net_stats.k_trapped <- ctx.cx_net.net_stats.k_trapped + 1;
     Error
       (violation ~var:v ~exn:e
          (Printf.sprintf "exception in on-change hook of %s.%s" v.v_owner
@@ -453,28 +470,83 @@ let propagate_along ctx v c =
 (* Top-level entry points                                              *)
 (* ------------------------------------------------------------------ *)
 
-(* Episode atomicity (§4.2): [f], the drain and the final check run
-   under a universal exception trap, so any exception that escaped the
-   per-closure wrappers still becomes a violation and still triggers the
-   restore.  The violation handler itself is isolated: a throwing
-   handler cannot abort the recovery that follows it. *)
-let episode_result net ctx f =
-  match
-    let* () = f ctx in
-    let* () = drain ctx in
-    check_visited ctx
-  with
+(* Episode atomicity (§4.2): [f], the drain and the final check each
+   run under a universal exception trap, so any exception that escaped
+   the per-closure wrappers still becomes a violation and still
+   triggers the restore.  The violation handler itself is isolated: a
+   throwing handler cannot abort the recovery that follows it. *)
+let guard net thunk =
+  match thunk () with
   | result -> result
   | exception e ->
-    net.net_stats.st_trapped <- net.net_stats.st_trapped + 1;
+    net.net_stats.k_trapped <- net.net_stats.k_trapped + 1;
     Error (violation ~exn:e "exception escaped propagation episode")
 
+(* Observability is pay-as-you-go: with no sinks attached the phase
+   clock is never read and the timings stay all-zero. *)
+let episode_clock net =
+  if net.net_sinks = [] then fun () -> 0. else net.net_clock
+
+(* Run the three forward phases of an episode — the caller's assignment
+   and its propagation, the agenda drain, the final is_satisfied sweep —
+   timing each against [clock].  A phase is skipped (and reads as 0) as
+   soon as an earlier one fails. *)
+let episode_phases net clock ctx f =
+  let t0 = clock () in
+  let r = guard net (fun () -> f ctx) in
+  let t1 = clock () in
+  let r, t2 =
+    match r with
+    | Error _ -> (r, t1)
+    | Ok () ->
+      let r = guard net (fun () -> drain ctx) in
+      (r, clock ())
+  in
+  let r, t3 =
+    match r with
+    | Error _ -> (r, t2)
+    | Ok () ->
+      let r = guard net (fun () -> check_visited ctx) in
+      (r, clock ())
+  in
+  ( r,
+    {
+      ph_propagate = t1 -. t0;
+      ph_drain = t2 -. t1;
+      ph_check = t3 -. t2;
+      ph_restore = 0.;
+    } )
+
+(* Span bracketing.  Episode ids advance even while no sink is watching
+   so that ids stay comparable across attach/detach; emission itself is
+   short-circuited by [trace] when the sink list is empty. *)
+let begin_episode net ~label =
+  net.net_next_episode <- net.net_next_episode + 1;
+  let id = net.net_next_episode in
+  let prev = net.net_cur_episode in
+  net.net_cur_episode <- id;
+  trace net (T_episode_start (id, label));
+  (id, prev)
+
+let end_episode net (id, prev) ~label ~outcome ~timings ~ctx =
+  trace net
+    (T_episode_end
+       {
+         es_id = id;
+         es_label = label;
+         es_outcome = outcome;
+         es_timings = timings;
+         es_steps = ctx.cx_steps;
+         es_agenda_hwm = ctx.cx_agenda_hwm;
+       });
+  net.net_cur_episode <- prev
+
 let notify_violation net viol =
-  net.net_stats.st_violations <- net.net_stats.st_violations + 1;
+  net.net_stats.k_violations <- net.net_stats.k_violations + 1;
   trace net (T_violation viol);
   try net.net_on_violation viol
   with e ->
-    net.net_stats.st_trapped <- net.net_stats.st_trapped + 1;
+    net.net_stats.k_trapped <- net.net_stats.k_trapped + 1;
     Log.warn (fun m ->
         m "violation handler raised (ignored so recovery can proceed): %s"
           (Printexc.to_string e))
@@ -490,18 +562,29 @@ let audit_after_restore net =
             (Fmt.list ~sep:Fmt.cut Fmt.string)
             issues)
 
-let run_episode net f =
-  net.net_stats.st_propagations <- net.net_stats.st_propagations + 1;
+let run_episode ?(label = "episode") net f =
+  net.net_stats.k_propagations <- net.net_stats.k_propagations + 1;
   let ctx = new_ctx net in
-  match episode_result net ctx f with
-  | Ok () -> Ok ()
+  let clock = episode_clock net in
+  let bracket = begin_episode net ~label in
+  let result, timings = episode_phases net clock ctx f in
+  match result with
+  | Ok () ->
+    end_episode net bracket ~label ~outcome:E_committed ~timings ~ctx;
+    Ok ()
   | Error viol ->
     notify_violation net viol;
+    let t0 = clock () in
     restore ctx;
     audit_after_restore net;
+    let timings = { timings with ph_restore = clock () -. t0 } in
+    end_episode net bracket ~label ~outcome:E_rolled_back ~timings ~ctx;
     Error viol
 
-let set net v x ~just =
+(* The paper's [setTo:justification:], collapsed to one entry point:
+   the justification defaults to [User] (designer entry) and tools pass
+   [~just:Application]. *)
+let set ?(just = User) net v x =
   if not net.net_enabled then begin
     Var.poke v x ~just;
     Ok ()
@@ -520,13 +603,13 @@ let set net v x ~just =
     match v.v_value with
     | Some cur when v.v_equal cur x && same_just -> Ok ()
     | _ ->
-      run_episode net (fun ctx ->
+      run_episode ~label:"set" net (fun ctx ->
           let* () = install ctx v x ~just ~source_label:"external" in
           propagate_from ctx v ~except:None)
 
-let set_user net v x = set net v x ~just:User
+let set_user net v x = set ~just:User net v x
 
-let set_application net v x = set net v x ~just:Application
+let set_application net v x = set ~just:Application net v x
 
 let reset net v =
   if not net.net_enabled then begin
@@ -535,7 +618,7 @@ let reset net v =
   end
   else if v.v_value = None then Ok ()
   else
-    run_episode net (fun ctx ->
+    run_episode ~label:"reset" net (fun ctx ->
         let* () = erase ctx v ~just:Default ~source_label:"external" in
         propagate_reset ctx v ~except:None)
 
@@ -548,20 +631,29 @@ let reset net v =
 let explain_set net v x =
   if not net.net_enabled then Ok ()
   else begin
-    net.net_stats.st_propagations <- net.net_stats.st_propagations + 1;
+    net.net_stats.k_propagations <- net.net_stats.k_propagations + 1;
     let ctx = new_ctx net in
-    let result =
-      episode_result net ctx (fun ctx ->
+    let clock = episode_clock net in
+    let label = "probe" in
+    let bracket = begin_episode net ~label in
+    let result, timings =
+      episode_phases net clock ctx (fun ctx ->
           let* () = install ctx v x ~just:Tentative ~source_label:"tentative" in
           propagate_from ctx v ~except:None)
     in
     (match result with
     | Ok () -> ()
     | Error viol ->
-      net.net_stats.st_violations <- net.net_stats.st_violations + 1;
+      net.net_stats.k_violations <- net.net_stats.k_violations + 1;
       trace net (T_violation viol));
+    let t0 = clock () in
     restore ctx;
     audit_after_restore net;
+    let timings = { timings with ph_restore = clock () -. t0 } in
+    let outcome =
+      match result with Ok () -> E_probe_ok | Error _ -> E_probe_rejected
+    in
+    end_episode net bracket ~label ~outcome ~timings ~ctx;
     result
   end
 

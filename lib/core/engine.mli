@@ -32,7 +32,47 @@ val enable_kind : 'a network -> string -> unit
 
 val set_violation_handler : 'a network -> ('a violation -> unit) -> unit
 
+(** {1 Trace sinks}
+
+    A network fans its trace events out to a list of subscribed
+    {!Types.sink}s — ring buffers, metrics aggregators, file exporters
+    (see the [Obs] library for ready-made ones). Every event reaches
+    each sink together with the id of the propagation episode it
+    belongs to and a global sequence number, passed as plain arguments
+    ([snk_emit ep seq ev]) so the fan-out allocates nothing; sinks that
+    store or forward events box them into a {!Types.tagged_event}
+    themselves ({!Types.sink} is the boxing convenience constructor).
+    Episodes themselves are bracketed by [T_episode_start] /
+    [T_episode_end] events; the end event carries an {!Types.episode_span}
+    with the outcome, per-phase monotonic-clock timings
+    (propagate/drain/check/restore), the inference-step count and the
+    agenda-depth high-water mark.
+
+    Sinks are called in registration order. A sink that raises is
+    trapped, counted ([st_sink_errors]) and logged; it can never abort
+    an episode. With no sinks attached the whole path — including the
+    clock reads — is short-circuited. *)
+
+(** [add_sink net s] subscribes [s]. Re-using an existing sink name
+    replaces that sink in place (same fan-out position). *)
+val add_sink : 'a network -> 'a sink -> unit
+
+(** [remove_sink net name] unsubscribes the sink named [name]; [false]
+    if there was none. *)
+val remove_sink : 'a network -> string -> bool
+
+(** Subscribed sinks, in fan-out order. *)
+val sinks : 'a network -> 'a sink list
+
+val clear_sinks : 'a network -> unit
+
+(** Override the monotonic clock used for episode phase timings
+    (seconds). Mainly for tests that want deterministic spans. *)
+val set_clock : 'a network -> (unit -> float) -> unit
+
 val set_trace : 'a network -> ('a trace_event -> unit) option -> unit
+[@@deprecated "use add_sink / remove_sink; this installs a single sink named \
+               \"legacy-trace\""]
 
 (** {1 Fault tolerance}
 
@@ -59,25 +99,32 @@ val set_step_budget : 'a network -> int option -> unit
     restore and logs any inconsistency (diagnostic mode; default off). *)
 val set_audit_on_restore : 'a network -> bool -> unit
 
-(** Audit the var/constraint cross-references and the justification
-    records of the network. Returns a description of every
-    inconsistency; [[]] means the network is internally consistent.
-    Also exposed as [Network.check_integrity]. *)
 val check_integrity : 'a network -> string list
+[@@deprecated "use Network.check_integrity (canonical home of the \
+               integrity/quarantine API)"]
 
+(** Immutable snapshot of the network's event counters. Latency
+    histograms and other aggregates are deliberately not here: they are
+    reachable only through the [Obs] metrics registry, fed by a trace
+    sink. *)
 val stats : 'a network -> stats
 
 val reset_stats : 'a network -> unit
 
 (** {1 Top-level assignment} *)
 
-(** [set net v x ~just] — the paper's [setTo:justification:]. Stores and
-    propagates; on violation restores everything and returns [Error]. *)
-val set : 'a network -> 'a var -> 'a -> just:'a justification -> (unit, 'a violation) result
+(** [set ?just net v x] — the paper's [setTo:justification:], the single
+    external assignment entry point. [just] defaults to [User] (designer
+    entry); tools pass [~just:Application]. Stores and propagates; on
+    violation restores everything and returns [Error]. *)
+val set :
+  ?just:'a justification -> 'a network -> 'a var -> 'a -> (unit, 'a violation) result
 
 val set_user : 'a network -> 'a var -> 'a -> (unit, 'a violation) result
+[@@deprecated "use set (User is the default justification)"]
 
 val set_application : 'a network -> 'a var -> 'a -> (unit, 'a violation) result
+[@@deprecated "use set ~just:Application"]
 
 (** [reset net v] erases the value and cascades the erasure through
     update-constraints (constraints with [c_fires_on_reset]). *)
@@ -92,7 +139,9 @@ val reset : 'a network -> 'a var -> (unit, 'a violation) result
     probe is a question, not a failure of the design. *)
 val explain_set : 'a network -> 'a var -> 'a -> (unit, 'a violation) result
 
-(** [can_be_set_to net v x] — [explain_set] reduced to its verdict. *)
+(** [can_be_set_to net v x] — the thin verdict wrapper over
+    {!explain_set} (and nothing more): [Result.is_ok (explain_set net v x)].
+    Use [explain_set] directly when the diagnostic matters. *)
 val can_be_set_to : 'a network -> 'a var -> 'a -> bool
 
 (** {1 Inside a propagation episode}
@@ -148,8 +197,12 @@ val visited : 'a ctx -> 'a var -> bool
 (** Restore every visited variable to its saved state. *)
 val restore : 'a ctx -> unit
 
-(** [run_episode net f] — create a context, run [f], drain, check visited
-    constraints; on violation notify the handler, restore, and return
-    [Error]. This is the shared skeleton of all top-level entry points
-    (also used by {!Network} when editing constraints). *)
-val run_episode : 'a network -> ('a ctx -> (unit, 'a violation) result) -> (unit, 'a violation) result
+(** [run_episode ?label net f] — create a context, run [f], drain, check
+    visited constraints; on violation notify the handler, restore, and
+    return [Error]. This is the shared skeleton of all top-level entry
+    points (also used by {!Network} when editing constraints). [label]
+    (default ["episode"]) names the episode's origin in its trace
+    span. *)
+val run_episode :
+  ?label:string -> 'a network -> ('a ctx -> (unit, 'a violation) result) ->
+  (unit, 'a violation) result

@@ -1,0 +1,13 @@
+(** Network integrity audit — shared implementation.
+
+    Audits the var/constraint cross-references and the justification
+    records of a network. The canonical public entry point is
+    {!Network.check_integrity}; the engine's post-restore audit
+    ([Engine.set_audit_on_restore]) uses the same code. *)
+
+open Types
+
+(** Returns a human-readable description of every inconsistency found;
+    [[]] means the var/constraint graph and the justification records
+    are mutually consistent. *)
+val check_integrity : 'a network -> string list

@@ -19,7 +19,7 @@ let precedence_order args =
 let reinitialize net c =
   if not net.net_enabled then Ok ()
   else
-    Engine.run_episode net (fun ctx ->
+    Engine.run_episode ~label:"reinit" net (fun ctx ->
         let rec go = function
           | [] -> Ok ()
           | v :: rest ->
@@ -82,7 +82,7 @@ let remove_constraint net c =
 (* Integrity and quarantine                                            *)
 (* ------------------------------------------------------------------ *)
 
-let check_integrity = Engine.check_integrity
+let check_integrity = Integrity.check_integrity
 
 let quarantined net =
   List.filter (fun c -> c.c_quarantined <> None) (List.rev net.net_cstrs)
@@ -91,7 +91,7 @@ let quarantine net c ~reason =
   if c.c_quarantined = None then begin
     c.c_quarantined <- Some reason;
     c.c_enabled <- false;
-    net.net_stats.st_quarantined <- net.net_stats.st_quarantined + 1;
+    net.net_stats.k_quarantined <- net.net_stats.k_quarantined + 1;
     Engine.trace net (T_quarantine (c, reason))
   end
 

@@ -39,15 +39,69 @@ type 'a violation = {
   viol_exn : string option;
 }
 
+(* The live event counters of a network.  Internal: the kernel mutates
+   these in place on the hot path; the public view is the immutable
+   {!stats} snapshot returned by [Engine.stats].  Latency histograms and
+   other aggregates deliberately do not live here — they belong to the
+   [Obs] metrics registry, fed through trace sinks. *)
+type counters = {
+  mutable k_assignments : int; (* values installed during propagation *)
+  mutable k_inferences : int; (* constraint inference runs *)
+  mutable k_checks : int; (* is_satisfied evaluations *)
+  mutable k_scheduled : int; (* agenda pushes *)
+  mutable k_violations : int;
+  mutable k_propagations : int; (* top-level propagation episodes *)
+  mutable k_trapped : int; (* exceptions trapped in user closures *)
+  mutable k_quarantined : int; (* constraints auto-disabled for failures *)
+  mutable k_sink_errors : int; (* exceptions trapped in trace sinks *)
+}
+
+(* Immutable statistics snapshot (what [Engine.stats] returns). *)
 type stats = {
-  mutable st_assignments : int; (* values installed during propagation *)
-  mutable st_inferences : int; (* constraint inference runs *)
-  mutable st_checks : int; (* is_satisfied evaluations *)
-  mutable st_scheduled : int; (* agenda pushes *)
-  mutable st_violations : int;
-  mutable st_propagations : int; (* top-level propagation episodes *)
-  mutable st_trapped : int; (* exceptions trapped in user closures *)
-  mutable st_quarantined : int; (* constraints auto-disabled for failures *)
+  st_assignments : int;
+  st_inferences : int;
+  st_checks : int;
+  st_scheduled : int;
+  st_violations : int;
+  st_propagations : int;
+  st_trapped : int;
+  st_quarantined : int;
+  st_sink_errors : int;
+}
+
+(* ------------------------------------------------------------------ *)
+(* Episode spans                                                       *)
+(* ------------------------------------------------------------------ *)
+
+(* Every top-level propagation episode is bracketed by a pair of trace
+   events, [T_episode_start]/[T_episode_end], carrying a network-unique
+   episode id; every event emitted in between is tagged with that id
+   (see {!tagged_event}), so a post-mortem can attribute each
+   assignment, activation and check to the episode that caused it. *)
+
+(* Wall-clock spent in each phase of an episode, in seconds of the
+   network's monotonic clock.  All zero when no sinks are attached (the
+   clock is not read at all on the unobserved fast path). *)
+type phase_timings = {
+  ph_propagate : float; (* the initial assignment and its propagation *)
+  ph_drain : float; (* draining the priority agendas *)
+  ph_check : float; (* the final is_satisfied sweep *)
+  ph_restore : float; (* rollback after a violation (0 if committed) *)
+}
+
+type episode_outcome =
+  | E_committed (* propagation succeeded; new values kept *)
+  | E_rolled_back (* violation; every visited variable restored *)
+  | E_probe_ok (* tentative test (explain_set): would succeed *)
+  | E_probe_rejected (* tentative test: would violate *)
+
+type episode_span = {
+  es_id : int;
+  es_label : string; (* origin: "set", "reset", "probe", "reinit", ... *)
+  es_outcome : episode_outcome;
+  es_timings : phase_timings;
+  es_steps : int; (* inference runs in this episode *)
+  es_agenda_hwm : int; (* agenda depth high-water mark *)
 }
 
 (* ------------------------------------------------------------------ *)
@@ -165,7 +219,17 @@ and 'a network = {
      generous (100).  Set 1 to recover the strict §4.2.2 rule. *)
   mutable net_max_changes : int;
   mutable net_on_violation : 'a violation -> unit;
-  mutable net_trace : ('a trace_event -> unit) option;
+  (* Subscribed trace sinks, notified of every event in registration
+     order.  A throwing sink is trapped and counted ([k_sink_errors]);
+     it can never abort an episode.  [] (the default) short-circuits
+     all observability work, including the clock reads. *)
+  mutable net_sinks : 'a sink list;
+  (* Monotonic clock used for episode phase timings, in seconds.  Only
+     read while at least one sink is attached. *)
+  mutable net_clock : unit -> float;
+  mutable net_next_episode : int; (* episode ids handed out so far *)
+  mutable net_cur_episode : int; (* id of the episode in flight; 0 = none *)
+  mutable net_next_seq : int; (* global event sequence number *)
   mutable net_next_var_id : int;
   mutable net_next_cstr_id : int;
   mutable net_vars : 'a var list; (* reverse creation order *)
@@ -181,7 +245,28 @@ and 'a network = {
   (* Run {!Engine.check_integrity} after every post-violation restore
      and log what it finds (diagnostic mode; off by default). *)
   mutable net_audit_on_restore : bool;
-  net_stats : stats;
+  net_stats : counters;
+}
+
+(* A trace sink: one subscriber of the network's event stream.  Sinks
+   are identified by name (registering a second sink under an existing
+   name replaces the first, keeping its position in the fan-out
+   order).  The emit procedure receives the owning episode id (0
+   outside any episode), a network-global sequence number for total
+   ordering, and the event — as plain arguments rather than a
+   {!tagged_event} so the hot path allocates nothing per sink; sinks
+   that retain events box them into {!tagged_event} themselves. *)
+and 'a sink = {
+  snk_name : string;
+  snk_emit : int -> int -> 'a trace_event -> unit;
+}
+
+(* The boxed form of what a sink receives, used by sinks that store or
+   forward events (ring buffer, JSONL lines, test helpers). *)
+and 'a tagged_event = {
+  te_episode : int;
+  te_seq : int;
+  te_event : 'a trace_event;
 }
 
 and 'a trace_event =
@@ -193,6 +278,8 @@ and 'a trace_event =
   | T_violation of 'a violation
   | T_restore of 'a var
   | T_quarantine of 'a cstr * string (* constraint auto-disabled, reason *)
+  | T_episode_start of int * string (* episode id, origin label *)
+  | T_episode_end of episode_span
 
 and 'a ctx = {
   cx_net : 'a network;
@@ -203,19 +290,68 @@ and 'a ctx = {
   mutable cx_cstr_order : 'a cstr list; (* reverse activation order *)
   cx_agenda : 'a agenda;
   mutable cx_steps : int; (* inference runs this episode (step budget) *)
+  mutable cx_agenda_hwm : int; (* agenda depth high-water mark *)
 }
 
-let fresh_stats () =
+let fresh_counters () =
   {
-    st_assignments = 0;
-    st_inferences = 0;
-    st_checks = 0;
-    st_scheduled = 0;
-    st_violations = 0;
-    st_propagations = 0;
-    st_trapped = 0;
-    st_quarantined = 0;
+    k_assignments = 0;
+    k_inferences = 0;
+    k_checks = 0;
+    k_scheduled = 0;
+    k_violations = 0;
+    k_propagations = 0;
+    k_trapped = 0;
+    k_quarantined = 0;
+    k_sink_errors = 0;
   }
+
+let snapshot_stats (k : counters) : stats =
+  {
+    st_assignments = k.k_assignments;
+    st_inferences = k.k_inferences;
+    st_checks = k.k_checks;
+    st_scheduled = k.k_scheduled;
+    st_violations = k.k_violations;
+    st_propagations = k.k_propagations;
+    st_trapped = k.k_trapped;
+    st_quarantined = k.k_quarantined;
+    st_sink_errors = k.k_sink_errors;
+  }
+
+(* Convenience constructor over the boxed event form; fine for tests
+   and tooling, while performance-sensitive sinks implement the 3-ary
+   [snk_emit] directly to skip the per-event box. *)
+let sink ~name emit =
+  {
+    snk_name = name;
+    snk_emit =
+      (fun ep seq ev -> emit { te_episode = ep; te_seq = seq; te_event = ev });
+  }
+
+let span_total sp =
+  sp.es_timings.ph_propagate +. sp.es_timings.ph_drain +. sp.es_timings.ph_check
+  +. sp.es_timings.ph_restore
+
+let pp_outcome ppf = function
+  | E_committed -> Fmt.string ppf "committed"
+  | E_rolled_back -> Fmt.string ppf "rolled-back"
+  | E_probe_ok -> Fmt.string ppf "probe-ok"
+  | E_probe_rejected -> Fmt.string ppf "probe-rejected"
+
+let pp_span ppf sp =
+  let us x = x *. 1e6 in
+  Fmt.pf ppf
+    "#%d %-7s %-14s %8.1f us (prop %.1f drain %.1f check %.1f restore %.1f) \
+     steps=%d agenda<=%d"
+    sp.es_id sp.es_label
+    (Fmt.str "%a" pp_outcome sp.es_outcome)
+    (us (span_total sp))
+    (us sp.es_timings.ph_propagate)
+    (us sp.es_timings.ph_drain)
+    (us sp.es_timings.ph_check)
+    (us sp.es_timings.ph_restore)
+    sp.es_steps sp.es_agenda_hwm
 
 let violation ?cstr ?var ?exn message =
   {

@@ -1,0 +1,41 @@
+(** The standard observability bundle.
+
+    [attach net] wires a fresh ring buffer, metrics registry and
+    per-kind profiler into [net] as a single fused sink named
+    ["board"] (one closure call and exception trap per event instead of
+    three — the cheap always-on configuration); [detach net] removes
+    exactly that sink, leaving any other (e.g. a JSONL exporter) alone.
+    The shell session and the [stem trace] demo both run on a board. *)
+
+open Constraint_kernel
+
+type 'a t
+
+(** Build a board without attaching it (ring capacity defaults 256). *)
+val create : ?ring_capacity:int -> unit -> 'a t
+
+(** The board's fused sink (named ["board"]), for manual attachment. *)
+val sink : 'a t -> 'a Types.sink
+
+(** Build and attach. A same-named sink already on the network is
+    replaced in place. *)
+val attach : ?ring_capacity:int -> 'a Types.network -> 'a t
+
+(** Remove the board's sink from the network. *)
+val detach : 'a Types.network -> unit
+
+val sink_name : string
+
+val ring : 'a t -> 'a Ring.t
+
+val metrics : 'a t -> Metrics.t
+
+val profiler : 'a t -> Profiler.t
+
+(** Completed episode spans currently in the ring, oldest first. *)
+val spans : 'a t -> Types.episode_span list
+
+val hotspots : ?k:int -> 'a t -> Profiler.entry list
+
+(** Metrics + hotspots, human-readable. *)
+val pp_summary : Format.formatter -> 'a t -> unit

@@ -1,0 +1,338 @@
+(* JSONL trace export: one flat JSON object per trace event, plus a
+   small parser for reading a trace back (used by tests and by the
+   round-trip check in `stem trace`).  Hand-rolled — the container has
+   no JSON library, and flat objects of scalars are all we need. *)
+
+open Constraint_kernel.Types
+
+(* ---------------- encoding ---------------- *)
+
+let needs_escape s =
+  let n = String.length s in
+  let rec go i =
+    i < n
+    && (match String.unsafe_get s i with
+       | '"' | '\\' -> true
+       | c when Char.code c < 0x20 -> true
+       | _ -> go (i + 1))
+  in
+  go 0
+
+let add_escaped buf s =
+  if not (needs_escape s) then Buffer.add_string buf s
+  else
+    String.iter
+      (fun c ->
+        match c with
+        | '"' -> Buffer.add_string buf "\\\""
+        | '\\' -> Buffer.add_string buf "\\\\"
+        | '\n' -> Buffer.add_string buf "\\n"
+        | '\r' -> Buffer.add_string buf "\\r"
+        | '\t' -> Buffer.add_string buf "\\t"
+        | c when Char.code c < 0x20 ->
+          Buffer.add_string buf (Printf.sprintf "\\u%04x" (Char.code c))
+        | c -> Buffer.add_char buf c)
+      s
+
+let escape s =
+  if not (needs_escape s) then s
+  else begin
+    let buf = Buffer.create (String.length s + 2) in
+    add_escaped buf s;
+    Buffer.contents buf
+  end
+
+(* All field writers append ',"key":value' — the object writer opens
+   with '{' and overwrites the first comma, so the hot path is pure
+   Buffer appends with no intermediate strings. *)
+
+let key buf k =
+  Buffer.add_char buf ',';
+  Buffer.add_char buf '"';
+  Buffer.add_string buf k;
+  Buffer.add_char buf '"';
+  Buffer.add_char buf ':'
+
+let field_str buf k v =
+  key buf k;
+  Buffer.add_char buf '"';
+  add_escaped buf v;
+  Buffer.add_char buf '"'
+
+let field_int buf k v =
+  key buf k;
+  Buffer.add_string buf (string_of_int v)
+
+let field_float buf k v =
+  key buf k;
+  match Float.classify_float v with
+  | FP_nan | FP_infinite -> Buffer.add_string buf "null"
+  (* %g is enough precision for the microsecond timings we emit *)
+  | _ -> Buffer.add_string buf (Printf.sprintf "%g" v)
+
+let field_bool buf k v =
+  key buf k;
+  Buffer.add_string buf (if v then "true" else "false")
+
+let outcome_string = function
+  | E_committed -> "committed"
+  | E_rolled_back -> "rolled_back"
+  | E_probe_ok -> "probe_ok"
+  | E_probe_rejected -> "probe_rejected"
+
+let outcome_of_string = function
+  | "committed" -> Some E_committed
+  | "rolled_back" -> Some E_rolled_back
+  | "probe_ok" -> Some E_probe_ok
+  | "probe_rejected" -> Some E_probe_rejected
+  | _ -> None
+
+let field_var buf k v =
+  key buf k;
+  Buffer.add_char buf '"';
+  add_escaped buf v.v_owner;
+  Buffer.add_char buf '.';
+  add_escaped buf v.v_name;
+  Buffer.add_char buf '"'
+
+let field_cstr buf k c =
+  key buf k;
+  Buffer.add_char buf '"';
+  add_escaped buf c.c_kind;
+  Buffer.add_char buf '#';
+  Buffer.add_string buf (string_of_int c.c_id);
+  Buffer.add_char buf '"'
+
+let opt_field f buf k = function None -> () | Some v -> f buf k v
+
+let write_event ~pp_value buf ep seq ev =
+  (* "seq" is written inline so every later field can lead with a comma
+     unconditionally — no first-field bookkeeping on the hot path *)
+  Buffer.add_string buf "{\"seq\":";
+  Buffer.add_string buf (string_of_int seq);
+  field_int buf "ep" ep;
+  (let tag t = field_str buf "t" t in
+   match ev with
+   | T_assign (v, x, src) ->
+     tag "assign";
+     field_var buf "var" v;
+     field_str buf "value" (pp_value x);
+     field_str buf "src" src
+   | T_reset (v, reason) ->
+     tag "reset";
+     field_var buf "var" v;
+     field_str buf "why" reason
+   | T_activate (c, by) ->
+     tag "activate";
+     field_cstr buf "cstr" c;
+     opt_field field_var buf "by" by
+   | T_schedule (c, prio) ->
+     tag "schedule";
+     field_cstr buf "cstr" c;
+     field_int buf "prio" prio
+   | T_check (c, ok) ->
+     tag "check";
+     field_cstr buf "cstr" c;
+     field_bool buf "ok" ok
+   | T_violation viol ->
+     tag "violation";
+     field_str buf "msg" viol.viol_message;
+     opt_field field_str buf "kind" viol.viol_cstr_kind;
+     opt_field field_str buf "var" viol.viol_var_path;
+     opt_field field_str buf "exn" viol.viol_exn
+   | T_restore v ->
+     tag "restore";
+     field_var buf "var" v
+   | T_quarantine (c, reason) ->
+     tag "quarantine";
+     field_cstr buf "cstr" c;
+     field_str buf "reason" reason
+   | T_episode_start (id, label) ->
+     tag "episode_start";
+     field_int buf "id" id;
+     field_str buf "label" label
+   | T_episode_end sp ->
+     let us x = x *. 1e6 in
+     tag "episode_end";
+     field_int buf "id" sp.es_id;
+     field_str buf "label" sp.es_label;
+     field_str buf "outcome" (outcome_string sp.es_outcome);
+     field_float buf "us" (us (span_total sp));
+     field_float buf "prop_us" (us sp.es_timings.ph_propagate);
+     field_float buf "drain_us" (us sp.es_timings.ph_drain);
+     field_float buf "check_us" (us sp.es_timings.ph_check);
+     field_float buf "restore_us" (us sp.es_timings.ph_restore);
+     field_int buf "steps" sp.es_steps;
+     field_int buf "agenda" sp.es_agenda_hwm);
+  Buffer.add_char buf '}'
+
+let default_pp_value _ = "<opaque>"
+
+let json_of_event ?(pp_value = default_pp_value) te =
+  let buf = Buffer.create 128 in
+  write_event ~pp_value buf te.te_episode te.te_seq te.te_event;
+  Buffer.contents buf
+
+(* ---------------- sinks ---------------- *)
+
+let channel_sink ?(name = "jsonl") ?(pp_value = default_pp_value) oc =
+  let scratch = Buffer.create 256 in
+  let emit ep seq ev =
+    Buffer.clear scratch;
+    write_event ~pp_value scratch ep seq ev;
+    Buffer.add_char scratch '\n';
+    Buffer.output_buffer oc scratch
+  in
+  { snk_name = name; snk_emit = emit }
+
+let buffer_sink ?(name = "jsonl") ?(pp_value = default_pp_value) buf =
+  let emit ep seq ev =
+    write_event ~pp_value buf ep seq ev;
+    Buffer.add_char buf '\n'
+  in
+  { snk_name = name; snk_emit = emit }
+
+(* ---------------- parsing ---------------- *)
+
+type json =
+  | J_str of string
+  | J_int of int
+  | J_float of float
+  | J_bool of bool
+  | J_null
+
+(* Minimal parser for the flat objects we emit: {"k":scalar,...}. *)
+let parse_line line =
+  let n = String.length line in
+  let pos = ref 0 in
+  let error msg = Error (Printf.sprintf "%s at %d in %S" msg !pos line) in
+  let skip_ws () =
+    while !pos < n && (match line.[!pos] with ' ' | '\t' -> true | _ -> false)
+    do incr pos done
+  in
+  let expect c =
+    skip_ws ();
+    if !pos < n && line.[!pos] = c then (incr pos; true) else false
+  in
+  let parse_string () =
+    (* caller consumed the opening quote *)
+    let buf = Buffer.create 16 in
+    let rec go () =
+      if !pos >= n then Error "unterminated string"
+      else
+        match line.[!pos] with
+        | '"' -> incr pos; Ok (Buffer.contents buf)
+        | '\\' ->
+          if !pos + 1 >= n then Error "dangling escape"
+          else begin
+            (match line.[!pos + 1] with
+            | '"' -> Buffer.add_char buf '"'
+            | '\\' -> Buffer.add_char buf '\\'
+            | 'n' -> Buffer.add_char buf '\n'
+            | 'r' -> Buffer.add_char buf '\r'
+            | 't' -> Buffer.add_char buf '\t'
+            | 'u' ->
+              if !pos + 5 < n then begin
+                let hex = String.sub line (!pos + 2) 4 in
+                (match int_of_string_opt ("0x" ^ hex) with
+                | Some code when code < 0x80 -> Buffer.add_char buf (Char.chr code)
+                | _ -> Buffer.add_string buf ("\\u" ^ hex));
+                pos := !pos + 4
+              end
+            | c -> Buffer.add_char buf c);
+            pos := !pos + 2;
+            go ()
+          end
+        | c -> Buffer.add_char buf c; incr pos; go ()
+    in
+    go ()
+  in
+  let parse_scalar () =
+    skip_ws ();
+    if !pos >= n then error "unexpected end"
+    else if line.[!pos] = '"' then begin
+      incr pos;
+      match parse_string () with Ok s -> Ok (J_str s) | Error e -> Error e
+    end
+    else begin
+      let start = !pos in
+      while
+        !pos < n
+        && (match line.[!pos] with
+           | ',' | '}' | ' ' | '\t' -> false
+           | _ -> true)
+      do incr pos done;
+      let tok = String.sub line start (!pos - start) in
+      match tok with
+      | "true" -> Ok (J_bool true)
+      | "false" -> Ok (J_bool false)
+      | "null" -> Ok J_null
+      | _ -> (
+        match int_of_string_opt tok with
+        | Some i -> Ok (J_int i)
+        | None -> (
+          match float_of_string_opt tok with
+          | Some f -> Ok (J_float f)
+          | None -> error (Printf.sprintf "bad scalar %S" tok)))
+    end
+  in
+  if not (expect '{') then error "expected '{'"
+  else begin
+    let rec fields acc =
+      skip_ws ();
+      if expect '}' then Ok (List.rev acc)
+      else if not (expect '"') then error "expected key"
+      else
+        match parse_string () with
+        | Error e -> Error e
+        | Ok key ->
+          if not (expect ':') then error "expected ':'"
+          else (
+            match parse_scalar () with
+            | Error e -> Error e
+            | Ok v ->
+              let acc = (key, v) :: acc in
+              skip_ws ();
+              if expect ',' then fields acc
+              else if expect '}' then Ok (List.rev acc)
+              else error "expected ',' or '}'")
+    in
+    fields []
+  end
+
+let str fields k =
+  match List.assoc_opt k fields with Some (J_str s) -> Some s | _ -> None
+
+let int fields k =
+  match List.assoc_opt k fields with
+  | Some (J_int i) -> Some i
+  | Some (J_float f) -> Some (int_of_float f)
+  | _ -> None
+
+let float fields k =
+  match List.assoc_opt k fields with
+  | Some (J_float f) -> Some f
+  | Some (J_int i) -> Some (float_of_int i)
+  | _ -> None
+
+let bool fields k =
+  match List.assoc_opt k fields with Some (J_bool b) -> Some b | _ -> None
+
+let parse_lines s =
+  String.split_on_char '\n' s
+  |> List.filter (fun l -> String.trim l <> "")
+  |> List.map parse_line
+
+let load_file path =
+  let ic = open_in path in
+  Fun.protect
+    ~finally:(fun () -> close_in_noerr ic)
+    (fun () ->
+      let rec go acc =
+        match input_line ic with
+        | line ->
+          if String.trim line = "" then go acc
+          else go (parse_line line :: acc)
+        | exception End_of_file -> List.rev acc
+      in
+      go [])

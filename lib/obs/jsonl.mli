@@ -1,0 +1,63 @@
+(** JSONL trace export and (minimal) import.
+
+    Every trace event becomes one flat JSON object per line with at
+    least ["seq"], ["ep"] (the owning episode id) and ["t"] (the event
+    type); further scalar fields depend on the type. Episode-end spans
+    carry the outcome and per-phase timings in microseconds, so a trace
+    file is enough to reconstruct the full span timeline offline.
+
+    The parser only understands the flat scalar objects this module
+    emits — it is for round-tripping our own traces, not general JSON. *)
+
+open Constraint_kernel.Types
+
+(** [json_of_event ?pp_value te] — one line of JSON (no trailing
+    newline). [pp_value] renders assigned values (default
+    ["<opaque>"]). *)
+val json_of_event :
+  ?pp_value:('a -> string) -> 'a tagged_event -> string
+
+(** Sink writing one line per event to a channel. The caller owns the
+    channel (flush/close). Default name ["jsonl"]. *)
+val channel_sink :
+  ?name:string -> ?pp_value:('a -> string) -> out_channel -> 'a sink
+
+(** Same, into a [Buffer.t] (used by tests and the shell). *)
+val buffer_sink :
+  ?name:string -> ?pp_value:('a -> string) -> Buffer.t -> 'a sink
+
+(** {1 Reading traces back} *)
+
+type json =
+  | J_str of string
+  | J_int of int
+  | J_float of float
+  | J_bool of bool
+  | J_null
+
+(** Parse one line into its fields, in order of appearance. *)
+val parse_line : string -> ((string * json) list, string) result
+
+(** Parse every non-blank line of a string. *)
+val parse_lines : string -> ((string * json) list, string) result list
+
+(** Parse every non-blank line of a file. *)
+val load_file : string -> ((string * json) list, string) result list
+
+(** Typed field accessors (ints coerce to floats and vice versa where
+    lossless enough for trace data). *)
+
+val str : (string * json) list -> string -> string option
+
+val int : (string * json) list -> string -> int option
+
+val float : (string * json) list -> string -> float option
+
+val bool : (string * json) list -> string -> bool option
+
+val outcome_string : episode_outcome -> string
+
+val outcome_of_string : string -> episode_outcome option
+
+(** JSON string escaping (exposed for the bench JSON writer). *)
+val escape : string -> string

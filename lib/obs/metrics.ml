@@ -1,0 +1,267 @@
+(* A small metrics registry: named counters, gauges and fixed-bucket
+   histograms, plus a kernel sink that aggregates a network's trace
+   events into it.  All instruments are O(1) per observation and
+   allocation-free after creation. *)
+
+open Constraint_kernel.Types
+
+type counter = { c_name : string; mutable c_count : int }
+
+type gauge = {
+  g_name : string;
+  mutable g_last : float;
+  mutable g_max : float;
+  mutable g_samples : int;
+}
+
+type histogram = {
+  h_name : string;
+  h_bounds : float array; (* inclusive upper bounds, ascending *)
+  h_counts : int array; (* length = Array.length h_bounds + 1 (overflow) *)
+  mutable h_count : int;
+  mutable h_sum : float;
+  mutable h_min : float;
+  mutable h_max : float;
+}
+
+type item = Counter of counter | Gauge of gauge | Histogram of histogram
+
+type t = {
+  m_items : (string, item) Hashtbl.t;
+  mutable m_order : string list; (* reverse creation order *)
+}
+
+let create () = { m_items = Hashtbl.create 32; m_order = [] }
+
+let item_name = function
+  | Counter c -> c.c_name
+  | Gauge g -> g.g_name
+  | Histogram h -> h.h_name
+
+let register t it =
+  let name = item_name it in
+  if Hashtbl.mem t.m_items name then
+    invalid_arg (Printf.sprintf "Metrics: %S already registered" name);
+  Hashtbl.add t.m_items name it;
+  t.m_order <- name :: t.m_order
+
+let find t name = Hashtbl.find_opt t.m_items name
+
+let items t =
+  List.rev_map (fun n -> Hashtbl.find t.m_items n) t.m_order
+
+(* ---------------- counters ---------------- *)
+
+let counter t name =
+  match find t name with
+  | Some (Counter c) -> c
+  | Some _ -> invalid_arg (Printf.sprintf "Metrics: %S is not a counter" name)
+  | None ->
+    let c = { c_name = name; c_count = 0 } in
+    register t (Counter c);
+    c
+
+let incr ?(by = 1) c = c.c_count <- c.c_count + by
+
+(* the hot-path increment: no optional argument to defeat inlining *)
+let tick c = c.c_count <- c.c_count + 1
+
+let count c = c.c_count
+
+(* ---------------- gauges ---------------- *)
+
+let gauge t name =
+  match find t name with
+  | Some (Gauge g) -> g
+  | Some _ -> invalid_arg (Printf.sprintf "Metrics: %S is not a gauge" name)
+  | None ->
+    let g = { g_name = name; g_last = 0.; g_max = neg_infinity; g_samples = 0 } in
+    register t (Gauge g);
+    g
+
+let set_gauge g x =
+  g.g_last <- x;
+  if x > g.g_max then g.g_max <- x;
+  g.g_samples <- g.g_samples + 1
+
+(* ---------------- histograms ---------------- *)
+
+(* 1-2-5 log-scale bounds, intended for microsecond latencies. *)
+let default_time_bounds =
+  [| 1.; 2.; 5.; 10.; 20.; 50.; 100.; 200.; 500.; 1e3; 2e3; 5e3; 1e4; 2e4;
+     5e4; 1e5; 1e6 |]
+
+(* powers of two, for depths and counts *)
+let default_size_bounds =
+  [| 0.; 1.; 2.; 4.; 8.; 16.; 32.; 64.; 128.; 256.; 512.; 1024.; 4096. |]
+
+let histogram ?(bounds = default_time_bounds) t name =
+  match find t name with
+  | Some (Histogram h) -> h
+  | Some _ -> invalid_arg (Printf.sprintf "Metrics: %S is not a histogram" name)
+  | None ->
+    let h =
+      {
+        h_name = name;
+        h_bounds = bounds;
+        h_counts = Array.make (Array.length bounds + 1) 0;
+        h_count = 0;
+        h_sum = 0.;
+        h_min = infinity;
+        h_max = neg_infinity;
+      }
+    in
+    register t (Histogram h);
+    h
+
+let observe h x =
+  let n = Array.length h.h_bounds in
+  let rec bucket i = if i >= n || x <= h.h_bounds.(i) then i else bucket (i + 1) in
+  let i = bucket 0 in
+  h.h_counts.(i) <- h.h_counts.(i) + 1;
+  h.h_count <- h.h_count + 1;
+  h.h_sum <- h.h_sum +. x;
+  if x < h.h_min then h.h_min <- x;
+  if x > h.h_max then h.h_max <- x
+
+let mean h = if h.h_count = 0 then 0. else h.h_sum /. float_of_int h.h_count
+
+(* Approximate quantile: find the bucket holding the q-th observation
+   and interpolate linearly inside it (bounded by observed min/max). *)
+let quantile h q =
+  if h.h_count = 0 then 0.
+  else begin
+    let q = Float.max 0. (Float.min 1. q) in
+    let rank = q *. float_of_int h.h_count in
+    let n = Array.length h.h_bounds in
+    let rec go i acc =
+      if i > n then h.h_max
+      else
+        let acc' = acc + h.h_counts.(i) in
+        if float_of_int acc' >= rank then begin
+          let lo = if i = 0 then h.h_min else h.h_bounds.(i - 1) in
+          let hi = if i = n then h.h_max else h.h_bounds.(i) in
+          let lo = Float.min (Float.max lo h.h_min) h.h_max
+          and hi = Float.max (Float.min hi h.h_max) h.h_min in
+          (* an empty bucket can only satisfy the rank test at its lower
+             boundary (rank = acc), so that boundary is the answer *)
+          if h.h_counts.(i) = 0 then Float.min lo hi
+          else
+            let frac =
+              (rank -. float_of_int acc) /. float_of_int h.h_counts.(i)
+            in
+            lo +. ((hi -. lo) *. Float.max 0. (Float.min 1. frac))
+        end
+        else go (i + 1) acc'
+    in
+    go 0 0
+  end
+
+(* ---------------- rendering ---------------- *)
+
+let pp_item ppf = function
+  | Counter c -> Fmt.pf ppf "%-28s %d" c.c_name c.c_count
+  | Gauge g ->
+    if g.g_samples = 0 then Fmt.pf ppf "%-28s (no samples)" g.g_name
+    else Fmt.pf ppf "%-28s last=%g max=%g" g.g_name g.g_last g.g_max
+  | Histogram h ->
+    if h.h_count = 0 then Fmt.pf ppf "%-28s (no samples)" h.h_name
+    else
+      Fmt.pf ppf "%-28s n=%d mean=%.1f p50=%.1f p90=%.1f p99=%.1f min=%.1f max=%.1f"
+        h.h_name h.h_count (mean h) (quantile h 0.5) (quantile h 0.9)
+        (quantile h 0.99) h.h_min h.h_max
+
+let render ppf t =
+  Fmt.pf ppf "@[<v>%a@]" (Fmt.list ~sep:Fmt.cut pp_item) (items t)
+
+(* ---------------- the kernel sink ---------------- *)
+
+(* Aggregates a network's event stream: one counter per event type,
+   outcome counters, and the histograms the bare NIL feedback of the
+   paper could never answer — episode latency (overall and per phase),
+   inferences per episode, agenda depth. *)
+
+type kernel_set = {
+  ks_assign : counter;
+  ks_reset : counter;
+  ks_activate : counter;
+  ks_schedule : counter;
+  ks_check : counter;
+  ks_violation : counter;
+  ks_restore : counter;
+  ks_quarantine : counter;
+  ks_ep_total : counter;
+  ks_committed : counter;
+  ks_rolled_back : counter;
+  ks_probe_ok : counter;
+  ks_probe_rejected : counter;
+  ks_latency : histogram;
+  ks_propagate : histogram;
+  ks_drain : histogram;
+  ks_check_time : histogram;
+  ks_restore_time : histogram;
+  ks_steps : histogram;
+  ks_agenda : histogram;
+}
+
+let kernel_set t =
+  {
+    ks_assign = counter t "events.assign";
+    ks_reset = counter t "events.reset";
+    ks_activate = counter t "events.activate";
+    ks_schedule = counter t "events.schedule";
+    ks_check = counter t "events.check";
+    ks_violation = counter t "events.violation";
+    ks_restore = counter t "events.restore";
+    ks_quarantine = counter t "events.quarantine";
+    ks_ep_total = counter t "episodes.total";
+    ks_committed = counter t "episodes.committed";
+    ks_rolled_back = counter t "episodes.rolled_back";
+    ks_probe_ok = counter t "episodes.probe_ok";
+    ks_probe_rejected = counter t "episodes.probe_rejected";
+    ks_latency = histogram t "episode.latency_us";
+    ks_propagate = histogram t "episode.propagate_us";
+    ks_drain = histogram t "episode.drain_us";
+    ks_check_time = histogram t "episode.check_us";
+    ks_restore_time = histogram t "episode.restore_us";
+    ks_steps = histogram ~bounds:default_size_bounds t "episode.steps";
+    ks_agenda = histogram ~bounds:default_size_bounds t "episode.agenda_depth";
+  }
+
+let observe_span ks sp =
+  (match sp.es_outcome with
+  | E_committed -> tick ks.ks_committed
+  | E_rolled_back -> tick ks.ks_rolled_back
+  | E_probe_ok -> tick ks.ks_probe_ok
+  | E_probe_rejected -> tick ks.ks_probe_rejected);
+  let us x = x *. 1e6 in
+  observe ks.ks_latency (us (span_total sp));
+  observe ks.ks_propagate (us sp.es_timings.ph_propagate);
+  observe ks.ks_drain (us sp.es_timings.ph_drain);
+  observe ks.ks_check_time (us sp.es_timings.ph_check);
+  observe ks.ks_restore_time (us sp.es_timings.ph_restore);
+  observe ks.ks_steps (float_of_int sp.es_steps);
+  observe ks.ks_agenda (float_of_int sp.es_agenda_hwm)
+
+let kernel_sink ?(name = "metrics") t =
+  let ks = kernel_set t in
+  let emit _ep _seq ev =
+    match ev with
+    | T_assign _ -> tick ks.ks_assign
+    | T_reset _ -> tick ks.ks_reset
+    | T_activate _ -> tick ks.ks_activate
+    | T_schedule _ -> tick ks.ks_schedule
+    | T_check _ -> tick ks.ks_check
+    | T_violation _ -> tick ks.ks_violation
+    | T_restore _ -> tick ks.ks_restore
+    | T_quarantine _ -> tick ks.ks_quarantine
+    | T_episode_start _ -> tick ks.ks_ep_total
+    | T_episode_end sp -> observe_span ks sp
+  in
+  { snk_name = name; snk_emit = emit }
+
+let samples h = h.h_count
+
+let gauge_last g = g.g_last
+
+let gauge_max g = g.g_max

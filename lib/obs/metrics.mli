@@ -1,0 +1,108 @@
+(** Metrics registry: named counters, gauges and fixed-bucket
+    histograms, plus the sink that aggregates a constraint network's
+    trace events into them.
+
+    This registry is the only home of latency/histogram aggregates —
+    [Engine.stats] stays a plain snapshot of event counters. Attach
+    {!kernel_sink} to a network (directly or via {!Board.attach}) to
+    populate: episode latency (overall and per phase, microseconds),
+    inferences per episode, agenda-depth high-water marks, event and
+    outcome counts. *)
+
+open Constraint_kernel.Types
+
+type t
+
+type counter
+
+type gauge
+
+type histogram
+
+type item = Counter of counter | Gauge of gauge | Histogram of histogram
+
+val create : unit -> t
+
+(** Find-or-create. Raise [Invalid_argument] if the name is already
+    taken by an instrument of another kind. *)
+val counter : t -> string -> counter
+
+val incr : ?by:int -> counter -> unit
+
+(** [tick c] = [incr c], monomorphic for the per-event hot path. *)
+val tick : counter -> unit
+
+val count : counter -> int
+
+val gauge : t -> string -> gauge
+
+val set_gauge : gauge -> float -> unit
+
+(** [histogram ?bounds t name] — fixed buckets with the given inclusive
+    upper bounds (default {!default_time_bounds}, a 1-2-5 log scale
+    meant for microseconds). *)
+val histogram : ?bounds:float array -> t -> string -> histogram
+
+val observe : histogram -> float -> unit
+
+val default_time_bounds : float array
+
+val default_size_bounds : float array
+
+val mean : histogram -> float
+
+(** Number of observations recorded. *)
+val samples : histogram -> int
+
+val gauge_last : gauge -> float
+
+val gauge_max : gauge -> float
+
+(** Approximate quantile by linear interpolation inside the matching
+    bucket, clamped to the observed min/max. *)
+val quantile : histogram -> float -> float
+
+val find : t -> string -> item option
+
+(** Instruments in creation order. *)
+val items : t -> item list
+
+val pp_item : Format.formatter -> item -> unit
+
+val render : Format.formatter -> t -> unit
+
+(** The aggregating trace sink (default name ["metrics"]). *)
+val kernel_sink : ?name:string -> t -> 'a sink
+
+(** The instruments {!kernel_sink} feeds, pre-created and exposed so a
+    fused sink (see [Board]) can update them from its own single event
+    match instead of paying a second dispatch per event. *)
+type kernel_set = {
+  ks_assign : counter;
+  ks_reset : counter;
+  ks_activate : counter;
+  ks_schedule : counter;
+  ks_check : counter;
+  ks_violation : counter;
+  ks_restore : counter;
+  ks_quarantine : counter;
+  ks_ep_total : counter;
+  ks_committed : counter;
+  ks_rolled_back : counter;
+  ks_probe_ok : counter;
+  ks_probe_rejected : counter;
+  ks_latency : histogram;
+  ks_propagate : histogram;
+  ks_drain : histogram;
+  ks_check_time : histogram;
+  ks_restore_time : histogram;
+  ks_steps : histogram;
+  ks_agenda : histogram;
+}
+
+(** Find-or-create the whole set in [t] (idempotent). *)
+val kernel_set : t -> kernel_set
+
+(** Record one completed episode: outcome counter plus every span
+    histogram. *)
+val observe_span : kernel_set -> episode_span -> unit

@@ -1,0 +1,112 @@
+(* Per-constraint-kind profiler: attributes activations, agenda
+   traffic, checks, violations and quarantines to each constraint kind
+   ("equality", "uni-maximum", ...), and ranks the kinds by activation
+   count into a top-k hotspot report. *)
+
+open Constraint_kernel.Types
+
+type entry = {
+  e_kind : string;
+  mutable e_activations : int;
+  mutable e_scheduled : int;
+  mutable e_checks : int;
+  mutable e_check_failures : int;
+  mutable e_violations : int;
+  mutable e_quarantines : int;
+}
+
+type t = {
+  p_entries : (string, entry) Hashtbl.t;
+  (* constraint-id -> entry cache so the hot path never hashes the kind
+     string; ids are small dense ints, so a growable array suffices *)
+  mutable p_by_id : entry option array;
+}
+
+let create () = { p_entries = Hashtbl.create 16; p_by_id = Array.make 64 None }
+
+let entry t kind =
+  match Hashtbl.find_opt t.p_entries kind with
+  | Some e -> e
+  | None ->
+    let e =
+      { e_kind = kind; e_activations = 0; e_scheduled = 0; e_checks = 0;
+        e_check_failures = 0; e_violations = 0; e_quarantines = 0 }
+    in
+    Hashtbl.add t.p_entries kind e;
+    e
+
+let entry_of_cstr t c =
+  let id = c.c_id in
+  let cache = t.p_by_id in
+  if id < Array.length cache then
+    match Array.unsafe_get cache id with
+    | Some e -> e
+    | None ->
+      let e = entry t c.c_kind in
+      Array.unsafe_set cache id (Some e);
+      e
+  else begin
+    let grown = Array.make (max 64 (2 * (id + 1))) None in
+    Array.blit cache 0 grown 0 (Array.length cache);
+    t.p_by_id <- grown;
+    let e = entry t c.c_kind in
+    grown.(id) <- Some e;
+    e
+  end
+
+let sink ?(name = "profiler") t =
+  let emit _ep _seq ev =
+    match ev with
+    | T_activate (c, _) ->
+      let e = entry_of_cstr t c in
+      e.e_activations <- e.e_activations + 1
+    | T_schedule (c, _) ->
+      let e = entry_of_cstr t c in
+      e.e_scheduled <- e.e_scheduled + 1
+    | T_check (c, ok) ->
+      let e = entry_of_cstr t c in
+      e.e_checks <- e.e_checks + 1;
+      if not ok then e.e_check_failures <- e.e_check_failures + 1
+    | T_violation viol -> (
+      match viol.viol_cstr_kind with
+      | Some kind ->
+        let e = entry t kind in
+        e.e_violations <- e.e_violations + 1
+      | None -> ())
+    | T_quarantine (c, _) ->
+      let e = entry_of_cstr t c in
+      e.e_quarantines <- e.e_quarantines + 1
+    | T_assign _ | T_reset _ | T_restore _ | T_episode_start _
+    | T_episode_end _ ->
+      ()
+  in
+  { snk_name = name; snk_emit = emit }
+
+let entries t =
+  Hashtbl.fold (fun _ e acc -> e :: acc) t.p_entries []
+  |> List.sort (fun a b ->
+         match compare b.e_activations a.e_activations with
+         | 0 -> compare a.e_kind b.e_kind
+         | c -> c)
+
+let hotspots ?(k = 5) t =
+  let rec take n = function
+    | [] -> []
+    | _ when n <= 0 -> []
+    | x :: rest -> x :: take (n - 1) rest
+  in
+  take k (entries t)
+
+let clear t =
+  Hashtbl.reset t.p_entries;
+  Array.fill t.p_by_id 0 (Array.length t.p_by_id) None
+
+let pp_entry ppf e =
+  Fmt.pf ppf "%-18s act=%-6d sched=%-6d checks=%-6d fail=%-4d viol=%-4d quar=%d"
+    e.e_kind e.e_activations e.e_scheduled e.e_checks e.e_check_failures
+    e.e_violations e.e_quarantines
+
+let pp_hotspots ?k ppf t =
+  match hotspots ?k t with
+  | [] -> Fmt.pf ppf "(no constraint activity recorded)"
+  | es -> Fmt.pf ppf "@[<v>%a@]" (Fmt.list ~sep:Fmt.cut pp_entry) es

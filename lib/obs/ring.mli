@@ -1,0 +1,36 @@
+(** Bounded event ring buffer, for post-mortem inspection.
+
+    Keeps the most recent [capacity] tagged trace events; older ones
+    are evicted in FIFO order. The [spans] accessor filters the ring
+    down to completed episode spans, which is what the shell's [spans]
+    command and the [stem trace] demo print. *)
+
+open Constraint_kernel.Types
+
+type 'a t
+
+val create : ?name:string -> capacity:int -> unit -> 'a t
+
+(** The sink to attach with [Engine.add_sink] (named after the ring). *)
+val sink : 'a t -> 'a sink
+
+(** [push r ep seq ev] — feed one event directly (what {!sink} does);
+    allocation-free. *)
+val push : 'a t -> int -> int -> 'a trace_event -> unit
+
+(** Events currently held, oldest first. *)
+val to_list : 'a t -> 'a tagged_event list
+
+(** Completed episode spans currently held, oldest first. *)
+val spans : 'a t -> episode_span list
+
+val length : 'a t -> int
+
+val capacity : 'a t -> int
+
+(** Total events ever pushed, including evicted ones. *)
+val seen : 'a t -> int
+
+val clear : 'a t -> unit
+
+val pp : Format.formatter -> 'a t -> unit

@@ -8,6 +8,27 @@
 
 open Constraint_kernel
 
+(* A shell session is an environment plus its observability board: the
+   board's ring/metrics/profiler sinks are attached for the session's
+   lifetime, and an optional JSONL exporter can be toggled per file. *)
+type session = {
+  ss_env : Stem.Design.env;
+  ss_board : Dval.t Obs.Board.t;
+  mutable ss_jsonl : (string * out_channel) option;
+}
+
+let session env =
+  { ss_env = env; ss_board = Obs.Board.attach (Stem.Env.cnet env);
+    ss_jsonl = None }
+
+let trace_off ss =
+  match ss.ss_jsonl with
+  | None -> false
+  | Some (_, oc) ->
+    ignore (Engine.remove_sink (Stem.Env.cnet ss.ss_env) "jsonl");
+    close_out_noerr oc;
+    ss.ss_jsonl <- None;
+    true
 
 let help_text =
   "commands:\n\
@@ -30,6 +51,11 @@ let help_text =
   \  budget N|off           per-episode inference step budget\n\
   \  audit                  cross-reference / justification integrity audit\n\
   \  dump                   network summary\n\
+  \  metrics                episode/event metrics (latency histograms &c)\n\
+  \  spans [N]              last N completed episode spans (default all)\n\
+  \  hotspots [K]           top-K constraint kinds by activation count\n\
+  \  trace jsonl FILE       start exporting trace events to FILE (JSONL)\n\
+  \  trace off              stop the JSONL export\n\
   \  help                   this text\n\
   \  quit                   leave the editor"
 
@@ -46,8 +72,8 @@ let with_cstr cnet id_str f =
     | Some c -> f c
     | None -> Fmt.pr "no constraint #%d@." id)
 
-let execute env line =
-  let cnet = Stem.Env.cnet env in
+let execute ss line =
+  let cnet = Stem.Env.cnet ss.ss_env in
   let words =
     String.split_on_char ' ' (String.trim line) |> List.filter (fun w -> w <> "")
   in
@@ -83,7 +109,7 @@ let execute env line =
     | None -> Fmt.pr "cannot parse value %S (ints, floats, rect X Y W H, data:T, elec:T)@." value_text
     | Some value ->
       with_var cnet path (fun v ->
-          match Engine.set_user cnet v value with
+          match Engine.set cnet v value with
           | Ok () -> Fmt.pr "  ok: %a@." Var.pp_full v
           | Error viol -> Fmt.pr "  !! %a (values restored)@." Types.pp_violation viol));
     true
@@ -176,19 +202,68 @@ let execute env line =
   | [ "dump" ] ->
     Fmt.pr "%a@." Editor.dump_network cnet;
     true
+  | [ "metrics" ] ->
+    Fmt.pr "%a@." Obs.Metrics.render (Obs.Board.metrics ss.ss_board);
+    true
+  | "spans" :: rest ->
+    let spans = Obs.Board.spans ss.ss_board in
+    let spans =
+      match rest with
+      | [ n ] -> (
+        match int_of_string_opt n with
+        | Some n when n >= 0 ->
+          let len = List.length spans in
+          if len > n then List.filteri (fun i _ -> i >= len - n) spans
+          else spans
+        | _ ->
+          Fmt.pr "  span count must be a non-negative integer@.";
+          [])
+      | _ -> spans
+    in
+    if spans = [] then Fmt.pr "  no completed episodes in the ring@."
+    else List.iter (fun sp -> Fmt.pr "  %a@." Types.pp_span sp) spans;
+    true
+  | "hotspots" :: rest ->
+    let k = match rest with [ n ] -> int_of_string_opt n | _ -> Some 5 in
+    (match k with
+    | Some k ->
+      Fmt.pr "%a@."
+        (Obs.Profiler.pp_hotspots ~k)
+        (Obs.Board.profiler ss.ss_board)
+    | None -> Fmt.pr "  hotspot count must be an integer@.");
+    true
+  | [ "trace"; "jsonl"; file ] ->
+    ignore (trace_off ss);
+    (match open_out file with
+    | oc ->
+      Engine.add_sink cnet
+        (Obs.Jsonl.channel_sink ~pp_value:Dval.to_string oc);
+      ss.ss_jsonl <- Some (file, oc);
+      Fmt.pr "  tracing to %s (JSONL)@." file
+    | exception Sys_error msg -> Fmt.pr "  cannot open %s: %s@." file msg);
+    true
+  | [ "trace"; "off" ] ->
+    if trace_off ss then Fmt.pr "  trace export stopped@."
+    else Fmt.pr "  no trace export active@.";
+    true
   | cmd :: _ ->
     Fmt.pr "unknown command %S (try: help)@." cmd;
     true
 
+let close ss =
+  ignore (trace_off ss);
+  Obs.Board.detach (Stem.Env.cnet ss.ss_env)
+
 let run env =
   Fmt.pr "STEM constraint editor — 'help' for commands, 'quit' to leave@.";
+  let ss = session env in
   let rec loop () =
     Fmt.pr "stem> %!";
     match In_channel.input_line stdin with
     | None -> ()
-    | Some line -> if execute env line then loop ()
+    | Some line -> if execute ss line then loop ()
   in
-  loop ()
+  Fun.protect ~finally:(fun () -> close ss) loop
 
 (* run a whole script (for tests and batch use); returns the combined
    output of all commands *)
@@ -201,6 +276,10 @@ let execute_script env lines =
     let out, flush = old in
     Format.set_formatter_output_functions out flush
   in
-  Fun.protect ~finally:restore (fun () ->
-      List.iter (fun line -> ignore (execute env line)) lines);
+  let ss = session env in
+  Fun.protect
+    ~finally:(fun () ->
+      close ss;
+      restore ())
+    (fun () -> List.iter (fun line -> ignore (execute ss line)) lines);
   Buffer.contents buf

@@ -5,16 +5,28 @@
     [cstr ID], [set PATH VALUE], [reset PATH], [antecedents PATH],
     [consequences PATH], [enable/disable ID], [remove ID], [on]/[off],
     [check], [quarantine], [clearq ID], [threshold N], [budget N|off],
-    [audit], [dump], [help], [quit]. *)
+    [audit], [dump], [metrics], [spans [N]], [hotspots [K]],
+    [trace jsonl FILE], [trace off], [help], [quit]. *)
 
-(** [execute env line] — run one command against the environment's
-    constraint network, printing to the current formatter. Returns
-    [false] when the command was [quit]. *)
-val execute : Stem.Design.env -> string -> bool
+(** A shell session: the environment plus its observability board
+    (ring, metrics, profiler — attached as trace sinks for the
+    session's lifetime) and an optional JSONL trace export. *)
+type session
 
-(** Interactive loop over stdin. *)
+(** Create a session, attaching the observability board to the
+    environment's constraint network. *)
+val session : Stem.Design.env -> session
+
+(** [execute ss line] — run one command, printing to the current
+    formatter. Returns [false] when the command was [quit]. *)
+val execute : session -> string -> bool
+
+(** Detach the session's sinks and stop any JSONL export. *)
+val close : session -> unit
+
+(** Interactive loop over stdin (manages its own session). *)
 val run : Stem.Design.env -> unit
 
-(** [execute_script env lines] — run the commands and return their
-    combined output as a string (testable batch mode). *)
+(** [execute_script env lines] — run the commands in a fresh session and
+    return their combined output as a string (testable batch mode). *)
 val execute_script : Stem.Design.env -> string list -> string

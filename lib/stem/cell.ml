@@ -146,13 +146,13 @@ let add_signal env cls ~name ~dir ?data ?elec ?width ?res ?cap ?pins () =
   ss
 
 let set_signal_width env cls name w =
-  Engine.set_user env.env_cnet (find_signal cls name).ss_width (Dval.Int w)
+  Engine.set env.env_cnet (find_signal cls name).ss_width (Dval.Int w)
 
 let set_signal_data env cls name node =
-  Engine.set_user env.env_cnet (find_signal cls name).ss_data (Dval.Dtype node)
+  Engine.set env.env_cnet (find_signal cls name).ss_data (Dval.Dtype node)
 
 let set_signal_elec env cls name node =
-  Engine.set_user env.env_cnet (find_signal cls name).ss_elec (Dval.Etype node)
+  Engine.set env.env_cnet (find_signal cls name).ss_elec (Dval.Etype node)
 
 let add_param env cls ~name ~range ?default () =
   raw_add_param env cls ~name ~range ?default ()
@@ -164,7 +164,7 @@ let add_param env cls ~name ~range ?default () =
 let class_bbox_var cls = Property.var cls.cc_bbox
 
 let set_class_bbox env cls r =
-  Engine.set_user env.env_cnet (class_bbox_var cls) (Dval.Rect r)
+  Engine.set env.env_cnet (class_bbox_var cls) (Dval.Rect r)
 
 let bounding_box = bounding_box
 
@@ -203,7 +203,7 @@ let declare_delay env cls ~from_ ~to_ ?estimate ?spec () =
          ~label:(Printf.sprintf "%s.%s<=%gns" cls.cc_name (delay_key ~from_ ~to_) bound))
   | None -> ());
   (match estimate with
-  | Some e -> ignore (Engine.set_user env.env_cnet cd.cd_var (Dval.Float e))
+  | Some e -> ignore (Engine.set env.env_cnet cd.cd_var (Dval.Float e))
   | None -> ());
   cd
 
@@ -350,14 +350,14 @@ let set_instance_transform env inst transform =
   (match bounding_box env inst.inst_of with
   | Some r ->
     ignore
-      (Engine.set_application env.env_cnet inst.inst_bbox
+      (Engine.set ~just:Types.Application env.env_cnet inst.inst_bbox
          (Dval.Rect (Transform.apply_rect transform r)))
   | None -> ());
   Property.invalidate env inst.inst_parent.cc_bbox;
   View.changed ~key:"structure" inst.inst_parent
 
 let set_instance_bbox env inst r =
-  Engine.set_user env.env_cnet inst.inst_bbox (Dval.Rect r)
+  Engine.set env.env_cnet inst.inst_bbox (Dval.Rect r)
 
 let instance_bbox env inst =
   match Var.value inst.inst_bbox with
@@ -370,7 +370,7 @@ let instance_bbox env inst =
 
 let set_param env inst name v =
   match Hashtbl.find_opt inst.inst_params name with
-  | Some var -> Engine.set_user env.env_cnet var v
+  | Some var -> Engine.set env.env_cnet var v
   | None -> invalid_arg (Printf.sprintf "set_param: no parameter %s" name)
 
 let param_value inst name =
@@ -386,7 +386,7 @@ let own_width env inst ~signal ?width () =
     let v = Dclib.variable env.env_cnet ~owner ~name:"bitWidth" () in
     Hashtbl.replace inst.inst_widths signal v;
     (match width with
-    | Some w -> ignore (Engine.set_user env.env_cnet v (Dval.Int w))
+    | Some w -> ignore (Engine.set env.env_cnet v (Dval.Int w))
     | None -> ());
     v
 

@@ -63,7 +63,7 @@ let link_parameter env ~range_var ~value_var ?default () =
   in
   ignore (Network.add_constraint env.env_cnet c);
   (match (default, Var.value value_var) with
-  | Some d, None -> ignore (Engine.set_application env.env_cnet value_var d)
+  | Some d, None -> ignore (Engine.set ~just:Types.Application env.env_cnet value_var d)
   | _ -> ());
   c
 

@@ -24,7 +24,7 @@ let read env p =
       match computed with
       | None -> None
       | Some value -> (
-        match Engine.set_application env.env_cnet p.pr_var value with
+        match Engine.set ~just:Types.Application env.env_cnet p.pr_var value with
         | Ok () -> Var.value p.pr_var
         | Error _ -> None)))
 

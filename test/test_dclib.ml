@@ -19,8 +19,8 @@ let test_uni_addition () =
   let net = mknet () in
   let a = dvar net "a" and b = dvar net "b" and s = dvar net "s" in
   let _ = Dclib.uni_addition net ~result:s [ a; b ] in
-  Alcotest.(check bool) "a" true (ok (Engine.set_user net a (Dval.Int 2)));
-  Alcotest.(check bool) "b" true (ok (Engine.set_user net b (Dval.Float 0.5)));
+  Alcotest.(check bool) "a" true (ok (Engine.set net a (Dval.Int 2)));
+  Alcotest.(check bool) "b" true (ok (Engine.set net b (Dval.Float 0.5)));
   (* mixed int/float promotes to float *)
   check_val "s = 2.5" (Some "2.5") s
 
@@ -30,8 +30,8 @@ let test_uni_maximum_minimum () =
   let mx = dvar net "mx" and mn = dvar net "mn" in
   let _ = Dclib.uni_maximum net ~result:mx [ a; b ] in
   let _ = Dclib.uni_minimum net ~result:mn [ a; b ] in
-  ignore (Engine.set_user net a (Dval.Float 3.0));
-  ignore (Engine.set_user net b (Dval.Float 7.0));
+  ignore (Engine.set net a (Dval.Float 3.0));
+  ignore (Engine.set net b (Dval.Float 7.0));
   check_val "max" (Some "7") mx;
   check_val "min" (Some "3") mn
 
@@ -39,7 +39,7 @@ let test_uni_scale () =
   let net = mknet () in
   let a = dvar net "a" and r = dvar net "r" in
   let _ = Dclib.uni_scale net ~k:2.5 ~result:r a in
-  ignore (Engine.set_user net a (Dval.Int 4));
+  ignore (Engine.set net a (Dval.Int 4));
   check_val "r = 10" (Some "10") r
 
 let test_less_equal_and_greater_equal () =
@@ -47,48 +47,48 @@ let test_less_equal_and_greater_equal () =
   let d = dvar net "d" in
   let _ = Dclib.less_equal_const net d (Dval.Float 100.0) in
   let _ = Dclib.greater_equal_const net d (Dval.Float 10.0) in
-  Alcotest.(check bool) "in window" true (ok (Engine.set_user net d (Dval.Float 50.0)));
-  Alcotest.(check bool) "above" false (ok (Engine.set_user net d (Dval.Float 101.0)));
-  Alcotest.(check bool) "below" false (ok (Engine.set_user net d (Dval.Float 9.0)));
+  Alcotest.(check bool) "in window" true (ok (Engine.set net d (Dval.Float 50.0)));
+  Alcotest.(check bool) "above" false (ok (Engine.set net d (Dval.Float 101.0)));
+  Alcotest.(check bool) "below" false (ok (Engine.set net d (Dval.Float 9.0)));
   check_val "kept" (Some "50") d
 
 let test_less_equal_var () =
   let net = mknet () in
   let a = dvar net "a" and b = dvar net "b" in
   let _ = Dclib.less_equal net a b in
-  ignore (Engine.set_user net b (Dval.Int 10));
-  Alcotest.(check bool) "a <= b ok" true (ok (Engine.set_user net a (Dval.Int 10)));
-  Alcotest.(check bool) "a > b rejected" false (ok (Engine.set_user net a (Dval.Int 11)))
+  ignore (Engine.set net b (Dval.Int 10));
+  Alcotest.(check bool) "a <= b ok" true (ok (Engine.set net a (Dval.Int 10)));
+  Alcotest.(check bool) "a > b rejected" false (ok (Engine.set net a (Dval.Int 11)))
 
 let test_in_range () =
   let net = mknet () in
   let p = dvar net "p" in
   let _ = Dclib.in_range net p (Dval.Irange (1, 32)) in
-  Alcotest.(check bool) "inside" true (ok (Engine.set_user net p (Dval.Int 32)));
-  Alcotest.(check bool) "outside" false (ok (Engine.set_user net p (Dval.Int 33)));
+  Alcotest.(check bool) "inside" true (ok (Engine.set net p (Dval.Int 32)));
+  Alcotest.(check bool) "outside" false (ok (Engine.set net p (Dval.Int 33)));
   (* a non-integer value cannot satisfy an integer range *)
   Alcotest.(check bool) "wrong shape" false
-    (ok (Engine.set_user net p (Dval.Str "eight")))
+    (ok (Engine.set net p (Dval.Str "eight")))
 
 let test_area_limit () =
   let net = mknet () in
   let bb = dvar net "bbox" in
   let _ = Dclib.area_limit net bb ~max_area:100 in
   let rect w h = Dval.Rect (Rect.make Point.origin ~width:w ~height:h) in
-  Alcotest.(check bool) "100 ok" true (ok (Engine.set_user net bb (rect 10 10)));
-  Alcotest.(check bool) "110 rejected" false (ok (Engine.set_user net bb (rect 11 10)))
+  Alcotest.(check bool) "100 ok" true (ok (Engine.set net bb (rect 10 10)));
+  Alcotest.(check bool) "110 rejected" false (ok (Engine.set net bb (rect 11 10)))
 
 let test_pitch_match () =
   let net = mknet () in
   let a = dvar net "a" and b = dvar net "b" in
   let _ = Dclib.pitch_match net a b ~axis:`Y in
   let rect w h = Dval.Rect (Rect.make Point.origin ~width:w ~height:h) in
-  ignore (Engine.set_user net a (rect 10 20));
-  Alcotest.(check bool) "same height ok" true (ok (Engine.set_user net b (rect 30 20)));
+  ignore (Engine.set net a (rect 10 20));
+  Alcotest.(check bool) "same height ok" true (ok (Engine.set net b (rect 30 20)));
   Alcotest.(check bool) "height mismatch rejected" false
-    (ok (Engine.set_user net b (rect 30 21)));
+    (ok (Engine.set net b (rect 30 21)));
   (* width mismatch is fine for axis `Y *)
-  Alcotest.(check bool) "width free" true (ok (Engine.set_user net b (rect 99 20)))
+  Alcotest.(check bool) "width free" true (ok (Engine.set net b (rect 99 20)))
 
 let test_compatible_types_constraint () =
   let net = mknet () in
@@ -101,11 +101,11 @@ let test_compatible_types_constraint () =
   let _ = Dclib.compatible_types net [ a; b ] in
   let open Signal_types.Standard in
   Alcotest.(check bool) "integer in" true
-    (ok (Engine.set_user net a (Dval.Dtype integer_signal)));
+    (ok (Engine.set net a (Dval.Dtype integer_signal)));
   check_val "b inferred" (Some "data:IntegerSignal") b;
   (* refinement to a subtype propagates *)
   Alcotest.(check bool) "refine to whole" true
-    (ok (Engine.set_user net a (Dval.Dtype whole)));
+    (ok (Engine.set net a (Dval.Dtype whole)));
   check_val "b refined" (Some "data:WholeSignal") b
 
 let test_aspect_ratio_tolerance () =
@@ -113,9 +113,9 @@ let test_aspect_ratio_tolerance () =
   let bb = dvar net "bbox" in
   let _ = Dclib.aspect_ratio net bb ~ratio:1.5 ~tol:0.01 in
   let rect w h = Dval.Rect (Rect.make Point.origin ~width:w ~height:h) in
-  Alcotest.(check bool) "3:2 ok" true (ok (Engine.set_user net bb (rect 30 20)));
+  Alcotest.(check bool) "3:2 ok" true (ok (Engine.set net bb (rect 30 20)));
   Alcotest.(check bool) "non-rect rejected" false
-    (ok (Engine.set_user net bb (Dval.Int 5)))
+    (ok (Engine.set net bb (Dval.Int 5)))
 
 let test_bidirectional_addition () =
   (* the CONSTRAINTS-style adder: any one of a, b, sum inferable *)
@@ -123,30 +123,30 @@ let test_bidirectional_addition () =
   let a = dvar net "a" and b = dvar net "b" and s = dvar net "s" in
   let _ = Dclib.addition net ~a ~b ~sum:s in
   (* forward: a, b -> sum *)
-  ignore (Engine.set_user net a (Dval.Int 3));
-  ignore (Engine.set_user net b (Dval.Int 4));
+  ignore (Engine.set net a (Dval.Int 3));
+  ignore (Engine.set net b (Dval.Int 4));
   check_val "sum inferred" (Some "7") s;
   (* backward: reset b, pin sum -> b inferred *)
   ignore (Engine.reset net b);
   ignore (Engine.reset net s);
-  Alcotest.(check bool) "pin sum" true (ok (Engine.set_user net s (Dval.Int 10)));
+  Alcotest.(check bool) "pin sum" true (ok (Engine.set net s (Dval.Int 10)));
   check_val "b inferred backward" (Some "7") b;
   (* inconsistent triple rejected *)
   let net2 = mknet () in
   let a2 = dvar net2 "a" and b2 = dvar net2 "b" and s2 = dvar net2 "s" in
   let _ = Dclib.addition net2 ~a:a2 ~b:b2 ~sum:s2 in
-  ignore (Engine.set_user net2 a2 (Dval.Int 1));
-  ignore (Engine.set_user net2 s2 (Dval.Int 5));
+  ignore (Engine.set net2 a2 (Dval.Int 1));
+  ignore (Engine.set net2 s2 (Dval.Int 5));
   check_val "b2 = 4" (Some "4") b2;
   Alcotest.(check bool) "conflicting sum rejected" false
-    (ok (Engine.set_user net2 b2 (Dval.Int 9)))
+    (ok (Engine.set net2 b2 (Dval.Int 9)))
 
 let test_addition_dependency_analysis () =
   let net = mknet () in
   let a = dvar net "a" and b = dvar net "b" and s = dvar net "s" in
   let _ = Dclib.addition net ~a ~b ~sum:s in
-  ignore (Engine.set_user net a (Dval.Int 3));
-  ignore (Engine.set_user net b (Dval.Int 4));
+  ignore (Engine.set net a (Dval.Int 3));
+  ignore (Engine.set net b (Dval.Int 4));
   let ants, _ = Dependency.antecedents s in
   Alcotest.(check int) "sum depends on both operands" 3 (List.length ants)
 
@@ -154,8 +154,8 @@ let test_linear_combination () =
   let net = mknet () in
   let x = dvar net "x" and y = dvar net "y" and r = dvar net "r" in
   let _ = Dclib.linear net ~coeffs:[ 2.0; 3.0 ] ~result:r [ x; y ] in
-  ignore (Engine.set_user net x (Dval.Int 10));
-  ignore (Engine.set_user net y (Dval.Int 1));
+  ignore (Engine.set net x (Dval.Int 10));
+  ignore (Engine.set net y (Dval.Int 1));
   check_val "r = 2*10 + 3*1" (Some "23") r;
   Alcotest.(check bool) "length mismatch raises" true
     (try

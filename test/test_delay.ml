@@ -69,7 +69,7 @@ let test_leaf_characteristic_update_propagates () =
   (* speed the inverter up: 1.0 -> 0.5 ns *)
   let inv_delay = List.hd gates.Cell_library.Gates.inverter.cc_delays in
   Alcotest.(check bool) "update characteristic" true
-    (ok (Engine.set_user env.env_cnet inv_delay.cd_var (Dval.Float 0.5)));
+    (ok (Engine.set env.env_cnet inv_delay.cd_var (Dval.Float 0.5)));
   match Dn.delay env chain ~from_:"in" ~to_:"out" with
   | Some d -> check_float "updated through hierarchy" (0.6 +. 0.7) d
   | None -> Alcotest.fail "no delay after update"
@@ -82,9 +82,9 @@ let test_delay_spec_violation_on_estimate () =
   ignore (Cell.add_signal env c ~name:"o" ~dir:Output ());
   let cd = Cell.declare_delay env c ~from_:"i" ~to_:"o" ~spec:120.0 () in
   Alcotest.(check bool) "within spec" true
-    (ok (Engine.set_user env.env_cnet cd.cd_var (Dval.Float 100.0)));
+    (ok (Engine.set env.env_cnet cd.cd_var (Dval.Float 100.0)));
   Alcotest.(check bool) "beyond spec rejected" false
-    (ok (Engine.set_user env.env_cnet cd.cd_var (Dval.Float 130.0)))
+    (ok (Engine.set env.env_cnet cd.cd_var (Dval.Float 130.0)))
 
 let test_fig_5_2_accumulator () =
   (* REGISTER 60 ns + ADDER 110 ns (after loading) = 170 ns > 160 ns
@@ -131,7 +131,7 @@ let test_estimate_blocks_network () =
   let chain = Cell_library.Gates.inverter_chain env gates ~n:2 in
   let cd = List.hd chain.cc_delays in
   Alcotest.(check bool) "estimate set" true
-    (ok (Engine.set_user env.env_cnet cd.cd_var (Dval.Float 99.0)));
+    (ok (Engine.set env.env_cnet cd.cd_var (Dval.Float 99.0)));
   (match Dn.delay env chain ~from_:"in" ~to_:"out" with
   | Some d -> check_float "estimate wins" 99.0 d
   | None -> Alcotest.fail "estimate expected");

@@ -42,9 +42,9 @@ let test_compile_topo_order () =
 
 let test_compile_replay_matches_propagation () =
   let net, a, b, c, _, _, total = diamond () in
-  ignore (Engine.set_user net a 1);
-  ignore (Engine.set_user net b 2);
-  ignore (Engine.set_user net c 3);
+  ignore (Engine.set net a 1);
+  ignore (Engine.set net b 2);
+  ignore (Engine.set net c 3);
   Alcotest.(check (option int)) "propagated total" (Some 8) (Var.value total);
   (* poke new inputs directly (as a batch loader would), then replay *)
   let plan = Compile.plan net in
@@ -95,18 +95,18 @@ let strength_pair () =
 
 let test_strength_overwrites_weaker () =
   let net, src_weak, src_strong, target = strength_pair () in
-  Alcotest.(check bool) "weak asserts" true (ok (Engine.set_user net src_weak 1));
+  Alcotest.(check bool) "weak asserts" true (ok (Engine.set net src_weak 1));
   Alcotest.(check (option int)) "weak value in" (Some 1) (Var.value target);
   (* the stronger constraint may overwrite the weaker one's value *)
-  Alcotest.(check bool) "strong overrides" true (ok (Engine.set_user net src_strong 2));
+  Alcotest.(check bool) "strong overrides" true (ok (Engine.set net src_strong 2));
   Alcotest.(check (option int)) "strong value in" (Some 2) (Var.value target)
 
 let test_weaker_never_overwrites () =
   let net, src_weak, src_strong, target = strength_pair () in
-  Alcotest.(check bool) "strong asserts" true (ok (Engine.set_user net src_strong 2));
+  Alcotest.(check bool) "strong asserts" true (ok (Engine.set net src_strong 2));
   (* the weaker provider's propagation is silently ignored *)
   Alcotest.(check bool) "weak update accepted (but ignored)" true
-    (ok (Engine.set_user net src_weak 1));
+    (ok (Engine.set net src_weak 1));
   Alcotest.(check (option int)) "strong value kept" (Some 2) (Var.value target)
 
 let test_strength_does_not_beat_user () =
@@ -117,9 +117,9 @@ let test_strength_does_not_beat_user () =
       ~check:(fun x y -> x = y)
       ~f:Option.some ~from_:src ~to_:target net
   in
-  Alcotest.(check bool) "pin target" true (ok (Engine.set_user net target 5));
+  Alcotest.(check bool) "pin target" true (ok (Engine.set net target 5));
   Alcotest.(check bool) "strong propagation still rejected" false
-    (ok (Engine.set_user net src 6));
+    (ok (Engine.set net src 6));
   Alcotest.(check (option int)) "user value kept" (Some 5) (Var.value target)
 
 (* ---------------- merit ranking ---------------- *)

@@ -34,10 +34,10 @@ let test_throw_mid_episode_restores () =
   let a = ivar net "a" and b = ivar net "b" and c = ivar net "c" in
   let _ = Clib.equality net [ a; b ] in
   let eq_bc, _ = Clib.equality net [ b; c ] in
-  ignore (Engine.set_user net a 1);
+  ignore (Engine.set net a 1);
   let snap = snapshot net in
   let inj = Fault.wrap ~mode:(Fault.Throw_on [ 1 ]) eq_bc in
-  (match Engine.set_user net a 2 with
+  (match Engine.set net a 2 with
   | Ok () -> Alcotest.fail "episode with a throwing constraint must violate"
   | Error viol ->
     Alcotest.(check bool) "violation carries the trapped exception" true
@@ -48,18 +48,18 @@ let test_throw_mid_episode_restores () =
   Alcotest.(check int) "one fault fired" 1 (Fault.fired inj);
   Fault.restore inj;
   Alcotest.(check bool) "constraint works again after unwrap" true
-    (ok (Engine.set_user net a 3));
+    (ok (Engine.set net a 3));
   Alcotest.(check (option int)) "propagates end to end" (Some 3) (Var.value c)
 
 let test_throwing_satisfied () =
   let net = mknet () in
   let a = ivar net "a" and b = ivar net "b" in
   let eq, _ = Clib.equality net [ a; b ] in
-  ignore (Engine.set_user net a 1);
+  ignore (Engine.set net a 1);
   let snap = snapshot net in
   let inj = Fault.wrap ~site:Fault.Satisfied ~mode:(Fault.Throw_every 1) eq in
   Alcotest.(check bool) "throwing satisfied violates" false
-    (ok (Engine.set_user net a 2));
+    (ok (Engine.set net a 2));
   check_rolled_back "throwing satisfied" snap;
   Fault.restore inj
 
@@ -67,12 +67,12 @@ let test_throwing_on_change () =
   let net = mknet () in
   let a = ivar net "a" and b = ivar net "b" in
   let _ = Clib.equality net [ a; b ] in
-  ignore (Engine.set_user net a 1);
+  ignore (Engine.set net a 1);
   let snap = snapshot net in
   (* the hook throws on every subsequent change, including the ones the
      restore itself performs — the rollback must complete anyway *)
   Var.set_on_change b (fun _ -> failwith "boom in on-change");
-  (match Engine.set_user net a 2 with
+  (match Engine.set net a 2 with
   | Ok () -> Alcotest.fail "throwing on-change must violate"
   | Error viol ->
     Alcotest.(check bool) "exception context recorded" true
@@ -84,14 +84,14 @@ let test_throwing_violation_handler () =
   let net = mknet () in
   let a = ivar net "a" and b = ivar net "b" in
   let _ = Clib.equality net [ a; b ] in
-  ignore (Engine.set_user net a 1);
-  ignore (Engine.set_user net b 1);
+  ignore (Engine.set net a 1);
+  ignore (Engine.set net b 1);
   let snap = snapshot net in
   Engine.set_violation_handler net (fun _ -> failwith "handler is broken too");
   (* force a plain semantic violation: conflicting user values *)
   Var.set_overwrite b (fun _ ~proposed:_ -> Types.Reject "pinned");
   Alcotest.(check bool) "episode still reports the violation" false
-    (ok (Engine.set_user net a 2));
+    (ok (Engine.set net a 2));
   check_rolled_back "throwing handler" snap;
   Alcotest.(check bool) "handler exception counted" true
     ((Engine.stats net).Types.st_trapped >= 1)
@@ -101,9 +101,9 @@ let test_throwing_overwrite_rule () =
   let a = ivar net "a" in
   let b = ivar ~overwrite:(fun _ ~proposed:_ -> failwith "bad rule") net "b" in
   let _ = Clib.equality net [ a; b ] in
-  ignore (Engine.set_user net b 1);
+  ignore (Engine.set net b 1);
   let snap = snapshot net in
-  (match Engine.set_user net a 2 with
+  (match Engine.set net a 2 with
   | Ok () -> Alcotest.fail "throwing overwrite rule must violate"
   | Error viol ->
     Alcotest.(check bool) "overwrite exception trapped" true
@@ -114,10 +114,10 @@ let test_throwing_implicit_hook () =
   let net = mknet () in
   let a = ivar net "a" and b = ivar net "b" in
   let _ = Clib.equality net [ a; b ] in
-  ignore (Engine.set_user net a 1);
+  ignore (Engine.set net a 1);
   let snap = snapshot net in
   Var.set_implicit b (fun _ -> failwith "structure walk failed");
-  (match Engine.set_user net a 2 with
+  (match Engine.set net a 2 with
   | Ok () -> Alcotest.fail "throwing implicit hook must violate"
   | Error viol ->
     Alcotest.(check (option string)) "violation names the variable"
@@ -133,13 +133,16 @@ let test_quarantine_threshold () =
   let _ = Clib.equality net [ a; c ] in
   let inj = Fault.wrap ~mode:(Fault.Throw_every 1) eq_ab in
   let quarantine_events = ref 0 in
-  Engine.set_trace net
-    (Some (function Types.T_quarantine _ -> incr quarantine_events | _ -> ()));
-  Alcotest.(check bool) "1st failure violates" false (ok (Engine.set_user net a 1));
+  Engine.add_sink net
+    (Types.sink ~name:"quarantine-counter" (fun te ->
+         match te.Types.te_event with
+         | Types.T_quarantine _ -> incr quarantine_events
+         | _ -> ()));
+  Alcotest.(check bool) "1st failure violates" false (ok (Engine.set net a 1));
   Alcotest.(check bool) "not yet quarantined" false (Cstr.is_quarantined eq_ab);
-  Alcotest.(check bool) "2nd failure violates" false (ok (Engine.set_user net a 2));
-  Alcotest.(check bool) "3rd failure violates" false (ok (Engine.set_user net a 3));
-  Engine.set_trace net None;
+  Alcotest.(check bool) "2nd failure violates" false (ok (Engine.set net a 2));
+  Alcotest.(check bool) "3rd failure violates" false (ok (Engine.set net a 3));
+  ignore (Engine.remove_sink net "quarantine-counter");
   Alcotest.(check bool) "quarantined at the threshold" true
     (Cstr.is_quarantined eq_ab);
   Alcotest.(check int) "quarantine traced once" 1 !quarantine_events;
@@ -149,7 +152,7 @@ let test_quarantine_threshold () =
     (Engine.stats net).Types.st_quarantined;
   (* degraded service: the broken constraint is out, the rest works *)
   Alcotest.(check bool) "network serves traffic around the quarantine" true
-    (ok (Engine.set_user net a 4));
+    (ok (Engine.set net a 4));
   Alcotest.(check (option int)) "healthy constraint still propagates" (Some 4)
     (Var.value c);
   Alcotest.(check (option int)) "quarantined constraint no longer does" None
@@ -168,11 +171,11 @@ let test_spurious_violations_do_not_quarantine () =
   Engine.set_fail_threshold net 1;
   let a = ivar net "a" and b = ivar net "b" in
   let eq, _ = Clib.equality net [ a; b ] in
-  ignore (Engine.set_user net a 1);
+  ignore (Engine.set net a 1);
   let snap = snapshot net in
   let inj = Fault.wrap ~mode:(Fault.Spurious_on [ 1; 2; 3 ]) eq in
   Alcotest.(check bool) "spurious violation fails the episode" false
-    (ok (Engine.set_user net a 2));
+    (ok (Engine.set net a 2));
   check_rolled_back "spurious violation" snap;
   (* a constraint *reporting* violations is doing its job; only trapped
      exceptions advance the failure counter *)
@@ -190,7 +193,7 @@ let test_step_budget_exhaustion () =
   let _ = Fault.livelock net ~bump:(fun x -> x + 1) a b in
   net.Types.net_max_changes <- max_int;
   Engine.set_step_budget net (Some 50);
-  (match Engine.set_user net a 0 with
+  (match Engine.set net a 0 with
   | Ok () -> Alcotest.fail "livelock must exhaust the step budget"
   | Error viol ->
     Alcotest.(check bool) "violation names the budget" true
@@ -205,7 +208,7 @@ let test_flaky_determinism () =
     let eq, _ = Clib.equality net [ a; b ] in
     let inj = Fault.wrap ~seed ~mode:(Fault.Flaky 0.5) eq in
     let outcomes =
-      List.init 32 (fun i -> ok (Engine.set_user net a i))
+      List.init 32 (fun i -> ok (Engine.set net a i))
     in
     (outcomes, Fault.fired inj)
   in
@@ -226,11 +229,11 @@ let test_chaos_and_recovery () =
   let injections = Fault.chaos ~seed:3 ~p:1.0 net in
   Alcotest.(check int) "every constraint wrapped" 5 (List.length injections);
   Alcotest.(check bool) "p=1.0 chaos fails every episode" false
-    (ok (Engine.set_user net vars.(0) 1));
+    (ok (Engine.set net vars.(0) 1));
   Alcotest.(check (option int)) "nothing stuck" None (Var.value vars.(0));
   List.iter Fault.restore injections;
   Alcotest.(check bool) "network recovers after unwrap" true
-    (ok (Engine.set_user net vars.(0) 2));
+    (ok (Engine.set net vars.(0) 2));
   Alcotest.(check (option int)) "chain propagates" (Some 2)
     (Var.value vars.(5))
 
@@ -238,7 +241,7 @@ let test_audit_detects_corruption () =
   let net = mknet () in
   let a = ivar net "a" and b = ivar net "b" in
   let _ = Clib.equality net [ a; b ] in
-  ignore (Engine.set_user net a 1);
+  ignore (Engine.set net a 1);
   Alcotest.(check (list string)) "healthy network audits clean" []
     (Network.check_integrity net);
   (* simulate corruption a buggy tool could cause: drop the constraint
@@ -255,7 +258,7 @@ let test_explain_set () =
   let net = mknet () in
   let a = ivar net "a" and b = ivar net "b" in
   let _ = Clib.equality net [ a; b ] in
-  ignore (Engine.set_user net b 5);
+  ignore (Engine.set net b 5);
   Engine.reset_stats net;
   Alcotest.(check bool) "compatible probe" true (ok (Engine.explain_set net a 5));
   (match Engine.explain_set net a 6 with

@@ -43,7 +43,7 @@ let test_equality_propagation () =
   let net = mknet () in
   let a = mkvar net "a" and b = mkvar net "b" and c = mkvar net "c" in
   let _ = Clib.equality net [ a; b; c ] in
-  check_ok "set a" (Engine.set_user net a 5);
+  check_ok "set a" (Engine.set net a 5);
   check_val "b follows" (Some 5) b;
   check_val "c follows" (Some 5) c;
   Alcotest.(check bool) "b is dependent" true (Var.is_dependent b);
@@ -56,11 +56,11 @@ let test_fig_4_5 () =
   let v3 = mkvar net "v3" and v4 = mkvar net "v4" in
   let _ = Clib.equality net [ v1; v2 ] in
   let _ = uni_max net v4 [ v2; v3 ] in
-  check_ok "set v3" (Engine.set_user net v3 5);
-  check_ok "set v1" (Engine.set_user net v1 7);
+  check_ok "set v3" (Engine.set net v3 5);
+  check_ok "set v1" (Engine.set net v1 7);
   check_val "v2 = 7" (Some 7) v2;
   check_val "v4 = max(7,5) = 7" (Some 7) v4;
-  check_ok "set v1 = 9" (Engine.set_user net v1 9);
+  check_ok "set v1 = 9" (Engine.set net v1 9);
   check_val "v2 = 9" (Some 9) v2;
   check_val "v4 = 9" (Some 9) v4
 
@@ -76,7 +76,7 @@ let test_chain_propagation () =
   in
   link vars;
   (match vars with
-  | first :: _ -> check_ok "set head" (Engine.set_user net first 42)
+  | first :: _ -> check_ok "set head" (Engine.set net first 42)
   | [] -> ());
   List.iter (fun v -> check_val "chain value" (Some 42) v) vars
 
@@ -85,9 +85,9 @@ let test_termination_on_agreement () =
   let net = mknet () in
   let a = mkvar net "a" and b = mkvar net "b" in
   let _ = Clib.equality net [ a; b ] in
-  check_ok "first" (Engine.set_user net a 1);
+  check_ok "first" (Engine.set net a 1);
   let before = (Engine.stats net).st_inferences in
-  check_ok "same again" (Engine.set_user net a 1);
+  check_ok "same again" (Engine.set net a 1);
   Alcotest.(check int) "no new inference" before (Engine.stats net).st_inferences
 
 (* ------------------------------------------------------------------ *)
@@ -99,9 +99,9 @@ let test_fig_4_9_cyclic_violation () =
   let net = mknet () in
   let v1 = mkvar net "v1" and v2 = mkvar net "v2" and v3 = mkvar net "v3" in
   let k1 = mkvar net "k1" and k3 = mkvar net "k3" and k2 = mkvar net "k2" in
-  check_ok "k1" (Engine.set_user net k1 1);
-  check_ok "k3" (Engine.set_user net k3 3);
-  check_ok "k2" (Engine.set_user net k2 2);
+  check_ok "k1" (Engine.set net k1 1);
+  check_ok "k3" (Engine.set net k3 3);
+  check_ok "k2" (Engine.set net k2 2);
   let mk_add result inputs = Clib.equality net [] |> ignore; ignore (result, inputs) in
   ignore mk_add;
   (* additions propagate immediately so the cycle actually spins *)
@@ -129,7 +129,7 @@ let test_fig_4_9_cyclic_violation () =
   imm_add "v2=v1+k1" v2 v1 k1;
   imm_add "v3=v2+k3" v3 v2 k3;
   imm_add "v1=v3+k2" v1 v3 k2;
-  let r = Engine.set_user net v1 10 in
+  let r = Engine.set net v1 10 in
   check_violation "cycle detected" r;
   (* one-value-change rule: everything restored *)
   check_val "v1 restored" None v1;
@@ -139,11 +139,11 @@ let test_fig_4_9_cyclic_violation () =
 let test_user_value_blocks_propagation () =
   let net = mknet () in
   let a = mkvar net "a" and b = mkvar net "b" in
-  check_ok "pin b" (Engine.set_user net b 3);
+  check_ok "pin b" (Engine.set net b 3);
   let _c, r = Clib.equality net [ a; b ] in
   check_ok "adding over one pinned value ok" r;
   check_val "a got b's value" (Some 3) a;
-  let r = Engine.set_user net a 7 in
+  let r = Engine.set net a 7 in
   check_violation "conflicting user set rejected" r;
   check_val "a restored" (Some 3) a;
   check_val "b untouched" (Some 3) b
@@ -153,9 +153,9 @@ let test_restore_is_exact () =
   let a = mkvar net "a" and b = mkvar net "b" and c = mkvar net "c" in
   let _ = Clib.equality net [ a; b ] in
   let _ = Clib.equality net [ b; c ] in
-  check_ok "pin c as user" (Engine.set_user net c 9);
+  check_ok "pin c as user" (Engine.set net c 9);
   (* propagation from a will reach c and conflict; a and b must roll back *)
-  let r = Engine.set_user net a 1 in
+  let r = Engine.set net a 1 in
   check_violation "conflict" r;
   check_val "a rolled back" (Some 9) a;
   (* a had been set to 9 by the earlier propagation from c *)
@@ -168,9 +168,9 @@ let test_violation_handler_called () =
   let a = mkvar net "a" and b = mkvar net "b" in
   let fired = ref 0 in
   Engine.set_violation_handler net (fun _ -> incr fired);
-  check_ok "pin" (Engine.set_user net b 1);
+  check_ok "pin" (Engine.set net b 1);
   let _ = Clib.equality net [ a; b ] in
-  ignore (Engine.set_user net a 2);
+  ignore (Engine.set net a 2);
   Alcotest.(check int) "handler fired once" 1 !fired
 
 let test_predicate_violation () =
@@ -178,8 +178,8 @@ let test_predicate_violation () =
   let a = mkvar net "a" in
   let pred = function [ Some x ] -> x <= 120 | _ -> true in
   let _ = Clib.predicate ~kind:"less-than" ~pred net [ a ] in
-  check_ok "within bound" (Engine.set_user net a 100);
-  check_violation "beyond bound" (Engine.set_user net a 121);
+  check_ok "within bound" (Engine.set net a 100);
+  check_violation "beyond bound" (Engine.set net a 121);
   check_val "restored to previous" (Some 100) a
 
 (* ------------------------------------------------------------------ *)
@@ -196,7 +196,7 @@ let test_functional_agenda_dedup () =
   let _ = Clib.equality net [ x; b ] in
   let _ = uni_sum net s [ a; b ] in
   Engine.reset_stats net;
-  check_ok "set x" (Engine.set_user net x 3);
+  check_ok "set x" (Engine.set net x 3);
   check_val "s = 6" (Some 6) s;
   Alcotest.(check int) "sum scheduled once" 1 (Engine.stats net).st_scheduled
 
@@ -204,13 +204,13 @@ let test_functional_not_rescheduled_by_result () =
   let net = mknet () in
   let a = mkvar net "a" and s = mkvar net "s" in
   let _ = uni_sum net s [ a ] in
-  check_ok "set a" (Engine.set_user net a 4);
+  check_ok "set a" (Engine.set net a 4);
   check_val "s = 4" (Some 4) s;
   (* setting the result variable directly only checks, never recomputes
      backwards; a consistent value is accepted *)
-  check_ok "consistent result accepted" (Engine.set_user net s 4);
+  check_ok "consistent result accepted" (Engine.set net s 4);
   (* an inconsistent user value on the result is a violation *)
-  check_violation "inconsistent result rejected" (Engine.set_user net s 5)
+  check_violation "inconsistent result rejected" (Engine.set net s 5)
 
 let test_agenda_priorities () =
   let a = Agenda.create () in
@@ -238,10 +238,10 @@ let test_disable_switch () =
   let a = mkvar net "a" and b = mkvar net "b" in
   let _ = Clib.equality net [ a; b ] in
   Engine.disable net;
-  check_ok "plain store" (Engine.set_user net a 5);
+  check_ok "plain store" (Engine.set net a 5);
   check_val "no propagation while off" None b;
   Engine.enable net;
-  check_ok "set again" (Engine.set_user net a 6);
+  check_ok "set again" (Engine.set net a 6);
   check_val "propagates when on" (Some 6) b
 
 let test_disable_kind_and_constraint () =
@@ -250,12 +250,12 @@ let test_disable_kind_and_constraint () =
   let eq_ab, _ = Clib.equality net [ a; b ] in
   let _ = Clib.equality net [ b; c ] in
   Cstr.set_enabled eq_ab false;
-  check_ok "set b" (Engine.set_user net b 2);
+  check_ok "set b" (Engine.set net b 2);
   check_val "a skipped (constraint disabled)" None a;
   check_val "c propagated" (Some 2) c;
   Cstr.set_enabled eq_ab true;
   Engine.disable_kind net "equality";
-  check_ok "set b again" (Engine.set_user net b 5);
+  check_ok "set b again" (Engine.set net b 5);
   check_val "kind disabled: c unchanged" (Some 2) c;
   Engine.enable_kind net "equality"
 
@@ -269,8 +269,8 @@ let test_antecedents_and_consequences () =
   let s = mkvar net "s" and t = mkvar net "t" in
   let _ = uni_sum net s [ a; b ] in
   let _ = Clib.equality net [ s; t ] in
-  check_ok "a" (Engine.set_user net a 1);
-  check_ok "b" (Engine.set_user net b 2);
+  check_ok "a" (Engine.set net a 1);
+  check_ok "b" (Engine.set net b 2);
   check_val "s" (Some 3) s;
   check_val "t" (Some 3) t;
   let ants, _ = Dependency.antecedents t in
@@ -284,7 +284,7 @@ let test_can_be_set_to () =
   let net = mknet () in
   let a = mkvar net "a" and b = mkvar net "b" in
   let _ = Clib.equality net [ a; b ] in
-  check_ok "pin b" (Engine.set_user net b 5);
+  check_ok "pin b" (Engine.set net b 5);
   Alcotest.(check bool) "compatible tentative" true (Engine.can_be_set_to net a 5);
   Alcotest.(check bool) "conflicting tentative" false (Engine.can_be_set_to net a 6);
   check_val "a untouched by test" (Some 5) a;
@@ -299,7 +299,7 @@ let test_update_constraint_erases () =
   let src = mkvar net "src" and derived = mkvar net "derived" in
   let _ = Clib.update ~sources:[ src ] ~targets:[ derived ] net in
   Var.poke derived 99 ~just:Types.Application;
-  check_ok "touch src" (Engine.set_user net src 1);
+  check_ok "touch src" (Engine.set net src 1);
   check_val "derived erased" None derived
 
 let test_update_cascade_on_reset () =
@@ -323,8 +323,8 @@ let test_add_constraint_precedence () =
   (* user value wins over application value when an equality is added *)
   let net = mknet () in
   let a = mkvar net "a" and b = mkvar net "b" in
-  check_ok "user a" (Engine.set_user net a 5);
-  check_ok "app b" (Engine.set_application net b 3);
+  check_ok "user a" (Engine.set net a 5);
+  check_ok "app b" (Engine.set ~just:Types.Application net b 3);
   let _c, r = Clib.equality net [ a; b ] in
   check_ok "reinitialisation succeeds" r;
   check_val "user value propagated" (Some 5) a;
@@ -333,8 +333,8 @@ let test_add_constraint_precedence () =
 let test_add_constraint_conflicting_users () =
   let net = mknet () in
   let a = mkvar net "a" and b = mkvar net "b" in
-  check_ok "user a" (Engine.set_user net a 5);
-  check_ok "user b" (Engine.set_user net b 6);
+  check_ok "user a" (Engine.set net a 5);
+  check_ok "user b" (Engine.set net b 6);
   let _c, r = Clib.equality net [ a; b ] in
   check_violation "two pinned values conflict" r;
   check_val "a kept" (Some 5) a;
@@ -345,7 +345,7 @@ let test_remove_constraint_erases_dependents () =
   let a = mkvar net "a" and b = mkvar net "b" and c = mkvar net "c" in
   let eq1, _ = Clib.equality net [ a; b ] in
   let _ = Clib.equality net [ b; c ] in
-  check_ok "set a" (Engine.set_user net a 7);
+  check_ok "set a" (Engine.set net a 7);
   check_val "c propagated" (Some 7) c;
   Network.remove_constraint net eq1;
   check_val "a kept (user)" (Some 7) a;
@@ -356,7 +356,7 @@ let test_remove_argument_reinitializes () =
   let net = mknet () in
   let a = mkvar net "a" and b = mkvar net "b" and c = mkvar net "c" in
   let eq, _ = Clib.equality net [ a; b; c ] in
-  check_ok "set a" (Engine.set_user net a 4);
+  check_ok "set a" (Engine.set net a 4);
   check_val "b" (Some 4) b;
   check_ok "remove b from eq" (Network.remove_argument net eq b);
   check_val "b erased" None b;
@@ -367,7 +367,7 @@ let test_add_argument () =
   let net = mknet () in
   let a = mkvar net "a" and b = mkvar net "b" and c = mkvar net "c" in
   let eq, _ = Clib.equality net [ a; b ] in
-  check_ok "set a" (Engine.set_user net a 2);
+  check_ok "set a" (Engine.set net a 2);
   check_ok "extend eq with c" (Network.add_argument net eq c);
   check_val "c initialised" (Some 2) c
 
@@ -379,7 +379,7 @@ let test_editor_output () =
   let net = mknet () in
   let a = mkvar net "a" and b = mkvar net "b" in
   let _ = Clib.equality net [ a; b ] in
-  check_ok "set" (Engine.set_user net a 1);
+  check_ok "set" (Engine.set net a 1);
   let s = Fmt.str "%a" Editor.inspect_var a in
   Alcotest.(check bool) "inspect mentions path" true
     (Astring_contains.contains s "t.a");
@@ -412,7 +412,7 @@ let prop_chain_all_equal =
       link vars;
       match vars with
       | first :: _ ->
-        ok (Engine.set_user net first x)
+        ok (Engine.set net first x)
         && List.for_all (fun v -> value v = Some x) vars
       | [] -> true)
 
@@ -432,9 +432,9 @@ let prop_violation_restores_exactly =
       let last = List.nth vars (n - 1) in
       match vars with
       | first :: _ ->
-        ignore (Engine.set_user net last good);
+        ignore (Engine.set net last good);
         let snapshot = List.map value vars in
-        let r = Engine.set_user net first bad in
+        let r = Engine.set net first bad in
         (not (ok r)) && List.map value vars = snapshot
       | [] -> true)
 
@@ -446,7 +446,7 @@ let prop_functional_sum_correct =
       let inputs = List.mapi (fun i _ -> mkvar net (Printf.sprintf "i%d" i)) xs in
       let s = mkvar net "s" in
       let _ = uni_sum net s inputs in
-      List.iter2 (fun v x -> ignore (Engine.set_user net v x)) inputs xs;
+      List.iter2 (fun v x -> ignore (Engine.set net v x)) inputs xs;
       value s = Some (List.fold_left ( + ) 0 xs))
 
 let prop_can_be_set_to_never_mutates =
@@ -462,7 +462,7 @@ let prop_can_be_set_to_never_mutates =
         | _ -> ()
       in
       link vars;
-      ignore (Engine.set_user net (List.nth vars (n - 1)) 7);
+      ignore (Engine.set net (List.nth vars (n - 1)) 7);
       let snapshot = List.map value vars in
       (match vars with
       | first :: _ -> ignore (Engine.can_be_set_to net first x)

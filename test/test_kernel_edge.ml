@@ -19,8 +19,8 @@ let test_disabled_then_reinitialize () =
   let a = ivar net "a" and b = ivar net "b" in
   let eq, _ = Clib.equality net [ a; b ] in
   Engine.disable net;
-  ignore (Engine.set_user net a 1);
-  ignore (Engine.set_user net b 2);
+  ignore (Engine.set net a 1);
+  ignore (Engine.set net b 2);
   Alcotest.(check bool) "inconsistent while off" false (Cstr.is_satisfied eq);
   Engine.enable net;
   (* per the thesis no automatic recovery happens; Network.reinitialize
@@ -68,15 +68,15 @@ let test_n_change_boundary () =
     (net, src, s)
   in
   let net, src, s = build () in
-  ignore (Engine.set_user net src 1);
+  ignore (Engine.set net src 1);
   (* now both a and b change on the next assignment: s revises twice *)
-  Alcotest.(check bool) "default bound settles" true (ok (Engine.set_user net src 2));
+  Alcotest.(check bool) "default bound settles" true (ok (Engine.set net src 2));
   Alcotest.(check (option int)) "sum correct" (Some 4) (Var.value s);
   let net, src, _ = build () in
-  ignore (Engine.set_user net src 1);
+  ignore (Engine.set net src 1);
   net.Types.net_max_changes <- 1;
   Alcotest.(check bool) "strict rule trips on reconvergence" false
-    (ok (Engine.set_user net src 2))
+    (ok (Engine.set net src 2))
 
 let test_ignore_rule_variable () =
   (* an Ignore-overwrite variable never changes after first set, and the
@@ -88,11 +88,11 @@ let test_ignore_rule_variable () =
   let a = ivar net "a" in
   let b = ivar ~overwrite:sticky net "b" in
   let _ = Clib.equality net [ a; b ] in
-  ignore (Engine.set_user net a 1);
+  ignore (Engine.set net a 1);
   Alcotest.(check (option int)) "b took first value" (Some 1) (Var.value b);
   (* the new value is ignored by b, making the equality unsatisfied *)
   Alcotest.(check bool) "conflict detected by final sweep" false
-    (ok (Engine.set_user net a 2));
+    (ok (Engine.set net a 2));
   Alcotest.(check (option int)) "a rolled back" (Some 1) (Var.value a)
 
 let test_remove_constraint_midstream () =
@@ -102,13 +102,13 @@ let test_remove_constraint_midstream () =
   let a = ivar net "a" and b = ivar net "b" and c = ivar net "c" in
   let eq_ab, _ = Clib.equality net [ a; b ] in
   let _eq_bc = Clib.equality net [ b; c ] in
-  ignore (Engine.set_user net b 9);
+  ignore (Engine.set net b 9);
   Network.remove_constraint net eq_ab;
   Alcotest.(check (option int)) "a erased" None (Var.value a);
   Alcotest.(check (option int)) "b kept (user)" (Some 9) (Var.value b);
   Alcotest.(check (option int)) "c kept (independent path)" (Some 9) (Var.value c);
   (* the removed constraint no longer reacts *)
-  ignore (Engine.set_user net b 10);
+  ignore (Engine.set net b 10);
   Alcotest.(check (option int)) "a stays erased" None (Var.value a);
   Alcotest.(check (option int)) "c follows" (Some 10) (Var.value c)
 
@@ -117,11 +117,10 @@ let test_trace_event_stream () =
   let a = ivar net "a" and b = ivar net "b" in
   let _ = Clib.equality net [ a; b ] in
   let kinds = ref [] in
-  Engine.set_trace net
-    (Some
-       (fun ev ->
+  Engine.add_sink net
+    (Types.sink ~name:"kinds" (fun te ->
          let k =
-           match ev with
+           match te.Types.te_event with
            | Types.T_assign _ -> "assign"
            | Types.T_reset _ -> "reset"
            | Types.T_activate _ -> "activate"
@@ -130,18 +129,23 @@ let test_trace_event_stream () =
            | Types.T_violation _ -> "violation"
            | Types.T_restore _ -> "restore"
            | Types.T_quarantine _ -> "quarantine"
+           | Types.T_episode_start _ -> "episode_start"
+           | Types.T_episode_end _ -> "episode_end"
          in
          kinds := k :: !kinds));
-  ignore (Engine.set_user net a 1);
+  ignore (Engine.set net a 1);
   let seen = List.rev !kinds in
   Alcotest.(check bool) "assigns traced" true (List.mem "assign" seen);
   Alcotest.(check bool) "activations traced" true (List.mem "activate" seen);
   Alcotest.(check bool) "checks traced" true (List.mem "check" seen);
   kinds := [];
-  ignore (Engine.set_user net b 2);
+  ignore (Engine.set net b 2);
   Alcotest.(check bool) "violation traced" true (List.mem "violation" (List.rev !kinds));
   Alcotest.(check bool) "restore traced" true (List.mem "restore" (List.rev !kinds));
-  Engine.set_trace net None
+  Alcotest.(check bool) "episode bracketed" true
+    (List.mem "episode_start" (List.rev !kinds)
+    && List.mem "episode_end" (List.rev !kinds));
+  Alcotest.(check bool) "sink removed" true (Engine.remove_sink net "kinds")
 
 let test_editor_lookups () =
   let net = mknet () in
@@ -162,7 +166,7 @@ let test_update_multiple_targets () =
   let _ = Clib.update net ~sources:[ src ] ~targets:[ t1; t2 ] in
   Var.poke t1 1 ~just:Types.Application;
   Var.poke t2 2 ~just:Types.Application;
-  ignore (Engine.set_user net src 5);
+  ignore (Engine.set net src 5);
   Alcotest.(check (option int)) "t1 erased" None (Var.value t1);
   Alcotest.(check (option int)) "t2 erased" None (Var.value t2)
 
@@ -173,12 +177,12 @@ let test_one_way_check_violation () =
     Clib.one_way net ~check:(fun x y -> y = x * 2) ~f:(fun x -> Some (x * 2))
       ~from_ ~to_
   in
-  Alcotest.(check bool) "forward ok" true (ok (Engine.set_user net from_ 3));
+  Alcotest.(check bool) "forward ok" true (ok (Engine.set net from_ 3));
   Alcotest.(check (option int)) "doubled" (Some 6) (Var.value to_);
   (* assigning an inconsistent target value violates the check *)
-  Alcotest.(check bool) "bad target rejected" false (ok (Engine.set_user net to_ 7));
+  Alcotest.(check bool) "bad target rejected" false (ok (Engine.set net to_ 7));
   Alcotest.(check bool) "consistent target tolerated" true
-    (ok (Engine.set_user net to_ 6))
+    (ok (Engine.set net to_ 6))
 
 let test_attach_detach_idempotent () =
   let net = mknet () in
@@ -196,7 +200,7 @@ let test_stats_accounting () =
   let a = ivar net "a" and b = ivar net "b" in
   let _ = Clib.equality net [ a; b ] in
   Engine.reset_stats net;
-  ignore (Engine.set_user net a 1);
+  ignore (Engine.set net a 1);
   let s = Engine.stats net in
   Alcotest.(check int) "one episode" 1 s.Types.st_propagations;
   Alcotest.(check int) "two assignments (a and b)" 2 s.Types.st_assignments;
@@ -226,14 +230,14 @@ let mk_triangle () =
   let a = ivar net "a" and b = ivar net "b" and c = ivar net "c" in
   let _ = Clib.equality net [ a; b ] in
   let _ = Clib.equality net [ b; c ] in
-  ignore (Engine.set_user net b 1);
+  ignore (Engine.set net b 1);
   (net, a, b, c)
 
 let test_rollback_after_violation () =
   let net, a, _, _ = mk_triangle () in
   let snap = snapshot net in
   Alcotest.(check bool) "conflicting set violates" false
-    (ok (Engine.set_user net a 2));
+    (ok (Engine.set net a 2));
   check_snapshot "semantic violation" snap
 
 let test_rollback_after_throwing_on_change () =
@@ -241,7 +245,7 @@ let test_rollback_after_throwing_on_change () =
   let snap = snapshot net in
   Var.set_on_change c (fun _ -> failwith "demon crash");
   Alcotest.(check bool) "throwing on-change violates" false
-    (ok (Engine.set_user net a 2));
+    (ok (Engine.set net a 2));
   Var.set_on_change c (fun _ -> ());
   check_snapshot "throwing on-change" snap
 
@@ -250,12 +254,12 @@ let test_rollback_after_throwing_handler () =
   let snap = snapshot net in
   Engine.set_violation_handler net (fun _ -> failwith "handler crash");
   Alcotest.(check bool) "episode still fails cleanly" false
-    (ok (Engine.set_user net a 2));
+    (ok (Engine.set net a 2));
   check_snapshot "throwing handler" snap;
   (* and the network keeps functioning afterwards *)
   Engine.set_violation_handler net (fun _ -> ());
   Alcotest.(check bool) "subsequent compatible set works" true
-    (ok (Engine.set_user net a 1))
+    (ok (Engine.set net a 1))
 
 let suite =
   let tc = Alcotest.test_case in

@@ -1,0 +1,450 @@
+(* The observability layer: sink fan-out semantics (order, isolation of
+   throwing sinks), episode span attribution, the ring buffer, the
+   metrics registry, the per-kind profiler, JSONL round-trips and the
+   deprecated compatibility shims. *)
+
+open Constraint_kernel
+
+let mknet () = Engine.create_network ~name:"obs" ()
+
+let ivar ?overwrite net name =
+  Var.create net ~owner:"o" ~name ~equal:Int.equal ~pp:Fmt.int ?overwrite ()
+
+(* A three-variable equality chain: one [set] produces a healthy mix of
+   assign / activate / schedule / check / episode events. *)
+let chain net =
+  let a = ivar net "a" and b = ivar net "b" and c = ivar net "c" in
+  let ab, _ = Clib.equality net [ a; b ] in
+  let bc, _ = Clib.equality net [ b; c ] in
+  (a, b, c, ab, bc)
+
+let ok = function Ok () -> true | Error _ -> false
+
+(* ---------------- fan-out ---------------- *)
+
+let test_fan_out_order () =
+  let net = mknet () in
+  let a, _, _, _, _ = chain net in
+  let log = ref [] in
+  let tap tag =
+    Types.{ snk_name = tag; snk_emit = (fun _ seq _ -> log := (tag, seq) :: !log) }
+  in
+  Engine.add_sink net (tap "first");
+  Engine.add_sink net (tap "second");
+  Engine.add_sink net (tap "third");
+  Alcotest.(check bool) "set ok" true (ok (Engine.set net a 1));
+  let by_seq = Hashtbl.create 16 in
+  List.iter
+    (fun (tag, seq) ->
+      Hashtbl.replace by_seq seq
+        (tag :: (Option.value ~default:[] (Hashtbl.find_opt by_seq seq))))
+    !log (* log is reversed, so per-seq lists come out in fan-out order *);
+  Alcotest.(check bool) "events were emitted" true (Hashtbl.length by_seq > 0);
+  Hashtbl.iter
+    (fun seq tags ->
+      Alcotest.(check (list string))
+        (Printf.sprintf "seq %d visits sinks in registration order" seq)
+        [ "first"; "second"; "third" ] tags)
+    by_seq
+
+let test_add_sink_replaces_in_place () =
+  let net = mknet () in
+  let a, _, _, _, _ = chain net in
+  let log = ref [] in
+  let tap tag name =
+    Types.{ snk_name = name; snk_emit = (fun _ _ _ -> log := tag :: !log) }
+  in
+  Engine.add_sink net (tap "old-a" "a");
+  Engine.add_sink net (tap "b" "b");
+  Engine.add_sink net (tap "new-a" "a");
+  (* replaces, same position *)
+  Alcotest.(check int) "still two sinks" 2 (List.length (Engine.sinks net));
+  ignore (Engine.set net a 1);
+  Alcotest.(check bool) "replaced sink fires" true (List.mem "new-a" !log);
+  Alcotest.(check bool) "old sink is gone" false (List.mem "old-a" !log);
+  (match !log with
+  | "b" :: "new-a" :: _ -> () (* reversed log: a fired before b *)
+  | l ->
+    Alcotest.failf "replacement did not keep fan-out position: %a"
+      Fmt.(Dump.list string) l);
+  Alcotest.(check bool) "remove" true (Engine.remove_sink net "a");
+  Alcotest.(check bool) "remove again" false (Engine.remove_sink net "a")
+
+let test_throwing_sink_isolated () =
+  let net = mknet () in
+  let a, b, _, _, _ = chain net in
+  let seen = ref 0 in
+  Engine.add_sink net
+    Types.{ snk_name = "boom"; snk_emit = (fun _ _ _ -> failwith "sink bug") };
+  Engine.add_sink net
+    Types.{ snk_name = "after"; snk_emit = (fun _ _ _ -> incr seen) };
+  Alcotest.(check bool) "episode survives throwing sink" true
+    (ok (Engine.set net a 7));
+  Alcotest.(check (option int)) "assignment committed" (Some 7) (Var.value b);
+  Alcotest.(check bool) "later sink still notified" true (!seen > 0);
+  let st = Engine.stats net in
+  Alcotest.(check int) "every event trapped once" !seen
+    st.Types.st_sink_errors
+
+(* The boxed helper: [Types.sink] must hand the same episode/seq through
+   the tagged_event it allocates. *)
+let test_boxed_sink_helper () =
+  let net = mknet () in
+  let a, _, _, _, _ = chain net in
+  let raw = ref [] and boxed = ref [] in
+  Engine.add_sink net
+    Types.{ snk_name = "raw"; snk_emit = (fun ep seq _ -> raw := (ep, seq) :: !raw) };
+  Engine.add_sink net
+    (Types.sink ~name:"boxed" (fun te ->
+         boxed := (te.Types.te_episode, te.Types.te_seq) :: !boxed));
+  ignore (Engine.set net a 3);
+  Alcotest.(check (list (pair int int)))
+    "boxed form carries the same tags" !raw !boxed
+
+(* ---------------- episode spans ---------------- *)
+
+(* Every event between a start/end pair must carry that episode's id;
+   ids must be fresh and increasing across episodes. *)
+let test_episode_ids_consistent () =
+  let net = mknet () in
+  let a, _, _, _, _ = chain net in
+  let ring = Obs.Ring.create ~capacity:4096 () in
+  Engine.add_sink net (Obs.Ring.sink ring);
+  ignore (Engine.set net a 1);
+  ignore (Engine.set net a 2);
+  ignore (Engine.explain_set net a 3);
+  ignore (Engine.set net a 4);
+  let cur = ref None and ids = ref [] in
+  List.iter
+    (fun te ->
+      let ep = te.Types.te_episode in
+      match te.Types.te_event with
+      | Types.T_episode_start (id, _) ->
+        Alcotest.(check int) "start tagged with its own id" id ep;
+        Alcotest.(check bool) "no nested episode" true (!cur = None);
+        ids := id :: !ids;
+        cur := Some id
+      | Types.T_episode_end sp ->
+        Alcotest.(check (option int)) "end matches start" !cur (Some sp.Types.es_id);
+        Alcotest.(check int) "end tagged with its own id" sp.Types.es_id ep;
+        cur := None
+      | _ ->
+        Alcotest.(check (option int))
+          "inner event tagged with enclosing episode" !cur (Some ep))
+    (Obs.Ring.to_list ring);
+  Alcotest.(check (option int)) "last episode closed" None !cur;
+  let ids = List.rev !ids in
+  Alcotest.(check int) "four episodes" 4 (List.length ids);
+  List.iteri
+    (fun i id ->
+      if i > 0 then
+        Alcotest.(check bool) "ids strictly increasing" true
+          (id > List.nth ids (i - 1)))
+    ids;
+  (* the probe episode must be visible as such *)
+  let outcomes =
+    List.map (fun sp -> sp.Types.es_outcome) (Obs.Ring.spans ring)
+  in
+  Alcotest.(check bool) "probe span recorded" true
+    (List.mem Types.E_probe_ok outcomes);
+  Alcotest.(check bool) "committed spans recorded" true
+    (List.mem Types.E_committed outcomes)
+
+let test_rolled_back_span_on_fault () =
+  let net = mknet () in
+  let a, _, _, _, bc = chain net in
+  ignore (Engine.set net a 1);
+  let ring = Obs.Ring.create ~capacity:1024 () in
+  Engine.add_sink net (Obs.Ring.sink ring);
+  let inj = Fault.wrap ~mode:(Fault.Throw_on [ 1 ]) bc in
+  Alcotest.(check bool) "faulted set fails" false (ok (Engine.set net a 2));
+  Fault.restore inj;
+  let spans = Obs.Ring.spans ring in
+  Alcotest.(check bool) "rolled-back span recorded" true
+    (List.exists (fun sp -> sp.Types.es_outcome = Types.E_rolled_back) spans);
+  Alcotest.(check bool) "restore events inside the episode" true
+    (List.exists
+       (fun te ->
+         match te.Types.te_event with Types.T_restore _ -> true | _ -> false)
+       (Obs.Ring.to_list ring))
+
+(* ---------------- ring buffer ---------------- *)
+
+let test_ring_eviction () =
+  let net = mknet () in
+  let a, _, _, _, _ = chain net in
+  let ring = Obs.Ring.create ~capacity:8 () in
+  Engine.add_sink net (Obs.Ring.sink ring);
+  for i = 1 to 10 do
+    ignore (Engine.set net a i)
+  done;
+  Alcotest.(check int) "length capped at capacity" 8 (Obs.Ring.length ring);
+  Alcotest.(check int) "capacity reported" 8 (Obs.Ring.capacity ring);
+  Alcotest.(check bool) "older events were evicted" true
+    (Obs.Ring.seen ring > 8);
+  let seqs = List.map (fun te -> te.Types.te_seq) (Obs.Ring.to_list ring) in
+  (* oldest-first, contiguous, and ending at the newest event seen *)
+  List.iteri
+    (fun i seq ->
+      if i > 0 then
+        Alcotest.(check int) "contiguous ascending seq"
+          (List.nth seqs (i - 1) + 1) seq)
+    seqs;
+  Alcotest.(check int) "ends at the last event"
+    (Obs.Ring.seen ring)
+    (List.nth seqs (List.length seqs - 1));
+  Obs.Ring.clear ring;
+  Alcotest.(check int) "clear empties" 0 (Obs.Ring.length ring)
+
+(* ---------------- metrics ---------------- *)
+
+let test_metrics_agree_with_stats () =
+  let net = mknet () in
+  let a, _, _, _, _ = chain net in
+  let m = Obs.Metrics.create () in
+  Engine.add_sink net (Obs.Metrics.kernel_sink m);
+  (* the constraint-attach episodes above ran unobserved *)
+  Engine.reset_stats net;
+  ignore (Engine.set net a 1);
+  ignore (Engine.set net a 2);
+  ignore (Engine.explain_set net a 3);
+  let st = Engine.stats net in
+  let count name =
+    match Obs.Metrics.find m name with
+    | Some (Obs.Metrics.Counter c) -> Obs.Metrics.count c
+    | _ -> Alcotest.failf "counter %s missing" name
+  in
+  Alcotest.(check int) "checks agree" st.Types.st_checks (count "events.check");
+  Alcotest.(check int) "schedule agrees" st.Types.st_scheduled
+    (count "events.schedule");
+  Alcotest.(check int) "episode count" 3 (count "episodes.total");
+  Alcotest.(check int) "committed" 2 (count "episodes.committed");
+  Alcotest.(check int) "probe ok" 1 (count "episodes.probe_ok");
+  (match Obs.Metrics.find m "episode.latency_us" with
+  | Some (Obs.Metrics.Histogram h) ->
+    Alcotest.(check int) "latency sample per episode" 3 (Obs.Metrics.samples h)
+  | _ -> Alcotest.fail "latency histogram missing");
+  (* stats snapshot is immutable: later activity must not mutate it *)
+  ignore (Engine.set net a 9);
+  Alcotest.(check bool) "snapshot unchanged" true
+    (st.Types.st_checks < (Engine.stats net).Types.st_checks)
+
+let test_metrics_kind_clash_and_quantiles () =
+  let m = Obs.Metrics.create () in
+  ignore (Obs.Metrics.counter m "x");
+  Alcotest.check_raises "kind clash rejected"
+    (Invalid_argument "Metrics: \"x\" is not a gauge") (fun () ->
+      ignore (Obs.Metrics.gauge m "x"));
+  let h = Obs.Metrics.histogram m "lat" in
+  List.iter (fun v -> Obs.Metrics.observe h v) [ 1.5; 3.; 4.; 40.; 400. ];
+  Alcotest.(check (float 1e-6)) "mean" 89.7 (Obs.Metrics.mean h);
+  let p0 = Obs.Metrics.quantile h 0. and p100 = Obs.Metrics.quantile h 1. in
+  Alcotest.(check bool) "q0 at observed min" true (p0 >= 1.5 -. 1e-9);
+  Alcotest.(check bool) "q1 at observed max" true (p100 <= 400. +. 1e-9);
+  let p50 = Obs.Metrics.quantile h 0.5 in
+  Alcotest.(check bool) "median inside range" true (p50 >= p0 && p50 <= p100);
+  let g = Obs.Metrics.gauge m "depth" in
+  Obs.Metrics.set_gauge g 3.;
+  Obs.Metrics.set_gauge g 1.;
+  Alcotest.(check (float 0.)) "gauge keeps max" 3. (Obs.Metrics.gauge_max g);
+  Alcotest.(check (float 0.)) "gauge keeps last" 1. (Obs.Metrics.gauge_last g)
+
+(* ---------------- profiler ---------------- *)
+
+let test_profiler_hotspots () =
+  let net = mknet () in
+  let a = ivar net "a" and b = ivar net "b" and c = ivar net "c" in
+  let _ = Clib.equality net [ a; b ] in
+  let _ = Clib.equality net [ b; c ] in
+  let _ =
+    Clib.predicate ~kind:"limit"
+      ~pred:(fun vs ->
+        List.for_all (function Some x -> x < 100 | None -> true) vs)
+      net [ c ]
+  in
+  let p = Obs.Profiler.create () in
+  Engine.add_sink net (Obs.Profiler.sink p);
+  for i = 1 to 5 do
+    ignore (Engine.set net a i)
+  done;
+  (match Obs.Profiler.hotspots ~k:1 p with
+  | [ e ] ->
+    Alcotest.(check string) "equality dominates" "equality"
+      e.Obs.Profiler.e_kind;
+    Alcotest.(check bool) "activations counted" true
+      (e.Obs.Profiler.e_activations > 0)
+  | _ -> Alcotest.fail "expected exactly one hotspot");
+  let entries = Obs.Profiler.entries p in
+  Alcotest.(check int) "both kinds present" 2 (List.length entries);
+  List.iteri
+    (fun i e ->
+      if i > 0 then
+        Alcotest.(check bool) "sorted by activations desc" true
+          ((List.nth entries (i - 1)).Obs.Profiler.e_activations
+          >= e.Obs.Profiler.e_activations))
+    entries;
+  Obs.Profiler.clear p;
+  Alcotest.(check int) "clear" 0 (List.length (Obs.Profiler.entries p))
+
+(* ---------------- JSONL round-trip ---------------- *)
+
+let test_jsonl_roundtrip () =
+  let net = mknet () in
+  let a, _, _, _, bc = chain net in
+  let buf = Buffer.create 4096 in
+  Engine.add_sink net (Obs.Jsonl.buffer_sink ~pp_value:string_of_int buf);
+  ignore (Engine.set net a 1);
+  ignore (Engine.explain_set net a 2);
+  let inj = Fault.wrap ~mode:(Fault.Throw_on [ 1 ]) bc in
+  ignore (Engine.set net a 3);
+  Fault.restore inj;
+  let lines =
+    List.map
+      (function
+        | Ok fields -> fields
+        | Error e -> Alcotest.failf "unparsable line: %s" e)
+      (Obs.Jsonl.parse_lines (Buffer.contents buf))
+  in
+  Alcotest.(check bool) "events exported" true (List.length lines > 10);
+  (* per-line invariants: every line has seq/ep/t; seq strictly increases *)
+  let last_seq = ref 0 in
+  List.iter
+    (fun fields ->
+      let seq =
+        match Obs.Jsonl.int fields "seq" with
+        | Some s -> s
+        | None -> Alcotest.fail "line without seq"
+      in
+      Alcotest.(check bool) "seq strictly increasing" true (seq > !last_seq);
+      last_seq := seq;
+      Alcotest.(check bool) "ep present" true
+        (Obs.Jsonl.int fields "ep" <> None);
+      Alcotest.(check bool) "type present" true
+        (Obs.Jsonl.str fields "t" <> None))
+    lines;
+  (* episode attribution survives the round-trip *)
+  let cur = ref None in
+  List.iter
+    (fun fields ->
+      let ep = Option.get (Obs.Jsonl.int fields "ep") in
+      match Option.get (Obs.Jsonl.str fields "t") with
+      | "episode_start" ->
+        Alcotest.(check (option int)) "start id in json" (Some ep)
+          (Obs.Jsonl.int fields "id");
+        cur := Some ep
+      | "episode_end" ->
+        Alcotest.(check (option int)) "end id in json" !cur
+          (Obs.Jsonl.int fields "id");
+        let oc = Option.get (Obs.Jsonl.str fields "outcome") in
+        Alcotest.(check bool) "outcome parses back" true
+          (Obs.Jsonl.outcome_of_string oc <> None);
+        Alcotest.(check bool) "total time present" true
+          (Obs.Jsonl.float fields "us" <> None);
+        cur := None
+      | _ ->
+        Alcotest.(check (option int)) "event inside episode" !cur (Some ep))
+    lines;
+  let outcomes =
+    List.filter_map (fun fields -> Obs.Jsonl.str fields "outcome") lines
+  in
+  Alcotest.(check bool) "rolled_back exported" true
+    (List.mem "rolled_back" outcomes);
+  (* an assignment line round-trips its value through pp_value *)
+  Alcotest.(check bool) "assign value exported" true
+    (List.exists
+       (fun fields ->
+         Obs.Jsonl.str fields "t" = Some "assign"
+         && Obs.Jsonl.str fields "value" = Some "1")
+       lines)
+
+let test_jsonl_escaping () =
+  let te =
+    Types.
+      {
+        te_episode = 1;
+        te_seq = 2;
+        te_event =
+          T_violation
+            {
+              viol_message = "a \"quoted\"\nmessage\twith\\controls";
+              viol_cstr_id = None;
+              viol_cstr_kind = Some "uni\tmax";
+              viol_var_path = None;
+              viol_exn = None;
+            };
+      }
+  in
+  let line = Obs.Jsonl.json_of_event te in
+  match Obs.Jsonl.parse_line line with
+  | Error e -> Alcotest.failf "escaped line does not parse: %s" e
+  | Ok fields ->
+    Alcotest.(check (option string)) "message round-trips"
+      (Some "a \"quoted\"\nmessage\twith\\controls")
+      (Obs.Jsonl.str fields "msg");
+    Alcotest.(check (option string)) "kind round-trips" (Some "uni\tmax")
+      (Obs.Jsonl.str fields "kind")
+
+(* ---------------- the board bundle ---------------- *)
+
+let test_board_bundle () =
+  let net = mknet () in
+  let a, _, _, _, _ = chain net in
+  let b = Obs.Board.attach ~ring_capacity:64 net in
+  ignore (Engine.set net a 1);
+  ignore (Engine.set net a 2);
+  Alcotest.(check int) "one fused subscription" 1
+    (List.length (Engine.sinks net));
+  Alcotest.(check int) "spans collected" 2 (List.length (Obs.Board.spans b));
+  Alcotest.(check bool) "hotspots collected" true
+    (Obs.Board.hotspots b <> []);
+  (match Obs.Metrics.find (Obs.Board.metrics b) "episodes.total" with
+  | Some (Obs.Metrics.Counter c) ->
+    Alcotest.(check int) "metrics fed" 2 (Obs.Metrics.count c)
+  | _ -> Alcotest.fail "board metrics missing episodes.total");
+  Obs.Board.detach net;
+  Alcotest.(check int) "detached" 0 (List.length (Engine.sinks net));
+  ignore (Engine.set net a 3);
+  Alcotest.(check int) "no longer fed" 2 (List.length (Obs.Board.spans b))
+
+(* ---------------- deprecated shims ---------------- *)
+
+let test_deprecated_shims () =
+  let net = mknet () in
+  let a, b, _, _, _ = chain net in
+  (Engine.set_user [@warning "-3"]) net a 1 |> ignore;
+  Alcotest.(check (option int)) "set_user still assigns" (Some 1) (Var.value b);
+  (Engine.set_application [@warning "-3"]) net a 2 |> ignore;
+  Alcotest.(check bool) "set_application uses Application" true
+    (match Var.justification a with Types.Application -> true | _ -> false);
+  let hits = ref 0 in
+  (Engine.set_trace [@warning "-3"]) net (Some (fun _ -> incr hits));
+  ignore (Engine.set net a 3);
+  Alcotest.(check bool) "set_trace shim still delivers events" true (!hits > 0);
+  (Engine.set_trace [@warning "-3"]) net None;
+  Alcotest.(check int) "set_trace None uninstalls" 0
+    (List.length (Engine.sinks net))
+
+let suite =
+  ( "obs",
+    [
+      Alcotest.test_case "fan-out order" `Quick test_fan_out_order;
+      Alcotest.test_case "add_sink replaces in place" `Quick
+        test_add_sink_replaces_in_place;
+      Alcotest.test_case "throwing sink isolated" `Quick
+        test_throwing_sink_isolated;
+      Alcotest.test_case "boxed sink helper" `Quick test_boxed_sink_helper;
+      Alcotest.test_case "episode ids consistent" `Quick
+        test_episode_ids_consistent;
+      Alcotest.test_case "rolled-back span on fault" `Quick
+        test_rolled_back_span_on_fault;
+      Alcotest.test_case "ring eviction" `Quick test_ring_eviction;
+      Alcotest.test_case "metrics agree with stats" `Quick
+        test_metrics_agree_with_stats;
+      Alcotest.test_case "metrics kinds and quantiles" `Quick
+        test_metrics_kind_clash_and_quantiles;
+      Alcotest.test_case "profiler hotspots" `Quick test_profiler_hotspots;
+      Alcotest.test_case "jsonl round-trip" `Quick test_jsonl_roundtrip;
+      Alcotest.test_case "jsonl escaping" `Quick test_jsonl_escaping;
+      Alcotest.test_case "board bundle" `Quick test_board_bundle;
+      Alcotest.test_case "deprecated shims" `Quick test_deprecated_shims;
+    ] )

@@ -58,7 +58,7 @@ let prop_network_always_consistent =
           let v = vars.(idx mod n) in
           let op = (idx + value) mod 4 in
           (match op with
-          | 0 -> ignore (Engine.set_user net v value)
+          | 0 -> ignore (Engine.set net v value)
           | 1 -> ignore (Engine.reset net v)
           | 2 -> ignore (Engine.can_be_set_to net v value)
           | _ -> (
@@ -93,7 +93,7 @@ let prop_compile_matches_propagation =
       in
       (* drive by propagation *)
       List.iter2
-        (fun v x -> ignore (Engine.set_user net v x))
+        (fun v x -> ignore (Engine.set net v x))
         inputs inputs_vals;
       let propagated = List.map Var.value results in
       (* erase results, poke inputs, replay the compiled plan *)
@@ -115,7 +115,7 @@ let prop_dependency_duality =
         !seed mod k
       in
       let net, vars, _ = random_network ~n ~edges ~sums:2 rand_int in
-      ignore (Engine.set_user net vars.(0) 5);
+      ignore (Engine.set net vars.(0) 5);
       let mem v vs = List.exists (Var.equal v) vs in
       Array.for_all
         (fun v ->

@@ -80,6 +80,55 @@ let test_disable_enable_remove () =
   Alcotest.(check bool) "toggles reported" true
     (contains out "disabled" && contains out "enabled")
 
+let test_observability_commands () =
+  let env = mkenv () in
+  let out =
+    run env [ "set REG8.d->q.delay 45.0"; "metrics"; "spans 2"; "hotspots 3" ]
+  in
+  Alcotest.(check bool) "metrics render counters" true
+    (contains out "episodes.total");
+  Alcotest.(check bool) "latency histogram populated" true
+    (contains out "episode.latency_us");
+  Alcotest.(check bool) "span printed with outcome" true
+    (contains out "committed");
+  Alcotest.(check bool) "hotspots name a constraint kind" true
+    (contains out "act=");
+  let out = run env [ "spans" ] in
+  Alcotest.(check bool) "no-episode case reported" true
+    (contains out "no completed episodes")
+
+let test_trace_jsonl_command () =
+  let env = mkenv () in
+  let file = Filename.temp_file "stem_shell_trace" ".jsonl" in
+  Fun.protect
+    ~finally:(fun () -> try Sys.remove file with Sys_error _ -> ())
+    (fun () ->
+      let out =
+        run env
+          [
+            Printf.sprintf "trace jsonl %s" file;
+            "set REG8.d->q.delay 45.0";
+            "trace off";
+            "set REG8.d->q.delay 46.0" (* after export stopped *);
+          ]
+      in
+      Alcotest.(check bool) "export announced" true (contains out "tracing to");
+      Alcotest.(check bool) "export stopped" true (contains out "stopped");
+      let lines = Obs.Jsonl.load_file file in
+      Alcotest.(check bool) "events written" true (List.length lines > 0);
+      let eps =
+        List.filter_map
+          (function
+            | Ok fields ->
+              (match Obs.Jsonl.str fields "t" with
+              | Some "episode_end" -> Obs.Jsonl.str fields "outcome"
+              | _ -> None)
+            | Error e -> Alcotest.failf "unparsable shell trace: %s" e)
+          lines
+      in
+      Alcotest.(check (list string)) "only the traced episode exported"
+        [ "committed" ] eps)
+
 let suite =
   let tc = Alcotest.test_case in
   ( "shell",
@@ -91,4 +140,6 @@ let suite =
       tc "switch and check" `Quick test_switch_and_check;
       tc "bad input" `Quick test_bad_input;
       tc "disable/enable/remove" `Quick test_disable_enable_remove;
+      tc "observability commands" `Quick test_observability_commands;
+      tc "trace jsonl export" `Quick test_trace_jsonl_command;
     ] )

@@ -105,7 +105,7 @@ let test_cell_report_and_constraints () =
      value directly *)
   Engine.disable env.env_cnet;
   ignore
-    (Engine.set_user env.env_cnet acc.Cell_library.Datapath.acc_delay.cd_var
+    (Engine.set env.env_cnet acc.Cell_library.Datapath.acc_delay.cd_var
        (Dval.Float 999.0));
   Engine.enable env.env_cnet;
   let bad = Checking.Check.check_cell env acc.Cell_library.Datapath.acc in

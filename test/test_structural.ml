@@ -107,7 +107,7 @@ let test_characteristic_update_reprices_selection () =
   List.iter
     (fun cd ->
       ignore
-        (Constraint_kernel.Engine.set_user env.env_cnet cd.cd_var (Dval.Float 0.6)))
+        (Constraint_kernel.Engine.set env.env_cnet cd.cd_var (Dval.Float 0.6)))
     gates.Cell_library.Gates.nand2.cc_delays;
   let after =
     Option.get
