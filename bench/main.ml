@@ -14,12 +14,19 @@ open Toolkit
 (* Timing helpers                                                      *)
 (* ------------------------------------------------------------------ *)
 
+(* --quick (used by CI): a fraction of the sampling quota — estimates
+   are noisier but the harness, the JSON writer and the step counters
+   are exercised end to end in a few seconds. *)
+let quick = Array.exists (String.equal "--quick") Sys.argv
+
 let benchmark_and_print tests =
-  let cfg = Benchmark.cfg ~limit:2000 ~quota:(Time.second 0.3) ~kde:None () in
+  let quota = if quick then Time.second 0.025 else Time.second 0.3 in
+  let cfg = Benchmark.cfg ~limit:2000 ~quota ~kde:None () in
   let instances = Instance.[ monotonic_clock ] in
   let ols =
     Analyze.ols ~r_square:true ~bootstrap:0 ~predictors:[| Measure.run |]
   in
+  let collected = ref [] in
   List.iter
     (fun test ->
       let raw = Benchmark.all cfg instances test in
@@ -33,6 +40,7 @@ let benchmark_and_print tests =
           | Some res -> (
             match Analyze.OLS.estimates res with
             | Some (est :: _) ->
+              collected := (name, est) :: !collected;
               let pretty =
                 if est > 1e6 then Fmt.str "%8.3f ms" (est /. 1e6)
                 else if est > 1e3 then Fmt.str "%8.3f us" (est /. 1e3)
@@ -41,7 +49,54 @@ let benchmark_and_print tests =
               Fmt.pr "  %-46s %s/run@." name pretty
             | Some [] | None -> Fmt.pr "  %-46s (no estimate)@." name))
         (Test.elements test))
-    tests
+    tests;
+  List.rev !collected
+
+(* Inference-step counts per run for the workloads that expose their
+   network — the scale factor the ns/op numbers should be read against. *)
+let measured_steps () =
+  let open Constraint_kernel in
+  let count name net run =
+    let before = (Engine.stats net).Types.st_inferences in
+    run ();
+    (name, (Engine.stats net).Types.st_inferences - before)
+  in
+  let chain n =
+    let net, run = Workloads.equality_chain n in
+    count (Printf.sprintf "E11 chain n=%d" n) net run
+  in
+  let star n =
+    let net, run = Workloads.equality_star n in
+    count (Printf.sprintf "E11 star n=%d" n) net run
+  in
+  List.map chain [ 10; 100; 1000 ] @ List.map star [ 10; 100; 1000 ]
+
+(* Machine-readable mirror of the timing table, for the perf
+   trajectory (uploaded from CI next to e16.json/e17.json). *)
+let write_bench_json path results steps =
+  let buf = Buffer.create 1024 in
+  Buffer.add_string buf "[\n";
+  List.iteri
+    (fun i (name, ns) ->
+      if i > 0 then Buffer.add_string buf ",\n";
+      Buffer.add_string buf
+        (Printf.sprintf "  {\"name\":\"%s\",\"ns_per_run\":%.1f,\"steps\":%s}"
+           (Obs.Jsonl.escape name) ns
+           (* bechamel prefixes the group name ("complexity E11 chain
+              n=10"); the step table uses the bare workload name *)
+           (match
+              List.find_opt
+                (fun (sname, _) -> String.ends_with ~suffix:sname name)
+                steps
+            with
+           | Some (_, n) -> string_of_int n
+           | None -> "null")))
+    results;
+  Buffer.add_string buf "\n]\n";
+  let oc = open_out path in
+  output_string oc (Buffer.contents buf);
+  close_out oc;
+  Fmt.pr "@.machine-readable results written to %s@." path
 
 let section title = Fmt.pr "@.==== %s ====@." title
 
@@ -286,20 +341,23 @@ let () =
   section "Part 1: figure reproductions";
   Tables.all ();
   section "Part 2: Bechamel timings";
-  benchmark_and_print
-    [
-      complexity_sweep;
-      safety_overhead;
-      star_sweep;
-      hier_vs_flat;
-      agenda_vs_eager;
-      agenda_vs_eager_heavy;
-      compiled_vs_interpreted;
-      ripple_scaling;
-      selection_pruning;
-      lazy_vs_eager;
-      incremental_vs_batch;
-      erasure;
-      end_to_end;
-    ];
+  let results =
+    benchmark_and_print
+      [
+        complexity_sweep;
+        safety_overhead;
+        star_sweep;
+        hier_vs_flat;
+        agenda_vs_eager;
+        agenda_vs_eager_heavy;
+        compiled_vs_interpreted;
+        ripple_scaling;
+        selection_pruning;
+        lazy_vs_eager;
+        incremental_vs_batch;
+        erasure;
+        end_to_end;
+      ]
+  in
+  write_bench_json "BENCH_core.json" results (measured_steps ());
   Fmt.pr "@.done.@."

@@ -296,7 +296,7 @@ let faults_cmd =
    A few edits — including one the adder's internal spec rejects and
    one tentative probe — give the spans, hotspots and histograms
    something to show. *)
-let run_trace jsonl edits =
+let run_trace jsonl edits verify =
   setup_logs ();
   let open Constraint_kernel in
   let env = Stem.Env.create () in
@@ -329,12 +329,38 @@ let run_trace jsonl edits =
     (Obs.Board.profiler board);
   Fmt.pr "@.== metrics ==@.%a@." Obs.Metrics.render (Obs.Board.metrics board);
   Fmt.pr "@.== kernel stats ==@.%a@." Editor.pp_stats (Engine.stats net);
-  (match jsonl_oc with
-  | None -> ()
+  match jsonl_oc with
+  | None ->
+    if verify then begin
+      Fmt.epr "--verify-replay requires --jsonl FILE@.";
+      2
+    end
+    else 0
   | Some (file, oc) ->
     close_out oc;
-    Fmt.pr "@.trace written to %s@." file);
-  0
+    Fmt.pr "@.trace written to %s@." file;
+    if not verify then 0
+    else begin
+      (* The divergence detector: the trace covers the network from
+         creation, so replaying it must land exactly on the live final
+         snapshot.  Anything else means lost events or nondeterminism. *)
+      let rp = Obs.Replay.of_file file in
+      List.iter
+        (fun (lineno, msg) ->
+          Fmt.pr "replay warning: line %d: %s@." lineno msg)
+        (Obs.Replay.warnings rp);
+      Obs.Replay.to_end rp;
+      match Obs.Replay.diff_live rp ~pp_value:Dval.to_string net with
+      | [] ->
+        Fmt.pr "replay verified: %d event(s), snapshot matches the live network@."
+          (Obs.Replay.length rp);
+        0
+      | divs ->
+        List.iter
+          (fun d -> Fmt.pr "DIVERGENCE %a@." Obs.Replay.pp_divergence d)
+          divs;
+        1
+    end
 
 let trace_cmd =
   let jsonl =
@@ -344,10 +370,87 @@ let trace_cmd =
   let edits =
     Arg.(value & opt int 4 & info [ "edits" ] ~docv:"N" ~doc:"Edit rounds to run.")
   in
+  let verify =
+    Arg.(value & flag
+         & info [ "verify-replay" ]
+             ~doc:"After the run, replay the JSONL file and fail (exit 1) if \
+                   the replayed snapshot diverges from the live network.")
+  in
   Cmd.v
     (Cmd.info "trace"
        ~doc:"Observability demo: episode spans, metrics and hotspots")
-    Term.(const run_trace $ jsonl $ edits)
+    Term.(const run_trace $ jsonl $ edits $ verify)
+
+(* ---------------- why ---------------- *)
+
+(* Causal provenance demo across two environments: a designer entry in
+   the design environment ripples through an equality, crosses into a
+   floorplanner's own constraint network over a dual bridge, and
+   propagates further there.  `why` on the floorplanner's variable walks
+   the whole derivation back — across both networks — to the original
+   designer entry. *)
+let run_why width =
+  setup_logs ();
+  let open Constraint_kernel in
+  let design = Stem.Env.create ~name:"design" () in
+  let floorplan = Stem.Env.create ~name:"floorplan" () in
+  let dprov = Obs.Provenance.attach ~pp_value:Dval.to_string design.env_cnet in
+  let fprov =
+    Obs.Provenance.attach ~pp_value:Dval.to_string floorplan.env_cnet
+  in
+  (* design side: two connected pin widths held equal *)
+  let a = Dclib.variable design.env_cnet ~owner:"alu/a" ~name:"bitWidth" () in
+  let b = Dclib.variable design.env_cnet ~owner:"alu/sum" ~name:"bitWidth" () in
+  ignore (Dclib.equality design.env_cnet ~label:"alu widths" [ a; b ]);
+  (* floorplan side: the routing channel needs one track per bus bit *)
+  let bus =
+    Dclib.variable floorplan.env_cnet ~owner:"chan0" ~name:"busWidth" ()
+  in
+  let tracks =
+    Dclib.variable floorplan.env_cnet ~owner:"chan0" ~name:"tracks" ()
+  in
+  ignore (Dclib.equality floorplan.env_cnet ~label:"chan0 tracks" [ bus; tracks ]);
+  ignore
+    (Stem.Dual.bridge design ~kind:"width-export" ~label:"alu/sum -> chan0"
+       ~from_:b ~to_env:floorplan ~to_:bus ());
+  (match Engine.set design.env_cnet a (Dval.Int width) with
+  | Ok () -> ()
+  | Error v -> Fmt.pr "!! %a@." Types.pp_violation v);
+  Fmt.pr "designer sets alu/a.bitWidth = %d; the floorplanner's channel follows:@." width;
+  Fmt.pr "  %a@.  %a@.@." Var.pp_full bus Var.pp_full tracks;
+  Fmt.pr "== why chan0.tracks ==@.%a@.@." Obs.Provenance.pp_why
+    (Obs.Provenance.why fprov "chan0.tracks");
+  Fmt.pr "== episode tree ==@.%a@.@." Obs.Provenance.pp_forest
+    (Obs.Provenance.episode_forest ());
+  Fmt.pr "== blame alu/a.bitWidth (forward fan-out) ==@.";
+  List.iter
+    (fun sp -> Fmt.pr "  %a@." Obs.Provenance.pp_span sp)
+    (Obs.Provenance.blame dprov "alu/a.bitWidth");
+  (* the acceptance property, checked live: the chain ends at the user set *)
+  let chain = Obs.Provenance.why fprov "chan0.tracks" in
+  let ends_at_user =
+    List.exists (fun s -> s.Obs.Provenance.ws_span.Obs.Provenance.sp_just = "user") chain
+  in
+  let nets =
+    List.sort_uniq compare
+      (List.map (fun s -> s.Obs.Provenance.ws_span.Obs.Provenance.sp_net) chain)
+  in
+  Fmt.pr "@.chain spans %d network(s)%s@." (List.length nets)
+    (if ends_at_user then " and ends at the designer entry" else
+       " but DOES NOT reach a designer entry");
+  Obs.Provenance.detach dprov;
+  Obs.Provenance.detach fprov;
+  if ends_at_user && List.length nets = 2 then 0 else 1
+
+let why_cmd =
+  let width =
+    Arg.(value & opt int 16 & info [ "width" ] ~docv:"N" ~doc:"Bus width to enter.")
+  in
+  Cmd.v
+    (Cmd.info "why"
+       ~doc:"Causal provenance demo: trace a value across two environments \
+             back to the designer entry that caused it")
+    Term.(const run_why $ width)
 
 (* ---------------- ripple ---------------- *)
 
@@ -388,7 +491,7 @@ let main_cmd =
   Cmd.group (Cmd.info "stem" ~version:"1.0.0" ~doc)
     [
       accumulator_cmd; select_cmd; simulate_cmd; inspect_cmd; check_cmd;
-      edit_cmd; ripple_cmd; faults_cmd; trace_cmd;
+      edit_cmd; ripple_cmd; faults_cmd; trace_cmd; why_cmd;
     ]
 
 let () = exit (Cmd.eval' main_cmd)

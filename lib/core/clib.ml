@@ -87,7 +87,7 @@ let functional ?(attach = true) ?label ?strength ~kind ~f ~result net inputs =
   in
   let recompute () =
     match computed () with
-    | Some r -> Var.poke result r ~just:Application
+    | Some r -> Engine.poke net result r ~just:Application
     | None -> ()
   in
   let c =

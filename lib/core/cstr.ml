@@ -15,6 +15,7 @@ let make net ~kind ?label ?(schedule = Immediate)
     {
       c_id = net.net_next_cstr_id;
       c_kind = kind;
+      c_source_label = Printf.sprintf "%s#%d" kind net.net_next_cstr_id;
       c_label = (match label with Some l -> l | None -> kind);
       c_args = args;
       c_enabled = true;

@@ -24,6 +24,15 @@ let antecedents root =
   visit_var root;
   (List.rev !vars, List.rev !cstrs)
 
+let direct_antecedents v =
+  match v.v_just with
+  | Propagated { source; record } ->
+    List.filter
+      (fun arg ->
+        (not (Var.equal arg v)) && source.c_in_dependency source record arg)
+      source.c_args
+  | Default | User | Application | Update | Tentative -> []
+
 let consequences root =
   let vars = ref [] and cstrs = ref [] in
   let vseen = Hashtbl.create 16 and cseen = Hashtbl.create 16 in

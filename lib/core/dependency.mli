@@ -13,6 +13,13 @@ open Types
     included. Discovery order. *)
 val antecedents : 'a var -> 'a var list * 'a cstr list
 
+(** [direct_antecedents v] — only the immediate antecedents: the
+    arguments of the justifying constraint that [v]'s dependency record
+    names, without transitive closure and without [v] itself. Empty for
+    unpropagated values. This is the per-assignment edge set a
+    provenance sink captures at emit time. *)
+val direct_antecedents : 'a var -> 'a var list
+
 (** [consequences v] — every variable whose current value depends,
     transitively, on the value of [v] ([v] included), plus the
     constraints traversed. *)

@@ -96,5 +96,8 @@ let pp_trace_event ppf = function
   | T_restore v -> Fmt.pf ppf "restore %s" (Var.path v)
   | T_quarantine (c, reason) ->
     Fmt.pf ppf "quarantine %s#%d: %s" c.c_kind c.c_id reason
-  | T_episode_start (id, label) -> Fmt.pf ppf "episode #%d start (%s)" id label
+  | T_episode_start (id, label, parent) ->
+    Fmt.pf ppf "episode #%d start (%s)%a" id label
+      (Fmt.option (fun ppf p -> Fmt.pf ppf " parent %a" pp_parent_ref p))
+      parent
   | T_episode_end sp -> Fmt.pf ppf "episode %a" pp_span sp

@@ -127,6 +127,20 @@ let trace net ev =
    quiet network pays one pointer comparison per would-be event. *)
 let[@inline] tracing net = net.net_sinks != []
 
+(* Traced companions of [Var.poke]/[Var.clear]: still plain stores (no
+   propagation, no checking, no episode) but visible to the sinks, so a
+   from-creation trace replays to the exact live snapshot even when the
+   design model seeds values directly (declared interface
+   characteristics, lazy property recalculation, the CPSwitch-off
+   path). *)
+let poke net v x ~just =
+  Var.poke v x ~just;
+  if tracing net then trace net (T_assign (v, x, "poke"))
+
+let clear net v =
+  Var.clear v;
+  if tracing net then trace net (T_reset (v, "poke"))
+
 (* ------------------------------------------------------------------ *)
 (* Fault accounting and quarantine                                     *)
 (* ------------------------------------------------------------------ *)
@@ -335,6 +349,37 @@ let check_visited ctx =
   go (List.rev ctx.cx_cstr_order)
 
 (* ------------------------------------------------------------------ *)
+(* Cross-network episode correlation                                   *)
+(* ------------------------------------------------------------------ *)
+
+(* The (process-global) stack of episodes currently in flight, across
+   every network.  When an episode begins while another is still open —
+   nested same-network propagation, or a cross-network push from an
+   implicit dual constraint — its [T_episode_start] records the
+   innermost open episode as its parent, which is what lets a
+   hierarchy-wide propagation be stitched back into one trace tree.
+   [af_cause] is the parent-side variable whose assignment caused the
+   child episode; it is refreshed on every traced assignment and can be
+   pinned explicitly by bridging constraints ({!note_trace_cause}) just
+   before they push into another network. *)
+type ambient_frame = {
+  af_net : string;
+  af_episode : int;
+  mutable af_cause : string option;
+}
+
+let ambient_stack : ambient_frame list ref = ref []
+
+let current_trace_parent () =
+  match !ambient_stack with
+  | [] -> None
+  | f :: _ ->
+    Some { pr_net = f.af_net; pr_episode = f.af_episode; pr_cause = f.af_cause }
+
+let note_trace_cause path =
+  match !ambient_stack with [] -> () | f :: _ -> f.af_cause <- Some path
+
+(* ------------------------------------------------------------------ *)
 (* Assignment inside an episode                                        *)
 (* ------------------------------------------------------------------ *)
 
@@ -354,7 +399,12 @@ let install ctx v x ~just ~source_label =
   v.v_value <- Some x;
   v.v_just <- just;
   ctx.cx_net.net_stats.k_assignments <- ctx.cx_net.net_stats.k_assignments + 1;
-  if tracing ctx.cx_net then trace ctx.cx_net (T_assign (v, x, source_label));
+  if tracing ctx.cx_net then begin
+    trace ctx.cx_net (T_assign (v, x, source_label));
+    (* keep the ambient frame's cause current, so a cross-network push
+       triggered by this assignment can name its exact antecedent *)
+    note_trace_cause (Var.path v)
+  end;
   match v.v_on_change v with
   | () -> Ok ()
   | exception e ->
@@ -418,7 +468,7 @@ let set_by_constraint ctx v x ~source ~record =
         let* () =
           install ctx v x
             ~just:(Propagated { source; record })
-            ~source_label:(Printf.sprintf "%s#%d" source.c_kind source.c_id)
+            ~source_label:source.c_source_label
         in
         propagate_from ctx v ~except:(Some source)
     end
@@ -442,7 +492,10 @@ let erase ctx v ~just ~source_label =
   save_state ctx v;
   v.v_value <- None;
   v.v_just <- just;
-  if tracing ctx.cx_net then trace ctx.cx_net (T_reset (v, source_label));
+  if tracing ctx.cx_net then begin
+    trace ctx.cx_net (T_reset (v, source_label));
+    note_trace_cause (Var.path v)
+  end;
   match v.v_on_change v with
   | () -> Ok ()
   | exception e ->
@@ -458,7 +511,7 @@ let reset_by_constraint ctx v ~source =
   | Some _ ->
     let* () =
       erase ctx v ~just:Update
-        ~source_label:(Printf.sprintf "%s#%d" source.c_kind source.c_id)
+        ~source_label:source.c_source_label
     in
     propagate_reset ctx v ~except:(Some source)
 
@@ -525,10 +578,17 @@ let begin_episode net ~label =
   let id = net.net_next_episode in
   let prev = net.net_cur_episode in
   net.net_cur_episode <- id;
-  trace net (T_episode_start (id, label));
+  let parent = current_trace_parent () in
+  ambient_stack :=
+    { af_net = net.net_name; af_episode = id; af_cause = None } :: !ambient_stack;
+  trace net (T_episode_start (id, label, parent));
   (id, prev)
 
+let pop_ambient () =
+  match !ambient_stack with [] -> () | _ :: rest -> ambient_stack := rest
+
 let end_episode net (id, prev) ~label ~outcome ~timings ~ctx =
+  pop_ambient ();
   trace net
     (T_episode_end
        {
@@ -586,7 +646,7 @@ let run_episode ?(label = "episode") net f =
    [~just:Application]. *)
 let set ?(just = User) net v x =
   if not net.net_enabled then begin
-    Var.poke v x ~just;
+    poke net v x ~just;
     Ok ()
   end
   else
@@ -613,7 +673,7 @@ let set_application net v x = set ~just:Application net v x
 
 let reset net v =
   if not net.net_enabled then begin
-    Var.clear v;
+    clear net v;
     Ok ()
   end
   else if v.v_value = None then Ok ()

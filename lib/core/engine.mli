@@ -74,6 +74,28 @@ val set_trace : 'a network -> ('a trace_event -> unit) option -> unit
 [@@deprecated "use add_sink / remove_sink; this installs a single sink named \
                \"legacy-trace\""]
 
+(** {1 Cross-network trace correlation}
+
+    Episodes in flight form a process-global stack spanning every
+    network. When an episode begins while another is still open —
+    nested same-network propagation, or a push into a different
+    network's variables from inside a constraint (the implicit dual
+    constraints of the STEM hierarchy) — its [T_episode_start] carries
+    a {!Types.parent_ref} naming the enclosing episode, so
+    hierarchy-wide propagations stitch into one trace tree. *)
+
+(** The innermost episode currently in flight across all networks, as
+    the parent reference a child episode started now would record;
+    [None] outside any episode. *)
+val current_trace_parent : unit -> parent_ref option
+
+(** [note_trace_cause path] pins the [pr_cause] of the innermost open
+    episode to the variable path [path]. The engine refreshes the cause
+    on every traced assignment; a bridging constraint that pushes a
+    value into another network calls this just before the push to name
+    the exact parent-side antecedent. No-op outside any episode. *)
+val note_trace_cause : string -> unit
+
 (** {1 Fault tolerance}
 
     Every user-supplied closure the engine calls — [c_propagate],
@@ -119,6 +141,15 @@ val reset_stats : 'a network -> unit
     violation restores everything and returns [Error]. *)
 val set :
   ?just:'a justification -> 'a network -> 'a var -> 'a -> (unit, 'a violation) result
+
+(** Traced companions of [Var.poke]/[Var.clear]: plain stores (no
+    propagation, no checking, no episode) that still reach the trace
+    sinks, so a from-creation JSONL trace replays to the exact live
+    snapshot even for directly-seeded values. Prefer these over
+    [Var.poke]/[Var.clear] whenever the network is at hand. *)
+val poke : 'a network -> 'a var -> 'a -> just:'a justification -> unit
+
+val clear : 'a network -> 'a var -> unit
 
 val set_user : 'a network -> 'a var -> 'a -> (unit, 'a violation) result
 [@@deprecated "use set (User is the default justification)"]

@@ -89,6 +89,20 @@ type phase_timings = {
   ph_restore : float; (* rollback after a violation (0 if committed) *)
 }
 
+(* Cross-network trace correlation (Dapper-style parent/child spans).
+   When an episode starts while another episode — possibly of a
+   different network, as when an implicit dual constraint pushes a value
+   across a cell boundary — is still in flight, the child's
+   [T_episode_start] carries a reference to that parent, so
+   hierarchy-wide propagations stitch into one trace tree.  [pr_cause]
+   names the parent-side variable whose assignment caused the push (the
+   exact antecedent for cross-network provenance chains), when known. *)
+type parent_ref = {
+  pr_net : string; (* name of the parent episode's network *)
+  pr_episode : int; (* its episode id, unique within that network *)
+  pr_cause : string option; (* parent-side variable path, if known *)
+}
+
 type episode_outcome =
   | E_committed (* propagation succeeded; new values kept *)
   | E_rolled_back (* violation; every visited variable restored *)
@@ -152,6 +166,11 @@ and 'a var = {
 and 'a cstr = {
   c_id : int;
   c_kind : string; (* "equality", "uni-maximum", ... *)
+  (* "kind#id", rendered once at creation: the source tag carried by
+     every trace event this constraint's assignments emit.  Precomputed
+     so the propagation hot path never formats strings, and so sinks
+     receive a stable (old-heap) string they can store without cost. *)
+  c_source_label : string;
   mutable c_label : string;
   mutable c_args : 'a var list;
   mutable c_enabled : bool;
@@ -278,7 +297,8 @@ and 'a trace_event =
   | T_violation of 'a violation
   | T_restore of 'a var
   | T_quarantine of 'a cstr * string (* constraint auto-disabled, reason *)
-  | T_episode_start of int * string (* episode id, origin label *)
+  | T_episode_start of int * string * parent_ref option
+    (* episode id, origin label, enclosing episode (same or other net) *)
   | T_episode_end of episode_span
 
 and 'a ctx = {
@@ -352,6 +372,11 @@ let pp_span ppf sp =
     (us sp.es_timings.ph_check)
     (us sp.es_timings.ph_restore)
     sp.es_steps sp.es_agenda_hwm
+
+let pp_parent_ref ppf p =
+  Fmt.pf ppf "%s#ep%d%a" p.pr_net p.pr_episode
+    (Fmt.option (fun ppf c -> Fmt.pf ppf " (cause %s)" c))
+    p.pr_cause
 
 let violation ?cstr ?var ?exn message =
   {

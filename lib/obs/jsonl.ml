@@ -105,19 +105,44 @@ let field_cstr buf k c =
 
 let opt_field f buf k = function None -> () | Some v -> f buf k v
 
+(* Schema v2 adds: a "v" version field on every line; "just" and "deps"
+   (semicolon-joined antecedent paths, captured at emit time) on assign
+   lines; "pnet"/"pep"/"cause" parent-correlation fields on
+   episode_start lines. v1 lines simply lack those fields, so the
+   parser below reads both. *)
+let schema_version = 2
+
+let just_string = function
+  | Default -> "default"
+  | User -> "user"
+  | Application -> "application"
+  | Update -> "update"
+  | Tentative -> "tentative"
+  | Propagated _ -> "propagated"
+
 let write_event ~pp_value buf ep seq ev =
   (* "seq" is written inline so every later field can lead with a comma
      unconditionally — no first-field bookkeeping on the hot path *)
   Buffer.add_string buf "{\"seq\":";
   Buffer.add_string buf (string_of_int seq);
   field_int buf "ep" ep;
+  field_int buf "v" schema_version;
   (let tag t = field_str buf "t" t in
    match ev with
    | T_assign (v, x, src) ->
      tag "assign";
      field_var buf "var" v;
      field_str buf "value" (pp_value x);
-     field_str buf "src" src
+     field_str buf "src" src;
+     field_str buf "just" (just_string v.v_just);
+     (* v_just is already updated when the engine traces the assignment,
+        so the antecedent set read here is exact even if the variable is
+        overwritten later in the episode. *)
+     (match Constraint_kernel.Dependency.direct_antecedents v with
+     | [] -> ()
+     | deps ->
+       field_str buf "deps"
+         (String.concat ";" (List.map Constraint_kernel.Var.path deps)))
    | T_reset (v, reason) ->
      tag "reset";
      field_var buf "var" v;
@@ -147,10 +172,16 @@ let write_event ~pp_value buf ep seq ev =
      tag "quarantine";
      field_cstr buf "cstr" c;
      field_str buf "reason" reason
-   | T_episode_start (id, label) ->
+   | T_episode_start (id, label, parent) ->
      tag "episode_start";
      field_int buf "id" id;
-     field_str buf "label" label
+     field_str buf "label" label;
+     (match parent with
+     | None -> ()
+     | Some p ->
+       field_str buf "pnet" p.pr_net;
+       field_int buf "pep" p.pr_episode;
+       opt_field field_str buf "cause" p.pr_cause)
    | T_episode_end sp ->
      let us x = x *. 1e6 in
      tag "episode_end";
@@ -336,3 +367,42 @@ let load_file path =
         | exception End_of_file -> List.rev acc
       in
       go [])
+
+(* ---------------- lenient loading ----------------
+
+   A trace file written by a crashing process routinely ends in a
+   truncated line, and hand-edited traces accumulate garbage; the
+   lenient loaders keep every parseable line and report the rest as
+   (line number, message) warnings instead of failing the whole load.
+   Line numbers are 1-based and count blank lines, so they match what
+   an editor shows. *)
+
+let version fields = match int fields "v" with Some v -> v | None -> 1
+
+let lenient_fold feed =
+  let oks = ref [] and warns = ref [] in
+  let line_no = ref 0 in
+  feed (fun line ->
+      incr line_no;
+      if String.trim line <> "" then
+        match parse_line line with
+        | Ok fields -> oks := (!line_no, fields) :: !oks
+        | Error e -> warns := (!line_no, e) :: !warns
+        | exception exn -> warns := (!line_no, Printexc.to_string exn) :: !warns);
+  (List.rev !oks, List.rev !warns)
+
+let parse_lines_lenient s =
+  lenient_fold (fun f -> List.iter f (String.split_on_char '\n' s))
+
+let load_file_lenient path =
+  let ic = open_in path in
+  Fun.protect
+    ~finally:(fun () -> close_in_noerr ic)
+    (fun () ->
+      lenient_fold (fun f ->
+          let rec go () =
+            match input_line ic with
+            | line -> f line; go ()
+            | exception End_of_file -> ()
+          in
+          go ()))

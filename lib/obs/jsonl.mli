@@ -44,6 +44,28 @@ val parse_lines : string -> ((string * json) list, string) result list
 (** Parse every non-blank line of a file. *)
 val load_file : string -> ((string * json) list, string) result list
 
+(** {2 Lenient loading}
+
+    Truncated tails and garbage lines are reported as [(line number,
+    message)] warnings instead of failing (or raising) mid-file; every
+    parseable line is kept. Line numbers are 1-based and count blank
+    lines, matching editor display. *)
+
+val parse_lines_lenient :
+  string -> (int * (string * json) list) list * (int * string) list
+
+val load_file_lenient :
+  string -> (int * (string * json) list) list * (int * string) list
+
+(** Schema version of the lines this module writes (currently 2: adds
+    ["v"], assign ["just"]/["deps"], episode-start ["pnet"]/["pep"]/
+    ["cause"]). *)
+val schema_version : int
+
+(** The ["v"] field of a parsed line, defaulting to 1 for lines written
+    before the version field existed. *)
+val version : (string * json) list -> int
+
 (** Typed field accessors (ints coerce to floats and vice versa where
     lossless enough for trace data). *)
 
@@ -56,6 +78,11 @@ val float : (string * json) list -> string -> float option
 val bool : (string * json) list -> string -> bool option
 
 val outcome_string : episode_outcome -> string
+
+(** The ["just"] field written on assign lines ("user", "application",
+    "propagated", ...). Shared with the provenance store so span
+    justifications and trace lines agree. *)
+val just_string : 'a justification -> string
 
 val outcome_of_string : string -> episode_outcome option
 

@@ -1,0 +1,202 @@
+(* Trace replay: reconstruct the evolution of a network's variable
+   values from a JSONL trace, step to any point of it, and diff the
+   reconstruction against a live network.
+
+   The interesting part is rollback.  A JSONL [restore] line carries no
+   value — the kernel restores from state it saved when the episode
+   first touched the variable — so the replayer mirrors that exactly:
+   each open episode keeps a put-if-absent table of prior values, and a
+   [restore] reads the innermost episode's entry back.  Episodes nest
+   (cross-network pushes arrive as child episodes inside the parent's
+   lines), hence a stack rather than a single table.
+
+   Values are compared as the *rendered strings* the writing sink
+   produced, so a divergence means the live network and the trace
+   genuinely disagree (lost events, nondeterministic recalculation),
+   never just a formatting difference — provided the diff is given the
+   same [pp_value] the sink used. *)
+
+open Constraint_kernel
+
+type event =
+  | R_assign of { var : string; value : string }
+  | R_reset of { var : string }
+  | R_restore of { var : string }
+  | R_episode_start of { id : int }
+  | R_episode_end of { id : int }
+  | R_other
+
+type entry = { en_line : int; en_seq : int; en_ep : int; en_event : event }
+
+type t = {
+  rp_entries : entry array;
+  rp_warnings : (int * string) list;
+  rp_state : (string, string option) Hashtbl.t;
+      (* var path -> rendered value; [None] = NIL *)
+  mutable rp_frames : (int * (string, string option) Hashtbl.t) list;
+      (* open episodes, innermost first: id + saved prior values *)
+  mutable rp_pos : int; (* entries applied so far *)
+}
+
+(* ---------------- loading ---------------- *)
+
+let entry_of_fields lineno fields =
+  let seq = Option.value ~default:0 (Jsonl.int fields "seq") in
+  let ep = Option.value ~default:0 (Jsonl.int fields "ep") in
+  let require_var k =
+    match Jsonl.str fields "var" with
+    | Some var -> Ok (k var)
+    | None -> Error "missing \"var\" field"
+  in
+  let ev =
+    match Jsonl.str fields "t" with
+    | Some "assign" ->
+      require_var (fun var ->
+          R_assign
+            { var; value = Option.value ~default:"" (Jsonl.str fields "value") })
+    | Some "reset" -> require_var (fun var -> R_reset { var })
+    | Some "restore" -> require_var (fun var -> R_restore { var })
+    | Some "episode_start" -> (
+      match Jsonl.int fields "id" with
+      | Some id -> Ok (R_episode_start { id })
+      | None -> Error "episode_start without \"id\"")
+    | Some "episode_end" -> (
+      match Jsonl.int fields "id" with
+      | Some id -> Ok (R_episode_end { id })
+      | None -> Error "episode_end without \"id\"")
+    | Some _ -> Ok R_other (* activate/schedule/check/… don't move values *)
+    | None -> Error "missing \"t\" field"
+  in
+  match ev with
+  | Ok en_event -> Ok { en_line = lineno; en_seq = seq; en_ep = ep; en_event }
+  | Error e -> Error (lineno, e)
+
+let of_parsed (oks, warns) =
+  let entries = ref [] and warns = ref warns in
+  List.iter
+    (fun (lineno, fields) ->
+      match entry_of_fields lineno fields with
+      | Ok e -> entries := e :: !entries
+      | Error w -> warns := w :: !warns)
+    oks;
+  {
+    rp_entries = Array.of_list (List.rev !entries);
+    rp_warnings =
+      List.sort (fun (a, _) (b, _) -> compare a b) !warns;
+    rp_state = Hashtbl.create 64;
+    rp_frames = [];
+    rp_pos = 0;
+  }
+
+let of_string s = of_parsed (Jsonl.parse_lines_lenient s)
+
+let of_file path = of_parsed (Jsonl.load_file_lenient path)
+
+let warnings t = t.rp_warnings
+
+let length t = Array.length t.rp_entries
+
+let position t = t.rp_pos
+
+let max_seq t =
+  Array.fold_left (fun acc e -> max acc e.en_seq) 0 t.rp_entries
+
+(* ---------------- the state machine ---------------- *)
+
+let apply t e =
+  let save_prior var =
+    match t.rp_frames with
+    | (_, saved) :: _ ->
+      if not (Hashtbl.mem saved var) then
+        Hashtbl.add saved var
+          (Option.join (Hashtbl.find_opt t.rp_state var))
+    | [] -> () (* trace starts mid-episode: nothing to roll back to *)
+  in
+  match e.en_event with
+  | R_episode_start { id } ->
+    t.rp_frames <- (id, Hashtbl.create 16) :: t.rp_frames
+  | R_episode_end { id } -> (
+    match t.rp_frames with
+    | (fid, _) :: rest when fid = id -> t.rp_frames <- rest
+    | _ -> () (* unbalanced: tolerate truncated traces *))
+  | R_assign { var; value } ->
+    save_prior var;
+    Hashtbl.replace t.rp_state var (Some value)
+  | R_reset { var } ->
+    save_prior var;
+    Hashtbl.replace t.rp_state var None
+  | R_restore { var } -> (
+    match t.rp_frames with
+    | (_, saved) :: _ -> (
+      match Hashtbl.find_opt saved var with
+      | Some prior -> Hashtbl.replace t.rp_state var prior
+      | None -> () (* restore of a variable this episode never touched *))
+    | [] -> ())
+  | R_other -> ()
+
+let rewind t =
+  Hashtbl.reset t.rp_state;
+  t.rp_frames <- [];
+  t.rp_pos <- 0
+
+(* Seek to absolute position [pos] (number of applied entries).
+   Forward applies incrementally; backward replays from scratch — the
+   state machine is cheap and traces are finite. *)
+let seek t pos =
+  let pos = max 0 (min pos (length t)) in
+  if pos < t.rp_pos then rewind t;
+  while t.rp_pos < pos do
+    apply t t.rp_entries.(t.rp_pos);
+    t.rp_pos <- t.rp_pos + 1
+  done
+
+let step t delta = seek t (t.rp_pos + delta)
+
+let to_end t = seek t (length t)
+
+(* Apply every entry whose sequence number is <= [target].  Sequence
+   numbers are per-network, so on a single-network trace this lands
+   exactly after event [target]; on a stitched multi-network trace it
+   is a file-order approximation. *)
+let seek_seq t target =
+  if target < (if t.rp_pos = 0 then min_int else t.rp_entries.(t.rp_pos - 1).en_seq)
+  then rewind t;
+  while t.rp_pos < length t && t.rp_entries.(t.rp_pos).en_seq <= target do
+    apply t t.rp_entries.(t.rp_pos);
+    t.rp_pos <- t.rp_pos + 1
+  done
+
+(* ---------------- snapshots and divergence ---------------- *)
+
+let snapshot t =
+  Hashtbl.fold
+    (fun var value acc ->
+      match value with Some v -> (var, v) :: acc | None -> acc)
+    t.rp_state []
+  |> List.sort compare
+
+type divergence = {
+  dv_var : string;
+  dv_live : string option;
+  dv_replayed : string option;
+}
+
+(* Compare the replayed state at the current position against the live
+   network, over the network's variables.  An empty result on a
+   from-creation trace means the trace is a faithful record: replaying
+   it reproduces the network's final snapshot exactly. *)
+let diff_live t ~pp_value net =
+  List.fold_left
+    (fun acc v ->
+      let path = Var.path v in
+      let live = Option.map pp_value v.Types.v_value in
+      let replayed = Option.join (Hashtbl.find_opt t.rp_state path) in
+      if live = replayed then acc
+      else { dv_var = path; dv_live = live; dv_replayed = replayed } :: acc)
+    [] (List.rev net.Types.net_vars)
+  |> List.rev
+
+let pp_divergence ppf d =
+  let pp_side = function None -> "NIL" | Some v -> v in
+  Fmt.pf ppf "%s: live %s, replayed %s" d.dv_var (pp_side d.dv_live)
+    (pp_side d.dv_replayed)

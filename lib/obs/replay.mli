@@ -1,0 +1,80 @@
+(** Trace replay and time-travel debugging.
+
+    Reconstructs the evolution of a network's variable values from a
+    JSONL trace ({!Jsonl}), steps forward or backward to any point, and
+    diffs the reconstruction against a live network (the divergence
+    detector: an empty diff on a from-creation trace means no events
+    were lost and re-deriving the state is deterministic).
+
+    Rollback is replayed faithfully: a [restore] line carries no value,
+    so the replayer keeps — exactly like the kernel — a put-if-absent
+    table of prior values per open episode and reads restores back from
+    the innermost one.  Child episodes from cross-network pushes nest
+    inside their parent's lines and are handled by the same stack.
+
+    Values are rendered strings as the writing sink produced them;
+    give {!diff_live} the same [pp_value] the sink used. *)
+
+type t
+
+(** {1 Loading}
+
+    Both loaders are lenient: unparseable lines become line-numbered
+    {!warnings} instead of failures. *)
+
+val of_file : string -> t
+
+val of_string : string -> t
+
+(** [(line number, message)] for every line that could not be parsed or
+    lacked required fields. *)
+val warnings : t -> (int * string) list
+
+(** {1 Navigation}
+
+    A replay sits between positions [0] (nothing applied) and
+    {!length} (everything applied); loading leaves it at [0]. *)
+
+(** Number of replayable events. *)
+val length : t -> int
+
+val position : t -> int
+
+(** [seek t pos] — move to absolute position [pos] (clamped). Backward
+    seeks replay from the start. *)
+val seek : t -> int -> unit
+
+(** [step t delta] — relative seek ([delta] may be negative). *)
+val step : t -> int -> unit
+
+val to_end : t -> unit
+
+(** [seek_seq t n] — apply every event with sequence number [<= n]
+    (exact on single-network traces; file-order approximation when
+    several networks were stitched into one file). *)
+val seek_seq : t -> int -> unit
+
+(** Largest sequence number in the trace. *)
+val max_seq : t -> int
+
+(** {1 Snapshots and divergence} *)
+
+(** The variable snapshot at the current position: [(path, rendered
+    value)] for every variable currently holding a value, sorted by
+    path. NIL variables are omitted. *)
+val snapshot : t -> (string * string) list
+
+type divergence = {
+  dv_var : string;
+  dv_live : string option;  (** rendered live value; [None] = NIL *)
+  dv_replayed : string option;
+}
+
+(** [diff_live t ~pp_value net] — compare the replayed state at the
+    current position against [net]'s variables, rendering live values
+    with [pp_value]. Empty means exact agreement. *)
+val diff_live :
+  t -> pp_value:('a -> string) -> 'a Constraint_kernel.Types.network ->
+  divergence list
+
+val pp_divergence : divergence Fmt.t

@@ -14,11 +14,14 @@ open Constraint_kernel
 type session = {
   ss_env : Stem.Design.env;
   ss_board : Dval.t Obs.Board.t;
+  ss_prov : Dval.t Obs.Provenance.t;
   mutable ss_jsonl : (string * out_channel) option;
 }
 
 let session env =
   { ss_env = env; ss_board = Obs.Board.attach (Stem.Env.cnet env);
+    ss_prov =
+      Obs.Provenance.attach ~pp_value:Dval.to_string (Stem.Env.cnet env);
     ss_jsonl = None }
 
 let trace_off ss =
@@ -56,6 +59,11 @@ let help_text =
   \  hotspots [K]           top-K constraint kinds by activation count\n\
   \  trace jsonl FILE       start exporting trace events to FILE (JSONL)\n\
   \  trace off              stop the JSONL export\n\
+  \  why PATH               causal chain: why does PATH hold its value?\n\
+  \  blame PATH             forward fan-out: everything derived from PATH\n\
+  \  critical [EP]          longest causal chain of an episode (default last)\n\
+  \  tracetree              episode tree across all traced networks\n\
+  \  replay FILE [SEQ]      replay a JSONL trace (to SEQ) and diff vs live\n\
   \  help                   this text\n\
   \  quit                   leave the editor"
 
@@ -246,12 +254,67 @@ let execute ss line =
     if trace_off ss then Fmt.pr "  trace export stopped@."
     else Fmt.pr "  no trace export active@.";
     true
+  | [ "why"; path ] ->
+    with_var cnet path (fun v ->
+        Fmt.pr "%a@." Obs.Provenance.pp_why
+          (Obs.Provenance.why ss.ss_prov (Var.path v)));
+    true
+  | [ "blame"; path ] ->
+    with_var cnet path (fun v ->
+        match Obs.Provenance.blame ss.ss_prov (Var.path v) with
+        | [] -> Fmt.pr "  nothing derived from %s@." (Var.path v)
+        | spans -> List.iter (fun sp -> Fmt.pr "  %a@." Obs.Provenance.pp_span sp) spans);
+    true
+  | "critical" :: rest ->
+    let episode =
+      match rest with
+      | [ e ] -> (
+        match int_of_string_opt e with
+        | Some _ as ep -> Ok ep
+        | None -> Error ())
+      | _ -> Ok None
+    in
+    (match episode with
+    | Error () -> Fmt.pr "  episode id must be an integer@."
+    | Ok episode ->
+      Fmt.pr "%a@." Obs.Provenance.pp_chain
+        (Obs.Provenance.critical_path ss.ss_prov ?episode ()));
+    true
+  | [ "tracetree" ] ->
+    Fmt.pr "%a@." Obs.Provenance.pp_forest (Obs.Provenance.episode_forest ());
+    true
+  | "replay" :: file :: rest ->
+    (match Obs.Replay.of_file file with
+    | rp ->
+      List.iter
+        (fun (lineno, msg) -> Fmt.pr "  warning: line %d: %s@." lineno msg)
+        (Obs.Replay.warnings rp);
+      let target = match rest with [ s ] -> int_of_string_opt s | _ -> None in
+      (match target with
+      | Some seq -> Obs.Replay.seek_seq rp seq
+      | None -> Obs.Replay.to_end rp);
+      Fmt.pr "  %d/%d event(s) applied (max seq %d)@." (Obs.Replay.position rp)
+        (Obs.Replay.length rp) (Obs.Replay.max_seq rp);
+      List.iter
+        (fun (var, value) -> Fmt.pr "  %s = %s@." var value)
+        (Obs.Replay.snapshot rp);
+      if rest = [] then (
+        (* a full replay should agree with the live network *)
+        match Obs.Replay.diff_live rp ~pp_value:Dval.to_string cnet with
+        | [] -> Fmt.pr "  replay matches the live network@."
+        | divs ->
+          List.iter
+            (fun d -> Fmt.pr "  DIVERGENCE %a@." Obs.Replay.pp_divergence d)
+            divs)
+    | exception Sys_error msg -> Fmt.pr "  cannot read %s: %s@." file msg);
+    true
   | cmd :: _ ->
     Fmt.pr "unknown command %S (try: help)@." cmd;
     true
 
 let close ss =
   ignore (trace_off ss);
+  Obs.Provenance.detach ss.ss_prov;
   Obs.Board.detach (Stem.Env.cnet ss.ss_env)
 
 let run env =

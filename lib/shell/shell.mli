@@ -6,15 +6,18 @@
     [consequences PATH], [enable/disable ID], [remove ID], [on]/[off],
     [check], [quarantine], [clearq ID], [threshold N], [budget N|off],
     [audit], [dump], [metrics], [spans [N]], [hotspots [K]],
-    [trace jsonl FILE], [trace off], [help], [quit]. *)
+    [trace jsonl FILE], [trace off], [why PATH], [blame PATH],
+    [critical [EP]], [tracetree], [replay FILE [SEQ]], [help],
+    [quit]. *)
 
 (** A shell session: the environment plus its observability board
     (ring, metrics, profiler — attached as trace sinks for the
-    session's lifetime) and an optional JSONL trace export. *)
+    session's lifetime), a provenance store (for [why]/[blame]/
+    [critical]/[tracetree]) and an optional JSONL trace export. *)
 type session
 
-(** Create a session, attaching the observability board to the
-    environment's constraint network. *)
+(** Create a session, attaching the observability board and the
+    provenance store to the environment's constraint network. *)
 val session : Stem.Design.env -> session
 
 (** [execute ss line] — run one command, printing to the current

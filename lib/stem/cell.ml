@@ -33,9 +33,9 @@ and bounding_box env cls =
 
 (* Inherited interface values are declared characteristics of the new
    class, so they carry the same authority as designer entry. *)
-let copy_value ~from_ ~to_ _env =
+let copy_value ~from_ ~to_ env =
   match Var.value from_ with
-  | Some v -> Var.poke to_ v ~just:Types.User
+  | Some v -> Engine.poke env.env_cnet to_ v ~just:Types.User
   | None -> ()
 
 let rec create env ~name ?super ?(generic = false) ?(doc = "") () =
@@ -136,7 +136,7 @@ let add_signal env cls ~name ~dir ?data ?elec ?width ?res ?cap ?pins () =
   let ss = raw_add_signal env cls ~name ~dir in
   (* declared interface characteristics are designer-entered (#USER):
      they constrain every use of the cell (Fig. 7.1) *)
-  let poke var v = Var.poke var v ~just:Types.User in
+  let poke var v = Engine.poke env.env_cnet var v ~just:Types.User in
   Option.iter (fun n -> poke ss.ss_data (Dval.Dtype n)) data;
   Option.iter (fun n -> poke ss.ss_elec (Dval.Etype n)) elec;
   Option.iter (fun w -> poke ss.ss_width (Dval.Int w)) width;

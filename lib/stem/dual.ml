@@ -67,4 +67,71 @@ let link_parameter env ~range_var ~value_var ?default () =
   | _ -> ());
   c
 
+(* A dual link across *environment* boundaries: the source variable
+   lives in [env]'s network, the target in [to_env]'s.  The push is an
+   external [Engine.set ~just:Application] on the remote network — a
+   complete episode of its own, begun while ours is still in flight, so
+   the remote T_episode_start records us as its parent and the exact
+   source variable as its cause.  The remote variable is deliberately
+   NOT an argument of the constraint: arguments must belong to the
+   owning network (the integrity audit walks them), and the remote side
+   needs no activation edge — consistency is re-checked here whenever
+   [from_] changes.
+
+   Atomicity caveat: the remote episode commits (or rolls back) on its
+   own.  If the local episode fails *after* the push, the remote value
+   stays — cross-network propagation is causal, not transactional. *)
+let bridge env ~kind ?label ~from_ ~to_env ~to_ ?(adjust = fun v -> Some v) () =
+  let push c =
+    match Var.value from_ with
+    | None -> Ok ()
+    | Some fv -> (
+      match adjust fv with
+      | None -> Ok ()
+      | Some tv ->
+        let updatable =
+          match (Var.value to_, to_.Types.v_just) with
+          | None, _ -> true
+          | Some cur, _ when Dval.equal cur tv -> false (* already agrees *)
+          | Some _, Types.Application -> true (* our own earlier push *)
+          | ( Some _,
+              ( Types.Default | Types.User | Types.Update | Types.Tentative
+              | Types.Propagated _ ) ) ->
+            false (* designer/local entries are never overwritten (Fig. 7.7) *)
+        in
+        if not updatable then Ok ()
+        else begin
+          Engine.note_trace_cause (Var.path from_);
+          match Engine.set ~just:Types.Application to_env.env_cnet to_ tv with
+          | Ok () -> Ok ()
+          | Error remote ->
+            Error
+              (Types.violation ~cstr:c ~var:from_
+                 (Printf.sprintf "cross-environment push to %s rejected: %s"
+                    (Var.path to_) remote.Types.viol_message))
+        end)
+  in
+  let propagate _ctx c changed =
+    match changed with
+    | Some v when Var.equal v from_ -> push c
+    | Some _ | None -> Ok ()
+  in
+  let satisfied _c =
+    match (Var.value from_, Var.value to_) with
+    | Some fv, Some tv -> (
+      match adjust fv with None -> true | Some want -> Dval.equal want tv)
+    | None, _ | _, None -> true
+  in
+  let wants_schedule _c changed =
+    match changed with Some v -> Var.equal v from_ | None -> false
+  in
+  let c =
+    Cstr.make env.env_cnet ~kind ?label ~schedule:(On_agenda implicit_priority)
+      ~wants_schedule ~keyed_by_var:true
+      ~in_dependency:(fun _ _ _ -> false)
+      ~propagate ~satisfied [ from_ ]
+  in
+  ignore (Network.add_constraint env.env_cnet c);
+  c
+
 let unlink env c = Network.remove_constraint env.env_cnet c

@@ -42,5 +42,30 @@ val link_property :
 val link_parameter :
   env -> range_var:var -> value_var:var -> ?default:Dval.t -> unit -> cstr
 
+(** [bridge env ~kind ~from_ ~to_env ~to_ ?adjust ()] — a dual link
+    across {e environment} boundaries: whenever [from_] (in [env]'s
+    network) changes, [adjust from_value] (default: identity) is pushed
+    into [to_] in [to_env]'s network via an external
+    [Engine.set ~just:Application] — a child propagation episode whose
+    trace records the pushing episode as its parent and [from_] as its
+    cause, stitching hierarchy-wide propagation into one trace tree.
+    Remote values entered by the designer ([User]) or propagated locally
+    are never overwritten; consistency is still checked ([satisfied] is
+    [adjust from = to]) so a conflicting override rolls the local change
+    back. The remote variable is not an argument of the constraint (it
+    belongs to another network); and because the remote episode commits
+    on its own, cross-network propagation is causal, not transactional
+    (see DESIGN.md §10). *)
+val bridge :
+  env ->
+  kind:string ->
+  ?label:string ->
+  from_:var ->
+  to_env:env ->
+  to_:var ->
+  ?adjust:(Dval.t -> Dval.t option) ->
+  unit ->
+  cstr
+
 (** Remove an implicit link (instance deletion). *)
 val unlink : env -> cstr -> unit

@@ -88,6 +88,18 @@ let disconnect env net m =
     structure_changed env net
   end
 
+(* Export the net's inferred bit width into a variable of another
+   environment (a floorplanner or simulator keeping its own network in
+   step with the design's): a cross-environment dual bridge from
+   [en_width].  Width changes inferred here re-propagate there as child
+   episodes of the inferring one. *)
+let export_width env net ~to_env ~to_ =
+  Dual.bridge env ~kind:"width-export"
+    ~label:(net.en_parent.cc_name ^ "/" ^ net.en_name ^ ".bitWidth->"
+            ^ to_.Constraint_kernel.Types.v_owner ^ "."
+            ^ to_.Constraint_kernel.Types.v_name)
+    ~from_:net.en_width ~to_env ~to_ ()
+
 let drives net m =
   let ss = member_spec_in net m in
   match (m, ss.ss_dir) with

@@ -38,6 +38,13 @@ val member_vars_in : enet -> member -> var * var * var
 (** Signal spec behind a member. *)
 val member_spec_in : enet -> member -> signal_spec
 
+(** [export_width env net ~to_env ~to_] — keep a variable of {e another
+    environment} equal to this net's inferred bit width, via a
+    {!Dual.bridge}: whenever [bitWidth] changes here, the new width is
+    pushed into [to_] as a child propagation episode in [to_env]'s
+    network (correlated to the inferring episode in the trace). *)
+val export_width : env -> enet -> to_env:env -> to_:var -> cstr
+
 (** The member that electrically drives the net: an [Output] subcell pin
     or an [Input] io-pin of the parent (a signal entering the cell drives
     its internal net). [None] for undriven nets. *)

@@ -261,6 +261,85 @@ let test_rollback_after_throwing_handler () =
   Alcotest.(check bool) "subsequent compatible set works" true
     (ok (Engine.set net a 1))
 
+(* ---------------- dependency walks on reconvergent graphs ---------------- *)
+
+(* src == a, src == b, s = a + b: two paths from [src] reconverge at
+   [s], the shape that trips naive walks into double-visiting. *)
+let mk_diamond () =
+  let net = mknet () in
+  let src = ivar net "src" in
+  let a = ivar net "a" and b = ivar net "b" and s = ivar net "s" in
+  let _ = Clib.equality net [ src; a ] in
+  let _ = Clib.equality net [ src; b ] in
+  let propagate ctx c changed =
+    match changed with
+    | Some v when Var.equal v s -> Ok ()
+    | _ -> (
+      match (Var.value a, Var.value b) with
+      | Some x, Some y ->
+        Engine.set_by_constraint ctx s (x + y) ~source:c
+          ~record:Types.All_arguments
+      | _ -> Ok ())
+  in
+  let sum =
+    Cstr.make net ~kind:"imm-sum" ~propagate
+      ~satisfied:(fun _ ->
+        match (Var.value a, Var.value b, Var.value s) with
+        | Some x, Some y, Some z -> z = x + y
+        | _ -> true)
+      [ s; a; b ]
+  in
+  ignore (Network.add_constraint net sum);
+  (net, src, a, b, s)
+
+let paths vs = List.sort compare (List.map Var.path vs)
+
+let test_dependency_diamond () =
+  let net, src, _, _, s = mk_diamond () in
+  Alcotest.(check bool) "diamond settles" true (ok (Engine.set net src 3));
+  Alcotest.(check (option int)) "sum propagated" (Some 6) (Var.value s);
+  let vars, cstrs = Dependency.antecedents s in
+  Alcotest.(check (list string)) "antecedents visit src exactly once"
+    [ "e.a"; "e.b"; "e.s"; "e.src" ] (paths vars);
+  Alcotest.(check int) "three constraints traversed, none twice" 3
+    (List.length (List.sort_uniq compare (List.map Cstr.id cstrs)));
+  Alcotest.(check int) "no duplicate constraints reported"
+    (List.length cstrs)
+    (List.length (List.sort_uniq compare (List.map Cstr.id cstrs)));
+  let cvars, ccstrs = Dependency.consequences src in
+  Alcotest.(check (list string)) "consequences reach s exactly once"
+    [ "e.a"; "e.b"; "e.s"; "e.src" ] (paths cvars);
+  Alcotest.(check int) "forward walk traverses each constraint once"
+    (List.length ccstrs)
+    (List.length (List.sort_uniq compare (List.map Cstr.id ccstrs)));
+  Alcotest.(check (list string)) "direct antecedents of the join"
+    [ "e.a"; "e.b" ]
+    (paths (Dependency.direct_antecedents s));
+  Alcotest.(check (list string)) "user entries have no direct antecedents" []
+    (paths (Dependency.direct_antecedents src));
+  Alcotest.(check (list string)) "variable_consequences excludes the root"
+    [ "e.a"; "e.b"; "e.s" ]
+    (paths (Dependency.variable_consequences src))
+
+let test_dependency_after_reset () =
+  let net, src, a, _, _ = mk_diamond () in
+  ignore (Engine.set net src 3);
+  Alcotest.(check bool) "reset commits" true (ok (Engine.reset net src));
+  Alcotest.(check (option int)) "src erased" None (Var.value src);
+  (* equality does not fire on reset, so downstream values persist with
+     their justifications; the walks must still traverse the now-NIL
+     antecedent instead of crashing or dropping the edge *)
+  Alcotest.(check (option int)) "propagated value persists" (Some 3)
+    (Var.value a);
+  let vars, _ = Dependency.antecedents a in
+  Alcotest.(check (list string)) "antecedents include the NIL source"
+    [ "e.a"; "e.src" ] (paths vars);
+  Alcotest.(check (list string)) "direct antecedents likewise" [ "e.src" ]
+    (paths (Dependency.direct_antecedents a));
+  Alcotest.(check (list string)) "forward walk from the NIL variable"
+    [ "e.a"; "e.b"; "e.s" ]
+    (paths (Dependency.variable_consequences src))
+
 let suite =
   let tc = Alcotest.test_case in
   ( "kernel-edge",
@@ -280,4 +359,6 @@ let suite =
         test_rollback_after_throwing_on_change;
       tc "rollback after throwing handler" `Quick
         test_rollback_after_throwing_handler;
+      tc "dependency diamond" `Quick test_dependency_diamond;
+      tc "dependency after reset" `Quick test_dependency_after_reset;
     ] )

@@ -119,7 +119,7 @@ let test_episode_ids_consistent () =
     (fun te ->
       let ep = te.Types.te_episode in
       match te.Types.te_event with
-      | Types.T_episode_start (id, _) ->
+      | Types.T_episode_start (id, _, _) ->
         Alcotest.(check int) "start tagged with its own id" id ep;
         Alcotest.(check bool) "no nested episode" true (!cur = None);
         ids := id :: !ids;
@@ -424,6 +424,251 @@ let test_deprecated_shims () =
   Alcotest.(check int) "set_trace None uninstalls" 0
     (List.length (Engine.sinks net))
 
+(* ---------------- provenance ---------------- *)
+
+let pnet name = Engine.create_network ~name ()
+
+(* Single network: the derivation chain of a propagated value, forward
+   blame, and the critical path of the episode. *)
+let test_provenance_queries () =
+  let net = pnet "prov-q" in
+  let a, _, _, _, _ = chain net in
+  let p = Obs.Provenance.attach ~pp_value:string_of_int net in
+  Alcotest.(check bool) "set ok" true (ok (Engine.set net a 7));
+  let open Obs.Provenance in
+  (match latest_span p "o.b" with
+  | None -> Alcotest.fail "no span for o.b"
+  | Some sp ->
+    Alcotest.(check (option string)) "rendered value" (Some "7") sp.sp_value;
+    Alcotest.(check string) "justification" "propagated" sp.sp_just;
+    Alcotest.(check bool) "source labelled" true
+      (String.starts_with ~prefix:"equality#" sp.sp_source);
+    Alcotest.(check bool) "antecedent edge captured" true
+      (sp.sp_antecedents <> []));
+  let why_c = why p "o.c" in
+  (match why_c with
+  | { ws_depth = 0; ws_span } :: _ ->
+    Alcotest.(check string) "chain roots at the queried var" "o.c"
+      ws_span.sp_var
+  | _ -> Alcotest.fail "why must start at depth 0");
+  Alcotest.(check bool) "chain ends at the user entry" true
+    (List.exists
+       (fun s ->
+         s.ws_span.sp_just = "user" && s.ws_span.sp_var = "o.a"
+         && s.ws_depth = 2)
+       why_c);
+  let downstream = List.map (fun sp -> sp.sp_var) (blame p "o.a") in
+  Alcotest.(check (list string)) "forward fan-out from the user entry"
+    [ "o.b"; "o.c" ]
+    (List.sort compare downstream);
+  (match critical_path p () with
+  | [ s1; s2; s3 ] ->
+    Alcotest.(check string) "critical path oldest first" "o.a" s1.sp_var;
+    Alcotest.(check string) "middle hop" "o.b" s2.sp_var;
+    Alcotest.(check string) "newest last" "o.c" s3.sp_var
+  | l -> Alcotest.failf "expected a 3-span critical path, got %d" (List.length l));
+  detach p
+
+(* A rolled-back episode must leave queries agreeing with the live
+   network: spans survive but are dead, and the per-variable latest
+   index reverts to the committed derivation. *)
+let test_provenance_rollback () =
+  let net = pnet "prov-rb" in
+  let a, _, c, _, _ = chain net in
+  let p = Obs.Provenance.attach ~pp_value:string_of_int net in
+  Alcotest.(check bool) "pin via a" true (ok (Engine.set net a 1));
+  (* conflicting user entry on c: propagation cannot overwrite the user
+     value on a, so the episode rolls back *)
+  Alcotest.(check bool) "conflicting set fails" false (ok (Engine.set net c 2));
+  let open Obs.Provenance in
+  (match latest_span p "o.c" with
+  | Some sp ->
+    Alcotest.(check (option string)) "latest reverted to committed value"
+      (Some "1") sp.sp_value;
+    Alcotest.(check bool) "and it is live" false sp.sp_dead
+  | None -> Alcotest.fail "committed span lost");
+  Alcotest.(check bool) "no live span carries the rolled-back value" false
+    (List.exists (fun sp -> sp.sp_value = Some "2") (live_spans p));
+  let dead = ref [] in
+  for i = 1 to 64 do
+    match find_span p i with
+    | Some sp when sp.sp_dead -> dead := sp :: !dead
+    | _ -> ()
+  done;
+  Alcotest.(check bool) "rolled-back spans retained as dead" true
+    (List.exists (fun sp -> sp.sp_value = Some "2") !dead);
+  (match List.rev (episodes p) with
+  | last :: _ ->
+    Alcotest.(check bool) "episode outcome recorded" true
+      (last.epi_outcome = Some Types.E_rolled_back)
+  | [] -> Alcotest.fail "no episodes recorded");
+  Alcotest.(check bool) "why agrees with the live network" true
+    (List.exists
+       (fun s -> s.ws_span.sp_just = "user" && s.ws_span.sp_var = "o.a")
+       (why p "o.c"));
+  detach p
+
+let test_provenance_eviction () =
+  let net = pnet "prov-evict" in
+  let a, _, _, _, _ = chain net in
+  let p = Obs.Provenance.attach ~capacity:16 ~pp_value:string_of_int net in
+  for i = 1 to 40 do
+    ignore (Engine.set net a i)
+  done;
+  let open Obs.Provenance in
+  Alcotest.(check bool) "evictions counted" true (evicted p > 0);
+  Alcotest.(check bool) "live spans bounded" true
+    (List.length (live_spans p) <= 16);
+  (match latest_span p "o.c" with
+  | Some sp -> Alcotest.(check (option string)) "newest kept" (Some "40") sp.sp_value
+  | None -> Alcotest.fail "latest evicted");
+  (* chains into evicted history truncate instead of failing *)
+  Alcotest.(check bool) "why still answers" true (why p "o.c" <> []);
+  detach p
+
+(* The acceptance property: a [why] on a variable whose value arrived
+   over a dual bridge walks the derivation across both networks back to
+   the original designer entry, and the episode forest nests the remote
+   episode under its cross-network parent. *)
+let test_provenance_why_cross_network () =
+  let design = Stem.Env.create ~name:"prov-design" () in
+  let floorplan = Stem.Env.create ~name:"prov-floorplan" () in
+  let dnet = design.Stem.Design.env_cnet in
+  let fnet = floorplan.Stem.Design.env_cnet in
+  let dprov = Obs.Provenance.attach ~pp_value:Dval.to_string dnet in
+  let fprov = Obs.Provenance.attach ~pp_value:Dval.to_string fnet in
+  let a = Dclib.variable dnet ~owner:"alu/a" ~name:"bitWidth" () in
+  let b = Dclib.variable dnet ~owner:"alu/sum" ~name:"bitWidth" () in
+  ignore (Dclib.equality dnet [ a; b ]);
+  let bus = Dclib.variable fnet ~owner:"chan0" ~name:"busWidth" () in
+  let tracks = Dclib.variable fnet ~owner:"chan0" ~name:"tracks" () in
+  ignore (Dclib.equality fnet [ bus; tracks ]);
+  ignore
+    (Stem.Dual.bridge design ~kind:"width-export" ~from_:b ~to_env:floorplan
+       ~to_:bus ());
+  Alcotest.(check bool) "designer entry commits" true
+    (match Engine.set dnet a (Dval.Int 16) with Ok () -> true | Error _ -> false);
+  Alcotest.(check bool) "value crossed the bridge" true
+    (Var.value tracks = Some (Dval.Int 16));
+  let open Obs.Provenance in
+  let chain = why fprov "chan0.tracks" in
+  let nets =
+    List.sort_uniq compare (List.map (fun s -> s.ws_span.sp_net) chain)
+  in
+  Alcotest.(check (list string)) "chain spans both networks"
+    [ "prov-design"; "prov-floorplan" ] nets;
+  Alcotest.(check bool) "chain ends at the designer entry" true
+    (List.exists
+       (fun s ->
+         s.ws_span.sp_just = "user" && s.ws_span.sp_var = "alu/a.bitWidth")
+       chain);
+  Alcotest.(check bool) "cross-network edge recorded on a span" true
+    (List.exists
+       (fun s -> s.ws_span.sp_net = "prov-floorplan" && s.ws_span.sp_cross <> None)
+       chain);
+  (* forward: blaming the designer entry reaches the other network *)
+  Alcotest.(check bool) "blame crosses forward" true
+    (List.exists
+       (fun sp -> sp.sp_net = "prov-floorplan")
+       (blame dprov "alu/a.bitWidth"));
+  (* the remote episode nests under its cross-network parent *)
+  let rec crosses node =
+    List.exists
+      (fun c -> c.tn_episode.epi_net <> node.tn_episode.epi_net)
+      node.tn_children
+    || List.exists crosses node.tn_children
+  in
+  Alcotest.(check bool) "episode forest nests across networks" true
+    (List.exists crosses (episode_forest ()));
+  detach dprov;
+  detach fprov
+
+(* ---------------- replay ---------------- *)
+
+(* A from-creation trace must replay to exactly the live state —
+   including a faulted rollback and a probe in the middle — and report
+   divergence once the live network moves past the trace. *)
+let test_replay_roundtrip () =
+  let net = pnet "replay-rt" in
+  let buf = Buffer.create 4096 in
+  Engine.add_sink net (Obs.Jsonl.buffer_sink ~pp_value:string_of_int buf);
+  let a, _, _, _, bc = chain net in
+  ignore (Engine.set net a 1);
+  let inj = Fault.wrap ~mode:(Fault.Throw_on [ 1 ]) bc in
+  Alcotest.(check bool) "faulted episode rolls back" false
+    (ok (Engine.set net a 2));
+  Fault.restore inj;
+  ignore (Engine.explain_set net a 3);
+  ignore (Engine.set net a 2);
+  let r = Obs.Replay.of_string (Buffer.contents buf) in
+  Alcotest.(check (list (pair int string))) "no warnings on our own trace" []
+    (Obs.Replay.warnings r);
+  Alcotest.(check int) "loaded at origin" 0 (Obs.Replay.position r);
+  Obs.Replay.to_end r;
+  Alcotest.(check int) "at end" (Obs.Replay.length r) (Obs.Replay.position r);
+  Alcotest.(check (list (pair string string))) "replayed state = live state"
+    [ ("o.a", "2"); ("o.b", "2"); ("o.c", "2") ]
+    (Obs.Replay.snapshot r);
+  Alcotest.(check int) "no divergence on a from-creation trace" 0
+    (List.length (Obs.Replay.diff_live r ~pp_value:string_of_int net));
+  (* time travel *)
+  Obs.Replay.seek r 0;
+  Alcotest.(check (list (pair string string))) "origin is empty" []
+    (Obs.Replay.snapshot r);
+  Obs.Replay.to_end r;
+  Obs.Replay.step r (-1);
+  Alcotest.(check int) "relative step back"
+    (Obs.Replay.length r - 1)
+    (Obs.Replay.position r);
+  Obs.Replay.seek_seq r (Obs.Replay.max_seq r);
+  Alcotest.(check int) "seek to max seq reaches the end"
+    (Obs.Replay.length r) (Obs.Replay.position r);
+  (* live state moves on; the detector must notice *)
+  ignore (Engine.set net a 9);
+  let dv = Obs.Replay.diff_live r ~pp_value:string_of_int net in
+  Alcotest.(check bool) "divergence detected" true
+    (List.exists (fun d -> d.Obs.Replay.dv_var = "o.a") dv)
+
+(* ---------------- lenient JSONL loading ---------------- *)
+
+let test_jsonl_lenient_parsing () =
+  let net = mknet () in
+  let a, _, _, _, _ = chain net in
+  let buf = Buffer.create 1024 in
+  Engine.add_sink net (Obs.Jsonl.buffer_sink ~pp_value:string_of_int buf);
+  ignore (Engine.set net a 1);
+  let good = Buffer.contents buf in
+  let n_good = List.length (Obs.Jsonl.parse_lines good) in
+  (* sandwich the real trace between garbage, a truncated tail and a
+     blank line; 1-based line numbers must count all of them *)
+  let doctored = "garbage line\n" ^ good ^ "{\"truncated\": \n\n[1,2]\n" in
+  let kept, warnings = Obs.Jsonl.parse_lines_lenient doctored in
+  Alcotest.(check int) "every parseable line kept" n_good (List.length kept);
+  Alcotest.(check (list int)) "warnings carry editor line numbers"
+    [ 1; n_good + 2; n_good + 4 ]
+    (List.map fst warnings);
+  Alcotest.(check int) "first kept line is line 2" 2 (fst (List.hd kept));
+  (* v2 schema fields present on assign lines *)
+  Alcotest.(check bool) "assign carries v2 justification" true
+    (List.exists
+       (fun (_, fields) ->
+         Obs.Jsonl.version fields = Obs.Jsonl.schema_version
+         && Obs.Jsonl.str fields "t" = Some "assign"
+         && Obs.Jsonl.str fields "just" = Some "user")
+       kept);
+  (* v1 lines (no "v" field) still read back *)
+  (match Obs.Jsonl.parse_line {|{"seq":1,"ep":1,"t":"assign"}|} with
+  | Ok fields -> Alcotest.(check int) "versionless line is v1" 1 (Obs.Jsonl.version fields)
+  | Error e -> Alcotest.failf "v1 line rejected: %s" e);
+  (* sequence numbers from long-running sessions exceed 32 bits *)
+  let big = 1 lsl 40 in
+  let line = Printf.sprintf {|{"seq":%d,"ep":2,"t":"check"}|} big in
+  (match Obs.Jsonl.parse_line line with
+  | Ok fields ->
+    Alcotest.(check (option int)) "large seq round-trips" (Some big)
+      (Obs.Jsonl.int fields "seq")
+  | Error e -> Alcotest.failf "large seq rejected: %s" e)
+
 let suite =
   ( "obs",
     [
@@ -447,4 +692,12 @@ let suite =
       Alcotest.test_case "jsonl escaping" `Quick test_jsonl_escaping;
       Alcotest.test_case "board bundle" `Quick test_board_bundle;
       Alcotest.test_case "deprecated shims" `Quick test_deprecated_shims;
+      Alcotest.test_case "provenance queries" `Quick test_provenance_queries;
+      Alcotest.test_case "provenance rollback" `Quick test_provenance_rollback;
+      Alcotest.test_case "provenance eviction" `Quick test_provenance_eviction;
+      Alcotest.test_case "provenance why across networks" `Quick
+        test_provenance_why_cross_network;
+      Alcotest.test_case "replay round-trip" `Quick test_replay_roundtrip;
+      Alcotest.test_case "jsonl lenient loading" `Quick
+        test_jsonl_lenient_parsing;
     ] )
