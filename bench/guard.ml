@@ -1,0 +1,136 @@
+(* Bench regression guard: compare a fresh BENCH_core.json against the
+   committed bench/baseline.json and fail (exit 1) when a workload
+   regressed beyond the tolerance.
+
+   Absolute nanoseconds are not comparable across machines (the
+   baseline was recorded on some developer box; CI runners differ by
+   2-3x), so by default the guard normalizes: it computes each
+   workload's current/baseline ratio, takes the *median* ratio as the
+   machine-speed factor, and flags workloads whose ratio exceeds the
+   median by more than the tolerance.  That catches the regression that
+   matters — one workload slowing down relative to the rest of the
+   suite — while a uniformly faster or slower machine cancels out.
+   --no-normalize compares raw ratios against 1.0 instead (only
+   meaningful on the machine that recorded the baseline).
+
+     dune exec bench/guard.exe -- --baseline bench/baseline.json \
+       --current BENCH_core.json --tolerance 30
+
+   To regenerate the baseline after an intentional performance change:
+
+     dune exec bench/main.exe -- --quick && cp BENCH_core.json bench/baseline.json *)
+
+let baseline = ref "bench/baseline.json"
+
+let current = ref "BENCH_core.json"
+
+let tolerance = ref 30.0
+
+let no_normalize = ref false
+
+let speclist =
+  [
+    ("--baseline", Arg.Set_string baseline, "FILE  committed reference (default bench/baseline.json)");
+    ("--current", Arg.Set_string current, "FILE  fresh results (default BENCH_core.json)");
+    ("--tolerance", Arg.Set_float tolerance, "PCT  allowed slowdown vs the suite median (default 30)");
+    ("--no-normalize", Arg.Set no_normalize, "  compare raw ratios (same-machine baselines only)");
+  ]
+
+(* BENCH_core.json is a JSON array with one entry object per line (see
+   bench/main.ml); strip the array punctuation and feed each object to
+   the flat-object parser the JSONL reader already has. *)
+let load path =
+  let ic = open_in path in
+  let entries = ref [] in
+  (try
+     while true do
+       let line = String.trim (input_line ic) in
+       if line <> "" && line <> "[" && line <> "]" then begin
+         let line =
+           if String.length line > 0 && line.[String.length line - 1] = ',' then
+             String.sub line 0 (String.length line - 1)
+           else line
+         in
+         match Obs.Jsonl.parse_line line with
+         | Ok fields -> (
+           match (Obs.Jsonl.str fields "name", Obs.Jsonl.float fields "ns_per_run") with
+           | Some name, Some ns when ns > 0. -> entries := (name, ns) :: !entries
+           | _ -> ())
+         | Error _ -> ()
+       end
+     done
+   with End_of_file -> ());
+  close_in ic;
+  List.rev !entries
+
+let median xs =
+  match List.sort compare xs with
+  | [] -> nan
+  | sorted ->
+    let n = List.length sorted in
+    if n mod 2 = 1 then List.nth sorted (n / 2)
+    else (List.nth sorted ((n / 2) - 1) +. List.nth sorted (n / 2)) /. 2.0
+
+let () =
+  Arg.parse speclist
+    (fun a -> raise (Arg.Bad (Printf.sprintf "unexpected argument %S" a)))
+    "guard [--baseline FILE] [--current FILE] [--tolerance PCT] [--no-normalize]";
+  let base = load !baseline and cur = load !current in
+  if base = [] then begin
+    Fmt.epr "guard: no entries in baseline %s@." !baseline;
+    exit 2
+  end;
+  if cur = [] then begin
+    Fmt.epr "guard: no entries in current %s@." !current;
+    exit 2
+  end;
+  let paired =
+    List.filter_map
+      (fun (name, b) ->
+        match List.assoc_opt name cur with
+        | Some c -> Some (name, b, c, c /. b)
+        | None ->
+          Fmt.pr "  (baseline-only workload %S: skipped)@." name;
+          None)
+      base
+  in
+  List.iter
+    (fun (name, _) ->
+      if not (List.mem_assoc name base) then
+        Fmt.pr "  (new workload %S: no baseline yet)@." name)
+    cur;
+  if paired = [] then begin
+    Fmt.epr "guard: no common workloads between %s and %s@." !baseline !current;
+    exit 2
+  end;
+  let m =
+    if !no_normalize then 1.0
+    else median (List.map (fun (_, _, _, r) -> r) paired)
+  in
+  Fmt.pr "bench guard: %d workload(s), machine factor (median ratio) %.2fx, tolerance +%g%%@."
+    (List.length paired) m !tolerance;
+  let limit = 1.0 +. (!tolerance /. 100.0) in
+  let regressions = ref 0 in
+  List.iter
+    (fun (name, b, c, r) ->
+      let rel = r /. m in
+      let verdict =
+        if rel > limit then begin
+          incr regressions;
+          "REGRESSION"
+        end
+        else if rel < 1.0 /. limit then "improved"
+        else "ok"
+      in
+      Fmt.pr "  %-44s base %10.0f ns  cur %10.0f ns  normalized %+6.1f%%  %s@."
+        name b c ((rel -. 1.0) *. 100.0) verdict)
+    paired;
+  if !regressions > 0 then begin
+    Fmt.pr
+      "@.%d workload(s) regressed more than +%g%% vs the suite median.@.\
+       If intentional, regenerate the baseline:@.\
+      \  dune exec bench/main.exe -- --quick && cp BENCH_core.json bench/baseline.json@."
+      !regressions !tolerance;
+    exit 1
+  end
+  else Fmt.pr "no regressions beyond +%g%%.@." !tolerance

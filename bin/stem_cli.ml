@@ -381,6 +381,148 @@ let trace_cmd =
        ~doc:"Observability demo: episode spans, metrics and hotspots")
     Term.(const run_trace $ jsonl $ edits $ verify)
 
+(* ---------------- health / top ---------------- *)
+
+(* Shared driver for the monitoring demos: the Fig. 5.2 accumulator
+   with a monitored board (rolling window + tail sampler + watchdog),
+   plus the same edit mix as `stem trace` — healthy edits, one tentative
+   probe and one assignment the adder's 120 ns internal spec rejects per
+   round — so every window holds committed, probe and rolled-back
+   episodes and the sampler always has a violating exemplar to show. *)
+let health_setup ~window_width =
+  let env = Stem.Env.create () in
+  let net = env.env_cnet in
+  let board =
+    Obs.Board.attach ~monitor:true ~window_width
+      ~rules:
+        (Obs.Watchdog.latency_p99_above 50_000.0
+        :: Obs.Watchdog.violation_rate_above 0.9
+        :: Obs.Watchdog.default_rules ())
+      net
+  in
+  let acc = Cell_library.Datapath.accumulator ~spec:180.0 env in
+  ignore
+    (Delay.Delay_network.delay env acc.Cell_library.Datapath.acc ~from_:"in"
+       ~to_:"out");
+  let reg_delay = List.hd acc.Cell_library.Datapath.acc_reg.cc_delays in
+  let add_delay = List.hd acc.Cell_library.Datapath.acc_adder.cc_delays in
+  let round i =
+    let open Constraint_kernel in
+    ignore
+      (Engine.set net reg_delay.cd_var
+         (Dval.Float (45.0 +. float_of_int (i mod 3))));
+    ignore (Engine.can_be_set_to net add_delay.cd_var (Dval.Float 115.0));
+    ignore (Engine.set net add_delay.cd_var (Dval.Float 130.0))
+  in
+  (env, net, board, round)
+
+let run_health edits window_eps dot_file =
+  setup_logs ();
+  let open Constraint_kernel in
+  let _env, net, board, round =
+    health_setup ~window_width:(Obs.Window.Episodes window_eps)
+  in
+  for i = 1 to edits do
+    round i
+  done;
+  Obs.Board.checkpoint board;
+  Fmt.pr "== health: net '%s' ==@.%a@." net.Types.net_name Obs.Board.pp_health
+    board;
+  (match Obs.Board.sampler board with
+  | Some sam -> (
+    match Obs.Sampler.slowest sam with
+    | Some ex ->
+      Fmt.pr "@.== slowest episode exemplar ==@.%a@."
+        Obs.Sampler.pp_exemplar_events ex
+    | None -> ())
+  | None -> ());
+  Fmt.pr "@.== process roll-up ==@.%a@." Obs.Watchdog.pp_health ();
+  (match dot_file with
+  | None -> ()
+  | Some file ->
+    let dot =
+      Obs.Topo.to_dot
+        ~profiler:(Obs.Board.profiler board)
+        ~metrics:(Obs.Board.metrics board)
+        net
+    in
+    let oc = open_out file in
+    output_string oc dot;
+    close_out oc;
+    let s = Obs.Topo.stats net in
+    Fmt.pr "@.topology written to %s (%d vars, %d constraints, %d edges)@."
+      file s.Obs.Topo.tp_vars s.Obs.Topo.tp_cstrs s.Obs.Topo.tp_edges);
+  if Obs.Watchdog.healthy () then 0 else 1
+
+let health_cmd =
+  let edits =
+    Arg.(value & opt int 6 & info [ "edits" ] ~docv:"N" ~doc:"Edit rounds to run.")
+  in
+  let window =
+    Arg.(value & opt int 8
+         & info [ "window" ] ~docv:"EPISODES" ~doc:"Window width in episodes.")
+  in
+  let dot =
+    Arg.(value & opt (some string) None
+         & info [ "dot" ] ~docv:"FILE"
+             ~doc:"Also write the heat-annotated constraint graph (DOT).")
+  in
+  Cmd.v
+    (Cmd.info "health"
+       ~doc:"One-shot health report: window telemetry, latency quantiles, \
+             slow-episode exemplars and watchdog alerts")
+    Term.(const run_health $ edits $ window $ dot)
+
+let run_top seconds interval =
+  setup_logs ();
+  let _env, _net, board, round =
+    health_setup ~window_width:(Obs.Window.Seconds interval)
+  in
+  let t0 = Unix.gettimeofday () in
+  let tick = ref 0 in
+  while Unix.gettimeofday () -. t0 < seconds do
+    incr tick;
+    round !tick;
+    (match (Obs.Board.window board, Obs.Board.watchdog board) with
+    | Some w, Some wd ->
+      let s =
+        match Obs.Window.last w with
+        | Some s -> s
+        | None -> Obs.Window.current w
+      in
+      let alerts =
+        match Obs.Watchdog.firing wd with
+        | [] -> "alerts: OK"
+        | fs ->
+          Printf.sprintf "ALERTS: %s"
+            (String.concat ", " (List.map fst fs))
+      in
+      Fmt.pr "t=%5.1fs  win#%-3d eps=%-4d rate=%7.0f/s  p50=%6.1fµs p99=%6.1fµs  viol=%-3d quar=%-2d  %s@."
+        (Unix.gettimeofday () -. t0)
+        s.Obs.Window.w_index s.Obs.Window.w_episodes
+        (Obs.Window.episode_rate s) (Obs.Window.p50 s) (Obs.Window.p99 s)
+        s.Obs.Window.w_violations s.Obs.Window.w_quarantines alerts
+    | _ -> ());
+    Unix.sleepf interval
+  done;
+  Obs.Board.checkpoint board;
+  Fmt.pr "@.final %a@." Obs.Board.pp_health board;
+  if Obs.Watchdog.healthy () then 0 else 1
+
+let top_cmd =
+  let seconds =
+    Arg.(value & opt float 3.0
+         & info [ "seconds" ] ~docv:"S" ~doc:"How long to run.")
+  in
+  let interval =
+    Arg.(value & opt float 0.5
+         & info [ "interval" ] ~docv:"S" ~doc:"Refresh (and window) period.")
+  in
+  Cmd.v
+    (Cmd.info "top"
+       ~doc:"Periodic health refresh over N seconds (time-based windows)")
+    Term.(const run_top $ seconds $ interval)
+
 (* ---------------- why ---------------- *)
 
 (* Causal provenance demo across two environments: a designer entry in
@@ -491,7 +633,8 @@ let main_cmd =
   Cmd.group (Cmd.info "stem" ~version:"1.0.0" ~doc)
     [
       accumulator_cmd; select_cmd; simulate_cmd; inspect_cmd; check_cmd;
-      edit_cmd; ripple_cmd; faults_cmd; trace_cmd; why_cmd;
+      edit_cmd; ripple_cmd; faults_cmd; trace_cmd; why_cmd; health_cmd;
+      top_cmd;
     ]
 
 let () = exit (Cmd.eval' main_cmd)

@@ -667,9 +667,6 @@ let set ?(just = User) net v x =
           let* () = install ctx v x ~just ~source_label:"external" in
           propagate_from ctx v ~except:None)
 
-let set_user net v x = set ~just:User net v x
-
-let set_application net v x = set ~just:Application net v x
 
 let reset net v =
   if not net.net_enabled then begin

@@ -1,7 +1,7 @@
 (** The propagation engine (§4.2).
 
     Constraint propagation is a depth-first traversal of the network that
-    starts with an external assignment ([set]/[set_user]), alternates
+    starts with an external assignment ([set]), alternates
     between variables (responding to [set_by_constraint]) and constraints
     (responding to [activate]), drains the priority agendas, and finally
     sends [is_satisfied] to every visited constraint. On any violation
@@ -151,11 +151,6 @@ val poke : 'a network -> 'a var -> 'a -> just:'a justification -> unit
 
 val clear : 'a network -> 'a var -> unit
 
-val set_user : 'a network -> 'a var -> 'a -> (unit, 'a violation) result
-[@@deprecated "use set (User is the default justification)"]
-
-val set_application : 'a network -> 'a var -> 'a -> (unit, 'a violation) result
-[@@deprecated "use set ~just:Application"]
 
 (** [reset net v] erases the value and cascades the erasure through
     update-constraints (constraints with [c_fires_on_reset]). *)

@@ -1,37 +1,76 @@
 (* The standard observability bundle: one ring buffer, one metrics
    registry and one profiler, attached to a network as three sinks in a
-   single call.  This is what the shell and `stem trace` use. *)
+   single call — plus, when requested, the continuous-monitoring trio
+   (rolling window, tail sampler, watchdog).  This is what the shell,
+   `stem trace` and `stem health` use. *)
 
 open Constraint_kernel
+
+type 'a monitor = {
+  mon_window : Window.t;
+  mon_sampler : 'a Sampler.t;
+  mon_watchdog : Watchdog.t;
+}
 
 type 'a t = {
   b_ring : 'a Ring.t;
   b_metrics : Metrics.t;
   b_profiler : Profiler.t;
+  b_monitor : 'a monitor option;
+  (* network sink-error total at the last episode end, for per-window
+     deltas (only maintained when attached with a monitor) *)
+  mutable b_sink_errs_seen : int;
 }
 
 let sink_name = "board"
 
-let create ?(ring_capacity = 256) () =
+let create ?(ring_capacity = 256) ?(monitor = false) ?window_width ?rules
+    ?slow_k ?head_every () =
+  let ring = Ring.create ~name:"ring" ~capacity:ring_capacity () in
+  let mon =
+    if not monitor then None
+    else begin
+      let width =
+        match window_width with Some w -> w | None -> Window.Episodes 32
+      in
+      let w = Window.create ~width () in
+      let sampler = Sampler.create ?slow_k ?head_every ~ring () in
+      let wd =
+        Watchdog.create
+          (match rules with Some rs -> rs | None -> Watchdog.default_rules ())
+      in
+      (* every window boundary: fresh slow top-K, then rule evaluation *)
+      Window.on_rotate w (fun _ -> Sampler.rotate sampler);
+      Watchdog.watch wd w;
+      Some { mon_window = w; mon_sampler = sampler; mon_watchdog = wd }
+    end
+  in
   {
-    b_ring = Ring.create ~name:"ring" ~capacity:ring_capacity ();
+    b_ring = ring;
     b_metrics = Metrics.create ();
     b_profiler = Profiler.create ();
+    b_monitor = mon;
+    b_sink_errs_seen = 0;
   }
 
-(* The three consumers are fused into one subscription: a single
-   closure call, exception trap and event match per trace event instead
-   of three, which measurably matters on the propagation hot path
-   (bench E16).  The ring push is match-free; the metrics and profiler
+(* The consumers are fused into one subscription: a single closure
+   call, exception trap and event match per trace event instead of one
+   each, which measurably matters on the propagation hot path (bench
+   E16/E18).  The ring push is match-free; the metrics and profiler
    updates share the one match below, against the instruments both
-   modules expose for exactly this purpose.  Each consumer is still
-   available as a standalone sink for piecemeal use. *)
-let sink b =
+   modules expose for exactly this purpose.  The monitor rides the same
+   match: its per-event work is a few int stores on episode boundaries
+   and violations only — the bulk of the stream (assigns, activations,
+   checks) pays nothing beyond the ring push the board does anyway.
+   Each consumer is still available as a standalone sink for piecemeal
+   use. *)
+let sink ?net b =
   let ring = b.b_ring in
   let ks = Metrics.kernel_set b.b_metrics in
   let p = b.b_profiler in
-  let emit ep seq ev =
-    Ring.push ring ep seq ev;
+  let base ep seq ev =
+    ignore ep;
+    ignore seq;
     match (ev : _ Types.trace_event) with
     | T_assign _ -> Metrics.tick ks.ks_assign
     | T_reset _ -> Metrics.tick ks.ks_reset
@@ -64,14 +103,63 @@ let sink b =
     | T_episode_start _ -> Metrics.tick ks.ks_ep_total
     | T_episode_end sp -> Metrics.observe_span ks sp
   in
+  let emit =
+    match b.b_monitor with
+    | None ->
+      fun ep seq ev ->
+        Ring.push ring ep seq ev;
+        base ep seq ev
+    | Some m ->
+      (* Still one match per event: the monitored variant re-dispatches
+         only on the four event types the monitor cares about — episode
+         boundaries, violations, quarantines — which are rare relative
+         to the assign/activate/check bulk, so the common arms fall
+         straight through [base] exactly as the bare board does. *)
+      let w = m.mon_window and sampler = m.mon_sampler in
+      fun ep seq ev ->
+        Ring.push ring ep seq ev;
+        (match (ev : _ Types.trace_event) with
+        | T_violation _ ->
+          base ep seq ev;
+          Window.note_violation w;
+          Sampler.violation_seen sampler
+        | T_quarantine _ ->
+          base ep seq ev;
+          Window.note_quarantine w;
+          Sampler.quarantine_seen sampler
+        | T_episode_start (id, _, _) ->
+          base ep seq ev;
+          Sampler.episode_started sampler id
+        | T_episode_end sp ->
+          base ep seq ev;
+          (* promote from the ring before anything else overwrites it *)
+          Sampler.episode_ended sampler sp;
+          (match net with
+          | Some n ->
+            let errs = n.Types.net_stats.Types.k_sink_errors in
+            Window.note_sink_errors w (errs - b.b_sink_errs_seen);
+            b.b_sink_errs_seen <- errs
+          | None -> ());
+          (* last: may rotate the window and run the watchdog *)
+          Window.observe_span w sp
+        | _ -> base ep seq ev)
+  in
   Types.{ snk_name = sink_name; snk_emit = emit }
 
-let attach ?ring_capacity net =
-  let b = create ?ring_capacity () in
-  Engine.add_sink net (sink b);
+let attach ?ring_capacity ?monitor ?window_width ?rules ?slow_k ?head_every net
+    =
+  let b =
+    create ?ring_capacity ?monitor ?window_width ?rules ?slow_k ?head_every ()
+  in
+  Engine.add_sink net (sink ~net b);
+  (match b.b_monitor with
+  | Some m -> Watchdog.register net.Types.net_name m.mon_watchdog
+  | None -> ());
   b
 
-let detach net = ignore (Engine.remove_sink net sink_name)
+let detach net =
+  ignore (Engine.remove_sink net sink_name);
+  Watchdog.unregister net.Types.net_name
 
 let ring b = b.b_ring
 
@@ -79,9 +167,48 @@ let metrics b = b.b_metrics
 
 let profiler b = b.b_profiler
 
+let monitored b = b.b_monitor <> None
+
+let window b = Option.map (fun m -> m.mon_window) b.b_monitor
+
+let sampler b = Option.map (fun m -> m.mon_sampler) b.b_monitor
+
+let watchdog b = Option.map (fun m -> m.mon_watchdog) b.b_monitor
+
 let spans b = Ring.spans b.b_ring
 
 let hotspots ?k b = Profiler.hotspots ?k b.b_profiler
+
+(* Close the current window if it holds anything, so a one-shot health
+   report sees a completed (watchdog-evaluated) boundary. *)
+let checkpoint b =
+  match b.b_monitor with
+  | Some m ->
+    if (Window.current m.mon_window).Window.w_episodes > 0 then
+      Window.rotate m.mon_window
+  | None -> ()
+
+let pp_health ppf b =
+  match b.b_monitor with
+  | None ->
+    Fmt.pf ppf "monitoring off (attach the board with ~monitor:true)"
+  | Some m ->
+    let w = m.mon_window in
+    Fmt.pf ppf "@[<v>";
+    (match Window.last w with
+    | Some snap -> Fmt.pf ppf "%a@," Window.pp_snapshot snap
+    | None -> Fmt.pf ppf "no completed window yet@,");
+    let cur = Window.current w in
+    if cur.Window.w_episodes > 0 then
+      Fmt.pf ppf "current %a@," Window.pp_snapshot cur;
+    Fmt.pf ppf "alerts: %a@," Watchdog.pp_status m.mon_watchdog;
+    let sam = m.mon_sampler in
+    Fmt.pf ppf "exemplars: %d stored (%d promoted of %d episodes)"
+      (Sampler.stored sam) (Sampler.promoted sam) (Sampler.seen sam);
+    (match Sampler.slowest sam with
+    | Some ex -> Fmt.pf ppf "@,slowest: %a" Sampler.pp_exemplar ex
+    | None -> ());
+    Fmt.pf ppf "@]"
 
 let pp_summary ppf b =
   Fmt.pf ppf "@[<v>-- metrics --@,%a@,-- hotspots --@,%a@]" Metrics.render

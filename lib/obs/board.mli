@@ -5,23 +5,55 @@
     ["board"] (one closure call and exception trap per event instead of
     three — the cheap always-on configuration); [detach net] removes
     exactly that sink, leaving any other (e.g. a JSONL exporter) alone.
-    The shell session and the [stem trace] demo both run on a board. *)
+
+    [attach ~monitor:true] additionally rides the continuous-monitoring
+    trio on the same fused match: a rolling {!Window} (episode rates and
+    latency quantiles per window), a tail {!Sampler} (exemplar traces of
+    the slowest / violating / quarantining episodes, buffered by the
+    board's own ring so the per-event cost is zero), and a {!Watchdog}
+    evaluated at window boundaries and registered process-globally under
+    the network's name. The shell session and [stem health]/[stem top]
+    run monitored boards; [stem trace] and the benchmarks default to the
+    bare board. *)
 
 open Constraint_kernel
 
 type 'a t
 
-(** Build a board without attaching it (ring capacity defaults 256). *)
-val create : ?ring_capacity:int -> unit -> 'a t
+(** Build a board without attaching it. Defaults: ring capacity 256; no
+    monitor. With [~monitor:true]: [window_width] defaults to
+    [Window.Episodes 32], [rules] to {!Watchdog.default_rules},
+    [slow_k]/[head_every] to the {!Sampler.create} defaults. *)
+val create :
+  ?ring_capacity:int ->
+  ?monitor:bool ->
+  ?window_width:Window.width ->
+  ?rules:Watchdog.rule list ->
+  ?slow_k:int ->
+  ?head_every:int ->
+  unit ->
+  'a t
 
-(** The board's fused sink (named ["board"]), for manual attachment. *)
-val sink : 'a t -> 'a Types.sink
+(** The board's fused sink (named ["board"]), for manual attachment.
+    [?net] enables per-window sink-error deltas (read from the
+    network's stats at episode end). *)
+val sink : ?net:'a Types.network -> 'a t -> 'a Types.sink
 
 (** Build and attach. A same-named sink already on the network is
-    replaced in place. *)
-val attach : ?ring_capacity:int -> 'a Types.network -> 'a t
+    replaced in place. With a monitor, the watchdog is registered under
+    the network's name. *)
+val attach :
+  ?ring_capacity:int ->
+  ?monitor:bool ->
+  ?window_width:Window.width ->
+  ?rules:Watchdog.rule list ->
+  ?slow_k:int ->
+  ?head_every:int ->
+  'a Types.network ->
+  'a t
 
-(** Remove the board's sink from the network. *)
+(** Remove the board's sink from the network and unregister its
+    watchdog (if any). *)
 val detach : 'a Types.network -> unit
 
 val sink_name : string
@@ -32,10 +64,27 @@ val metrics : 'a t -> Metrics.t
 
 val profiler : 'a t -> Profiler.t
 
+val monitored : 'a t -> bool
+
+(** The monitor pieces; [None] unless built with [~monitor:true]. *)
+val window : 'a t -> Window.t option
+
+val sampler : 'a t -> 'a Sampler.t option
+
+val watchdog : 'a t -> Watchdog.t option
+
 (** Completed episode spans currently in the ring, oldest first. *)
 val spans : 'a t -> Types.episode_span list
 
 val hotspots : ?k:int -> 'a t -> Profiler.entry list
+
+(** Force a window boundary now if the current window holds any
+    episodes (so a one-shot health report sees a completed,
+    watchdog-evaluated window). No-op without a monitor. *)
+val checkpoint : 'a t -> unit
+
+(** Last window, current window, alert status, exemplar summary. *)
+val pp_health : Format.formatter -> 'a t -> unit
 
 (** Metrics + hotspots, human-readable. *)
 val pp_summary : Format.formatter -> 'a t -> unit

@@ -95,6 +95,20 @@ let default_time_bounds =
 let default_size_bounds =
   [| 0.; 1.; 2.; 4.; 8.; 16.; 32.; 64.; 128.; 256.; 512.; 1024.; 4096. |]
 
+(* An unregistered histogram, for embedding in other structures (the
+   rolling windows of {!Window} allocate one per slot; registering those
+   would grow the registry without bound). *)
+let histogram_standalone ?(bounds = default_time_bounds) name =
+  {
+    h_name = name;
+    h_bounds = bounds;
+    h_counts = Array.make (Array.length bounds + 1) 0;
+    h_count = 0;
+    h_sum = 0.;
+    h_min = infinity;
+    h_max = neg_infinity;
+  }
+
 let histogram ?(bounds = default_time_bounds) t name =
   match find t name with
   | Some (Histogram h) -> h

@@ -43,6 +43,11 @@ val set_gauge : gauge -> float -> unit
     meant for microseconds). *)
 val histogram : ?bounds:float array -> t -> string -> histogram
 
+(** [histogram_standalone ?bounds name] — a histogram that belongs to no
+    registry, for embedding in other structures (e.g. one per rolling
+    window slot) without growing a registry forever. *)
+val histogram_standalone : ?bounds:float array -> string -> histogram
+
 val observe : histogram -> float -> unit
 
 val default_time_bounds : float array

@@ -66,6 +66,20 @@ let to_list r =
       let j = (r.r_seen - len + i) land r.r_mask in
       { te_episode = r.r_ep.(j); te_seq = r.r_seq.(j); te_event = r.r_ev.(j) })
 
+(* Events from absolute stream position [from_] (the value [seen]
+   returned when the caller marked its spot) to the present, oldest
+   first.  Anything already evicted is silently absent; [since_complete]
+   tells the caller whether the range survived intact. *)
+let since r from_ =
+  let len = length r in
+  let lo = max (max 0 from_) (r.r_seen - len) in
+  let n = r.r_seen - lo in
+  List.init n (fun i ->
+      let j = (lo + i) land r.r_mask in
+      { te_episode = r.r_ep.(j); te_seq = r.r_seq.(j); te_event = r.r_ev.(j) })
+
+let since_complete r from_ = max 0 from_ >= r.r_seen - length r
+
 let spans r =
   List.filter_map
     (fun te ->

@@ -21,6 +21,15 @@ val push : 'a t -> int -> int -> 'a trace_event -> unit
 (** Events currently held, oldest first. *)
 val to_list : 'a t -> 'a tagged_event list
 
+(** [since r p] — events from absolute stream position [p] (a value of
+    {!seen} captured earlier) to the present, oldest first. Events
+    already evicted by wrap-around are absent from the result. *)
+val since : 'a t -> int -> 'a tagged_event list
+
+(** [since_complete r p] — did every event since position [p] survive
+    (nothing in the range was evicted)? *)
+val since_complete : 'a t -> int -> bool
+
 (** Completed episode spans currently held, oldest first. *)
 val spans : 'a t -> episode_span list
 

@@ -19,7 +19,7 @@ type session = {
 }
 
 let session env =
-  { ss_env = env; ss_board = Obs.Board.attach (Stem.Env.cnet env);
+  { ss_env = env; ss_board = Obs.Board.attach ~monitor:true (Stem.Env.cnet env);
     ss_prov =
       Obs.Provenance.attach ~pp_value:Dval.to_string (Stem.Env.cnet env);
     ss_jsonl = None }
@@ -59,6 +59,12 @@ let help_text =
   \  hotspots [K]           top-K constraint kinds by activation count\n\
   \  trace jsonl FILE       start exporting trace events to FILE (JSONL)\n\
   \  trace off              stop the JSONL export\n\
+  \  health                 one-shot health report (window, alerts, exemplars)\n\
+  \  window [N]             last N completed telemetry windows + the current one\n\
+  \  exemplars [N]          captured episode exemplars; N = full trace of the N-th newest\n\
+  \  alerts                 watchdog status, alert transitions, process roll-up\n\
+  \  dot FILE               write the constraint graph (heat-annotated DOT) to FILE\n\
+  \  topo                   structural statistics (fan-out, depth, cycles)\n\
   \  why PATH               causal chain: why does PATH hold its value?\n\
   \  blame PATH             forward fan-out: everything derived from PATH\n\
   \  critical [EP]          longest causal chain of an episode (default last)\n\
@@ -253,6 +259,85 @@ let execute ss line =
   | [ "trace"; "off" ] ->
     if trace_off ss then Fmt.pr "  trace export stopped@."
     else Fmt.pr "  no trace export active@.";
+    true
+  | [ "health" ] ->
+    Obs.Board.checkpoint ss.ss_board;
+    Fmt.pr "%a@." Obs.Board.pp_health ss.ss_board;
+    true
+  | "window" :: rest ->
+    (match Obs.Board.window ss.ss_board with
+    | None -> Fmt.pr "  monitoring off@."
+    | Some w ->
+      let completed = Obs.Window.completed w in
+      let completed =
+        match rest with
+        | [ n ] -> (
+          match int_of_string_opt n with
+          | Some n when n >= 0 ->
+            let len = List.length completed in
+            if len > n then List.filteri (fun i _ -> i >= len - n) completed
+            else completed
+          | _ ->
+            Fmt.pr "  window count must be a non-negative integer@.";
+            [])
+        | _ -> completed
+      in
+      List.iter
+        (fun s -> Fmt.pr "  %a@." Obs.Window.pp_snapshot s)
+        completed;
+      let cur = Obs.Window.current w in
+      Fmt.pr "  current %a@." Obs.Window.pp_snapshot cur);
+    true
+  | "exemplars" :: rest ->
+    (match Obs.Board.sampler ss.ss_board with
+    | None -> Fmt.pr "  monitoring off@."
+    | Some sam -> (
+      let exs = List.rev (Obs.Sampler.exemplars sam) in
+      (* newest first *)
+      match rest with
+      | [] ->
+        if exs = [] then Fmt.pr "  no exemplars captured yet@."
+        else
+          List.iteri
+            (fun i ex -> Fmt.pr "  %2d. %a@." (i + 1) Obs.Sampler.pp_exemplar ex)
+            exs
+      | [ n ] -> (
+        match int_of_string_opt n with
+        | Some n when n >= 1 && n <= List.length exs ->
+          Fmt.pr "%a@." Obs.Sampler.pp_exemplar_events (List.nth exs (n - 1))
+        | Some _ -> Fmt.pr "  no exemplar #%s (have %d)@." n (List.length exs)
+        | None -> Fmt.pr "  exemplar index must be an integer@.")
+      | _ -> Fmt.pr "  usage: exemplars [N]@."));
+    true
+  | [ "alerts" ] ->
+    (match Obs.Board.watchdog ss.ss_board with
+    | None -> Fmt.pr "  monitoring off@."
+    | Some wd ->
+      Fmt.pr "  status: %a@." Obs.Watchdog.pp_status wd;
+      (match Obs.Watchdog.alerts wd with
+      | [] -> Fmt.pr "  no alert transitions recorded@."
+      | alerts ->
+        List.iter (fun a -> Fmt.pr "  %a@." Obs.Watchdog.pp_alert a) alerts);
+      Fmt.pr "  -- process roll-up --@.%a@." Obs.Watchdog.pp_health ());
+    true
+  | [ "dot"; file ] ->
+    let dot =
+      Obs.Topo.to_dot
+        ~profiler:(Obs.Board.profiler ss.ss_board)
+        ~metrics:(Obs.Board.metrics ss.ss_board)
+        cnet
+    in
+    (match open_out file with
+    | oc ->
+      output_string oc dot;
+      close_out oc;
+      let s = Obs.Topo.stats cnet in
+      Fmt.pr "  wrote %s (%d vars, %d constraints, %d edges)@." file
+        s.Obs.Topo.tp_vars s.Obs.Topo.tp_cstrs s.Obs.Topo.tp_edges
+    | exception Sys_error msg -> Fmt.pr "  cannot open %s: %s@." file msg);
+    true
+  | [ "topo" ] ->
+    Fmt.pr "%a@." Obs.Topo.pp_stats (Obs.Topo.stats cnet);
     true
   | [ "why"; path ] ->
     with_var cnet path (fun v ->

@@ -15,6 +15,7 @@ let () =
       Test_kernel_edge.suite;
       Test_faults.suite;
       Test_obs.suite;
+      Test_monitor.suite;
       Test_stem_more.suite;
       Test_shell.suite;
       Test_persist.suite;

@@ -196,6 +196,79 @@ let test_ring_eviction () =
   Obs.Ring.clear ring;
   Alcotest.(check int) "clear empties" 0 (Obs.Ring.length ring)
 
+(* Wrap-around eviction with a sink added mid-episode: the ring only
+   sees events emitted after attachment — nothing from before the sink
+   existed may surface — and [since]/[since_complete] account honestly
+   for positions evicted by the wrap. *)
+let test_ring_wrap_mid_episode () =
+  let net = mknet () in
+  let a, _, _, _, _ = chain net in
+  (* pre-attachment traffic the ring must never see *)
+  ignore (Engine.set net a 100);
+  ignore (Engine.set net a 101);
+  (* 16 slots: one ~9-event episode fits, a handful of episodes wrap *)
+  let ring = Obs.Ring.create ~capacity:16 () in
+  let installed = ref false in
+  (* a sink that installs the ring sink *while an episode is running*:
+     the ring's first event is mid-episode, not an episode start *)
+  Engine.add_sink net
+    (Types.sink ~name:"installer" (fun te ->
+         match te.Types.te_event with
+         | Types.T_assign _ when not !installed ->
+           installed := true;
+           Engine.add_sink net (Obs.Ring.sink ring)
+         | _ -> ()));
+  ignore (Engine.set net a 1);
+  Alcotest.(check bool) "sink installed mid-episode" true !installed;
+  let has_value v =
+    List.exists
+      (fun te ->
+        match te.Types.te_event with
+        | Types.T_assign (_, x, _) -> x = v
+        | _ -> false)
+      (Obs.Ring.to_list ring)
+  in
+  Alcotest.(check bool) "pre-attachment assigns absent" false
+    (has_value 100 || has_value 101);
+  (* the enclosing episode's start predates the attachment *)
+  Alcotest.(check bool) "no start event for the partial episode" true
+    (List.for_all
+       (fun te ->
+         match te.Types.te_event with
+         | Types.T_episode_start _ -> false
+         | _ -> true)
+       (Obs.Ring.to_list ring));
+  Alcotest.(check bool) "but its end was captured" true
+    (List.exists
+       (fun te ->
+         match te.Types.te_event with
+         | Types.T_episode_end _ -> true
+         | _ -> false)
+       (Obs.Ring.to_list ring));
+  (* mark a stream position, wrap the ring past it, and check the
+     honest-extraction contract *)
+  let mark = Obs.Ring.seen ring in
+  ignore (Engine.set net a 2);
+  Alcotest.(check bool) "nothing evicted yet: range complete" true
+    (Obs.Ring.since_complete ring mark);
+  let r1 = Obs.Ring.since ring mark in
+  Alcotest.(check int) "since returns exactly the new events"
+    (Obs.Ring.seen ring - mark)
+    (List.length r1);
+  for i = 3 to 6 do
+    ignore (Engine.set net a i)
+  done;
+  Alcotest.(check bool) "wrap evicted the marked range" false
+    (Obs.Ring.since_complete ring mark);
+  let r2 = Obs.Ring.since ring mark in
+  Alcotest.(check int) "truncated result = whatever survives"
+    (Obs.Ring.length ring) (List.length r2);
+  (* everything older than the horizon is gone, so the survivors are
+     exactly the ring's full contents, in the same order *)
+  Alcotest.(check (list int)) "survivors are the ring's contents"
+    (List.map (fun te -> te.Types.te_seq) (Obs.Ring.to_list ring))
+    (List.map (fun te -> te.Types.te_seq) r2)
+
 (* ---------------- metrics ---------------- *)
 
 let test_metrics_agree_with_stats () =
@@ -248,6 +321,53 @@ let test_metrics_kind_clash_and_quantiles () =
   Obs.Metrics.set_gauge g 1.;
   Alcotest.(check (float 0.)) "gauge keeps max" 3. (Obs.Metrics.gauge_max g);
   Alcotest.(check (float 0.)) "gauge keeps last" 1. (Obs.Metrics.gauge_last g)
+
+(* Quantile/mean edge cases: empty histogram, single sample, the
+   q=0/q=1 extremes, and samples beyond the last bucket bound (the
+   overflow bucket), where interpolation must stay clamped to the
+   observed extremes rather than invent a bucket upper edge. *)
+let test_metrics_quantile_edge_cases () =
+  let m = Obs.Metrics.create () in
+  let empty = Obs.Metrics.histogram m "empty" in
+  Alcotest.(check (float 0.)) "empty mean is 0" 0. (Obs.Metrics.mean empty);
+  Alcotest.(check int) "empty has no samples" 0 (Obs.Metrics.samples empty);
+  List.iter
+    (fun q ->
+      Alcotest.(check (float 0.))
+        (Printf.sprintf "empty q=%g is 0" q)
+        0.
+        (Obs.Metrics.quantile empty q))
+    [ 0.0; 0.5; 0.99; 1.0 ];
+  let single = Obs.Metrics.histogram m "single" in
+  Obs.Metrics.observe single 42.0;
+  Alcotest.(check (float 1e-9)) "single-sample mean" 42.0
+    (Obs.Metrics.mean single);
+  List.iter
+    (fun q ->
+      Alcotest.(check (float 1e-9))
+        (Printf.sprintf "every quantile of one sample is it (q=%g)" q)
+        42.0
+        (Obs.Metrics.quantile single q))
+    [ 0.0; 0.5; 0.99; 1.0 ];
+  (* beyond the last bucket bound: bounds top out at 2.0, samples don't *)
+  let over = Obs.Metrics.histogram ~bounds:[| 1.0; 2.0 |] m "over" in
+  List.iter (fun v -> Obs.Metrics.observe over v) [ 0.5; 1.5; 50.0; 900.0 ];
+  Alcotest.(check (float 1e-9)) "mean uses true values, not buckets" 238.0
+    (Obs.Metrics.mean over);
+  Alcotest.(check (float 1e-9)) "q=0 clamps to the observed min" 0.5
+    (Obs.Metrics.quantile over 0.0);
+  Alcotest.(check (float 1e-9)) "q=1 clamps to the observed max" 900.0
+    (Obs.Metrics.quantile over 1.0);
+  let p99 = Obs.Metrics.quantile over 0.99 in
+  Alcotest.(check bool) "overflow-bucket quantile stays within data" true
+    (p99 > 2.0 && p99 <= 900.0);
+  (* a standalone histogram behaves identically but is unregistered *)
+  let st = Obs.Metrics.histogram_standalone ~bounds:[| 1.0; 2.0 |] "st" in
+  Obs.Metrics.observe st 42.0;
+  Alcotest.(check (float 1e-9)) "standalone quantile" 42.0
+    (Obs.Metrics.quantile st 0.5);
+  Alcotest.(check bool) "standalone is not registered" true
+    (Obs.Metrics.find m "st" = None)
 
 (* ---------------- profiler ---------------- *)
 
@@ -411,10 +531,10 @@ let test_board_bundle () =
 let test_deprecated_shims () =
   let net = mknet () in
   let a, b, _, _, _ = chain net in
-  (Engine.set_user [@warning "-3"]) net a 1 |> ignore;
-  Alcotest.(check (option int)) "set_user still assigns" (Some 1) (Var.value b);
-  (Engine.set_application [@warning "-3"]) net a 2 |> ignore;
-  Alcotest.(check bool) "set_application uses Application" true
+  ignore (Engine.set net a 1);
+  Alcotest.(check (option int)) "set propagates" (Some 1) (Var.value b);
+  ignore (Engine.set ~just:Types.Application net a 2);
+  Alcotest.(check bool) "set ~just:Application records Application" true
     (match Var.justification a with Types.Application -> true | _ -> false);
   let hits = ref 0 in
   (Engine.set_trace [@warning "-3"]) net (Some (fun _ -> incr hits));
@@ -683,10 +803,14 @@ let suite =
       Alcotest.test_case "rolled-back span on fault" `Quick
         test_rolled_back_span_on_fault;
       Alcotest.test_case "ring eviction" `Quick test_ring_eviction;
+      Alcotest.test_case "ring wrap with mid-episode sink" `Quick
+        test_ring_wrap_mid_episode;
       Alcotest.test_case "metrics agree with stats" `Quick
         test_metrics_agree_with_stats;
       Alcotest.test_case "metrics kinds and quantiles" `Quick
         test_metrics_kind_clash_and_quantiles;
+      Alcotest.test_case "metrics quantile edge cases" `Quick
+        test_metrics_quantile_edge_cases;
       Alcotest.test_case "profiler hotspots" `Quick test_profiler_hotspots;
       Alcotest.test_case "jsonl round-trip" `Quick test_jsonl_roundtrip;
       Alcotest.test_case "jsonl escaping" `Quick test_jsonl_escaping;

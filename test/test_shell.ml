@@ -97,6 +97,54 @@ let test_observability_commands () =
   Alcotest.(check bool) "no-episode case reported" true
     (contains out "no completed episodes")
 
+let test_health_commands () =
+  let env = mkenv () in
+  let out =
+    run env
+      [
+        "set REG8.d->q.delay 45.0";
+        "set REG8.d->q.delay 50.0";
+        "set ADDER8.a->s.delay 130.0" (* violates: one rolled-back episode *);
+        "health";
+        "window";
+        "exemplars";
+        "exemplars 1";
+        "alerts";
+        "topo";
+      ]
+  in
+  Alcotest.(check bool) "health shows a window line" true
+    (contains out "episodes");
+  Alcotest.(check bool) "health shows latency quantiles" true
+    (contains out "p99");
+  Alcotest.(check bool) "health shows alert status" true
+    (contains out "alerts:");
+  Alcotest.(check bool) "health counts exemplars" true
+    (contains out "exemplars:");
+  Alcotest.(check bool) "exemplar list names a reason" true
+    (contains out "slow" || contains out "violating");
+  Alcotest.(check bool) "exemplar detail prints the event trace" true
+    (contains out "start (set)" && contains out "<-");
+  Alcotest.(check bool) "alerts prints the roll-up" true
+    (contains out "watchdog" || contains out "OK" || contains out "FIRING");
+  Alcotest.(check bool) "topo prints structural stats" true
+    (contains out "derivation depth");
+  (* dot export writes a parseable document *)
+  let file = Filename.temp_file "stem_shell_topo" ".dot" in
+  Fun.protect
+    ~finally:(fun () -> try Sys.remove file with Sys_error _ -> ())
+    (fun () ->
+      let out = run env [ Printf.sprintf "dot %s" file ] in
+      Alcotest.(check bool) "dot reports the write" true (contains out file);
+      let ic = open_in file in
+      let n = in_channel_length ic in
+      let doc = really_input_string ic n in
+      close_in ic;
+      Alcotest.(check bool) "graph block" true (contains doc "graph stem {");
+      Alcotest.(check bool) "heat or plain constraint nodes" true
+        (contains doc "shape=box");
+      Alcotest.(check bool) "edges present" true (contains doc " -- "))
+
 let test_trace_jsonl_command () =
   let env = mkenv () in
   let file = Filename.temp_file "stem_shell_trace" ".jsonl" in
@@ -141,5 +189,6 @@ let suite =
       tc "bad input" `Quick test_bad_input;
       tc "disable/enable/remove" `Quick test_disable_enable_remove;
       tc "observability commands" `Quick test_observability_commands;
+      tc "health and topology commands" `Quick test_health_commands;
       tc "trace jsonl export" `Quick test_trace_jsonl_command;
     ] )
