@@ -416,7 +416,7 @@ let health_setup ~window_width =
   in
   (env, net, board, round)
 
-let run_health edits window_eps dot_file =
+let run_health edits window_eps dot_file json =
   setup_logs ();
   let open Constraint_kernel in
   let _env, net, board, round =
@@ -426,6 +426,19 @@ let run_health edits window_eps dot_file =
     round i
   done;
   Obs.Board.checkpoint board;
+  if json then begin
+    (* machine-ingestible mode: the watchdog's alert transitions as
+       schema-v2 JSONL "alert" records, one per line — parseable by
+       Obs.Jsonl.parse_line and replay-compatible (R_other) *)
+    (match Obs.Board.watchdog board with
+    | None -> ()
+    | Some wd ->
+      List.iter
+        (fun a -> print_endline (Obs.Watchdog.alert_json a))
+        (Obs.Watchdog.alerts wd));
+    if Obs.Watchdog.healthy () then 0 else 1
+  end
+  else begin
   Fmt.pr "== health: net '%s' ==@.%a@." net.Types.net_name Obs.Board.pp_health
     board;
   (match Obs.Board.sampler board with
@@ -453,6 +466,7 @@ let run_health edits window_eps dot_file =
     Fmt.pr "@.topology written to %s (%d vars, %d constraints, %d edges)@."
       file s.Obs.Topo.tp_vars s.Obs.Topo.tp_cstrs s.Obs.Topo.tp_edges);
   if Obs.Watchdog.healthy () then 0 else 1
+  end
 
 let health_cmd =
   let edits =
@@ -467,11 +481,17 @@ let health_cmd =
          & info [ "dot" ] ~docv:"FILE"
              ~doc:"Also write the heat-annotated constraint graph (DOT).")
   in
+  let json =
+    Arg.(value & flag
+         & info [ "json" ]
+             ~doc:"Print the watchdog's alert transitions as schema-v2 JSONL \
+                   records instead of the human report.")
+  in
   Cmd.v
     (Cmd.info "health"
        ~doc:"One-shot health report: window telemetry, latency quantiles, \
              slow-episode exemplars and watchdog alerts")
-    Term.(const run_health $ edits $ window $ dot)
+    Term.(const run_health $ edits $ window $ dot $ json)
 
 let run_top seconds interval =
   setup_logs ();
@@ -522,6 +542,132 @@ let top_cmd =
     (Cmd.info "top"
        ~doc:"Periodic health refresh over N seconds (time-based windows)")
     Term.(const run_top $ seconds $ interval)
+
+(* ---------------- serve / scrape ---------------- *)
+
+(* The telemetry daemon: the same monitored accumulator workload as
+   `stem health`, kept propagating at a configurable rate while the
+   HTTP server exposes /metrics, /healthz, /events &c.  SIGINT/SIGTERM
+   stop it gracefully (server drained and joined, summary printed) —
+   the CI smoke test drives exactly this. *)
+let run_serve bind port rate duration window_eps =
+  setup_logs ();
+  (* the workload violates one spec per round by design (so windows and
+     exemplars always have content); at 50 rounds/s that would flood
+     stderr with warnings — remote consumers read /alerts instead *)
+  Logs.set_level (Some Logs.Error);
+  let _env, net, board, round =
+    health_setup ~window_width:(Obs.Window.Episodes window_eps)
+  in
+  Serve.expose ~pp_value:Dval.to_string ~board net;
+  match Serve.start ~bind_addr:bind ~port () with
+  | exception Unix.Unix_error (e, _, _) ->
+    Fmt.epr "cannot bind %s:%d: %s@." bind port (Unix.error_message e);
+    1
+  | sv ->
+    let stopping = ref false in
+    let on_signal = Sys.Signal_handle (fun _ -> stopping := true) in
+    (try Sys.set_signal Sys.sigint on_signal with Invalid_argument _ -> ());
+    (try Sys.set_signal Sys.sigterm on_signal with Invalid_argument _ -> ());
+    Fmt.pr
+      "telemetry server on http://%s:%d (net '%s'; /metrics /healthz /alerts \
+       /exemplars /spans /topo.dot /events) — Ctrl-C to stop@."
+      bind (Serve.port sv)
+      net.Constraint_kernel.Types.net_name;
+    let t0 = Unix.gettimeofday () in
+    let period = if rate <= 0.0 then 0.02 else 1.0 /. rate in
+    let tick = ref 0 in
+    while
+      (not !stopping)
+      && (duration <= 0.0 || Unix.gettimeofday () -. t0 < duration)
+    do
+      incr tick;
+      round !tick;
+      try Unix.sleepf period with Unix.Unix_error (EINTR, _, _) -> ()
+    done;
+    Obs.Board.checkpoint board;
+    Serve.stop sv;
+    ignore (Serve.unexpose net.Constraint_kernel.Types.net_name);
+    let st = Serve.stream_stats () in
+    Fmt.pr
+      "stopped after %.1fs: %d edit round(s), %d request(s) served, %d event \
+       line(s) streamed (%d dropped)@."
+      (Unix.gettimeofday () -. t0)
+      !tick (Serve.requests_served ()) st.Serve.Stream.st_published
+      st.Serve.Stream.st_dropped;
+    0
+
+let serve_cmd =
+  let bind =
+    Arg.(value & opt string "127.0.0.1"
+         & info [ "bind" ] ~docv:"ADDR" ~doc:"Address to bind.")
+  in
+  let port =
+    Arg.(value & opt int 9464
+         & info [ "port" ] ~docv:"PORT" ~doc:"TCP port (0 = ephemeral).")
+  in
+  let rate =
+    Arg.(value & opt float 50.0
+         & info [ "rate" ] ~docv:"HZ" ~doc:"Edit rounds per second.")
+  in
+  let duration =
+    Arg.(value & opt float 0.0
+         & info [ "duration" ] ~docv:"S"
+             ~doc:"Stop after this many seconds (0 = run until SIGINT).")
+  in
+  let window =
+    Arg.(value & opt int 8
+         & info [ "window" ] ~docv:"EPISODES" ~doc:"Window width in episodes.")
+  in
+  Cmd.v
+    (Cmd.info "serve"
+       ~doc:"Run the demo workload under the HTTP telemetry server \
+             (Prometheus /metrics, /healthz, live /events NDJSON)")
+    Term.(const run_serve $ bind $ port $ rate $ duration $ window)
+
+(* In-tree scrape client, so tests and CI never need curl. *)
+let run_scrape host port path out =
+  setup_logs ();
+  match Serve.Client.get ~host ~port path with
+  | Error msg ->
+    Fmt.epr "scrape %s:%d%s failed: %s@." host port path msg;
+    1
+  | Ok r ->
+    (match out with
+    | None -> print_string r.Serve.Client.rs_body
+    | Some file ->
+      let oc = open_out file in
+      output_string oc r.Serve.Client.rs_body;
+      close_out oc;
+      Fmt.pr "wrote %s (%d bytes, HTTP %d)@." file
+        (String.length r.Serve.Client.rs_body)
+        r.Serve.Client.rs_status);
+    if r.Serve.Client.rs_status = 200 then 0
+    else begin
+      Fmt.epr "HTTP %d %s@." r.Serve.Client.rs_status r.Serve.Client.rs_reason;
+      1
+    end
+
+let scrape_cmd =
+  let host =
+    Arg.(value & opt string "127.0.0.1"
+         & info [ "host" ] ~docv:"HOST" ~doc:"Server host.")
+  in
+  let port =
+    Arg.(value & opt int 9464 & info [ "port" ] ~docv:"PORT" ~doc:"Server port.")
+  in
+  let path =
+    Arg.(value & pos 0 string "/metrics"
+         & info [] ~docv:"PATH" ~doc:"Endpoint path, e.g. /metrics.")
+  in
+  let out =
+    Arg.(value & opt (some string) None
+         & info [ "out" ] ~docv:"FILE" ~doc:"Write the body to FILE.")
+  in
+  Cmd.v
+    (Cmd.info "scrape"
+       ~doc:"Fetch one telemetry endpoint (exit 0 only on HTTP 200)")
+    Term.(const run_scrape $ host $ port $ path $ out)
 
 (* ---------------- why ---------------- *)
 
@@ -634,7 +780,7 @@ let main_cmd =
     [
       accumulator_cmd; select_cmd; simulate_cmd; inspect_cmd; check_cmd;
       edit_cmd; ripple_cmd; faults_cmd; trace_cmd; why_cmd; health_cmd;
-      top_cmd;
+      top_cmd; serve_cmd; scrape_cmd;
     ]
 
 let () = exit (Cmd.eval' main_cmd)

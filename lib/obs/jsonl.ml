@@ -108,8 +108,12 @@ let opt_field f buf k = function None -> () | Some v -> f buf k v
 (* Schema v2 adds: a "v" version field on every line; "just" and "deps"
    (semicolon-joined antecedent paths, captured at emit time) on assign
    lines; "pnet"/"pep"/"cause" parent-correlation fields on
-   episode_start lines. v1 lines simply lack those fields, so the
-   parser below reads both. *)
+   episode_start lines; an optional "net" field naming the emitting
+   network (written by the telemetry server's /events stream, where
+   several networks share one connection); and the "alert" record kind
+   (watchdog firing/cleared transitions — see [Watchdog.alert_json]),
+   which replay treats like any other non-value-moving event. v1 lines
+   simply lack those fields, so the parser below reads both. *)
 let schema_version = 2
 
 let just_string = function
@@ -120,13 +124,14 @@ let just_string = function
   | Tentative -> "tentative"
   | Propagated _ -> "propagated"
 
-let write_event ~pp_value buf ep seq ev =
+let write_event ?net ~pp_value buf ep seq ev =
   (* "seq" is written inline so every later field can lead with a comma
      unconditionally — no first-field bookkeeping on the hot path *)
   Buffer.add_string buf "{\"seq\":";
   Buffer.add_string buf (string_of_int seq);
   field_int buf "ep" ep;
   field_int buf "v" schema_version;
+  opt_field field_str buf "net" net;
   (let tag t = field_str buf "t" t in
    match ev with
    | T_assign (v, x, src) ->
@@ -199,9 +204,9 @@ let write_event ~pp_value buf ep seq ev =
 
 let default_pp_value _ = "<opaque>"
 
-let json_of_event ?(pp_value = default_pp_value) te =
+let json_of_event ?net ?(pp_value = default_pp_value) te =
   let buf = Buffer.create 128 in
-  write_event ~pp_value buf te.te_episode te.te_seq te.te_event;
+  write_event ?net ~pp_value buf te.te_episode te.te_seq te.te_event;
   Buffer.contents buf
 
 (* ---------------- sinks ---------------- *)

@@ -11,11 +11,13 @@
 
 open Constraint_kernel.Types
 
-(** [json_of_event ?pp_value te] — one line of JSON (no trailing
+(** [json_of_event ?net ?pp_value te] — one line of JSON (no trailing
     newline). [pp_value] renders assigned values (default
-    ["<opaque>"]). *)
+    ["<opaque>"]); [net] adds a ["net"] field naming the emitting
+    network (used by the telemetry server's [/events] stream, where
+    several networks share one connection). *)
 val json_of_event :
-  ?pp_value:('a -> string) -> 'a tagged_event -> string
+  ?net:string -> ?pp_value:('a -> string) -> 'a tagged_event -> string
 
 (** Sink writing one line per event to a channel. The caller owns the
     channel (flush/close). Default name ["jsonl"]. *)
@@ -59,7 +61,8 @@ val load_file_lenient :
 
 (** Schema version of the lines this module writes (currently 2: adds
     ["v"], assign ["just"]/["deps"], episode-start ["pnet"]/["pep"]/
-    ["cause"]). *)
+    ["cause"], the optional ["net"] field, and the ["alert"] record
+    kind written by [Watchdog.alert_json]). *)
 val schema_version : int
 
 (** The ["v"] field of a parsed line, defaulting to 1 for lines written

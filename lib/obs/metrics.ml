@@ -188,6 +188,157 @@ let pp_item ppf = function
 let render ppf t =
   Fmt.pf ppf "@[<v>%a@]" (Fmt.list ~sep:Fmt.cut pp_item) (items t)
 
+(* ---------------- Prometheus text exposition ---------------- *)
+
+(* The text exposition format (version 0.0.4) the Prometheus server
+   scrapes.  Names are sanitised to [a-zA-Z0-9_:] (our dotted names
+   become underscored); label values escape backslash, double-quote and
+   newline per the format spec; HELP text escapes backslash and
+   newline.  Counters gain the conventional "_total" suffix (unless the
+   sanitised name already ends in it), histograms render as cumulative
+   "_bucket" series plus "_sum"/"_count". *)
+
+let prometheus_escape s =
+  let clean =
+    let n = String.length s in
+    let rec go i =
+      i >= n
+      || (match String.unsafe_get s i with
+         | '\\' | '"' | '\n' -> false
+         | _ -> go (i + 1))
+    in
+    go 0
+  in
+  if clean then s
+  else begin
+    let buf = Buffer.create (String.length s + 8) in
+    String.iter
+      (fun c ->
+        match c with
+        | '\\' -> Buffer.add_string buf "\\\\"
+        | '"' -> Buffer.add_string buf "\\\""
+        | '\n' -> Buffer.add_string buf "\\n"
+        | c -> Buffer.add_char buf c)
+      s;
+    Buffer.contents buf
+  end
+
+(* HELP text: only backslash and newline are escaped (quotes are legal
+   there). *)
+let help_escape s =
+  let buf = Buffer.create (String.length s) in
+  String.iter
+    (fun c ->
+      match c with
+      | '\\' -> Buffer.add_string buf "\\\\"
+      | '\n' -> Buffer.add_string buf "\\n"
+      | c -> Buffer.add_char buf c)
+    s;
+  Buffer.contents buf
+
+let prometheus_name ?(namespace = "stem") name =
+  let buf = Buffer.create (String.length name + String.length namespace + 1) in
+  if namespace <> "" then begin
+    Buffer.add_string buf namespace;
+    Buffer.add_char buf '_'
+  end;
+  String.iteri
+    (fun i c ->
+      match c with
+      | 'a' .. 'z' | 'A' .. 'Z' | '_' | ':' -> Buffer.add_char buf c
+      | '0' .. '9' ->
+        if i = 0 && namespace = "" then Buffer.add_char buf '_';
+        Buffer.add_char buf c
+      | _ -> Buffer.add_char buf '_')
+    name;
+  Buffer.contents buf
+
+let prometheus_family ?namespace it =
+  match it with
+  | Counter c ->
+    let base = prometheus_name ?namespace c.c_name in
+    let fam =
+      if String.length base >= 6 && String.sub base (String.length base - 6) 6 = "_total"
+      then base
+      else base ^ "_total"
+    in
+    (fam, "counter")
+  | Gauge g -> (prometheus_name ?namespace g.g_name, "gauge")
+  | Histogram h -> (prometheus_name ?namespace h.h_name, "histogram")
+
+let add_label_set buf = function
+  | [] -> ()
+  | labels ->
+    Buffer.add_char buf '{';
+    List.iteri
+      (fun i (k, v) ->
+        if i > 0 then Buffer.add_char buf ',';
+        Buffer.add_string buf k;
+        Buffer.add_string buf "=\"";
+        Buffer.add_string buf (prometheus_escape v);
+        Buffer.add_char buf '"')
+      labels;
+    Buffer.add_char buf '}'
+
+let add_series buf name labels value =
+  Buffer.add_string buf name;
+  add_label_set buf labels;
+  Buffer.add_char buf ' ';
+  Buffer.add_string buf value;
+  Buffer.add_char buf '\n'
+
+(* %g never produces the "Inf"/"NaN" spellings Prometheus wants, so
+   special-case the non-finite values. *)
+let prom_float v =
+  match Float.classify_float v with
+  | FP_nan -> "NaN"
+  | FP_infinite -> if v > 0. then "+Inf" else "-Inf"
+  | _ -> Printf.sprintf "%g" v
+
+let render_prometheus_series ?namespace ?(labels = []) buf it =
+  let fam, _ = prometheus_family ?namespace it in
+  match it with
+  | Counter c -> add_series buf fam labels (string_of_int c.c_count)
+  | Gauge g -> add_series buf fam labels (prom_float g.g_last)
+  | Histogram h ->
+    let acc = ref 0 in
+    Array.iteri
+      (fun i bound ->
+        acc := !acc + h.h_counts.(i);
+        add_series buf (fam ^ "_bucket")
+          (labels @ [ ("le", prom_float bound) ])
+          (string_of_int !acc))
+      h.h_bounds;
+    add_series buf (fam ^ "_bucket")
+      (labels @ [ ("le", "+Inf") ])
+      (string_of_int h.h_count);
+    add_series buf (fam ^ "_sum") labels (prom_float h.h_sum);
+    add_series buf (fam ^ "_count") labels (string_of_int h.h_count)
+
+let add_family_header buf ~fam ~ty ~help =
+  Buffer.add_string buf "# HELP ";
+  Buffer.add_string buf fam;
+  Buffer.add_char buf ' ';
+  Buffer.add_string buf (help_escape help);
+  Buffer.add_char buf '\n';
+  Buffer.add_string buf "# TYPE ";
+  Buffer.add_string buf fam;
+  Buffer.add_char buf ' ';
+  Buffer.add_string buf ty;
+  Buffer.add_char buf '\n'
+
+let render_prometheus ?namespace ?labels ?seen buf t =
+  let seen = match seen with Some s -> s | None -> Hashtbl.create 16 in
+  List.iter
+    (fun it ->
+      let fam, ty = prometheus_family ?namespace it in
+      if not (Hashtbl.mem seen fam) then begin
+        Hashtbl.add seen fam ();
+        add_family_header buf ~fam ~ty ~help:(item_name it)
+      end;
+      render_prometheus_series ?namespace ?labels buf it)
+    (items t)
+
 (* ---------------- the kernel sink ---------------- *)
 
 (* Aggregates a network's event stream: one counter per event type,

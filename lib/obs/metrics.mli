@@ -76,6 +76,45 @@ val pp_item : Format.formatter -> item -> unit
 
 val render : Format.formatter -> t -> unit
 
+(** {1 Prometheus text exposition (format version 0.0.4)}
+
+    Dotted instrument names sanitise to underscored families under a
+    namespace prefix (default ["stem"]): ["episode.latency_us"] becomes
+    ["stem_episode_latency_us"]. Counters gain the conventional
+    ["_total"] suffix (unless already present), histograms render as
+    cumulative ["_bucket"] series (with an ["le"] label per bound plus
+    ["+Inf"]) and ["_sum"]/["_count"]. *)
+
+(** Escape a label value: backslash, double-quote and newline become
+    their backslash escapes. *)
+val prometheus_escape : string -> string
+
+(** Sanitise one metric name ([a-zA-Z0-9_:] kept, everything else
+    [_]) under [namespace] (default ["stem"]; [""] for none). *)
+val prometheus_name : ?namespace:string -> string -> string
+
+(** Family name (counters suffixed ["_total"]) and exposition type
+    (["counter"], ["gauge"] or ["histogram"]). *)
+val prometheus_family : ?namespace:string -> item -> string * string
+
+(** Series lines only (no [# HELP]/[# TYPE]), with [labels] on every
+    sample — the building block multi-network expositions use to keep
+    each family's series contiguous across registries. *)
+val render_prometheus_series :
+  ?namespace:string -> ?labels:(string * string) list -> Buffer.t -> item -> unit
+
+(** Whole registry, [# HELP]/[# TYPE] headers included. [seen]
+    suppresses headers for families already rendered into [buf] (pass
+    one table across several calls when concatenating registries whose
+    families do not interleave). *)
+val render_prometheus :
+  ?namespace:string ->
+  ?labels:(string * string) list ->
+  ?seen:(string, unit) Hashtbl.t ->
+  Buffer.t ->
+  t ->
+  unit
+
 (** The aggregating trace sink (default name ["metrics"]). *)
 val kernel_sink : ?name:string -> t -> 'a sink
 

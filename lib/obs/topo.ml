@@ -163,6 +163,12 @@ let pp_stats ppf s =
 
 (* ---------------- DOT export ---------------- *)
 
+(* User-supplied cell/constraint names end up inside quoted DOT
+   strings: quotes and backslashes are escaped, newlines become the \n
+   label escape ('\r' is DOT's right-justified line break, so it gets
+   its own escape), and any other non-printable control byte renders as
+   a literal "\xNN" placeholder (double backslash: DOT passes the
+   unknown escape through) instead of corrupting the output stream. *)
 let dot_escape s =
   let buf = Buffer.create (String.length s + 8) in
   String.iter
@@ -171,6 +177,9 @@ let dot_escape s =
       | '"' -> Buffer.add_string buf "\\\""
       | '\\' -> Buffer.add_string buf "\\\\"
       | '\n' -> Buffer.add_string buf "\\n"
+      | '\r' -> Buffer.add_string buf "\\r"
+      | c when Char.code c < 0x20 || Char.code c = 0x7f ->
+        Buffer.add_string buf (Printf.sprintf "\\x%02x" (Char.code c))
       | c -> Buffer.add_char buf c)
     s;
   Buffer.contents buf

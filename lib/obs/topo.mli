@@ -32,6 +32,11 @@ val stats : 'a network -> stats
 
 val pp_stats : Format.formatter -> stats -> unit
 
+(** Escape one user-supplied string for inclusion in a quoted DOT
+    string: quotes/backslashes escaped, [\n]/[\r] as DOT line-break
+    escapes, other control bytes as literal [\xNN] placeholders. *)
+val dot_escape : string -> string
+
 (** [to_dot net] — a complete [graph { … }] document. [?profiler]
     supplies activation heat, [?metrics] the latency quantiles for the
     graph label, [~values:false] omits variable values, [?max_nodes]

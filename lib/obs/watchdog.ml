@@ -182,6 +182,18 @@ let healthy () = List.for_all (fun (_, ok, _) -> ok) (health ())
 
 (* ---------------- rendering ---------------- *)
 
+(* Schema-v2 "alert" record: same flat shape as the trace lines, so a
+   health log can be interleaved with (or appended to) a JSONL trace
+   and still round-trip through [Jsonl.parse_line] / replay (which
+   files unknown kinds under R_other). *)
+let alert_json a =
+  Printf.sprintf
+    "{\"v\":%d,\"t\":\"alert\",\"net\":\"%s\",\"rule\":\"%s\",\"window\":%d,\"state\":\"%s\",\"detail\":\"%s\"}"
+    Jsonl.schema_version (Jsonl.escape a.al_net) (Jsonl.escape a.al_rule)
+    a.al_window
+    (match a.al_state with `Firing -> "firing" | `Cleared -> "cleared")
+    (Jsonl.escape a.al_detail)
+
 let pp_alert ppf a =
   match a.al_state with
   | `Firing ->

@@ -85,6 +85,12 @@ val health : unit -> (string * bool * (string * string) list) list
 (** Are all registered watchdogs quiet? *)
 val healthy : unit -> bool
 
+(** One alert transition as a schema-v2 JSONL record ([{"v":2,
+    "t":"alert","net":…,"rule":…,"window":…,"state":"firing"|"cleared",
+    "detail":…}]) — parseable by [Jsonl.parse_line] and ignored as
+    [R_other] by replay, so health logs interleave with traces. *)
+val alert_json : alert -> string
+
 val pp_alert : Format.formatter -> alert -> unit
 
 (** One watchdog's current status ("OK (...)" or the firing rules). *)

@@ -1,0 +1,152 @@
+type response = {
+  rs_status : int;
+  rs_reason : string;
+  rs_headers : (string * string) list;
+  rs_body : string;
+}
+
+let split_on_first c s =
+  match String.index_opt s c with
+  | None -> (s, None)
+  | Some i ->
+    (String.sub s 0 i, Some (String.sub s (i + 1) (String.length s - i - 1)))
+
+(* "HTTP/1.1 200 OK" *)
+let parse_status_line line =
+  match String.split_on_char ' ' line with
+  | version :: code :: rest
+    when String.length version >= 5 && String.sub version 0 5 = "HTTP/" -> (
+    match int_of_string_opt code with
+    | Some status -> Ok (status, String.concat " " rest)
+    | None -> Error ("bad status code: " ^ code))
+  | _ -> Error ("bad status line: " ^ line)
+
+let parse_headers lines =
+  List.filter_map
+    (fun l ->
+      if l = "" then None
+      else
+        let k, v = split_on_first ':' l in
+        Some (String.lowercase_ascii k, String.trim (Option.value v ~default:"")))
+    lines
+
+(* Chunked transfer decoding: size-line (hex, optional extensions
+   after ';'), data, CRLF, ..., zero chunk, optional trailers. *)
+let decode_chunked s =
+  let n = String.length s in
+  let buf = Buffer.create n in
+  let rec line_end i = if i >= n then n else if s.[i] = '\n' then i else line_end (i + 1) in
+  let rec go i =
+    if i >= n then Error "truncated chunked body"
+    else
+      let le = line_end i in
+      let raw = String.sub s i (le - i) in
+      let raw = String.trim (fst (split_on_first ';' raw)) in
+      match int_of_string_opt ("0x" ^ raw) with
+      | None -> Error ("bad chunk size: " ^ raw)
+      | Some 0 -> Ok (Buffer.contents buf)
+      | Some size ->
+        let data_start = le + 1 in
+        if data_start + size > n then Error "truncated chunk"
+        else begin
+          Buffer.add_string buf (String.sub s data_start size);
+          (* skip data + CRLF (tolerate bare LF) *)
+          let j = data_start + size in
+          let j = if j < n && s.[j] = '\r' then j + 1 else j in
+          let j = if j < n && s.[j] = '\n' then j + 1 else j in
+          go j
+        end
+  in
+  go 0
+
+let find_head_end s =
+  let n = String.length s in
+  let rec go i =
+    if i >= n then None
+    else if s.[i] = '\n' then
+      if i + 1 < n && s.[i + 1] = '\n' then Some (i + 1, 1)
+      else if i + 2 < n && s.[i + 1] = '\r' && s.[i + 2] = '\n' then
+        Some (i + 1, 2)
+      else go (i + 1)
+    else go (i + 1)
+  in
+  go 0
+
+let read_all fd =
+  let buf = Buffer.create 4096 in
+  let chunk = Bytes.create 4096 in
+  let rec go () =
+    match Unix.read fd chunk 0 (Bytes.length chunk) with
+    | 0 -> Buffer.contents buf
+    | n ->
+      Buffer.add_subbytes buf chunk 0 n;
+      go ()
+  in
+  go ()
+
+let parse_response raw =
+  match find_head_end raw with
+  | None -> Error "no response head"
+  | Some (head_len, term_len) -> (
+    let head = String.sub raw 0 head_len in
+    let body =
+      String.sub raw (head_len + term_len)
+        (String.length raw - head_len - term_len)
+    in
+    let lines =
+      String.split_on_char '\n' head
+      |> List.map (fun l ->
+             let n = String.length l in
+             if n > 0 && l.[n - 1] = '\r' then String.sub l 0 (n - 1) else l)
+    in
+    match lines with
+    | [] -> Error "empty response head"
+    | status_line :: header_lines -> (
+      match parse_status_line status_line with
+      | Error e -> Error e
+      | Ok (status, reason) -> (
+        let headers = parse_headers header_lines in
+        let body =
+          match List.assoc_opt "transfer-encoding" headers with
+          | Some te when String.lowercase_ascii (String.trim te) = "chunked" ->
+            decode_chunked body
+          | _ -> Ok body
+        in
+        match body with
+        | Error e -> Error e
+        | Ok body ->
+          Ok { rs_status = status; rs_reason = reason; rs_headers = headers; rs_body = body })))
+
+let get ?(host = "127.0.0.1") ?(timeout = 10.0) ~port path =
+  match
+    let addr =
+      try Unix.inet_addr_of_string host
+      with _ -> (
+        match Unix.gethostbyname host with
+        | { Unix.h_addr_list = [||]; _ } -> raise Not_found
+        | h -> h.Unix.h_addr_list.(0))
+    in
+    let fd = Unix.socket (Unix.domain_of_sockaddr (ADDR_INET (addr, port))) Unix.SOCK_STREAM 0 in
+    Fun.protect
+      ~finally:(fun () -> try Unix.close fd with Unix.Unix_error _ -> ())
+      (fun () ->
+        Unix.setsockopt_float fd SO_RCVTIMEO timeout;
+        Unix.setsockopt_float fd SO_SNDTIMEO timeout;
+        Unix.connect fd (ADDR_INET (addr, port));
+        let request =
+          Printf.sprintf
+            "GET %s HTTP/1.1\r\nhost: %s:%d\r\nconnection: close\r\nuser-agent: stem-scrape\r\n\r\n"
+            path host port
+        in
+        let rec write_all off =
+          if off < String.length request then
+            write_all
+              (off + Unix.write_substring fd request off (String.length request - off))
+        in
+        write_all 0;
+        parse_response (read_all fd))
+  with
+  | result -> result
+  | exception Unix.Unix_error (e, fn, _) ->
+    Error (Printf.sprintf "%s: %s" fn (Unix.error_message e))
+  | exception Not_found -> Error ("cannot resolve host: " ^ host)

@@ -1,0 +1,25 @@
+(** Tiny blocking HTTP/1.1 GET client.
+
+    The in-tree scrape tool: tests, the [stem scrape] subcommand and
+    the CI smoke step all exercise the server through it, so the
+    repository never needs curl. One request per connection
+    ([Connection: close]); fixed-length and chunked bodies are both
+    decoded. *)
+
+type response = {
+  rs_status : int;
+  rs_reason : string;
+  rs_headers : (string * string) list;  (** names lowercased *)
+  rs_body : string;  (** de-chunked *)
+}
+
+(** [get ~port "/metrics"] — [host] defaults to ["127.0.0.1"],
+    [timeout] (default 10 s) bounds connect/read/write syscalls.
+    Errors (refused, timeout, malformed response) come back as
+    [Error message], never an exception. *)
+val get :
+  ?host:string ->
+  ?timeout:float ->
+  port:int ->
+  string ->
+  (response, string) result

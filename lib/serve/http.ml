@@ -1,0 +1,227 @@
+(* Minimal HTTP/1.1 reader/writer over Unix file descriptors.  See the
+   mli for scope; the design constraint throughout is that a telemetry
+   endpoint must never be the interesting part of the process — parse
+   strictly, fail closed, allocate per request rather than per byte. *)
+
+type request = {
+  rq_method : string;
+  rq_path : string;
+  rq_query : (string * string) list;
+  rq_version : string;
+  rq_headers : (string * string) list;
+}
+
+type parse_error = Closed | Truncated | Too_large | Bad of string
+
+type conn = { cn_fd : Unix.file_descr; mutable cn_pending : string }
+
+let conn fd = { cn_fd = fd; cn_pending = "" }
+
+let fd c = c.cn_fd
+
+(* ---------------- decoding helpers ---------------- *)
+
+let hex_val c =
+  match c with
+  | '0' .. '9' -> Char.code c - Char.code '0'
+  | 'a' .. 'f' -> Char.code c - Char.code 'a' + 10
+  | 'A' .. 'F' -> Char.code c - Char.code 'A' + 10
+  | _ -> -1
+
+let percent_decode s =
+  let n = String.length s in
+  let buf = Buffer.create n in
+  let i = ref 0 in
+  while !i < n do
+    (match s.[!i] with
+    | '+' -> Buffer.add_char buf ' '
+    | '%' when !i + 2 < n && hex_val s.[!i + 1] >= 0 && hex_val s.[!i + 2] >= 0
+      ->
+      Buffer.add_char buf
+        (Char.chr ((hex_val s.[!i + 1] * 16) + hex_val s.[!i + 2]));
+      i := !i + 2
+    | c -> Buffer.add_char buf c);
+    incr i
+  done;
+  Buffer.contents buf
+
+let split_on_first c s =
+  match String.index_opt s c with
+  | None -> (s, None)
+  | Some i ->
+    (String.sub s 0 i, Some (String.sub s (i + 1) (String.length s - i - 1)))
+
+let parse_query qs =
+  String.split_on_char '&' qs
+  |> List.filter_map (fun pair ->
+         if pair = "" then None
+         else
+           let k, v = split_on_first '=' pair in
+           Some (percent_decode k, percent_decode (Option.value v ~default:"")))
+
+(* ---------------- head parsing ---------------- *)
+
+let parse_request_line line =
+  match String.index_opt line ' ' with
+  | None -> Error (Bad "malformed request line")
+  | Some i -> (
+    let meth = String.sub line 0 i in
+    let rest = String.sub line (i + 1) (String.length line - i - 1) in
+    match String.rindex_opt rest ' ' with
+    | None -> Error (Bad "malformed request line")
+    | Some j ->
+      let target = String.sub rest 0 j in
+      let version = String.sub rest (j + 1) (String.length rest - j - 1) in
+      if
+        meth = "" || target = ""
+        || String.length version < 6
+        || not (String.sub version 0 5 = "HTTP/")
+      then Error (Bad "malformed request line")
+      else Ok (meth, target, version))
+
+let parse_head head =
+  let lines =
+    String.split_on_char '\n' head
+    |> List.map (fun l ->
+           let n = String.length l in
+           if n > 0 && l.[n - 1] = '\r' then String.sub l 0 (n - 1) else l)
+  in
+  match lines with
+  | [] -> Error (Bad "empty request")
+  | first :: rest -> (
+    match parse_request_line first with
+    | Error e -> Error e
+    | Ok (meth, target, version) ->
+      let headers =
+        List.filter_map
+          (fun l ->
+            if l = "" then None
+            else
+              let k, v = split_on_first ':' l in
+              let v = Option.value v ~default:"" in
+              Some (String.lowercase_ascii k, String.trim v))
+          rest
+      in
+      let raw_path, raw_query = split_on_first '?' target in
+      let query =
+        match raw_query with None -> [] | Some qs -> parse_query qs
+      in
+      Ok
+        {
+          rq_method = meth;
+          rq_path = percent_decode raw_path;
+          rq_query = query;
+          rq_version = version;
+          rq_headers = headers;
+        })
+
+(* End of a request head: CRLFCRLF (tolerating bare LFLF from hand-
+   typed clients).  Returns (head length, terminator length). *)
+let find_head_end s =
+  let n = String.length s in
+  let rec go i =
+    if i >= n then None
+    else if s.[i] = '\n' then
+      if i + 1 < n && s.[i + 1] = '\n' then Some (i + 1, 1)
+      else if i + 2 < n && s.[i + 1] = '\r' && s.[i + 2] = '\n' then
+        Some (i + 1, 2)
+      else go (i + 1)
+    else go (i + 1)
+  in
+  go 0
+
+let default_max_head = 8192
+
+let read_request ?(max_head = default_max_head) c =
+  let chunk = Bytes.create 4096 in
+  let rec loop acc =
+    match find_head_end acc with
+    | Some (head_len, term_len) when head_len <= max_head ->
+      let head = String.sub acc 0 head_len in
+      c.cn_pending <-
+        String.sub acc (head_len + term_len)
+          (String.length acc - head_len - term_len);
+      parse_head head
+    | Some _ -> Error Too_large
+    | None ->
+      if String.length acc > max_head then Error Too_large
+      else begin
+        match Unix.read c.cn_fd chunk 0 (Bytes.length chunk) with
+        | 0 -> if acc = "" then Error Closed else Error Truncated
+        | n -> loop (acc ^ Bytes.sub_string chunk 0 n)
+        | exception Unix.Unix_error ((EAGAIN | EWOULDBLOCK), _, _) ->
+          (* SO_RCVTIMEO fired: idle or stalled peer *)
+          if acc = "" then Error Closed else Error Truncated
+      end
+  in
+  let acc = c.cn_pending in
+  c.cn_pending <- "";
+  loop acc
+
+(* ---------------- request accessors ---------------- *)
+
+let header rq name = List.assoc_opt (String.lowercase_ascii name) rq.rq_headers
+
+let query rq name = List.assoc_opt name rq.rq_query
+
+let query_int rq name = Option.bind (query rq name) int_of_string_opt
+
+let keep_alive rq =
+  match Option.map String.lowercase_ascii (header rq "connection") with
+  | Some "close" -> false
+  | Some "keep-alive" -> true
+  | _ -> rq.rq_version = "HTTP/1.1"
+
+(* ---------------- responses ---------------- *)
+
+let status_text = function
+  | 200 -> "OK"
+  | 204 -> "No Content"
+  | 400 -> "Bad Request"
+  | 404 -> "Not Found"
+  | 405 -> "Method Not Allowed"
+  | 408 -> "Request Timeout"
+  | 431 -> "Request Header Fields Too Large"
+  | 500 -> "Internal Server Error"
+  | 503 -> "Service Unavailable"
+  | _ -> "Status"
+
+let write_all fd s =
+  let n = String.length s in
+  let rec go off =
+    if off < n then
+      let w = Unix.write_substring fd s off (n - off) in
+      go (off + w)
+  in
+  go 0
+
+let response_string ?(headers = []) ~status ~body () =
+  let buf = Buffer.create (String.length body + 256) in
+  Buffer.add_string buf
+    (Printf.sprintf "HTTP/1.1 %d %s\r\n" status (status_text status));
+  List.iter
+    (fun (k, v) -> Buffer.add_string buf (Printf.sprintf "%s: %s\r\n" k v))
+    headers;
+  Buffer.add_string buf
+    (Printf.sprintf "content-length: %d\r\n\r\n" (String.length body));
+  Buffer.add_string buf body;
+  Buffer.contents buf
+
+let write_response ?headers ~status ~body fd =
+  write_all fd (response_string ?headers ~status ~body ())
+
+let write_chunked_head ?(headers = []) ~status fd =
+  let buf = Buffer.create 256 in
+  Buffer.add_string buf
+    (Printf.sprintf "HTTP/1.1 %d %s\r\n" status (status_text status));
+  List.iter
+    (fun (k, v) -> Buffer.add_string buf (Printf.sprintf "%s: %s\r\n" k v))
+    headers;
+  Buffer.add_string buf "transfer-encoding: chunked\r\n\r\n";
+  write_all fd (Buffer.contents buf)
+
+let write_chunk fd s =
+  if s <> "" then
+    write_all fd (Printf.sprintf "%x\r\n%s\r\n" (String.length s) s)
+
+let write_last_chunk fd = write_all fd "0\r\n\r\n"

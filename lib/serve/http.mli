@@ -1,0 +1,76 @@
+(** Minimal HTTP/1.1 over raw [Unix] file descriptors.
+
+    Just enough protocol for a telemetry endpoint: GET-style requests
+    with no body, fixed-length and chunked responses, keep-alive. The
+    parser reads from a {!conn} (a file descriptor plus the unconsumed
+    tail of the last read, so pipelined keep-alive requests are not
+    lost) and fails closed: anything it does not understand is a
+    {!parse_error} the server answers with a 4xx and a closed
+    connection, never a guess. *)
+
+type request = {
+  rq_method : string;  (** as sent, e.g. ["GET"] *)
+  rq_path : string;  (** percent-decoded path, no query string *)
+  rq_query : (string * string) list;  (** decoded, in order *)
+  rq_version : string;  (** ["HTTP/1.1"] *)
+  rq_headers : (string * string) list;  (** names lowercased *)
+}
+
+type parse_error =
+  | Closed  (** EOF before any byte — clean end of a keep-alive conn *)
+  | Truncated  (** EOF (or read timeout) mid-request *)
+  | Too_large  (** head exceeded [max_head] — answer 431 *)
+  | Bad of string  (** malformed — answer 400 *)
+
+(** A connection: the fd plus any bytes read past the previous request
+    head (keep-alive pipelining). *)
+type conn
+
+val conn : Unix.file_descr -> conn
+
+val fd : conn -> Unix.file_descr
+
+(** Read and parse one request head (GET-style: any body is left
+    unread). [max_head] (default 8192 bytes) bounds the head. *)
+val read_request : ?max_head:int -> conn -> (request, parse_error) result
+
+(** Case-insensitive header lookup. *)
+val header : request -> string -> string option
+
+val query : request -> string -> string option
+
+val query_int : request -> string -> int option
+
+(** HTTP/1.1 defaults to keep-alive unless [Connection: close]. *)
+val keep_alive : request -> bool
+
+val status_text : int -> string
+
+(** Loop until the whole string is written (raises [Unix_error] on a
+    dead peer — EPIPE / ECONNRESET / send timeout). *)
+val write_all : Unix.file_descr -> string -> unit
+
+(** A full response with [Content-Length]. [headers] come after the
+    status line verbatim (lowercase names by convention). *)
+val response_string :
+  ?headers:(string * string) list -> status:int -> body:string -> unit -> string
+
+val write_response :
+  ?headers:(string * string) list ->
+  status:int ->
+  body:string ->
+  Unix.file_descr ->
+  unit
+
+(** {1 Chunked streaming} — used by the live [/events] feed. *)
+
+val write_chunked_head :
+  ?headers:(string * string) list -> status:int -> Unix.file_descr -> unit
+
+val write_chunk : Unix.file_descr -> string -> unit
+
+(** The terminating zero-length chunk. *)
+val write_last_chunk : Unix.file_descr -> unit
+
+(** [%XX] and [+]-as-space decoding (bad escapes pass through). *)
+val percent_decode : string -> string

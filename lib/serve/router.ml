@@ -1,0 +1,52 @@
+type reply =
+  | Reply of { status : int; headers : (string * string) list; body : string }
+  | Stream_reply of (Unix.file_descr -> Http.request -> unit)
+
+type t = {
+  mutable rt_routes : (string * string * (Http.request -> reply)) list;
+      (* reverse registration order *)
+}
+
+let create () = { rt_routes = [] }
+
+let add t ~meth ~path handler = t.rt_routes <- (meth, path, handler) :: t.rt_routes
+
+let routes t = List.rev_map (fun (m, p, _) -> (m, p)) t.rt_routes
+
+let text ?(status = 200) ?(content_type = "text/plain; charset=utf-8") body =
+  Reply { status; headers = [ ("content-type", content_type) ]; body }
+
+let json ?(status = 200) body =
+  Reply { status; headers = [ ("content-type", "application/json") ]; body }
+
+let ndjson ?(status = 200) body =
+  Reply { status; headers = [ ("content-type", "application/x-ndjson") ]; body }
+
+let dispatch t rq =
+  let meth = rq.Http.rq_method and path = rq.Http.rq_path in
+  let rec find = function
+    | [] -> None
+    | (m, p, h) :: rest ->
+      if m = meth && p = path then Some h else find rest
+  in
+  match find (List.rev t.rt_routes) with
+  | Some h -> h rq
+  | None ->
+    let allowed =
+      List.filter_map
+        (fun (m, p, _) -> if p = path then Some m else None)
+        (List.rev t.rt_routes)
+    in
+    if allowed = [] then
+      text ~status:404 (Printf.sprintf "no such endpoint: %s\n" path)
+    else
+      Reply
+        {
+          status = 405;
+          headers =
+            [
+              ("content-type", "text/plain; charset=utf-8");
+              ("allow", String.concat ", " (List.sort_uniq compare allowed));
+            ];
+          body = Printf.sprintf "method %s not allowed for %s\n" meth path;
+        }

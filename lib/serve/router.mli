@@ -1,0 +1,31 @@
+(** Exact-match route table: (method, path) → handler.
+
+    Misses follow HTTP semantics: unknown path → 404; known path,
+    wrong method → 405 with an [allow] header. A handler answers
+    either a buffered {!reply} or takes over the connection for
+    streaming ([/events]). *)
+
+type reply =
+  | Reply of { status : int; headers : (string * string) list; body : string }
+  | Stream_reply of (Unix.file_descr -> Http.request -> unit)
+      (** Writes its own (chunked) response; the connection is closed
+          after it returns. *)
+
+type t
+
+val create : unit -> t
+
+val add : t -> meth:string -> path:string -> (Http.request -> reply) -> unit
+
+val dispatch : t -> Http.request -> reply
+
+(** Registered [(method, path)] pairs, registration order. *)
+val routes : t -> (string * string) list
+
+(** {1 Reply helpers} *)
+
+val text : ?status:int -> ?content_type:string -> string -> reply
+
+val json : ?status:int -> string -> reply
+
+val ndjson : ?status:int -> string -> reply

@@ -1,0 +1,531 @@
+(* Telemetry server over the Obs board.  See the mli for the endpoint
+   map; the invariant everything here is built around: the propagation
+   thread must never block on, wait for, or fail because of a
+   telemetry consumer.  Reads of live telemetry are racy-but-safe
+   (OCaml guarantees memory safety; a scrape may see a window
+   mid-update, which is fine for monitoring data). *)
+
+module Http = Http
+module Stream = Stream
+module Exposition = Exposition
+module Router = Router
+module Client = Client
+
+open Constraint_kernel
+
+let events_sink_name = "serve.events"
+
+(* One process-global hub: every exposed network publishes into it,
+   every /events subscriber (of any server instance) drains from it. *)
+let hub = Stream.create ()
+
+let stream_stats () = Stream.stats hub
+
+(* ---------------- server self-metrics ---------------- *)
+
+(* Worker threads bump these without a lock: an int-field race can
+   lose an increment, never corrupt memory — acceptable for a request
+   counter, not worth a mutex on every request. *)
+let self = Obs.Metrics.create ()
+
+let self_requests = Obs.Metrics.counter self "serve.requests"
+
+let self_published = Obs.Metrics.counter self "serve.events_published"
+
+let self_dropped = Obs.Metrics.counter self "serve.events_dropped"
+
+let self_subs = Obs.Metrics.gauge self "serve.events_subscribers"
+
+(* Counters must only move forward; the hub keeps the truth, so raise
+   ours to match at scrape time. *)
+let sync_self () =
+  let st = Stream.stats hub in
+  let catch_up c target =
+    let cur = Obs.Metrics.count c in
+    if target > cur then Obs.Metrics.incr ~by:(target - cur) c
+  in
+  catch_up self_published st.Stream.st_published;
+  catch_up self_dropped st.Stream.st_dropped;
+  Obs.Metrics.set_gauge self_subs (float_of_int st.Stream.st_subscribers)
+
+let requests_served () = Obs.Metrics.count self_requests
+
+(* ---------------- the exposure registry ---------------- *)
+
+(* Closures erase the network's value type, so heterogeneous networks
+   live in one table. *)
+type entry = {
+  en_name : string;
+  en_metrics : Obs.Metrics.t;
+  en_window : unit -> string option;  (* current window slot, JSON *)
+  en_spans : unit -> string list;  (* JSON objects *)
+  en_exemplars : unit -> string list;  (* JSON objects *)
+  en_topo : unit -> string;  (* DOT document *)
+  en_sink_on : unit -> unit;  (* attach the /events kernel sink *)
+  en_sink_off : unit -> unit;  (* detach it again *)
+}
+
+let reg_mu = Mutex.create ()
+
+let registry : (string, entry) Hashtbl.t = Hashtbl.create 8
+
+let with_registry f =
+  Mutex.lock reg_mu;
+  Fun.protect ~finally:(fun () -> Mutex.unlock reg_mu) f
+
+let entries () =
+  with_registry (fun () ->
+      Hashtbl.fold (fun _ e acc -> e :: acc) registry []
+      |> List.sort (fun a b -> compare a.en_name b.en_name))
+
+let exposed () = List.map (fun e -> e.en_name) (entries ())
+
+(* ---------------- JSON rendering ---------------- *)
+
+let jstr s = "\"" ^ Obs.Jsonl.escape s ^ "\""
+
+let span_latency_us (s : Types.episode_span) =
+  let t = s.Types.es_timings in
+  (t.Types.ph_propagate +. t.Types.ph_drain +. t.Types.ph_check
+ +. t.Types.ph_restore)
+  *. 1e6
+
+let span_obj net (s : Types.episode_span) =
+  let open Types in
+  let t = s.es_timings in
+  Printf.sprintf
+    "{\"net\":%s,\"ep\":%d,\"label\":%s,\"outcome\":%s,\"latency_us\":%g,\"propagate_us\":%g,\"drain_us\":%g,\"check_us\":%g,\"restore_us\":%g,\"steps\":%d,\"agenda_hwm\":%d}"
+    (jstr net) s.es_id (jstr s.es_label)
+    (jstr (Obs.Jsonl.outcome_string s.es_outcome))
+    (span_latency_us s)
+    (t.ph_propagate *. 1e6)
+    (t.ph_drain *. 1e6)
+    (t.ph_check *. 1e6)
+    (t.ph_restore *. 1e6)
+    s.es_steps s.es_agenda_hwm
+
+let exemplar_obj net (ex : 'a Obs.Sampler.exemplar) =
+  let open Obs.Sampler in
+  Printf.sprintf
+    "{\"net\":%s,\"episode\":%d,\"reasons\":[%s],\"outcome\":%s,\"latency_us\":%g,\"events\":%d,\"truncated\":%b}"
+    (jstr net) ex.ex_episode
+    (String.concat ","
+       (List.map (fun r -> jstr (reason_label r)) ex.ex_reasons))
+    (jstr (Obs.Jsonl.outcome_string ex.ex_span.Types.es_outcome))
+    (span_latency_us ex.ex_span)
+    (List.length ex.ex_events) ex.ex_truncated
+
+let window_obj net w =
+  let open Obs.Window in
+  let s = current w in
+  Printf.sprintf
+    "{\"net\":%s,\"index\":%d,\"episodes\":%d,\"committed\":%d,\"rolled_back\":%d,\"violations\":%d,\"quarantines\":%d,\"sink_errors\":%d,\"p50_us\":%g,\"p95_us\":%g,\"p99_us\":%g,\"episode_rate\":%g}"
+    (jstr net) s.w_index s.w_episodes s.w_committed s.w_rolled_back
+    s.w_violations s.w_quarantines s.w_sink_errors (p50 s) (p95 s) (p99 s)
+    (episode_rate s)
+
+(* ---------------- exposing networks ---------------- *)
+
+let detach_locked name =
+  match Hashtbl.find_opt registry name with
+  | None -> false
+  | Some e ->
+    e.en_sink_off ();
+    Hashtbl.remove registry name;
+    true
+
+let unexpose name = with_registry (fun () -> detach_locked name)
+
+(* The /events kernel sink is attached only while someone is actually
+   streaming (see the transition hook below): an exposed-but-unwatched
+   network pays nothing per event, not even sink dispatch. *)
+let expose ?name ?pp_value ~board net =
+  let name = Option.value name ~default:net.Types.net_name in
+  let sink =
+    {
+      Types.snk_name = events_sink_name;
+      Types.snk_emit =
+        (fun ep seq ev ->
+          (* the thunk runs on a reader thread, or never (dropped /
+             unmatched); events are immutable so late is fine *)
+          Stream.publish hub ~net:name (fun () ->
+              Obs.Jsonl.json_of_event ~net:name ?pp_value
+                { Types.te_episode = ep; te_seq = seq; te_event = ev }));
+    }
+  in
+  let sink_live = ref false in
+  let entry =
+    {
+      en_name = name;
+      en_metrics = Obs.Board.metrics board;
+      en_window =
+        (fun () ->
+          Option.map (window_obj name) (Obs.Board.window board));
+      en_spans =
+        (fun () -> List.map (span_obj name) (Obs.Board.spans board));
+      en_exemplars =
+        (fun () ->
+          match Obs.Board.sampler board with
+          | None -> []
+          | Some s ->
+            List.map (exemplar_obj name) (Obs.Sampler.exemplars s));
+      en_topo =
+        (fun () ->
+          Obs.Topo.to_dot
+            ~profiler:(Obs.Board.profiler board)
+            ~metrics:(Obs.Board.metrics board)
+            net);
+      en_sink_on =
+        (fun () ->
+          if not !sink_live then begin
+            sink_live := true;
+            Engine.add_sink net sink
+          end);
+      en_sink_off =
+        (fun () ->
+          if !sink_live then begin
+            sink_live := false;
+            ignore (Engine.remove_sink net events_sink_name)
+          end);
+    }
+  in
+  with_registry (fun () ->
+      ignore (detach_locked name);
+      Hashtbl.replace registry name entry;
+      (* a subscriber may already be streaming when the net appears *)
+      if Stream.active hub then entry.en_sink_on ())
+
+(* Swing every exposed net's sink on the 0<->1 subscriber edges.  The
+   hook runs outside the hub lock precisely so taking [reg_mu] here
+   cannot deadlock against a request thread that holds [reg_mu] and
+   asks the hub for stats. *)
+let () =
+  Stream.set_on_transition hub (fun streaming ->
+      with_registry (fun () ->
+          Hashtbl.iter
+            (fun _ e -> if streaming then e.en_sink_on () else e.en_sink_off ())
+            registry))
+
+(* ---------------- endpoint renderers ---------------- *)
+
+let render_metrics () =
+  sync_self ();
+  let sources =
+    List.map (fun e -> (e.en_name, e.en_metrics)) (entries ())
+    @ [ ("", self) ]
+  in
+  Exposition.render sources
+
+let healthz_status () = if Obs.Watchdog.healthy () then 200 else 503
+
+let healthz_json () =
+  let rows = Obs.Watchdog.health () in
+  let st = Stream.stats hub in
+  let nets =
+    List.map
+      (fun (net, ok, firing) ->
+        Printf.sprintf "{\"net\":%s,\"ok\":%b,\"firing\":[%s]}" (jstr net) ok
+          (String.concat ","
+             (List.map
+                (fun (r, d) ->
+                  Printf.sprintf "{\"rule\":%s,\"detail\":%s}" (jstr r)
+                    (jstr d))
+                firing)))
+      rows
+  in
+  let es = entries () in
+  let windows = List.filter_map (fun e -> e.en_window ()) es in
+  Printf.sprintf
+    "{\"healthy\":%b,\"nets\":[%s],\"windows\":[%s],\"stream\":{\"published\":%d,\"dropped\":%d,\"subscribers\":%d},\"exposed\":[%s]}"
+    (Obs.Watchdog.healthy ())
+    (String.concat "," nets)
+    (String.concat "," windows)
+    st.Stream.st_published st.Stream.st_dropped st.Stream.st_subscribers
+    (String.concat "," (List.map (fun e -> jstr e.en_name) es))
+
+let alerts_ndjson () =
+  let buf = Buffer.create 512 in
+  List.iter
+    (fun wd ->
+      List.iter
+        (fun a ->
+          Buffer.add_string buf (Obs.Watchdog.alert_json a);
+          Buffer.add_char buf '\n')
+        (Obs.Watchdog.alerts wd))
+    (Obs.Watchdog.registered ());
+  Buffer.contents buf
+
+let spans_json () =
+  "["
+  ^ String.concat "," (List.concat_map (fun e -> e.en_spans ()) (entries ()))
+  ^ "]"
+
+let exemplars_json () =
+  "["
+  ^ String.concat ","
+      (List.concat_map (fun e -> e.en_exemplars ()) (entries ()))
+  ^ "]"
+
+let topo_dot ?net () =
+  match (net, entries ()) with
+  | _, [] -> None
+  | None, es -> Some (String.concat "\n" (List.map (fun e -> e.en_topo ()) es))
+  | Some n, es -> (
+    match List.find_opt (fun e -> e.en_name = n) es with
+    | None -> None
+    | Some e -> Some (e.en_topo ()))
+
+(* ---------------- the server ---------------- *)
+
+type t = {
+  sv_fd : Unix.file_descr;
+  sv_port : int;
+  mutable sv_router : Router.t;
+  mutable sv_running : bool;
+  mutable sv_threads : Thread.t list;
+  sv_queue : Unix.file_descr Queue.t;
+  sv_mu : Mutex.t;
+  sv_cond : Condition.t;
+  mutable sv_conns : Unix.file_descr list;
+}
+
+let port t = t.sv_port
+
+let running t = t.sv_running
+
+let max_pending = 64
+
+(* The write side of a dead peer raises; every one of these means
+   "this connection is over", nothing more. *)
+let dead_peer = function
+  | Unix.Unix_error
+      ( ( EPIPE | ECONNRESET | EAGAIN | EWOULDBLOCK | EBADF | ENOTCONN
+        | ESHUTDOWN ),
+        _,
+        _ ) ->
+    true
+  | _ -> false
+
+let ignore_sigpipe =
+  lazy
+    (try Sys.set_signal Sys.sigpipe Sys.Signal_ignore
+     with Invalid_argument _ | Sys_error _ -> ())
+
+let events_handler sv fd rq =
+  let net = Http.query rq "net" in
+  let capacity = Option.value (Http.query_int rq "cap") ~default:1024 in
+  let max_lines = Option.value (Http.query_int rq "max") ~default:0 in
+  (* Cap the kernel send buffer: the stream has its own drop-oldest
+     queue, so megabytes of socket buffering only extend the window in
+     which a stalled peer keeps this worker formatting lines.  With a
+     small buffer the writer blocks early and the subscriber queue
+     takes over as the only buffer, which is the designed behavior. *)
+  (try Unix.setsockopt_int fd SO_SNDBUF 65536 with Unix.Unix_error _ -> ());
+  let sub = Stream.subscribe ?net ~capacity hub in
+  Fun.protect
+    ~finally:(fun () -> Stream.unsubscribe hub sub)
+    (fun () ->
+      try
+        Http.write_chunked_head fd ~status:200
+          ~headers:
+            [
+              ("content-type", "application/x-ndjson");
+              ("cache-control", "no-store");
+              ("connection", "close");
+            ];
+        let stop () = not sv.sv_running in
+        let n = ref 0 in
+        let rec loop () =
+          match Stream.next hub sub ~stop with
+          | None -> ()
+          | Some line ->
+            Http.write_chunk fd (line ^ "\n");
+            incr n;
+            if max_lines = 0 || !n < max_lines then loop ()
+        in
+        loop ();
+        Http.write_last_chunk fd
+      with e when dead_peer e -> ())
+
+let routes sv =
+  let r = Router.create () in
+  let get path h = Router.add r ~meth:"GET" ~path h in
+  get "/" (fun _ ->
+      Router.text
+        "STEM telemetry server\n\n\
+         GET /metrics    Prometheus text exposition\n\
+         GET /healthz    watchdog roll-up (200 healthy / 503 firing)\n\
+         GET /alerts     watchdog transitions, NDJSON\n\
+         GET /exemplars  tail-sampled episodes, JSON\n\
+         GET /spans      completed episode spans, JSON\n\
+         GET /topo.dot   constraint graph, DOT (?net= selects)\n\
+         GET /events     live trace stream, chunked NDJSON\n\
+        \                (?net= filter, ?cap= queue bound, ?max= line limit)\n");
+  get "/metrics" (fun _ ->
+      Router.text ~content_type:"text/plain; version=0.0.4; charset=utf-8"
+        (render_metrics ()));
+  get "/healthz" (fun _ -> Router.json ~status:(healthz_status ()) (healthz_json ()));
+  get "/alerts" (fun _ -> Router.ndjson (alerts_ndjson ()));
+  get "/exemplars" (fun _ -> Router.json (exemplars_json ()));
+  get "/spans" (fun _ -> Router.json (spans_json ()));
+  get "/topo.dot" (fun rq ->
+      match topo_dot ?net:(Http.query rq "net") () with
+      | Some dot -> Router.text ~content_type:"text/vnd.graphviz" dot
+      | None -> Router.text ~status:404 "no exposed network\n");
+  get "/events" (fun _ -> Router.Stream_reply (events_handler sv));
+  r
+
+let rec serve_requests sv conn =
+  match Http.read_request conn with
+  | Error Http.Closed | Error Http.Truncated -> ()
+  | Error Http.Too_large ->
+    Http.write_response (Http.fd conn) ~status:431
+      ~headers:[ ("connection", "close") ]
+      ~body:"request head too large\n"
+  | Error (Http.Bad msg) ->
+    Http.write_response (Http.fd conn) ~status:400
+      ~headers:[ ("connection", "close") ]
+      ~body:(msg ^ "\n")
+  | Ok rq -> (
+    Obs.Metrics.tick self_requests;
+    match Router.dispatch sv.sv_router rq with
+    | Router.Stream_reply f -> f (Http.fd conn) rq
+    | Router.Reply { status; headers; body } ->
+      let keep = Http.keep_alive rq && sv.sv_running in
+      Http.write_response (Http.fd conn) ~status
+        ~headers:
+          (headers @ [ ("connection", if keep then "keep-alive" else "close") ])
+        ~body;
+      if keep then serve_requests sv conn)
+
+let handle_connection sv fd =
+  Mutex.lock sv.sv_mu;
+  sv.sv_conns <- fd :: sv.sv_conns;
+  Mutex.unlock sv.sv_mu;
+  Fun.protect
+    ~finally:(fun () ->
+      Mutex.lock sv.sv_mu;
+      sv.sv_conns <- List.filter (fun c -> c != fd) sv.sv_conns;
+      Mutex.unlock sv.sv_mu;
+      try Unix.close fd with Unix.Unix_error _ -> ())
+    (fun () ->
+      try serve_requests sv (Http.conn fd) with e when dead_peer e -> ())
+
+let worker_loop sv =
+  let rec loop () =
+    Mutex.lock sv.sv_mu;
+    while Queue.is_empty sv.sv_queue && sv.sv_running do
+      Condition.wait sv.sv_cond sv.sv_mu
+    done;
+    let job = Queue.take_opt sv.sv_queue in
+    Mutex.unlock sv.sv_mu;
+    match job with
+    | Some fd ->
+      handle_connection sv fd;
+      loop ()
+    | None -> if sv.sv_running then loop ()
+  in
+  loop ()
+
+let accept_loop sv =
+  let rec loop () =
+    match Unix.accept ~cloexec:true sv.sv_fd with
+    | exception Unix.Unix_error ((EBADF | EINVAL), _, _) -> ()
+    | exception Unix.Unix_error ((ECONNABORTED | EINTR), _, _) ->
+      if sv.sv_running then loop ()
+    | fd, _ ->
+      if not sv.sv_running then (
+        (try Unix.close fd with Unix.Unix_error _ -> ());
+        ())
+      else begin
+        (* a stalled peer must tie up one worker for at most this long *)
+        (try
+           Unix.setsockopt_float fd SO_RCVTIMEO 10.0;
+           Unix.setsockopt_float fd SO_SNDTIMEO 10.0
+         with Unix.Unix_error _ -> ());
+        Mutex.lock sv.sv_mu;
+        let shed = Queue.length sv.sv_queue >= max_pending in
+        if not shed then begin
+          Queue.push fd sv.sv_queue;
+          Condition.signal sv.sv_cond
+        end;
+        Mutex.unlock sv.sv_mu;
+        if shed then begin
+          (try
+             Http.write_response fd ~status:503
+               ~headers:[ ("connection", "close") ]
+               ~body:"server overloaded\n"
+           with _ -> ());
+          try Unix.close fd with Unix.Unix_error _ -> ()
+        end;
+        loop ()
+      end
+  in
+  loop ()
+
+let start ?(bind_addr = "127.0.0.1") ?(port = 9464) ?(workers = 4) () =
+  Lazy.force ignore_sigpipe;
+  let addr = Unix.inet_addr_of_string bind_addr in
+  let fd = Unix.socket ~cloexec:true PF_INET SOCK_STREAM 0 in
+  (try
+     Unix.setsockopt fd SO_REUSEADDR true;
+     Unix.bind fd (ADDR_INET (addr, port));
+     Unix.listen fd 64
+   with e ->
+     (try Unix.close fd with Unix.Unix_error _ -> ());
+     raise e);
+  let actual_port =
+    match Unix.getsockname fd with ADDR_INET (_, p) -> p | _ -> port
+  in
+  let sv =
+    {
+      sv_fd = fd;
+      sv_port = actual_port;
+      sv_router = Router.create ();
+      sv_running = true;
+      sv_threads = [];
+      sv_queue = Queue.create ();
+      sv_mu = Mutex.create ();
+      sv_cond = Condition.create ();
+      sv_conns = [];
+    }
+  in
+  (* the routes close over [sv] (for the /events stop predicate) *)
+  sv.sv_router <- routes sv;
+  let threads =
+    Thread.create accept_loop sv
+    :: List.init (max 1 workers) (fun _ -> Thread.create worker_loop sv)
+  in
+  sv.sv_threads <- threads;
+  sv
+
+let stop sv =
+  if sv.sv_running then begin
+    sv.sv_running <- false;
+    (* wake the accept thread: shutdown unblocks accept on Linux; the
+       throwaway connect covers platforms where it does not *)
+    (try Unix.shutdown sv.sv_fd SHUTDOWN_ALL with Unix.Unix_error _ -> ());
+    (try
+       let fd = Unix.socket PF_INET SOCK_STREAM 0 in
+       (try
+          Unix.connect fd (ADDR_INET (Unix.inet_addr_loopback, sv.sv_port))
+        with Unix.Unix_error _ -> ());
+       Unix.close fd
+     with Unix.Unix_error _ -> ());
+    (try Unix.close sv.sv_fd with Unix.Unix_error _ -> ());
+    (* wake /events streams blocked on the hub *)
+    Stream.kick hub;
+    (* unblock workers stuck writing to stalled peers, and idle ones *)
+    Mutex.lock sv.sv_mu;
+    List.iter
+      (fun fd -> try Unix.shutdown fd SHUTDOWN_ALL with Unix.Unix_error _ -> ())
+      sv.sv_conns;
+    Condition.broadcast sv.sv_cond;
+    Mutex.unlock sv.sv_mu;
+    List.iter Thread.join sv.sv_threads;
+    (* anything still queued but never served *)
+    Queue.iter
+      (fun fd -> try Unix.close fd with Unix.Unix_error _ -> ())
+      sv.sv_queue;
+    Queue.clear sv.sv_queue
+  end

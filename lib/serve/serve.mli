@@ -1,0 +1,121 @@
+(** Telemetry server: the [Obs] board's read side over HTTP.
+
+    A thin, dependency-free HTTP/1.1 server (Unix sockets +
+    [threads.posix]) exposing everything the observability layer
+    already collects — without ever getting in propagation's way:
+
+    - [GET /metrics] — Prometheus text exposition (0.0.4) merging every
+      exposed network's registry (series labelled [net="<name>"]) plus
+      the server's own counters.
+    - [GET /healthz] — watchdog roll-up; status 200 when every
+      registered watchdog is quiet, 503 otherwise; JSON body with
+      per-network firing rules, current window snapshots and stream
+      statistics.
+    - [GET /alerts] — logged watchdog transitions as NDJSON (the
+      schema-v2 ["alert"] records of [Obs.Watchdog.alert_json]).
+    - [GET /exemplars] — the tail sampler's kept episodes, JSON.
+    - [GET /spans] — completed episode spans in the boards' rings, JSON.
+    - [GET /topo.dot] — the constraint graph(s) as DOT ([?net=] selects
+      one network; default renders all).
+    - [GET /events] — {e live} chunked NDJSON: one schema-v2 trace line
+      per kernel event, fanned out through a bounded drop-oldest queue
+      per subscriber ([?net=] filter, [?cap=] queue bound, [?max=] stop
+      after N lines — for scripted scrapes). A slow or stalled scraper
+      loses lines, never stalls propagation.
+
+    Networks join the board via {!expose} (process-global registry, so
+    [Dual]-bridged networks appear under one server); the server itself
+    is {!start}/{!stop}. Threading: one accept thread feeds a bounded
+    queue drained by a small worker pool; every blocking syscall
+    releases the OCaml runtime lock, so an idle server costs the
+    propagation thread nothing. *)
+
+module Http : module type of Http
+
+module Stream : module type of Stream
+
+module Exposition : module type of Exposition
+
+module Router : module type of Router
+
+module Client : module type of Client
+
+open Constraint_kernel
+
+(** {1 Exposing networks}
+
+    Process-global, like the watchdog registry: exposure outlives any
+    particular server, and one server publishes every exposed net. *)
+
+(** [expose ~board net] registers [net]'s telemetry under [?name]
+    (default the network's name). The [/events] feed sink (named
+    {!events_sink_name}) is attached to [net] only while at least one
+    subscriber is streaming — an exposed-but-unwatched network pays
+    nothing per event, not even sink dispatch — and lines are
+    formatted lazily on the reader's thread, so a stalled scraper
+    costs the propagation thread a closure and a queue push, never a
+    JSON render. Re-exposing a name replaces the previous
+    registration. *)
+val expose :
+  ?name:string ->
+  ?pp_value:('a -> string) ->
+  board:'a Obs.Board.t ->
+  'a Types.network ->
+  unit
+
+(** Detach the feed sink and forget the registration; [false] if the
+    name was not exposed. *)
+val unexpose : string -> bool
+
+(** Exposed names, sorted. *)
+val exposed : unit -> string list
+
+val events_sink_name : string
+
+(** The process-global [/events] hub (exposed for benchmarks/tests). *)
+val hub : Stream.t
+
+val stream_stats : unit -> Stream.stats
+
+(** {1 The server} *)
+
+type t
+
+(** [start ()] — defaults: bind 127.0.0.1, port 9464 (0 picks an
+    ephemeral port — read it back with {!port}), 4 workers. Raises
+    [Unix.Unix_error] if the address cannot be bound. *)
+val start : ?bind_addr:string -> ?port:int -> ?workers:int -> unit -> t
+
+(** Idempotent. Wakes every blocked thread, shuts live connections
+    down, joins the pool. In-flight [/events] streams end with the
+    terminating chunk. *)
+val stop : t -> unit
+
+(** The actual bound port. *)
+val port : t -> int
+
+val running : t -> bool
+
+(** Requests answered process-wide (all servers). *)
+val requests_served : unit -> int
+
+(** {1 Endpoint renderers}
+
+    The pure content behind the routes, exposed so unit tests (and the
+    CLI) can exercise them without a socket. *)
+
+val render_metrics : unit -> string
+
+val healthz_json : unit -> string
+
+(** 200 when {!Obs.Watchdog.healthy}, else 503. *)
+val healthz_status : unit -> int
+
+val alerts_ndjson : unit -> string
+
+val spans_json : unit -> string
+
+val exemplars_json : unit -> string
+
+(** [None] when nothing is exposed or [net] is unknown. *)
+val topo_dot : ?net:string -> unit -> string option

@@ -1,0 +1,207 @@
+(* Bounded drop-oldest fan-out.  One mutex/condvar pair per hub: the
+   publisher holds the lock only to push (no I/O, no formatting, no
+   waiting), readers block on the condvar.  Two design points keep the
+   publisher near-free:
+
+   - Lines are formatted *lazily*, by the reader.  [publish] enqueues a
+     thunk; a line dropped from a stalled subscriber's queue is never
+     formatted at all, so a slow scraper costs the propagation thread a
+     closure allocation and a ring-slot store per event, not a JSON
+     render.  The memo write in [force] is racy across reader threads,
+     but the thunk is pure: the worst case is the same line formatted
+     twice.
+   - Each subscriber's queue is a preallocated ring: drop-oldest is an
+     overwrite plus an index bump, so the full-queue (stalled-scraper)
+     path allocates nothing beyond the entry itself.
+   - [active] is a single unsynchronised int load, and the 0<->1
+     subscriber transitions are reported through [set_on_transition] so
+     the owner can detach its event sources entirely while nobody is
+     listening. *)
+
+type entry = { en_fmt : unit -> string; mutable en_line : string option }
+
+let force e =
+  match e.en_line with
+  | Some s -> s
+  | None ->
+    let s = e.en_fmt () in
+    e.en_line <- Some s;
+    s
+
+(* [sb_buf] is a ring of length [sb_cap]: [sb_head] is the next slot
+   to read, [sb_len] the number of queued entries.  Consumed slots are
+   cleared to [None] so delivered lines do not pin their thunks. *)
+type sub = {
+  sb_net : string option;
+  sb_cap : int;
+  sb_buf : entry option array;
+  mutable sb_head : int;
+  mutable sb_len : int;
+  mutable sb_dropped : int;
+  mutable sb_received : int;
+  mutable sb_closed : bool;
+}
+
+type t = {
+  mu : Mutex.t;
+  cond : Condition.t;
+  mutable subs : sub list;
+  (* Read without the lock by [active]: an int load is atomic enough
+     for a gate whose worst failure mode is enqueueing one line that
+     nobody receives (or skipping one during subscribe, before the
+     subscriber existed). *)
+  mutable n_subs : int;
+  mutable waiters : int;  (* readers blocked in [next]; guarded by [mu] *)
+  mutable published : int;
+  mutable dropped_total : int;
+  mutable on_transition : (bool -> unit) option;
+}
+
+type stats = { st_published : int; st_dropped : int; st_subscribers : int }
+
+let create () =
+  {
+    mu = Mutex.create ();
+    cond = Condition.create ();
+    subs = [];
+    n_subs = 0;
+    waiters = 0;
+    published = 0;
+    dropped_total = 0;
+    on_transition = None;
+  }
+
+let with_lock t f =
+  Mutex.lock t.mu;
+  Fun.protect ~finally:(fun () -> Mutex.unlock t.mu) f
+
+let set_on_transition t f = t.on_transition <- Some f
+
+(* The callback runs *outside* the hub lock: it typically takes other
+   locks (a registry mutex) whose holders may in turn query hub stats,
+   and holding the hub lock here would order those locks both ways. *)
+let notify t became_active =
+  match t.on_transition with Some f -> f became_active | None -> ()
+
+(* The ring is preallocated, so an HTTP-supplied capacity needs a
+   ceiling: 64k entries is ~512 KiB of slots, plenty of history. *)
+let max_capacity = 65536
+
+let subscribe ?net ?(capacity = 1024) t =
+  let cap = max 1 (min capacity max_capacity) in
+  let sub =
+    {
+      sb_net = net;
+      sb_cap = cap;
+      sb_buf = Array.make cap None;
+      sb_head = 0;
+      sb_len = 0;
+      sb_dropped = 0;
+      sb_received = 0;
+      sb_closed = false;
+    }
+  in
+  let became_active =
+    with_lock t (fun () ->
+        let was = t.n_subs in
+        t.subs <- sub :: t.subs;
+        t.n_subs <- List.length t.subs;
+        was = 0)
+  in
+  if became_active then notify t true;
+  sub
+
+let unsubscribe t sub =
+  let went_idle =
+    with_lock t (fun () ->
+        let was = t.n_subs in
+        sub.sb_closed <- true;
+        t.subs <- List.filter (fun s -> s != sub) t.subs;
+        t.n_subs <- List.length t.subs;
+        Condition.broadcast t.cond;
+        was > 0 && t.n_subs = 0)
+  in
+  if went_idle then notify t false
+
+(* The propagation thread runs this once per trace event, so it is
+   written flat: manual lock/unlock (nothing in the body raises — the
+   thunk is not called here), no iterator closures, and the condvar is
+   touched only when a queue turns non-empty AND a reader is actually
+   parked on it.  A stalled subscriber (full queue, reader stuck in a
+   socket write) takes the pop/push/count path with no wake-up. *)
+let publish t ~net fmt =
+  if t.n_subs > 0 then begin
+    (* one entry shared by every matching queue: N subscribers still
+       format the line once *)
+    let entry = { en_fmt = fmt; en_line = None } in
+    Mutex.lock t.mu;
+    let need_wake = ref false in
+    let rec deliver = function
+      | [] -> ()
+      | sub :: rest ->
+        (match sub.sb_net with
+        | Some want when want <> net -> ()
+        | _ ->
+          if sub.sb_len >= sub.sb_cap then begin
+            (* full: overwrite the oldest slot and advance the head *)
+            sub.sb_buf.(sub.sb_head) <- Some entry;
+            sub.sb_head <- (sub.sb_head + 1) mod sub.sb_cap;
+            sub.sb_dropped <- sub.sb_dropped + 1;
+            t.dropped_total <- t.dropped_total + 1
+          end
+          else begin
+            if sub.sb_len = 0 then need_wake := true;
+            sub.sb_buf.((sub.sb_head + sub.sb_len) mod sub.sb_cap) <-
+              Some entry;
+            sub.sb_len <- sub.sb_len + 1
+          end;
+          t.published <- t.published + 1);
+        deliver rest
+    in
+    deliver t.subs;
+    if !need_wake && t.waiters > 0 then Condition.broadcast t.cond;
+    Mutex.unlock t.mu
+  end
+
+let next t sub ~stop =
+  let entry =
+    with_lock t (fun () ->
+        let rec wait () =
+          if sub.sb_len > 0 then begin
+            let e = sub.sb_buf.(sub.sb_head) in
+            sub.sb_buf.(sub.sb_head) <- None;
+            sub.sb_head <- (sub.sb_head + 1) mod sub.sb_cap;
+            sub.sb_len <- sub.sb_len - 1;
+            sub.sb_received <- sub.sb_received + 1;
+            e
+          end
+          else if sub.sb_closed || stop () then None
+          else begin
+            t.waiters <- t.waiters + 1;
+            Condition.wait t.cond t.mu;
+            t.waiters <- t.waiters - 1;
+            wait ()
+          end
+        in
+        wait ())
+  in
+  (* format on the reader's thread, outside the lock *)
+  Option.map force entry
+
+let kick t = with_lock t (fun () -> Condition.broadcast t.cond)
+
+let active t = t.n_subs > 0
+
+let subscribers t = t.n_subs
+
+let dropped sub = sub.sb_dropped
+
+let received sub = sub.sb_received
+
+let stats t =
+  with_lock t (fun () ->
+      {
+        st_published = t.published;
+        st_dropped = t.dropped_total;
+        st_subscribers = t.n_subs;
+      })

@@ -1,0 +1,71 @@
+(** Bounded fan-out of NDJSON trace lines to live subscribers.
+
+    The hub sits between the propagation thread (which {!publish}es
+    one line per trace event) and any number of [/events] HTTP
+    subscribers. The contract that keeps telemetry harmless:
+
+    - {!publish} {e never blocks and never waits on a subscriber}. Each
+      subscriber owns a bounded queue; when it is full the {e oldest}
+      queued line is dropped (and counted) to make room. A stalled
+      scraper loses history, the design session loses nothing.
+    - {!publish} takes a {e thunk}, not a string: lines are formatted
+      lazily on the reader's thread, so a dropped line is never
+      formatted at all and the publisher pays only a closure allocation
+      plus a queue push.
+    - {!active} is a lock-free gate, and {!set_on_transition} reports
+      the 0<->1 subscriber edges so the owner can detach its event
+      sources entirely while nobody is listening. *)
+
+type t
+
+(** One subscriber: a bounded drop-oldest queue drained by {!next}. *)
+type sub
+
+val create : unit -> t
+
+(** [subscribe ?net ?capacity t] — [net] filters to lines published
+    under that network name; [capacity] (default 1024, min 1) bounds
+    the queue. *)
+val subscribe : ?net:string -> ?capacity:int -> t -> sub
+
+(** Remove the subscriber and wake any [next] blocked on it. *)
+val unsubscribe : t -> sub -> unit
+
+(** Fan one line out to every matching subscriber. The thunk must be
+    pure; it runs later (possibly more than once, on racing reader
+    threads) or never (no matching subscriber, or dropped before
+    read). Never blocks beyond the hub mutex (held for queue pushes
+    only). *)
+val publish : t -> net:string -> (unit -> string) -> unit
+
+(** Block until a line is queued, the subscriber is closed, or [stop]
+    answers [true] after a wake-up ([None] in the latter two cases).
+    Call {!kick} after changing whatever [stop] reads. *)
+val next : t -> sub -> stop:(unit -> bool) -> string option
+
+(** Wake every blocked [next] so it can re-check its [stop]. *)
+val kick : t -> unit
+
+(** Any subscribers right now? Lock-free; the publisher's cheap gate. *)
+val active : t -> bool
+
+val subscribers : t -> int
+
+(** [set_on_transition t f] — [f true] runs when the subscriber count
+    leaves zero, [f false] when it returns to zero. Called outside the
+    hub lock (it may take other locks); at most one callback. *)
+val set_on_transition : t -> (bool -> unit) -> unit
+
+(** Lines dropped from this subscriber's queue (drop-oldest). *)
+val dropped : sub -> int
+
+(** Lines this subscriber has dequeued. *)
+val received : sub -> int
+
+type stats = {
+  st_published : int;  (** lines fanned out (per-subscriber deliveries) *)
+  st_dropped : int;  (** lines dropped across all subscribers, ever *)
+  st_subscribers : int;
+}
+
+val stats : t -> stats

@@ -16,13 +16,23 @@ type session = {
   ss_board : Dval.t Obs.Board.t;
   ss_prov : Dval.t Obs.Provenance.t;
   mutable ss_jsonl : (string * out_channel) option;
+  mutable ss_serve : Serve.t option;
 }
 
 let session env =
   { ss_env = env; ss_board = Obs.Board.attach ~monitor:true (Stem.Env.cnet env);
     ss_prov =
       Obs.Provenance.attach ~pp_value:Dval.to_string (Stem.Env.cnet env);
-    ss_jsonl = None }
+    ss_jsonl = None; ss_serve = None }
+
+let serve_off ss =
+  match ss.ss_serve with
+  | None -> false
+  | Some sv ->
+    Serve.stop sv;
+    ignore (Serve.unexpose (Stem.Env.cnet ss.ss_env).Types.net_name);
+    ss.ss_serve <- None;
+    true
 
 let trace_off ss =
   match ss.ss_jsonl with
@@ -70,6 +80,8 @@ let help_text =
   \  critical [EP]          longest causal chain of an episode (default last)\n\
   \  tracetree              episode tree across all traced networks\n\
   \  replay FILE [SEQ]      replay a JSONL trace (to SEQ) and diff vs live\n\
+  \  serve [PORT]           start the HTTP telemetry server (default port 9464)\n\
+  \  unserve                stop the telemetry server\n\
   \  help                   this text\n\
   \  quit                   leave the editor"
 
@@ -393,11 +405,34 @@ let execute ss line =
             divs)
     | exception Sys_error msg -> Fmt.pr "  cannot read %s: %s@." file msg);
     true
+  | "serve" :: rest ->
+    (match ss.ss_serve with
+    | Some sv -> Fmt.pr "  already serving on port %d (unserve first)@." (Serve.port sv)
+    | None -> (
+      let port = match rest with [ p ] -> int_of_string_opt p | _ -> Some 9464 in
+      match port with
+      | None -> Fmt.pr "  port must be an integer@."
+      | Some port -> (
+        Serve.expose ~pp_value:Dval.to_string ~board:ss.ss_board cnet;
+        match Serve.start ~port () with
+        | sv ->
+          ss.ss_serve <- Some sv;
+          Fmt.pr "  telemetry server on http://127.0.0.1:%d (metrics, healthz, events, ...)@."
+            (Serve.port sv)
+        | exception Unix.Unix_error (e, _, _) ->
+          ignore (Serve.unexpose cnet.Types.net_name);
+          Fmt.pr "  cannot bind port %d: %s@." port (Unix.error_message e))));
+    true
+  | [ "unserve" ] ->
+    if serve_off ss then Fmt.pr "  telemetry server stopped@."
+    else Fmt.pr "  no telemetry server running@.";
+    true
   | cmd :: _ ->
     Fmt.pr "unknown command %S (try: help)@." cmd;
     true
 
 let close ss =
+  ignore (serve_off ss);
   ignore (trace_off ss);
   Obs.Provenance.detach ss.ss_prov;
   Obs.Board.detach (Stem.Env.cnet ss.ss_env)

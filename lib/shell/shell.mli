@@ -7,13 +7,15 @@
     [check], [quarantine], [clearq ID], [threshold N], [budget N|off],
     [audit], [dump], [metrics], [spans [N]], [hotspots [K]],
     [trace jsonl FILE], [trace off], [why PATH], [blame PATH],
-    [critical [EP]], [tracetree], [replay FILE [SEQ]], [help],
+    [critical [EP]], [tracetree], [replay FILE [SEQ]],
+    [serve [PORT]]/[unserve] (the HTTP telemetry server), [help],
     [quit]. *)
 
 (** A shell session: the environment plus its observability board
     (ring, metrics, profiler — attached as trace sinks for the
     session's lifetime), a provenance store (for [why]/[blame]/
-    [critical]/[tracetree]) and an optional JSONL trace export. *)
+    [critical]/[tracetree]), an optional JSONL trace export and an
+    optional telemetry server. *)
 type session
 
 (** Create a session, attaching the observability board and the
@@ -24,7 +26,8 @@ val session : Stem.Design.env -> session
     formatter. Returns [false] when the command was [quit]. *)
 val execute : session -> string -> bool
 
-(** Detach the session's sinks and stop any JSONL export. *)
+(** Detach the session's sinks, stop any JSONL export and shut down
+    the telemetry server if one is running. *)
 val close : session -> unit
 
 (** Interactive loop over stdin (manages its own session). *)

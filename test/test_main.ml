@@ -18,6 +18,7 @@ let () =
       Test_monitor.suite;
       Test_stem_more.suite;
       Test_shell.suite;
+      Test_serve.suite;
       Test_persist.suite;
       Test_structural.suite;
       Test_misc.suite;
