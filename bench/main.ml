@@ -335,6 +335,48 @@ let end_to_end =
   in
   Test.make_grouped ~name:"end-to-end" ~fmt:"%s %s" [ mk_acc; mk_sel ]
 
+(* E20: write-path durability overhead — one acknowledged set with no
+   durability configured, against the same set journaled under each
+   fsync policy.  The full sweep (interval policies, multi-tenant
+   fairness under an abusive writer) lives in bench/e20.exe; these
+   three land in BENCH_core.json so the guard tracks the journaled
+   write path release over release. *)
+let durability_writes =
+  let dir =
+    let d = Filename.temp_file "stem-e20" ".d" in
+    Sys.remove d;
+    Sys.mkdir d 0o700;
+    d
+  in
+  let spec = "var a.x\nvar a.y = 1\nvar a.sum\nsum a.sum a.x a.y\n" in
+  let entry id =
+    match Serve.Wstore.create ~id ~spec () with
+    | Ok e -> e
+    | Error msg -> failwith ("e20 fixture: " ^ msg)
+  in
+  let run e =
+    let i = ref 0 in
+    fun () ->
+      incr i;
+      ignore
+        (Serve.Wstore.apply_set e ~path:"a.x"
+           ~value:(Dval.Int (!i land 1023))
+           ~just:Constraint_kernel.Types.User)
+  in
+  (* created before [configure], so no journal at all *)
+  let plain = run (entry "e20-plain") in
+  Serve.Wstore.configure ~dir ~fsync:Serve.Journal.Never
+    ~snapshot_every:max_int ();
+  let never = run (entry "e20-never") in
+  Serve.Wstore.configure ~fsync:Serve.Journal.Always ();
+  let always = run (entry "e20-always") in
+  Test.make_grouped ~name:"durability" ~fmt:"%s %s"
+    [
+      Test.make ~name:"E20 set no-journal" (Staged.stage plain);
+      Test.make ~name:"E20 set journal fsync=never" (Staged.stage never);
+      Test.make ~name:"E20 set journal fsync=always" (Staged.stage always);
+    ]
+
 let () =
   Fmt.pr "STEM constraint propagation — experiment harness@.";
   Fmt.pr "(figure reproductions, then Bechamel timings; see EXPERIMENTS.md)@.";
@@ -357,6 +399,7 @@ let () =
         incremental_vs_batch;
         erasure;
         end_to_end;
+        durability_writes;
       ]
   in
   write_bench_json "BENCH_core.json" results (measured_steps ());

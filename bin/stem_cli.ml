@@ -550,12 +550,51 @@ let top_cmd =
    HTTP server exposes /metrics, /healthz, /events &c.  SIGINT/SIGTERM
    stop it gracefully (server drained and joined, summary printed) —
    the CI smoke test drives exactly this. *)
-let run_serve bind port rate duration window_eps =
+let run_serve bind port rate duration window_eps data fsync verify_replay =
   setup_logs ();
   (* the workload violates one spec per round by design (so windows and
      exemplars always have content); at 50 rounds/s that would flood
      stderr with warnings — remote consumers read /alerts instead *)
   Logs.set_level (Some Logs.Error);
+  match Serve.Journal.fsync_of_string fsync with
+  | None ->
+    Fmt.epr "bad --fsync %S (always | never | interval:SECONDS)@." fsync;
+    2
+  | Some fsync_policy ->
+  (* durability + recovery before the listener opens: a client must
+     never observe a hosted network that is still mid-replay *)
+  (match data with
+  | None -> ()
+  | Some dir ->
+    Serve.Wstore.configure ~dir ~fsync:fsync_policy ();
+    let recoveries, notes =
+      Serve.Wstore.recover_dir ~verify:verify_replay dir
+    in
+    List.iter (fun n -> Fmt.pr "recovery: %s@." n) notes;
+    List.iter
+      (fun rc ->
+        let e = rc.Serve.Wstore.rc_entry in
+        let id = Serve.Wstore.id e in
+        List.iter
+          (fun (src, n, msg) ->
+            Fmt.pr "recovery warning: %s %s record %d: %s@." id src n msg)
+          rc.Serve.Wstore.rc_warnings;
+        Fmt.pr "recovered %s: %d snapshot set(s), %d journal set(s) replayed@."
+          id rc.Serve.Wstore.rc_snapshot_sets
+          rc.Serve.Wstore.rc_journal_replayed;
+        if rc.Serve.Wstore.rc_verified then begin
+          Fmt.pr "recovery verified: %s (%d set(s) replayed, %d divergence(s))@."
+            id
+            (rc.Serve.Wstore.rc_snapshot_sets
+            + rc.Serve.Wstore.rc_journal_replayed)
+            (List.length rc.Serve.Wstore.rc_divergences);
+          List.iter
+            (fun d -> Fmt.pr "  DIVERGENCE %a@." Obs.Replay.pp_divergence d)
+            rc.Serve.Wstore.rc_divergences
+        end;
+        Serve.expose ~name:id ~pp_value:Serve.Wstore.pp_value
+          ~board:(Serve.Wstore.board e) (Serve.Wstore.net e))
+      recoveries);
   let _env, net, board, round =
     health_setup ~window_width:(Obs.Window.Episodes window_eps)
   in
@@ -582,11 +621,21 @@ let run_serve bind port rate duration window_eps =
       && (duration <= 0.0 || Unix.gettimeofday () -. t0 < duration)
     do
       incr tick;
-      round !tick;
+      (* the engine's ambient episode stack is process-global: while
+         the write API is live, the demo loop's episodes must
+         serialize with HTTP write episodes *)
+      Serve.Wstore.with_episode_lock (fun () -> round !tick);
       try Unix.sleepf period with Unix.Unix_error (EINTR, _, _) -> ()
     done;
     Obs.Board.checkpoint board;
+    (* graceful drain: stop accepting and finish in-flight requests
+       first, then flush every journal and take final snapshots *)
     Serve.stop sv;
+    (match Serve.Wstore.close_all () with
+    | [] -> ()
+    | ids ->
+      List.iter (fun id -> ignore (Serve.unexpose id)) ids;
+      Fmt.pr "flushed and snapshotted: %s@." (String.concat ", " ids));
     ignore (Serve.unexpose net.Constraint_kernel.Types.net_name);
     let st = Serve.stream_stats () in
     Fmt.pr
@@ -619,11 +668,30 @@ let serve_cmd =
     Arg.(value & opt int 8
          & info [ "window" ] ~docv:"EPISODES" ~doc:"Window width in episodes.")
   in
+  let data =
+    Arg.(value & opt (some string) None
+         & info [ "data" ] ~docv:"DIR"
+             ~doc:"Durability directory: recover every network found \
+                   there at startup, journal every acknowledged write.")
+  in
+  let fsync =
+    Arg.(value & opt string "always"
+         & info [ "fsync" ] ~docv:"POLICY"
+             ~doc:"Journal fsync policy: always, never, or interval:SECONDS.")
+  in
+  let verify_replay =
+    Arg.(value & flag
+         & info [ "verify-replay" ]
+             ~doc:"Differentially check each recovered network against \
+                   its own replayed episode trace (Obs.Replay.diff_live).")
+  in
   Cmd.v
     (Cmd.info "serve"
        ~doc:"Run the demo workload under the HTTP telemetry server \
-             (Prometheus /metrics, /healthz, live /events NDJSON)")
-    Term.(const run_serve $ bind $ port $ rate $ duration $ window)
+             (Prometheus /metrics, /healthz, live /events NDJSON) with \
+             an optional crash-safe write API (--data)")
+    Term.(const run_serve $ bind $ port $ rate $ duration $ window $ data
+          $ fsync $ verify_replay)
 
 (* In-tree scrape client, so tests and CI never need curl. *)
 let run_scrape host port path out =
@@ -668,6 +736,105 @@ let scrape_cmd =
     (Cmd.info "scrape"
        ~doc:"Fetch one telemetry endpoint (exit 0 only on HTTP 200)")
     Term.(const run_scrape $ host $ port $ path $ out)
+
+(* The write-side counterpart of scrape: create a network from a spec
+   file, or batch PATH VALUE pairs into one POST /nets/:id/set.  Exit 0
+   only when the server acknowledged everything (HTTP 2xx) — the CI
+   crash-recovery smoke leans on exactly this: every exit-0 put is a
+   durably acknowledged write. *)
+let run_put host port net tenant timeout create args =
+  setup_logs ();
+  let jq s = "\"" ^ Obs.Jsonl.escape s ^ "\"" in
+  let headers = [ ("x-tenant", tenant) ] in
+  let show r =
+    print_string r.Serve.Client.rs_body;
+    if String.length r.Serve.Client.rs_body > 0
+       && r.Serve.Client.rs_body.[String.length r.Serve.Client.rs_body - 1]
+          <> '\n'
+    then print_newline ();
+    if r.Serve.Client.rs_status / 100 = 2 then 0
+    else begin
+      Fmt.epr "HTTP %d %s@." r.Serve.Client.rs_status
+        r.Serve.Client.rs_reason;
+      1
+    end
+  in
+  match create with
+  | Some file -> (
+    match In_channel.with_open_bin file In_channel.input_all with
+    | exception Sys_error msg ->
+      Fmt.epr "cannot read %s: %s@." file msg;
+      2
+    | spec -> (
+      match
+        Serve.Client.post ~host ~port ~timeout ~headers ~body:spec
+          ("/nets?id=" ^ net)
+      with
+      | Error msg ->
+        Fmt.epr "put %s:%d /nets?id=%s failed: %s@." host port net msg;
+        1
+      | Ok r -> show r))
+  | None -> (
+    let rec pairs = function
+      | [] -> Some []
+      | path :: value :: rest ->
+        Option.map
+          (fun tl ->
+            Printf.sprintf "{\"var\":%s,\"value\":%s,\"just\":\"user\"}"
+              (jq path) (jq value)
+            :: tl)
+          (pairs rest)
+      | [ _ ] -> None
+    in
+    match pairs args with
+    | None | Some [] ->
+      Fmt.epr "need PATH VALUE pairs (or --create SPECFILE)@.";
+      2
+    | Some lines -> (
+      let body = String.concat "\n" lines ^ "\n" in
+      match
+        Serve.Client.post ~host ~port ~timeout ~headers ~body
+          ("/nets/" ^ net ^ "/set")
+      with
+      | Error msg ->
+        Fmt.epr "put %s:%d /nets/%s/set failed: %s@." host port net msg;
+        1
+      | Ok r -> show r))
+
+let put_cmd =
+  let host =
+    Arg.(value & opt string "127.0.0.1"
+         & info [ "host" ] ~docv:"HOST" ~doc:"Server host.")
+  in
+  let port =
+    Arg.(value & opt int 9464 & info [ "port" ] ~docv:"PORT" ~doc:"Server port.")
+  in
+  let net =
+    Arg.(value & opt string "net"
+         & info [ "net" ] ~docv:"ID" ~doc:"Target network id.")
+  in
+  let tenant =
+    Arg.(value & opt string "anon"
+         & info [ "tenant" ] ~docv:"T" ~doc:"Tenant (the x-tenant header).")
+  in
+  let timeout =
+    Arg.(value & opt float 10.0
+         & info [ "timeout" ] ~docv:"S" ~doc:"Total request deadline.")
+  in
+  let create =
+    Arg.(value & opt (some string) None
+         & info [ "create" ] ~docv:"SPECFILE"
+             ~doc:"Create the network from this spec file instead of \
+                   setting values.")
+  in
+  let args =
+    Arg.(value & pos_all string [] & info [] ~docv:"PATH VALUE")
+  in
+  Cmd.v
+    (Cmd.info "put"
+       ~doc:"Write to a served network: create from a spec, or set \
+             PATH VALUE pairs (exit 0 only when acknowledged)")
+    Term.(const run_put $ host $ port $ net $ tenant $ timeout $ create $ args)
 
 (* ---------------- why ---------------- *)
 
@@ -780,7 +947,7 @@ let main_cmd =
     [
       accumulator_cmd; select_cmd; simulate_cmd; inspect_cmd; check_cmd;
       edit_cmd; ripple_cmd; faults_cmd; trace_cmd; why_cmd; health_cmd;
-      top_cmd; serve_cmd; scrape_cmd;
+      top_cmd; serve_cmd; scrape_cmd; put_cmd;
     ]
 
 let () = exit (Cmd.eval' main_cmd)

@@ -1,0 +1,63 @@
+(** Admission control and graceful degradation for the write side.
+
+    Every write request passes {!admit} before touching a network and
+    {!finish} afterwards. Three independent bounds protect the
+    propagation thread and the {e other} tenants:
+
+    - a per-tenant in-flight bound ([Busy] → HTTP 429),
+    - a global in-flight bound ([Overloaded] → HTTP 503),
+    - a strike/cooldown ladder ([Quarantined] → HTTP 429 with the
+      remaining cooldown as [Retry-After]): a tenant whose requests
+      keep exhausting their episode step budget or wall-clock deadline
+      accumulates strikes and eventually sits out a cooldown — the
+      write-path analogue of the kernel's constraint quarantine.
+      Well-behaved requests heal strikes, so transient pressure never
+      quarantines anyone.
+
+    The clock is injectable, so the whole ladder is unit-testable
+    without sleeping. All rejection constructors carry the suggested
+    [Retry-After] in seconds. *)
+
+type config = {
+  ac_max_inflight : int;  (** per-tenant in-flight bound *)
+  ac_max_total : int;  (** global in-flight bound *)
+  ac_step_budget : int;  (** engine step budget per write episode *)
+  ac_deadline : float;  (** wall-clock seconds per admitted request *)
+  ac_strike_limit : int;  (** over-budget finishes before cooldown *)
+  ac_cooldown : float;  (** cooldown seconds *)
+}
+
+(** 2 in-flight per tenant, 8 total, 10k steps, 2 s deadline,
+    3 strikes, 5 s cooldown. *)
+val default_config : config
+
+(** Proof of admission; pass it back to {!finish} exactly once. *)
+type ticket
+
+type decision =
+  | Admitted of ticket
+  | Busy of float  (** tenant at its bound — 429, retry after [s] *)
+  | Overloaded of float  (** global bound — 503, retry after [s] *)
+  | Quarantined of float  (** cooling down — 429, retry after [s] *)
+
+type t
+
+val create : ?now:(unit -> float) -> ?config:config -> unit -> t
+
+val config : t -> config
+
+val admit : t -> tenant:string -> decision
+
+(** [finish t ticket ~over_budget] releases the in-flight slot;
+    [over_budget = true] records a strike (budget blown or deadline
+    exceeded), [false] heals one. *)
+val finish : t -> ticket -> over_budget:bool -> unit
+
+(** Has this admitted request outlived its wall-clock deadline?
+    Handlers check between batch items and abort the remainder. *)
+val deadline_exceeded : t -> ticket -> bool
+
+val elapsed : t -> ticket -> float
+
+(** Per-tenant counters as a JSON object (the [/admission] endpoint). *)
+val stats_json : t -> string

@@ -72,17 +72,53 @@ let find_head_end s =
   in
   go 0
 
-let read_all fd =
+exception Timed_out of string
+
+(* Read to EOF under a total deadline.  SO_RCVTIMEO only bounds one
+   [read]; a server dripping one byte per nine seconds would hold the
+   old code forever.  Re-arming the timeout with the remaining budget
+   before every read makes [deadline] the bound on the whole
+   response. *)
+let read_all ~deadline fd =
   let buf = Buffer.create 4096 in
   let chunk = Bytes.create 4096 in
   let rec go () =
+    let remaining = deadline -. Unix.gettimeofday () in
+    if remaining <= 0.0 then raise (Timed_out "response timed out");
+    (try Unix.setsockopt_float fd SO_RCVTIMEO remaining
+     with Unix.Unix_error _ -> ());
     match Unix.read fd chunk 0 (Bytes.length chunk) with
     | 0 -> Buffer.contents buf
     | n ->
       Buffer.add_subbytes buf chunk 0 n;
       go ()
+    | exception Unix.Unix_error ((EAGAIN | EWOULDBLOCK), _, _) ->
+      raise (Timed_out "read timed out")
   in
   go ()
+
+(* Connect with a timeout: non-blocking connect, wait for writability,
+   then read back SO_ERROR.  A plain [Unix.connect] to a dropping
+   firewall blocks for the kernel's SYN-retry minutes — longer than
+   any caller of an in-tree scrape client wants to wait. *)
+let connect_with_timeout fd addr timeout =
+  Unix.set_nonblock fd;
+  (try Unix.connect fd addr with
+  | Unix.Unix_error ((EINPROGRESS | EWOULDBLOCK | EAGAIN), _, _) -> (
+    match Unix.select [] [ fd ] [] timeout with
+    | _, [], _ -> raise (Timed_out "connect timed out")
+    | _ -> (
+      match Unix.getsockopt_error fd with
+      | None -> ()
+      | Some err -> raise (Unix.Unix_error (err, "connect", ""))))
+  | Unix.Unix_error (EINTR, _, _) -> (
+    match Unix.select [] [ fd ] [] timeout with
+    | _, [], _ -> raise (Timed_out "connect timed out")
+    | _ -> (
+      match Unix.getsockopt_error fd with
+      | None -> ()
+      | Some err -> raise (Unix.Unix_error (err, "connect", "")))));
+  Unix.clear_nonblock fd
 
 let parse_response raw =
   match find_head_end raw with
@@ -117,8 +153,13 @@ let parse_response raw =
         | Ok body ->
           Ok { rs_status = status; rs_reason = reason; rs_headers = headers; rs_body = body })))
 
-let get ?(host = "127.0.0.1") ?(timeout = 10.0) ~port path =
+let request ?(host = "127.0.0.1") ?(timeout = 10.0) ?connect_timeout
+    ?(meth = "GET") ?(headers = []) ?(body = "") ~port path =
+  let connect_timeout =
+    match connect_timeout with Some t -> t | None -> min timeout 5.0
+  in
   match
+    let deadline = Unix.gettimeofday () +. timeout in
     let addr =
       try Unix.inet_addr_of_string host
       with _ -> (
@@ -130,23 +171,39 @@ let get ?(host = "127.0.0.1") ?(timeout = 10.0) ~port path =
     Fun.protect
       ~finally:(fun () -> try Unix.close fd with Unix.Unix_error _ -> ())
       (fun () ->
+        connect_with_timeout fd (ADDR_INET (addr, port)) connect_timeout;
         Unix.setsockopt_float fd SO_RCVTIMEO timeout;
         Unix.setsockopt_float fd SO_SNDTIMEO timeout;
-        Unix.connect fd (ADDR_INET (addr, port));
-        let request =
-          Printf.sprintf
-            "GET %s HTTP/1.1\r\nhost: %s:%d\r\nconnection: close\r\nuser-agent: stem-scrape\r\n\r\n"
-            path host port
-        in
+        let buf = Buffer.create 256 in
+        Buffer.add_string buf
+          (Printf.sprintf "%s %s HTTP/1.1\r\nhost: %s:%d\r\nconnection: close\r\nuser-agent: stem-scrape\r\n"
+             meth path host port);
+        List.iter
+          (fun (k, v) -> Buffer.add_string buf (Printf.sprintf "%s: %s\r\n" k v))
+          headers;
+        if body <> "" || meth <> "GET" then
+          Buffer.add_string buf
+            (Printf.sprintf "content-length: %d\r\n" (String.length body));
+        Buffer.add_string buf "\r\n";
+        Buffer.add_string buf body;
+        let request = Buffer.contents buf in
         let rec write_all off =
           if off < String.length request then
             write_all
               (off + Unix.write_substring fd request off (String.length request - off))
         in
         write_all 0;
-        parse_response (read_all fd))
+        parse_response (read_all ~deadline fd))
   with
   | result -> result
   | exception Unix.Unix_error (e, fn, _) ->
     Error (Printf.sprintf "%s: %s" fn (Unix.error_message e))
+  | exception Timed_out msg -> Error msg
   | exception Not_found -> Error ("cannot resolve host: " ^ host)
+
+let get ?host ?timeout ?connect_timeout ~port path =
+  request ?host ?timeout ?connect_timeout ~meth:"GET" ~port path
+
+let post ?host ?timeout ?connect_timeout ?headers ~port ~body path =
+  request ?host ?timeout ?connect_timeout ~meth:"POST" ?headers ~body ~port
+    path

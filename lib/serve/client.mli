@@ -1,10 +1,18 @@
-(** Tiny blocking HTTP/1.1 GET client.
+(** Tiny blocking HTTP/1.1 client.
 
-    The in-tree scrape tool: tests, the [stem scrape] subcommand and
-    the CI smoke step all exercise the server through it, so the
-    repository never needs curl. One request per connection
+    The in-tree scrape/write tool: tests, the [stem scrape]/[stem put]
+    subcommands and the CI smoke steps all exercise the server through
+    it, so the repository never needs curl. One request per connection
     ([Connection: close]); fixed-length and chunked bodies are both
-    decoded. *)
+    decoded.
+
+    Every request is bounded in time, so a stalled server can never
+    hang a caller: connects are non-blocking with their own timeout
+    (a dropping firewall cannot hold us for the kernel's SYN-retry
+    minutes), and [timeout] is a {e total} deadline over the whole
+    response — the receive timeout is re-armed with the remaining
+    budget before every read, so a server dripping bytes cannot
+    stretch it. *)
 
 type response = {
   rs_status : int;
@@ -14,12 +22,38 @@ type response = {
 }
 
 (** [get ~port "/metrics"] — [host] defaults to ["127.0.0.1"],
-    [timeout] (default 10 s) bounds connect/read/write syscalls.
-    Errors (refused, timeout, malformed response) come back as
+    [timeout] (default 10 s) is the total deadline for the response,
+    [connect_timeout] (default [min timeout 5.0]) bounds the connect
+    alone. Errors (refused, timeout, malformed response) come back as
     [Error message], never an exception. *)
 val get :
   ?host:string ->
   ?timeout:float ->
+  ?connect_timeout:float ->
+  port:int ->
+  string ->
+  (response, string) result
+
+(** [post ~port ~body "/nets/alu/set"] — same bounds as {!get};
+    [headers] come after the standard ones (e.g. [("x-tenant", t)]). *)
+val post :
+  ?host:string ->
+  ?timeout:float ->
+  ?connect_timeout:float ->
+  ?headers:(string * string) list ->
+  port:int ->
+  body:string ->
+  string ->
+  (response, string) result
+
+(** The general form behind {!get}/{!post}. *)
+val request :
+  ?host:string ->
+  ?timeout:float ->
+  ?connect_timeout:float ->
+  ?meth:string ->
+  ?headers:(string * string) list ->
+  ?body:string ->
   port:int ->
   string ->
   (response, string) result

@@ -9,6 +9,10 @@ type request = {
   rq_query : (string * string) list;
   rq_version : string;
   rq_headers : (string * string) list;
+  mutable rq_params : (string * string) list;
+      (* path parameters bound by a pattern route (Router) *)
+  mutable rq_body : string;
+      (* request body, read separately by [read_body] *)
 }
 
 type parse_error = Closed | Truncated | Too_large | Bad of string
@@ -113,6 +117,8 @@ let parse_head head =
           rq_query = query;
           rq_version = version;
           rq_headers = headers;
+          rq_params = [];
+          rq_body = "";
         })
 
 (* End of a request head: CRLFCRLF (tolerating bare LFLF from hand-
@@ -166,6 +172,45 @@ let query rq name = List.assoc_opt name rq.rq_query
 
 let query_int rq name = Option.bind (query rq name) int_of_string_opt
 
+let param rq name = List.assoc_opt name rq.rq_params
+
+let content_length rq = Option.bind (header rq "content-length") int_of_string_opt
+
+(* Read the declared body into [rq_body].  GET-style requests (no
+   content-length, or zero) are a no-op; a declared length beyond
+   [max_body] is refused before reading a byte (answer 413); EOF or a
+   receive timeout mid-body is [Truncated].  Leftover bytes past the
+   body stay in [cn_pending] for the next keep-alive request. *)
+let default_max_body = 1 lsl 20
+
+let read_body ?(max_body = default_max_body) c rq =
+  match content_length rq with
+  | None | Some 0 -> Ok ()
+  | Some n when n < 0 -> Error (Bad "negative content-length")
+  | Some n when n > max_body -> Error Too_large
+  | Some n ->
+    let buf = Buffer.create n in
+    Buffer.add_string buf c.cn_pending;
+    c.cn_pending <- "";
+    let chunk = Bytes.create 4096 in
+    let rec fill () =
+      if Buffer.length buf >= n then begin
+        let all = Buffer.contents buf in
+        rq.rq_body <- String.sub all 0 n;
+        c.cn_pending <- String.sub all n (String.length all - n);
+        Ok ()
+      end
+      else
+        match Unix.read c.cn_fd chunk 0 (Bytes.length chunk) with
+        | 0 -> Error Truncated
+        | k ->
+          Buffer.add_subbytes buf chunk 0 k;
+          fill ()
+        | exception Unix.Unix_error ((EAGAIN | EWOULDBLOCK), _, _) ->
+          Error Truncated
+    in
+    fill ()
+
 let keep_alive rq =
   match Option.map String.lowercase_ascii (header rq "connection") with
   | Some "close" -> false
@@ -176,11 +221,17 @@ let keep_alive rq =
 
 let status_text = function
   | 200 -> "OK"
+  | 201 -> "Created"
   | 204 -> "No Content"
   | 400 -> "Bad Request"
+  | 403 -> "Forbidden"
   | 404 -> "Not Found"
   | 405 -> "Method Not Allowed"
   | 408 -> "Request Timeout"
+  | 409 -> "Conflict"
+  | 413 -> "Content Too Large"
+  | 422 -> "Unprocessable Content"
+  | 429 -> "Too Many Requests"
   | 431 -> "Request Header Fields Too Large"
   | 500 -> "Internal Server Error"
   | 503 -> "Service Unavailable"

@@ -14,6 +14,10 @@ type request = {
   rq_query : (string * string) list;  (** decoded, in order *)
   rq_version : string;  (** ["HTTP/1.1"] *)
   rq_headers : (string * string) list;  (** names lowercased *)
+  mutable rq_params : (string * string) list;
+      (** path parameters bound by a [Router] pattern route
+          ([/nets/:id/...]) *)
+  mutable rq_body : string;  (** body, filled in by {!read_body} *)
 }
 
 type parse_error =
@@ -30,9 +34,18 @@ val conn : Unix.file_descr -> conn
 
 val fd : conn -> Unix.file_descr
 
-(** Read and parse one request head (GET-style: any body is left
-    unread). [max_head] (default 8192 bytes) bounds the head. *)
+(** Read and parse one request head (any body is left unread — see
+    {!read_body}). [max_head] (default 8192 bytes) bounds the head. *)
 val read_request : ?max_head:int -> conn -> (request, parse_error) result
+
+(** Read the request body declared by [content-length] into
+    [rq_body]. No-op without one. [max_body] (default 1 MiB) is
+    checked {e before} reading a byte — [Too_large] here means answer
+    413; EOF or receive timeout mid-body is [Truncated]. Bytes past
+    the body stay buffered for the next keep-alive request. *)
+val read_body : ?max_body:int -> conn -> request -> (unit, parse_error) result
+
+val default_max_body : int
 
 (** Case-insensitive header lookup. *)
 val header : request -> string -> string option
@@ -40,6 +53,12 @@ val header : request -> string -> string option
 val query : request -> string -> string option
 
 val query_int : request -> string -> int option
+
+(** Path parameter bound by the router ([/nets/:id] → [param rq "id"]). *)
+val param : request -> string -> string option
+
+(** The parsed [content-length] header, if any. *)
+val content_length : request -> int option
 
 (** HTTP/1.1 defaults to keep-alive unless [Connection: close]. *)
 val keep_alive : request -> bool

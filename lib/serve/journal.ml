@@ -1,0 +1,247 @@
+(* Crash-safe append-only record log: the write-ahead journal under
+   the write-side service.  Each record is one length-prefixed,
+   CRC-guarded frame holding a schema-v2 JSONL payload; the reader is
+   deliberately forgiving about exactly the two corruptions a crash
+   can produce — a torn final frame (the process died mid-append) and
+   a bit-flipped payload (detected by the CRC) — and strict about
+   everything else. *)
+
+type fsync_policy = Always | Interval of float | Never
+
+let pp_fsync ppf = function
+  | Always -> Fmt.string ppf "always"
+  | Never -> Fmt.string ppf "never"
+  | Interval s -> Fmt.pf ppf "interval:%g" s
+
+let fsync_of_string = function
+  | "always" -> Some Always
+  | "never" -> Some Never
+  | s -> (
+    match String.index_opt s ':' with
+    | Some i when String.sub s 0 i = "interval" -> (
+      match
+        float_of_string_opt (String.sub s (i + 1) (String.length s - i - 1))
+      with
+      | Some f when f > 0.0 -> Some (Interval f)
+      | _ -> None)
+    | _ -> None)
+
+(* ---------------- CRC-32 (IEEE 802.3, zlib polynomial) ---------------- *)
+
+let crc_table =
+  lazy
+    (Array.init 256 (fun n ->
+         let c = ref n in
+         for _ = 0 to 7 do
+           c := if !c land 1 = 1 then 0xedb88320 lxor (!c lsr 1) else !c lsr 1
+         done;
+         !c))
+
+let crc32 s =
+  let t = Lazy.force crc_table in
+  let c = ref 0xffffffff in
+  String.iter
+    (fun ch -> c := t.((!c lxor Char.code ch) land 0xff) lxor (!c lsr 8))
+    s;
+  !c lxor 0xffffffff
+
+(* ---------------- framing ---------------- *)
+
+(* [u32 LE length][u32 LE crc32(payload)][payload] *)
+
+let header_len = 8
+
+(* A frame length beyond this is not a record, it is corrupted framing:
+   stop rather than skip gigabytes on a garbage length field. *)
+let max_record = 16 * 1024 * 1024
+
+let put_u32 b off v =
+  Bytes.set b off (Char.chr (v land 0xff));
+  Bytes.set b (off + 1) (Char.chr ((v lsr 8) land 0xff));
+  Bytes.set b (off + 2) (Char.chr ((v lsr 16) land 0xff));
+  Bytes.set b (off + 3) (Char.chr ((v lsr 24) land 0xff))
+
+let get_u32 s off =
+  Char.code s.[off]
+  lor (Char.code s.[off + 1] lsl 8)
+  lor (Char.code s.[off + 2] lsl 16)
+  lor (Char.code s.[off + 3] lsl 24)
+
+let frame payload =
+  let n = String.length payload in
+  let b = Bytes.create (header_len + n) in
+  put_u32 b 0 n;
+  put_u32 b 4 (crc32 payload);
+  Bytes.blit_string payload 0 b header_len n;
+  Bytes.unsafe_to_string b
+
+(* Scan a raw journal image.  Returns the kept payloads (in order),
+   [(record number, message)] warnings (1-based, counting frames as the
+   reader meets them — the journal's "line numbers"), and the byte
+   offset just past the last structurally whole frame (where appends
+   may safely resume). *)
+let scan data =
+  let n = String.length data in
+  let records = ref [] in
+  let warnings = ref [] in
+  let valid_end = ref 0 in
+  let warn idx msg = warnings := (idx, msg) :: !warnings in
+  let rec go off idx =
+    if off >= n then ()
+    else if off + header_len > n then
+      warn idx
+        (Printf.sprintf
+           "torn record: %d header byte(s) at end of file (need %d) — \
+            discarded"
+           (n - off) header_len)
+    else
+      let len = get_u32 data off in
+      let crc = get_u32 data (off + 4) in
+      if len > max_record then
+        warn idx
+          (Printf.sprintf
+             "corrupt framing: implausible record length %d — rest of journal \
+              discarded"
+             len)
+      else if off + header_len + len > n then
+        warn idx
+          (Printf.sprintf
+             "torn record: %d payload byte(s) present of %d — discarded"
+             (n - off - header_len) len)
+      else begin
+        let payload = String.sub data (off + header_len) len in
+        let next = off + header_len + len in
+        (* the frame is structurally whole either way: appends resume
+           after it, only a CRC mismatch drops the payload *)
+        valid_end := next;
+        if crc32 payload <> crc then
+          warn idx
+            (Printf.sprintf
+               "CRC mismatch (stored %08x, computed %08x) — record skipped" crc
+               (crc32 payload))
+        else records := payload :: !records;
+        go next (idx + 1)
+      end
+  in
+  go 0 1;
+  (List.rev !records, List.rev !warnings, !valid_end)
+
+let read_file path =
+  if not (Sys.file_exists path) then ""
+  else In_channel.with_open_bin path In_channel.input_all
+
+let read path =
+  let records, warnings, _ = scan (read_file path) in
+  (records, warnings)
+
+(* ---------------- the appender ---------------- *)
+
+type t = {
+  j_path : string;
+  j_fsync : fsync_policy;
+  j_mu : Mutex.t;
+  mutable j_fd : Unix.file_descr option;
+  mutable j_last_sync : float;
+  mutable j_appended : int;
+  mutable j_size : int;
+}
+
+let with_lock j f =
+  Mutex.lock j.j_mu;
+  Fun.protect ~finally:(fun () -> Mutex.unlock j.j_mu) f
+
+let path j = j.j_path
+
+let fsync_policy j = j.j_fsync
+
+let appended j = j.j_appended
+
+let size j = with_lock j (fun () -> j.j_size)
+
+let open_append ?(fsync = Always) path =
+  (* Truncate away a torn tail before appending: a new record written
+     after garbage bytes would be unreachable to the reader. *)
+  let _, warnings, valid_end = scan (read_file path) in
+  let fd =
+    Unix.openfile path [ Unix.O_WRONLY; Unix.O_CREAT; Unix.O_CLOEXEC ] 0o644
+  in
+  (try
+     ignore (Unix.ftruncate fd valid_end);
+     ignore (Unix.lseek fd valid_end Unix.SEEK_SET)
+   with Unix.Unix_error _ -> ());
+  ( {
+      j_path = path;
+      j_fsync = fsync;
+      j_mu = Mutex.create ();
+      j_fd = Some fd;
+      j_last_sync = Unix.gettimeofday ();
+      j_appended = 0;
+      j_size = valid_end;
+    },
+    warnings )
+
+let write_all fd s =
+  let n = String.length s in
+  let b = Bytes.unsafe_of_string s in
+  let rec go off =
+    if off < n then go (off + Unix.write fd b off (n - off))
+  in
+  go 0
+
+let sync_locked j fd =
+  (try Unix.fsync fd with Unix.Unix_error _ -> ());
+  j.j_last_sync <- Unix.gettimeofday ()
+
+let append j payload =
+  with_lock j (fun () ->
+      match j.j_fd with
+      | None -> invalid_arg "Journal.append: closed journal"
+      | Some fd ->
+        let f = frame payload in
+        write_all fd f;
+        j.j_size <- j.j_size + String.length f;
+        j.j_appended <- j.j_appended + 1;
+        (match j.j_fsync with
+        | Always -> sync_locked j fd
+        | Never -> ()
+        | Interval s ->
+          if Unix.gettimeofday () -. j.j_last_sync >= s then sync_locked j fd))
+
+let flush j =
+  with_lock j (fun () ->
+      match j.j_fd with None -> () | Some fd -> sync_locked j fd)
+
+(* Empty the journal after its content is folded into a snapshot.  The
+   snapshot rename happens first (caller's job): a crash between the
+   two only re-replays sets the snapshot already holds, which the
+   commutative fixpoint makes idempotent. *)
+let reset j =
+  with_lock j (fun () ->
+      match j.j_fd with
+      | None -> ()
+      | Some fd ->
+        ignore (Unix.ftruncate fd 0);
+        ignore (Unix.lseek fd 0 Unix.SEEK_SET);
+        j.j_size <- 0;
+        sync_locked j fd)
+
+let close j =
+  with_lock j (fun () ->
+      match j.j_fd with
+      | None -> ()
+      | Some fd ->
+        (match j.j_fsync with Never -> () | _ -> sync_locked j fd);
+        (try Unix.close fd with Unix.Unix_error _ -> ());
+        j.j_fd <- None)
+
+(* Drop the handle without flushing or snapshotting — the test hook
+   that stands in for [kill -9]: whatever reached the OS survives,
+   nothing else does.  (Closing the fd matches those semantics: close
+   never flushes the page cache.) *)
+let abandon j =
+  with_lock j (fun () ->
+      match j.j_fd with
+      | None -> ()
+      | Some fd ->
+        (try Unix.close fd with Unix.Unix_error _ -> ());
+        j.j_fd <- None)

@@ -16,25 +16,55 @@ let routes t = List.rev_map (fun (m, p, _) -> (m, p)) t.rt_routes
 let text ?(status = 200) ?(content_type = "text/plain; charset=utf-8") body =
   Reply { status; headers = [ ("content-type", content_type) ]; body }
 
-let json ?(status = 200) body =
-  Reply { status; headers = [ ("content-type", "application/json") ]; body }
+let json ?(status = 200) ?(headers = []) body =
+  Reply { status; headers = ("content-type", "application/json") :: headers; body }
 
 let ndjson ?(status = 200) body =
   Reply { status; headers = [ ("content-type", "application/x-ndjson") ]; body }
+
+(* Route paths may contain [:name] segments, each binding one path
+   segment ([/nets/:id/state] matches [/nets/alu/state] with
+   [("id", "alu")]).  Literal segments must match exactly; there is no
+   wildcard tail.  Returns the bindings on a match. *)
+let match_pattern pattern path =
+  if not (String.contains pattern ':') then
+    if pattern = path then Some [] else None
+  else
+    let psegs = String.split_on_char '/' pattern in
+    let segs = String.split_on_char '/' path in
+    if List.length psegs <> List.length segs then None
+    else
+      let rec go acc = function
+        | [], [] -> Some (List.rev acc)
+        | p :: ps, s :: ss ->
+          if String.length p > 0 && p.[0] = ':' then
+            go ((String.sub p 1 (String.length p - 1), s) :: acc) (ps, ss)
+          else if p = s then go acc (ps, ss)
+          else None
+        | _ -> None
+      in
+      go [] (psegs, segs)
 
 let dispatch t rq =
   let meth = rq.Http.rq_method and path = rq.Http.rq_path in
   let rec find = function
     | [] -> None
-    | (m, p, h) :: rest ->
-      if m = meth && p = path then Some h else find rest
+    | (m, p, h) :: rest -> (
+      if m <> meth then find rest
+      else
+        match match_pattern p path with
+        | Some params -> Some (params, h)
+        | None -> find rest)
   in
   match find (List.rev t.rt_routes) with
-  | Some h -> h rq
+  | Some (params, h) ->
+    rq.Http.rq_params <- params;
+    h rq
   | None ->
     let allowed =
       List.filter_map
-        (fun (m, p, _) -> if p = path then Some m else None)
+        (fun (m, p, _) ->
+          if match_pattern p path <> None then Some m else None)
         (List.rev t.rt_routes)
     in
     if allowed = [] then

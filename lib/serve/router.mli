@@ -1,9 +1,12 @@
-(** Exact-match route table: (method, path) → handler.
+(** Route table: (method, path pattern) → handler.
 
-    Misses follow HTTP semantics: unknown path → 404; known path,
-    wrong method → 405 with an [allow] header. A handler answers
-    either a buffered {!reply} or takes over the connection for
-    streaming ([/events]). *)
+    Paths are exact-match, except that a [:name] segment binds one
+    path segment as a parameter ([/nets/:id/state] matches
+    [/nets/alu/state], binding [id = "alu"]; read it back with
+    [Http.param]). Misses follow HTTP semantics: unknown path → 404;
+    known path, wrong method → 405 with an [allow] header. A handler
+    answers either a buffered {!reply} or takes over the connection
+    for streaming ([/events]). *)
 
 type reply =
   | Reply of { status : int; headers : (string * string) list; body : string }
@@ -26,6 +29,6 @@ val routes : t -> (string * string) list
 
 val text : ?status:int -> ?content_type:string -> string -> reply
 
-val json : ?status:int -> string -> reply
+val json : ?status:int -> ?headers:(string * string) list -> string -> reply
 
 val ndjson : ?status:int -> string -> reply

@@ -10,6 +10,9 @@ module Stream = Stream
 module Exposition = Exposition
 module Router = Router
 module Client = Client
+module Journal = Journal
+module Admission = Admission
+module Wstore = Wstore
 
 open Constraint_kernel
 
@@ -275,6 +278,256 @@ let topo_dot ?net () =
     | None -> None
     | Some e -> Some (e.en_topo ()))
 
+(* ---------------- the write API ---------------- *)
+
+(* One process-global admission controller guards every write route.
+   Tests swap in their own instance (tiny budgets, injected clock). *)
+let admission = ref (Admission.create ())
+
+let set_admission a = admission := a
+
+let tenant_of rq =
+  match Http.header rq "x-tenant" with
+  | Some t when t <> "" -> t
+  | _ -> (
+    match Http.query rq "tenant" with
+    | Some t when t <> "" -> t
+    | _ -> "anon")
+
+let retry_after s =
+  [ ("retry-after", string_of_int (max 1 (int_of_float (ceil s)))) ]
+
+let err_json msg = Printf.sprintf "{\"error\":%s}" (jstr msg)
+
+let rejection = function
+  | Admission.Admitted _ -> assert false
+  | Admission.Busy s ->
+    Router.json ~status:429 ~headers:(retry_after s)
+      (err_json "tenant at its in-flight bound")
+  | Admission.Overloaded s ->
+    Router.json ~status:503 ~headers:(retry_after s)
+      (err_json "server at its global write bound")
+  | Admission.Quarantined s ->
+    Router.json ~status:429 ~headers:(retry_after s)
+      (err_json "tenant quarantined, cooling down")
+
+(* Admission bracket.  The handler gets the ticket (for deadline
+   checks) and an [over] cell; setting it records a strike on
+   finish. *)
+let with_admission rq f =
+  match Admission.admit !admission ~tenant:(tenant_of rq) with
+  | Admission.Admitted ticket ->
+    let over = ref false in
+    Fun.protect
+      ~finally:(fun () ->
+        Admission.finish !admission ticket ~over_budget:!over)
+      (fun () -> f ticket over)
+  | d -> rejection d
+
+let entry_for rq id =
+  match Wstore.find ~id with
+  | None ->
+    Error (Router.json ~status:404 (err_json ("no such network: " ^ id)))
+  | Some e ->
+    if Wstore.tenant e <> tenant_of rq then
+      Error
+        (Router.json ~status:403 (err_json "network owned by another tenant"))
+    else Ok e
+
+let entry_obj e =
+  Printf.sprintf
+    "{\"id\":%s,\"tenant\":%s,\"vars\":%d,\"acked\":%d,\"journal\":%s}"
+    (jstr (Wstore.id e))
+    (jstr (Wstore.tenant e))
+    (List.length (Wstore.state e))
+    (Wstore.acked e)
+    (match Wstore.journal e with
+    | None -> "null"
+    | Some j ->
+      Printf.sprintf "{\"fsync\":%s,\"size\":%d,\"appended\":%d}"
+        (jstr (Format.asprintf "%a" Journal.pp_fsync (Journal.fsync_policy j)))
+        (Journal.size j) (Journal.appended j))
+
+let nets_json () =
+  "[" ^ String.concat "," (List.map entry_obj (Wstore.list ())) ^ "]"
+
+let state_json e =
+  let rows =
+    List.map
+      (fun (path, v, just) ->
+        Printf.sprintf "{\"var\":%s,\"value\":%s,\"just\":%s}" (jstr path)
+          (match v with None -> "null" | Some v -> jstr v)
+          (jstr just))
+      (Wstore.state e)
+  in
+  Printf.sprintf "{\"id\":%s,\"tenant\":%s,\"acked\":%d,\"vars\":[%s]}"
+    (jstr (Wstore.id e))
+    (jstr (Wstore.tenant e))
+    (Wstore.acked e)
+    (String.concat "," rows)
+
+let prov_span_obj (s : Obs.Provenance.span) =
+  Printf.sprintf
+    "{\"id\":%d,\"net\":%s,\"ep\":%d,\"seq\":%d,\"var\":%s,\"value\":%s,\"just\":%s,\"source\":%s,\"antecedents\":[%s],\"dead\":%b}"
+    s.Obs.Provenance.sp_id
+    (jstr s.Obs.Provenance.sp_net)
+    s.Obs.Provenance.sp_episode s.Obs.Provenance.sp_seq
+    (jstr s.Obs.Provenance.sp_var)
+    (match s.Obs.Provenance.sp_value with
+    | None -> "null"
+    | Some v -> jstr v)
+    (jstr s.Obs.Provenance.sp_just)
+    (jstr s.Obs.Provenance.sp_source)
+    (String.concat ","
+       (List.map string_of_int s.Obs.Provenance.sp_antecedents))
+    s.Obs.Provenance.sp_dead
+
+(* One NDJSON batch item: {"var":"a.x","value":"8","just":"user"}. *)
+let parse_set_line line =
+  match Obs.Jsonl.parse_line line with
+  | Error msg -> Error msg
+  | Ok fields -> (
+    match (Obs.Jsonl.str fields "var", Obs.Jsonl.str fields "value") with
+    | None, _ -> Error "missing \"var\""
+    | _, None -> Error "missing \"value\""
+    | Some path, Some token -> (
+      match Wstore.value_of_token token with
+      | None -> Error (Printf.sprintf "unparseable value %S" token)
+      | Some v -> (
+        let j = Option.value (Obs.Jsonl.str fields "just") ~default:"user" in
+        match Wstore.just_of_string j with
+        | None -> Error (Printf.sprintf "bad justification %S" j)
+        | Some just -> Ok (path, v, just))))
+
+let body_lines rq =
+  String.split_on_char '\n' rq.Http.rq_body
+  |> List.filter (fun l -> String.trim l <> "")
+
+let param_id rq = Option.value (Http.param rq "id") ~default:""
+
+let create_handler rq =
+  match Http.query rq "id" with
+  | None -> Router.json ~status:422 (err_json "missing ?id=")
+  | Some id ->
+    with_admission rq (fun _ticket _over ->
+        let step_budget =
+          (Admission.config !admission).Admission.ac_step_budget
+        in
+        match
+          Wstore.create ~tenant:(tenant_of rq) ~step_budget ~id
+            ~spec:rq.Http.rq_body ()
+        with
+        | Error msg ->
+          let status = if Wstore.find ~id <> None then 409 else 422 in
+          Router.json ~status (err_json msg)
+        | Ok e ->
+          (* newly hosted networks are readable too: board telemetry
+             joins /metrics, /spans, /events like any exposed net *)
+          expose ~name:id ~pp_value:Wstore.pp_value ~board:(Wstore.board e)
+            (Wstore.net e);
+          Router.json ~status:201 (entry_obj e))
+
+let set_handler rq =
+  match entry_for rq (param_id rq) with
+  | Error reply -> reply
+  | Ok e ->
+    with_admission rq (fun ticket over ->
+        match body_lines rq with
+        | [] -> Router.json ~status:422 (err_json "empty set batch")
+        | lines ->
+          let results = Buffer.create 256 in
+          let applied = ref 0 and failed = ref 0 and aborted = ref 0 in
+          let emit s =
+            if Buffer.length results > 0 then Buffer.add_char results ',';
+            Buffer.add_string results s
+          in
+          List.iter
+            (fun line ->
+              if !aborted > 0 || Admission.deadline_exceeded !admission ticket
+              then begin
+                if !aborted = 0 then over := true;
+                incr aborted
+              end
+              else
+                match parse_set_line line with
+                | Error msg ->
+                  incr failed;
+                  emit
+                    (Printf.sprintf "{\"ok\":false,\"error\":%s}" (jstr msg))
+                | Ok (path, value, just) -> (
+                  match Wstore.apply_set e ~path ~value ~just with
+                  | Ok () ->
+                    incr applied;
+                    emit
+                      (Printf.sprintf "{\"var\":%s,\"ok\":true}" (jstr path))
+                  | Error err ->
+                    (match err with
+                    | Wstore.Violation { over_budget = true; _ } ->
+                      over := true
+                    | _ -> ());
+                    incr failed;
+                    emit
+                      (Printf.sprintf "{\"var\":%s,\"ok\":false,\"error\":%s}"
+                         (jstr path)
+                         (jstr (Wstore.set_error_message err)))))
+            lines;
+          let status =
+            if !aborted > 0 then 503 else if !failed > 0 then 422 else 200
+          in
+          let headers = if !aborted > 0 then retry_after 1.0 else [] in
+          Router.json ~status ~headers
+            (Printf.sprintf
+               "{\"id\":%s,\"applied\":%d,\"failed\":%d,\"aborted\":%d,\"acked\":%d,\"results\":[%s]}"
+               (jstr (Wstore.id e))
+               !applied !failed !aborted (Wstore.acked e)
+               (Buffer.contents results)))
+
+let why_handler rq =
+  match entry_for rq (param_id rq) with
+  | Error reply -> reply
+  | Ok e -> (
+    match Http.query rq "var" with
+    | None -> Router.json ~status:422 (err_json "missing ?var=")
+    | Some path ->
+      let steps = Obs.Provenance.why (Wstore.prov e) path in
+      Router.json
+        (Printf.sprintf "{\"var\":%s,\"chain\":[%s]}" (jstr path)
+           (String.concat ","
+              (List.map
+                 (fun st ->
+                   Printf.sprintf "{\"depth\":%d,\"span\":%s}"
+                     st.Obs.Provenance.ws_depth
+                     (prov_span_obj st.Obs.Provenance.ws_span))
+                 steps))))
+
+let blame_handler rq =
+  match entry_for rq (param_id rq) with
+  | Error reply -> reply
+  | Ok e -> (
+    match Http.query rq "var" with
+    | None -> Router.json ~status:422 (err_json "missing ?var=")
+    | Some path ->
+      let spans = Obs.Provenance.blame (Wstore.prov e) path in
+      Router.json
+        (Printf.sprintf "{\"var\":%s,\"downstream\":[%s]}" (jstr path)
+           (String.concat "," (List.map prov_span_obj spans))))
+
+let snapshot_handler rq =
+  match entry_for rq (param_id rq) with
+  | Error reply -> reply
+  | Ok e ->
+    Wstore.with_episode_lock (fun () -> Wstore.snapshot e);
+    Router.json (entry_obj e)
+
+let drop_handler rq =
+  match entry_for rq (param_id rq) with
+  | Error reply -> reply
+  | Ok e ->
+    let id = Wstore.id e in
+    ignore (Wstore.drop ~id);
+    ignore (unexpose id);
+    Router.json (Printf.sprintf "{\"dropped\":%s}" (jstr id))
+
 (* ---------------- the server ---------------- *)
 
 type t = {
@@ -350,6 +603,7 @@ let events_handler sv fd rq =
 let routes sv =
   let r = Router.create () in
   let get path h = Router.add r ~meth:"GET" ~path h in
+  let post path h = Router.add r ~meth:"POST" ~path h in
   get "/" (fun _ ->
       Router.text
         "STEM telemetry server\n\n\
@@ -360,7 +614,19 @@ let routes sv =
          GET /spans      completed episode spans, JSON\n\
          GET /topo.dot   constraint graph, DOT (?net= selects)\n\
          GET /events     live trace stream, chunked NDJSON\n\
-        \                (?net= filter, ?cap= queue bound, ?max= line limit)\n");
+        \                (?net= filter, ?cap= queue bound, ?max= line limit)\n\n\
+         Write API (tenant = x-tenant header or ?tenant=, default anon):\n\
+         GET  /nets            hosted networks, JSON\n\
+         POST /nets?id=NAME    create from a spec body (201; 409 duplicate)\n\
+         GET  /nets/:id/state  every variable, value and justification\n\
+         POST /nets/:id/set    NDJSON {\"var\":..,\"value\":..,\"just\":..} batch\n\
+         POST /nets/:id/why    ?var= backward causal chain, JSON\n\
+         POST /nets/:id/blame  ?var= forward fan-out, JSON\n\
+         POST /nets/:id/snapshot  checkpoint now (journal truncated)\n\
+         POST /nets/:id/drop   final snapshot, then unhost\n\
+         GET  /admission       per-tenant admission counters\n\n\
+         Backpressure: 429 = tenant bound or quarantine, 503 = global\n\
+         bound or mid-batch deadline; both carry retry-after seconds.\n");
   get "/metrics" (fun _ ->
       Router.text ~content_type:"text/plain; version=0.0.4; charset=utf-8"
         (render_metrics ()));
@@ -373,6 +639,18 @@ let routes sv =
       | Some dot -> Router.text ~content_type:"text/vnd.graphviz" dot
       | None -> Router.text ~status:404 "no exposed network\n");
   get "/events" (fun _ -> Router.Stream_reply (events_handler sv));
+  get "/nets" (fun _ -> Router.json (nets_json ()));
+  post "/nets" create_handler;
+  get "/nets/:id/state" (fun rq ->
+      match entry_for rq (param_id rq) with
+      | Error reply -> reply
+      | Ok e -> Router.json (state_json e));
+  post "/nets/:id/set" set_handler;
+  post "/nets/:id/why" why_handler;
+  post "/nets/:id/blame" blame_handler;
+  post "/nets/:id/snapshot" snapshot_handler;
+  post "/nets/:id/drop" drop_handler;
+  get "/admission" (fun _ -> Router.json (Admission.stats_json !admission));
   r
 
 let rec serve_requests sv conn =
@@ -388,6 +666,17 @@ let rec serve_requests sv conn =
       ~body:(msg ^ "\n")
   | Ok rq -> (
     Obs.Metrics.tick self_requests;
+    match Http.read_body conn rq with
+    | Error Http.Too_large ->
+      Http.write_response (Http.fd conn) ~status:413
+        ~headers:[ ("connection", "close") ]
+        ~body:"request body too large\n"
+    | Error (Http.Bad msg) ->
+      Http.write_response (Http.fd conn) ~status:400
+        ~headers:[ ("connection", "close") ]
+        ~body:(msg ^ "\n")
+    | Error (Http.Closed | Http.Truncated) -> ()
+    | Ok () -> (
     match Router.dispatch sv.sv_router rq with
     | Router.Stream_reply f -> f (Http.fd conn) rq
     | Router.Reply { status; headers; body } ->
@@ -396,7 +685,7 @@ let rec serve_requests sv conn =
         ~headers:
           (headers @ [ ("connection", if keep then "keep-alive" else "close") ])
         ~body;
-      if keep then serve_requests sv conn)
+      if keep then serve_requests sv conn))
 
 let handle_connection sv fd =
   Mutex.lock sv.sv_mu;

@@ -40,6 +40,12 @@ module Router : module type of Router
 
 module Client : module type of Client
 
+module Journal : module type of Journal
+
+module Admission : module type of Admission
+
+module Wstore : module type of Wstore
+
 open Constraint_kernel
 
 (** {1 Exposing networks}
@@ -119,3 +125,35 @@ val exemplars_json : unit -> string
 
 (** [None] when nothing is exposed or [net] is unknown. *)
 val topo_dot : ?net:string -> unit -> string option
+
+(** {1 The write API}
+
+    Mounted on the same server, guarded by one process-global
+    {!Admission} controller (tenant from the [x-tenant] header or
+    [?tenant=], default ["anon"]; only the owning tenant may touch a
+    network — others get 403):
+
+    - [GET /nets] — hosted networks, JSON.
+    - [POST /nets?id=NAME] — create/load from the spec body
+      (201; 409 duplicate id; 422 bad spec, line-numbered).
+    - [GET /nets/:id/state] — every variable with rendered value and
+      justification.
+    - [POST /nets/:id/set] — NDJSON batch, one
+      [{"var":..,"value":..,"just":..}] per line; each line is one
+      write episode, journaled before it is acknowledged. Per-item
+      results; 422 if any failed, 503 + [retry-after] if the
+      wall-clock deadline aborted the tail of the batch.
+    - [POST /nets/:id/why?var=] / [/blame?var=] — provenance chains
+      over the hosted network, JSON.
+    - [POST /nets/:id/snapshot] — checkpoint now (journal truncated).
+    - [POST /nets/:id/drop] — final snapshot, unhost, unexpose.
+    - [GET /admission] — per-tenant admission counters.
+
+    Backpressure: 429 ([Busy]/[Quarantined]) and 503 ([Overloaded])
+    always carry integer [retry-after] seconds, so one abusive or
+    stalled writer never starves other tenants (they are bounded per
+    tenant, not globally punished). *)
+
+(** Swap the process-global admission controller (tests use tiny
+    budgets and an injected clock). *)
+val set_admission : Admission.t -> unit

@@ -1,0 +1,674 @@
+(* The write store: hosted, writable constraint networks behind the
+   HTTP write API, with optional crash-safe durability.
+
+   Durability layering (the write-ahead discipline):
+
+     set request --> Engine.set (episode commits)
+                 --> journal append (framed JSONL, fsync per policy)
+                 --> 200 acknowledgement
+
+   so an acknowledged set is on disk before the client hears about it.
+   Snapshots fold the journal into a temp+rename'd file of the net's
+   user/application-entered values ([Stem.Persist.write_atomic]), then
+   truncate the journal; recovery is snapshot + journal tail, with
+   every set re-entered through [Engine.set] so all derived values are
+   re-propagated rather than trusted from disk.  Apt's commutativity
+   result (PAPERS.md) is what makes this sound: replaying the set
+   episodes in file order reconverges to the same fixpoint the live
+   network had.
+
+   Concurrency: the engine keeps one process-global ambient episode
+   stack (cross-network trace correlation), so episodes from two
+   threads must never interleave.  Every [Engine.set] in this module
+   runs under one global episode mutex — write throughput is bounded
+   by episode cost, which the admission layer's step budget keeps
+   finite. *)
+
+open Constraint_kernel
+
+let pp_value = Dval.to_string
+
+(* ---------------- value tokens ----------------
+
+   Round-trippable renderings for journal/snapshot records: the exact
+   inverse of [Dval.of_string], with floats in hex ([%h]) so replay is
+   bit-identical. *)
+
+let value_token = function
+  | Dval.Int i -> string_of_int i
+  | Dval.Float f -> Fmt.str "%h" f
+  | Dval.Bool b -> string_of_bool b
+  | Dval.Str s -> "\"" ^ s ^ "\""
+  | Dval.Irange (a, b) -> Printf.sprintf "%d..%d" a b
+  | Dval.Frange (a, b) -> Fmt.str "%h..%h" a b
+  | Dval.Dtype n -> "data:" ^ Signal_types.Type_tree.name n
+  | Dval.Etype n -> "elec:" ^ Signal_types.Type_tree.name n
+  | Dval.Rect r ->
+    let ll = Geometry.Rect.ll r in
+    Printf.sprintf "rect %d %d %d %d" ll.Geometry.Point.x ll.Geometry.Point.y
+      (Geometry.Rect.width r) (Geometry.Rect.height r)
+
+let value_of_token = Dval.of_string
+
+let just_of_string = function
+  | "user" | "" -> Some Types.User
+  | "application" -> Some Types.Application
+  | _ -> None
+
+(* ---------------- spec DSL ----------------
+
+   A line-oriented network description, parse errors line-numbered:
+
+     var PATH [= VALUE]      variable (PATH = owner.name; value is an
+                             initial application-entered set)
+     eq PATH PATH+           equality
+     sum RESULT PATH+        RESULT = sum of inputs
+     max RESULT PATH+        RESULT = max of inputs
+     min RESULT PATH+        RESULT = min of inputs
+     add A B SUM             bidirectional A + B = SUM
+     le A B                  A <= B
+     cap PATH VALUE          PATH <= VALUE
+     floor PATH VALUE        PATH >= VALUE
+     range PATH LO..HI       range membership
+
+   [#] starts a comment. *)
+
+exception Spec_error of int * string
+
+let split_path lineno p =
+  match String.rindex_opt p '.' with
+  | Some i when i > 0 && i < String.length p - 1 ->
+    (String.sub p 0 i, String.sub p (i + 1) (String.length p - i - 1))
+  | _ ->
+    raise
+      (Spec_error (lineno, Printf.sprintf "bad variable path %S (owner.name)" p))
+
+let build_spec ~id text =
+  let net = Engine.create_network ~name:id () in
+  let vars : (string, Dval.t Types.var) Hashtbl.t = Hashtbl.create 16 in
+  let inits = ref [] in
+  let var_of lineno p =
+    match Hashtbl.find_opt vars p with
+    | Some v -> v
+    | None -> raise (Spec_error (lineno, "unknown variable " ^ p))
+  in
+  let value_of lineno s =
+    match value_of_token s with
+    | Some v -> v
+    | None -> raise (Spec_error (lineno, "bad value " ^ s))
+  in
+  let lines = String.split_on_char '\n' text in
+  List.iteri
+    (fun i line ->
+      let lineno = i + 1 in
+      let line = String.trim line in
+      if line = "" || line.[0] = '#' then ()
+      else
+        let fields =
+          String.split_on_char ' ' line |> List.filter (fun w -> w <> "")
+        in
+        match fields with
+        | "var" :: path :: rest ->
+          let owner, name = split_path lineno path in
+          if Hashtbl.mem vars path then
+            raise (Spec_error (lineno, "duplicate variable " ^ path));
+          let v = Dclib.variable net ~owner ~name () in
+          Hashtbl.replace vars path v;
+          (match rest with
+          | [] -> ()
+          | "=" :: tokens ->
+            inits :=
+              (path, value_of lineno (String.concat " " tokens)) :: !inits
+          | _ -> raise (Spec_error (lineno, "expected: var PATH [= VALUE]")))
+        | "eq" :: (_ :: _ :: _ as paths) ->
+          ignore (Dclib.equality net (List.map (var_of lineno) paths))
+        | "sum" :: result :: (_ :: _ as inputs) ->
+          ignore
+            (Dclib.uni_addition net ~result:(var_of lineno result)
+               (List.map (var_of lineno) inputs))
+        | "max" :: result :: (_ :: _ as inputs) ->
+          ignore
+            (Dclib.uni_maximum net ~result:(var_of lineno result)
+               (List.map (var_of lineno) inputs))
+        | "min" :: result :: (_ :: _ as inputs) ->
+          ignore
+            (Dclib.uni_minimum net ~result:(var_of lineno result)
+               (List.map (var_of lineno) inputs))
+        | [ "add"; a; b; sum ] ->
+          ignore
+            (Dclib.addition ~a:(var_of lineno a) ~b:(var_of lineno b)
+               ~sum:(var_of lineno sum) net)
+        | [ "le"; a; b ] ->
+          ignore (Dclib.less_equal net (var_of lineno a) (var_of lineno b))
+        | "cap" :: path :: tokens when tokens <> [] ->
+          ignore
+            (Dclib.less_equal_const net (var_of lineno path)
+               (value_of lineno (String.concat " " tokens)))
+        | "floor" :: path :: tokens when tokens <> [] ->
+          ignore
+            (Dclib.greater_equal_const net (var_of lineno path)
+               (value_of lineno (String.concat " " tokens)))
+        | [ "range"; path; r ] ->
+          ignore (Dclib.in_range net (var_of lineno path) (value_of lineno r))
+        | directive :: _ ->
+          raise (Spec_error (lineno, "unknown directive " ^ directive))
+        | [] -> ())
+    lines;
+  (net, List.rev !inits)
+
+(* ---------------- the global episode lock ---------------- *)
+
+let episode_mu = Mutex.create ()
+
+let with_episode_lock f =
+  Mutex.lock episode_mu;
+  Fun.protect ~finally:(fun () -> Mutex.unlock episode_mu) f
+
+(* ---------------- hosted entries ---------------- *)
+
+type entry = {
+  e_id : string;
+  e_tenant : string;
+  e_spec : string;
+  e_net : Dval.t Types.network;
+  e_board : Dval.t Obs.Board.t;
+  e_prov : Dval.t Obs.Provenance.t;
+  e_journal : Journal.t option;
+  e_dir : string option;
+  e_snapshot_every : int;
+  e_owned : bool;  (* created here (vs adopted): drop detaches obs *)
+  mutable e_acked : int;  (* sets acknowledged over this entry's lifetime *)
+  mutable e_since_snapshot : int;
+}
+
+let id e = e.e_id
+
+let tenant e = e.e_tenant
+
+let spec e = e.e_spec
+
+let net e = e.e_net
+
+let board e = e.e_board
+
+let prov e = e.e_prov
+
+let acked e = e.e_acked
+
+let journal e = e.e_journal
+
+let nets_mu = Mutex.create ()
+
+let nets : (string, entry) Hashtbl.t = Hashtbl.create 8
+
+let with_nets f =
+  Mutex.lock nets_mu;
+  Fun.protect ~finally:(fun () -> Mutex.unlock nets_mu) f
+
+let find ~id = with_nets (fun () -> Hashtbl.find_opt nets id)
+
+let list () =
+  with_nets (fun () -> Hashtbl.fold (fun _ e acc -> e :: acc) nets [])
+  |> List.sort (fun a b -> compare a.e_id b.e_id)
+
+(* ---------------- durability configuration ---------------- *)
+
+type durability = {
+  d_dir : string option;
+  d_fsync : Journal.fsync_policy;
+  d_snapshot_every : int;
+}
+
+let durability =
+  ref { d_dir = None; d_fsync = Journal.Always; d_snapshot_every = 256 }
+
+let configure ?dir ?fsync ?snapshot_every () =
+  let d = !durability in
+  durability :=
+    {
+      d_dir = (match dir with Some _ -> dir | None -> d.d_dir);
+      d_fsync = Option.value fsync ~default:d.d_fsync;
+      d_snapshot_every =
+        Option.value snapshot_every ~default:d.d_snapshot_every;
+    }
+
+let data_dir () = !durability.d_dir
+
+let valid_id id =
+  id <> ""
+  && String.length id <= 64
+  && String.for_all
+       (function
+         | 'a' .. 'z' | 'A' .. 'Z' | '0' .. '9' | '-' | '_' -> true
+         | _ -> false)
+       id
+
+let snap_path dir id = Filename.concat dir (id ^ ".snap")
+
+let jnl_path dir id = Filename.concat dir (id ^ ".jnl")
+
+(* ---------------- records ---------------- *)
+
+let jfield k v = Printf.sprintf "\"%s\":\"%s\"" k (Obs.Jsonl.escape v)
+
+let set_record ~path ~value ~just =
+  Printf.sprintf "{\"v\":%d,\"t\":\"wal_set\",%s,%s,%s}"
+    Obs.Jsonl.schema_version (jfield "var" path)
+    (jfield "value" (value_token value))
+    (jfield "just" (Obs.Jsonl.just_string just))
+
+let spec_record ~id ~tenant ~spec =
+  Printf.sprintf "{\"v\":%d,\"t\":\"wal_spec\",%s,%s,%s}"
+    Obs.Jsonl.schema_version (jfield "net" id) (jfield "tenant" tenant)
+    (jfield "spec" spec)
+
+(* The snapshot is exactly the externally-entered state: every
+   user/application-justified value, one wal_set line each.  Derived
+   values are deliberately absent — recovery re-propagates them, and
+   [Obs.Replay.diff_live] checks the re-derivation. *)
+let snapshot_text e =
+  let buf = Buffer.create 1024 in
+  Buffer.add_string buf
+    (spec_record ~id:e.e_id ~tenant:e.e_tenant ~spec:e.e_spec);
+  Buffer.add_char buf '\n';
+  List.iter
+    (fun v ->
+      match (Var.value v, Var.justification v) with
+      | Some x, ((Types.User | Types.Application) as just) ->
+        Buffer.add_string buf (set_record ~path:(Var.path v) ~value:x ~just);
+        Buffer.add_char buf '\n'
+      | _ -> ())
+    (List.rev e.e_net.Types.net_vars);
+  Buffer.contents buf
+
+(* Snapshot then truncate the journal.  Crash between the two is safe:
+   the journal's sets are already in the snapshot, and re-entering an
+   identical set is idempotent at the fixpoint. *)
+let snapshot e =
+  match e.e_dir with
+  | None -> ()
+  | Some dir ->
+    Stem.Persist.write_atomic ~fsync:true (snap_path dir e.e_id)
+      (snapshot_text e);
+    e.e_since_snapshot <- 0;
+    Option.iter Journal.reset e.e_journal
+
+(* ---------------- set application ---------------- *)
+
+type set_error =
+  | Unknown_var of string
+  | Bad_value of string
+  | Bad_just of string
+  | Violation of { message : string; over_budget : bool }
+
+let set_error_message = function
+  | Unknown_var p -> "unknown variable " ^ p
+  | Bad_value s -> "unparseable value " ^ s
+  | Bad_just s -> "bad justification " ^ s
+  | Violation { message; _ } -> message
+
+let over_budget_message msg =
+  (* the engine's step-budget violation (engine.ml) *)
+  let prefix = "step budget exhausted" in
+  String.length msg >= String.length prefix
+  && String.sub msg 0 (String.length prefix) = prefix
+
+(* One set: engine episode, then journal append, then Ok — the ack
+   ordering the durability guarantee rests on.  Caller holds no locks;
+   the episode lock is taken here. *)
+let apply_set e ~path ~value ~just =
+  with_episode_lock (fun () ->
+      match Editor.find_var e.e_net path with
+      | None -> Error (Unknown_var path)
+      | Some v -> (
+        match Engine.set ~just e.e_net v value with
+        | Error viol ->
+          let message = Fmt.str "%a" Types.pp_violation viol in
+          Error
+            (Violation { message; over_budget = over_budget_message message })
+        | Ok () ->
+          (match e.e_journal with
+          | Some j -> Journal.append j (set_record ~path ~value ~just)
+          | None -> ());
+          e.e_acked <- e.e_acked + 1;
+          e.e_since_snapshot <- e.e_since_snapshot + 1;
+          if
+            e.e_dir <> None
+            && e.e_snapshot_every > 0
+            && e.e_since_snapshot >= e.e_snapshot_every
+          then snapshot e;
+          Ok ()))
+
+let state e =
+  List.rev_map
+    (fun v ->
+      ( Var.path v,
+        Option.map value_token (Var.value v),
+        Obs.Jsonl.just_string (Var.justification v) ))
+    e.e_net.Types.net_vars
+  |> List.sort compare
+
+(* ---------------- create / adopt / drop ---------------- *)
+
+let register e =
+  with_nets (fun () ->
+      if Hashtbl.mem nets e.e_id then Error ("network exists: " ^ e.e_id)
+      else begin
+        Hashtbl.replace nets e.e_id e;
+        Ok e
+      end)
+
+let make_entry ~id ~tenant ~spec ~net ~journal ~dir ~step_budget =
+  Engine.set_step_budget net (Some step_budget);
+  {
+    e_id = id;
+    e_tenant = tenant;
+    e_spec = spec;
+    e_net = net;
+    e_board = Obs.Board.attach ~monitor:true net;
+    e_prov = Obs.Provenance.attach ~pp_value net;
+    e_journal = journal;
+    e_dir = dir;
+    e_snapshot_every = !durability.d_snapshot_every;
+    e_owned = true;
+    e_acked = 0;
+    e_since_snapshot = 0;
+  }
+
+let create ?(tenant = "anon")
+    ?(step_budget = Admission.default_config.Admission.ac_step_budget) ~id
+    ~spec () =
+  if not (valid_id id) then
+    Error "bad network id (want [A-Za-z0-9_-]{1,64})"
+  else if find ~id <> None then Error ("network exists: " ^ id)
+  else
+    match build_spec ~id spec with
+    | exception Spec_error (lineno, msg) ->
+      Error (Printf.sprintf "spec line %d: %s" lineno msg)
+    | net, inits -> (
+      let dir = !durability.d_dir in
+      let journal =
+        Option.map
+          (fun dir ->
+            fst (Journal.open_append ~fsync:!durability.d_fsync
+                   (jnl_path dir id)))
+          dir
+      in
+      let e = make_entry ~id ~tenant ~spec ~net ~journal ~dir ~step_budget in
+      (* initial values are ordinary application sets: through the
+         episode machinery, journaled like any other write *)
+      let init_err =
+        List.find_map
+          (fun (path, value) ->
+            match apply_set e ~path ~value ~just:Types.Application with
+            | Ok () -> None
+            | Error err ->
+              Some (Printf.sprintf "initial set %s: %s" path
+                      (set_error_message err)))
+          inits
+      in
+      match init_err with
+      | Some msg ->
+        Obs.Provenance.detach e.e_prov;
+        Obs.Board.detach net;
+        Option.iter Journal.close journal;
+        Error msg
+      | None -> (
+        (* a durable net is recoverable from its very first moment:
+           write the spec-only snapshot before anyone can crash us *)
+        (match dir with Some _ -> snapshot e | None -> ());
+        match register e with
+        | Ok e -> Ok e
+        | Error msg ->
+          Obs.Provenance.detach e.e_prov;
+          Obs.Board.detach net;
+          Option.iter Journal.close journal;
+          Error msg))
+
+(* Adopt an externally-owned network (the shell session's): write API
+   only, no durability, observability stays owned by the caller. *)
+let adopt ?(tenant = "anon") ~id ~net ~board ~prov () =
+  if not (valid_id id) then
+    Error "bad network id (want [A-Za-z0-9_-]{1,64})"
+  else
+    register
+      {
+        e_id = id;
+        e_tenant = tenant;
+        e_spec = "";
+        e_net = net;
+        e_board = board;
+        e_prov = prov;
+        e_journal = None;
+        e_dir = None;
+        e_snapshot_every = 0;
+        e_owned = false;
+        e_acked = 0;
+        e_since_snapshot = 0;
+      }
+
+(* Final snapshot, flush, close; the on-disk files stay (drop+load
+   round-trips).  Adopted entries are just released. *)
+let drop ~id =
+  match with_nets (fun () ->
+            match Hashtbl.find_opt nets id with
+            | None -> None
+            | Some e ->
+              Hashtbl.remove nets id;
+              Some e)
+  with
+  | None -> false
+  | Some e ->
+    if e.e_owned then begin
+      with_episode_lock (fun () -> snapshot e);
+      Option.iter Journal.close e.e_journal;
+      Obs.Provenance.detach e.e_prov;
+      Obs.Board.detach e.e_net
+    end;
+    true
+
+(* Graceful drain: flush every journal and write every final snapshot.
+   Returns the ids drained, for the shutdown banner. *)
+let close_all () =
+  let ids = List.map (fun e -> e.e_id) (list ()) in
+  List.iter (fun id -> ignore (drop ~id)) ids;
+  ids
+
+(* ---------------- recovery ---------------- *)
+
+type recovery = {
+  rc_entry : entry;
+  rc_snapshot_sets : int;
+  rc_journal_replayed : int;
+  rc_warnings : (string * int * string) list;
+      (* (source, record/line number, message) *)
+  rc_verified : bool;
+  rc_divergences : Obs.Replay.divergence list;
+}
+
+(* Parse one wal_set payload into (path, value, just). *)
+let parse_set_line line =
+  match Obs.Jsonl.parse_line line with
+  | Error msg -> Error msg
+  | Ok fields -> (
+    match Obs.Jsonl.str fields "t" with
+    | Some "wal_set" -> (
+      match (Obs.Jsonl.str fields "var", Obs.Jsonl.str fields "value") with
+      | Some path, Some token -> (
+        match value_of_token token with
+        | None -> Error ("unparseable value " ^ token)
+        | Some value -> (
+          let just_s = Option.value (Obs.Jsonl.str fields "just") ~default:"user" in
+          match just_of_string just_s with
+          | None -> Error ("bad justification " ^ just_s)
+          | Some just -> Ok (path, value, just)))
+      | _ -> Error "wal_set without var/value")
+    | Some t -> Error ("unexpected record kind " ^ t)
+    | None -> Error "record without t field")
+
+(* Recovery: load snapshot -> rebuild from spec -> re-enter snapshot
+   sets -> replay journal tail, tolerating a torn final record.  With
+   [verify], a from-creation JSONL trace is captured across the whole
+   rebuild and replayed through [Obs.Replay]; an empty [diff_live]
+   against the recovered network proves the recovered state is exactly
+   re-derivable from its own episode stream. *)
+let recover ?(verify = false) ~dir ~id () =
+  let spath = snap_path dir id in
+  if not (valid_id id) then Error "bad network id"
+  else if find ~id <> None then Error ("network already hosted: " ^ id)
+  else if not (Sys.file_exists spath) then
+    Error ("no snapshot for network " ^ id ^ " in " ^ dir)
+  else begin
+    let warnings = ref [] in
+    let warn src n msg = warnings := (src, n, msg) :: !warnings in
+    let lines, snap_warnings = Obs.Jsonl.load_file_lenient spath in
+    List.iter (fun (n, msg) -> warn "snapshot" n msg) snap_warnings;
+    match lines with
+    | [] -> Error ("empty snapshot for network " ^ id)
+    | (first_no, first) :: rest -> (
+      match
+        (Obs.Jsonl.str first "t", Obs.Jsonl.str first "spec",
+         Obs.Jsonl.str first "tenant")
+      with
+      | Some "wal_spec", Some spec, tenant_opt -> (
+        let tenant = Option.value tenant_opt ~default:"anon" in
+        match build_spec ~id spec with
+        | exception Spec_error (lineno, msg) ->
+          Error
+            (Printf.sprintf "snapshot line %d: spec line %d: %s" first_no
+               lineno msg)
+        | net, _inits ->
+          (* inits are ignored here: the snapshot's wal_set lines
+             already carry them (they were applied as application sets
+             at creation) *)
+          let trace_buf = Buffer.create 4096 in
+          let trace_sink_name = "wstore.recovery-trace" in
+          if verify then
+            Engine.add_sink net
+              (Obs.Jsonl.buffer_sink ~name:trace_sink_name ~pp_value trace_buf);
+          (* read the journal BEFORE opening it for append: open_append
+             truncates the torn tail, and the torn-record warning must
+             reach the recovery report first *)
+          let records, jwarnings = Journal.read (jnl_path dir id) in
+          List.iter (fun (n, msg) -> warn "journal" n msg) jwarnings;
+          let journal, _rescan_warnings =
+            Journal.open_append ~fsync:!durability.d_fsync (jnl_path dir id)
+          in
+          let e =
+            make_entry ~id ~tenant ~spec ~net ~journal:(Some journal)
+              ~dir:(Some dir)
+              ~step_budget:Admission.default_config.Admission.ac_step_budget
+          in
+          let replay_one src n line =
+            match parse_set_line line with
+            | Error msg -> warn src n msg
+            | Ok (path, value, just) ->
+              with_episode_lock (fun () ->
+                  match Editor.find_var net path with
+                  | None -> warn src n ("unknown variable " ^ path)
+                  | Some v -> (
+                    match Engine.set ~just net v value with
+                    | Ok () -> ()
+                    | Error viol ->
+                      warn src n (Fmt.str "%a" Types.pp_violation viol)))
+          in
+          let snap_sets = ref 0 in
+          List.iter
+            (fun (n, fields) ->
+              match Obs.Jsonl.str fields "t" with
+              | Some "wal_set" -> (
+                incr snap_sets;
+                match
+                  ( Obs.Jsonl.str fields "var",
+                    Option.bind (Obs.Jsonl.str fields "value") value_of_token,
+                    Option.bind (Obs.Jsonl.str fields "just") just_of_string )
+                with
+                | Some path, Some value, Some just ->
+                  with_episode_lock (fun () ->
+                      match Editor.find_var net path with
+                      | None -> warn "snapshot" n ("unknown variable " ^ path)
+                      | Some v -> (
+                        match Engine.set ~just net v value with
+                        | Ok () -> ()
+                        | Error viol ->
+                          warn "snapshot" n
+                            (Fmt.str "%a" Types.pp_violation viol)))
+                | _ -> warn "snapshot" n "malformed wal_set record")
+              | Some t -> warn "snapshot" n ("unexpected record kind " ^ t)
+              | None -> warn "snapshot" n "record without t field")
+            rest;
+          let replayed = ref 0 in
+          List.iteri
+            (fun i line ->
+              incr replayed;
+              replay_one "journal" (i + 1) line)
+            records;
+          let divergences, verified =
+            if verify then begin
+              let r = Obs.Replay.of_string (Buffer.contents trace_buf) in
+              Obs.Replay.to_end r;
+              let d = Obs.Replay.diff_live r ~pp_value net in
+              ignore (Engine.remove_sink net trace_sink_name);
+              (d, true)
+            end
+            else ([], false)
+          in
+          (* the journal content is live again: checkpoint it into a
+             fresh snapshot so the journal restarts empty *)
+          with_episode_lock (fun () -> snapshot e);
+          (match register e with
+          | Ok _ ->
+            Ok
+              {
+                rc_entry = e;
+                rc_snapshot_sets = !snap_sets;
+                rc_journal_replayed = !replayed;
+                rc_warnings = List.rev !warnings;
+                rc_verified = verified;
+                rc_divergences = divergences;
+              }
+          | Error msg ->
+            (* raced with a concurrent create on the same id *)
+            Obs.Provenance.detach e.e_prov;
+            Obs.Board.detach net;
+            Journal.close journal;
+            Error msg))
+      | _ ->
+        Error
+          (Printf.sprintf "snapshot line %d: expected a wal_spec record"
+             first_no))
+  end
+
+(* Recover every network in a data directory (server startup).  Stray
+   temp files from a save that died between write and rename are
+   removed — the kill-mid-write leftover the snapshot discipline makes
+   harmless. *)
+let recover_dir ?(verify = false) dir =
+  if not (Sys.file_exists dir && Sys.is_directory dir) then ([], [])
+  else begin
+    let cleaned = ref [] in
+    Array.iter
+      (fun f ->
+        if Filename.check_suffix f ".tmp" then begin
+          (try Sys.remove (Filename.concat dir f) with Sys_error _ -> ());
+          cleaned := ("removed stray temp file " ^ f) :: !cleaned
+        end)
+      (Sys.readdir dir);
+    let ids =
+      Sys.readdir dir |> Array.to_list
+      |> List.filter_map (fun f ->
+             if Filename.check_suffix f ".snap" then
+               Some (Filename.chop_suffix f ".snap")
+             else None)
+      |> List.sort compare
+    in
+    let recoveries, errors =
+      List.fold_left
+        (fun (rs, es) id ->
+          match recover ~verify ~dir ~id () with
+          | Ok r -> (r :: rs, es)
+          | Error msg -> (rs, (id ^ ": " ^ msg) :: es))
+        ([], []) ids
+    in
+    (List.rev recoveries, List.rev !cleaned @ List.rev errors)
+  end

@@ -1,0 +1,193 @@
+(** The write store: hosted, writable constraint networks behind the
+    HTTP write API, with optional crash-safe durability.
+
+    The durability contract: a set is acknowledged only after its
+    episode committed {e and} its [wal_set] record reached the journal
+    under the configured fsync policy — so after a [kill -9] the
+    recovered state is bit-identical to the last acknowledged episode.
+    Snapshots ({!snapshot_every} sets, and on {!drop}/{!close_all})
+    fold the journal into a temp+rename'd file of the externally
+    entered values only; recovery re-enters every set through
+    [Engine.set], re-deriving all propagated values, and — with
+    [~verify] — differential-checks the result via
+    [Obs.Replay.diff_live] over the from-creation recovery trace.
+
+    Every episode in this module runs under one global mutex
+    ({!with_episode_lock}): the engine's ambient episode stack is
+    process-global, so concurrent episodes from worker threads must
+    serialize. Any non-HTTP thread that runs its own episodes while
+    the write API is live (e.g. a demo workload loop) must wrap them
+    in the same lock. *)
+
+open Constraint_kernel
+
+(** [Dval.to_string] — the [pp_value] used for traces, provenance and
+    replay everywhere in the store (diffs compare rendered strings, so
+    one renderer must be used consistently). *)
+val pp_value : Dval.t -> string
+
+(** {1 Value tokens} — round-trippable renderings for journal and
+    snapshot records (floats in [%h] so replay is bit-identical). *)
+
+val value_token : Dval.t -> string
+
+val value_of_token : string -> Dval.t option
+
+(** ["user"]/["application"] (the only externally assertable
+    justifications). *)
+val just_of_string : string -> Dval.t Types.justification option
+
+(** {1 Spec DSL}
+
+    Line-oriented network descriptions:
+    [var PATH [= VALUE]], [eq PATH PATH+], [sum RESULT PATH+],
+    [max RESULT PATH+], [min RESULT PATH+], [add A B SUM], [le A B],
+    [cap PATH VALUE], [floor PATH VALUE], [range PATH LO..HI];
+    [#] comments. Errors are line-numbered. *)
+
+exception Spec_error of int * string
+
+(** [build_spec ~id text] — the network plus the initial [(path,
+    value)] sets declared with [var PATH = VALUE] (not yet applied).
+    Raises {!Spec_error}. *)
+val build_spec :
+  id:string -> string -> Dval.t Types.network * (string * Dval.t) list
+
+(** {1 The global episode lock} *)
+
+val with_episode_lock : (unit -> 'a) -> 'a
+
+(** {1 Hosted entries} *)
+
+type entry
+
+val id : entry -> string
+
+val tenant : entry -> string
+
+val spec : entry -> string
+
+val net : entry -> Dval.t Types.network
+
+val board : entry -> Dval.t Obs.Board.t
+
+val prov : entry -> Dval.t Obs.Provenance.t
+
+val journal : entry -> Journal.t option
+
+(** Sets acknowledged through {!apply_set} on this entry. *)
+val acked : entry -> int
+
+val find : id:string -> entry option
+
+(** Hosted entries, sorted by id. *)
+val list : unit -> entry list
+
+(** {1 Durability configuration} — process-global defaults applied to
+    subsequently created networks. [dir = None] (the default) disables
+    durability entirely. *)
+
+val configure :
+  ?dir:string ->
+  ?fsync:Journal.fsync_policy ->
+  ?snapshot_every:int ->
+  unit ->
+  unit
+
+val data_dir : unit -> string option
+
+(** Network ids are path-safe: [[A-Za-z0-9_-]{1,64}]. *)
+val valid_id : string -> bool
+
+(** {1 Writes} *)
+
+type set_error =
+  | Unknown_var of string
+  | Bad_value of string
+  | Bad_just of string
+  | Violation of { message : string; over_budget : bool }
+      (** [over_budget]: the episode blew its step budget — admission
+          counts it as a strike *)
+
+val set_error_message : set_error -> string
+
+(** [apply_set e ~path ~value ~just] — one write episode under the
+    global lock, journaled after commit, acknowledged after the
+    journal append. *)
+val apply_set :
+  entry ->
+  path:string ->
+  value:Dval.t ->
+  just:Dval.t Types.justification ->
+  (unit, set_error) result
+
+(** Every variable as [(path, rendered value option, justification)],
+    sorted by path. *)
+val state : entry -> (string * string option * string) list
+
+(** Force a snapshot now (then truncate the journal). No-op without a
+    data dir. Call under {!with_episode_lock} only if you already hold
+    it — this function takes no lock itself. *)
+val snapshot : entry -> unit
+
+(** {1 Lifecycle} *)
+
+(** [create ~id ~spec ()] — build, apply initial sets, write the
+    first snapshot (when durability is configured) and register.
+    [Error] on bad id, duplicate id, spec parse errors (line-numbered)
+    or a violated initial set. *)
+val create :
+  ?tenant:string ->
+  ?step_budget:int ->
+  id:string ->
+  spec:string ->
+  unit ->
+  (entry, string) result
+
+(** Host an externally-owned network (the shell session's): write API
+    only, no durability; observability objects stay owned by the
+    caller and are not detached on {!drop}. *)
+val adopt :
+  ?tenant:string ->
+  id:string ->
+  net:Dval.t Types.network ->
+  board:Dval.t Obs.Board.t ->
+  prov:Dval.t Obs.Provenance.t ->
+  unit ->
+  (entry, string) result
+
+(** Final snapshot, journal flush+close, observability detached (for
+    owned entries), registration removed. On-disk files remain, so
+    [drop] then {!recover} round-trips. [false] if the id is unknown. *)
+val drop : id:string -> bool
+
+(** {!drop} every hosted network (graceful drain); returns the ids. *)
+val close_all : unit -> string list
+
+(** {1 Recovery} *)
+
+type recovery = {
+  rc_entry : entry;
+  rc_snapshot_sets : int;  (** wal_set records in the snapshot *)
+  rc_journal_replayed : int;  (** intact journal records re-entered *)
+  rc_warnings : (string * int * string) list;
+      (** (source ["snapshot"]/["journal"], record or line number,
+          message) — torn tails and CRC-corrupt records land here *)
+  rc_verified : bool;  (** the [~verify] differential check ran *)
+  rc_divergences : Obs.Replay.divergence list;
+      (** empty = recovered state exactly re-derivable from its own
+          episode trace *)
+}
+
+(** [recover ~dir ~id ()] — snapshot + journal tail, tolerating a torn
+    final record (warning, never a failure). [~verify] runs the
+    [Obs.Replay.diff_live] differential check over the from-creation
+    recovery trace. The recovered network is re-registered and its
+    journal checkpointed into a fresh snapshot. *)
+val recover :
+  ?verify:bool -> dir:string -> id:string -> unit -> (recovery, string) result
+
+(** Recover every [*.snap] in a directory (server startup), removing
+    stray [*.tmp] files from saves that died mid-write. Returns the
+    recoveries plus a list of notes/errors. *)
+val recover_dir : ?verify:bool -> string -> recovery list * string list

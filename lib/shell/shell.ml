@@ -82,6 +82,8 @@ let help_text =
   \  replay FILE [SEQ]      replay a JSONL trace (to SEQ) and diff vs live\n\
   \  serve [PORT]           start the HTTP telemetry server (default port 9464)\n\
   \  unserve                stop the telemetry server\n\
+  \  host ID [TENANT]       offer this network to the HTTP write API as ID\n\
+  \  unhost ID              withdraw it from the write API\n\
   \  help                   this text\n\
   \  quit                   leave the editor"
 
@@ -427,6 +429,21 @@ let execute ss line =
     if serve_off ss then Fmt.pr "  telemetry server stopped@."
     else Fmt.pr "  no telemetry server running@.";
     true
+  | "host" :: id :: rest ->
+    (let tenant = match rest with [ t ] -> Some t | _ -> None in
+     match
+       Serve.Wstore.adopt ?tenant ~id ~net:cnet ~board:ss.ss_board
+         ~prov:ss.ss_prov ()
+     with
+     | Ok e ->
+       Fmt.pr "  hosted as %S for tenant %S (POST /nets/%s/set)@."
+         (Serve.Wstore.id e) (Serve.Wstore.tenant e) (Serve.Wstore.id e)
+     | Error msg -> Fmt.pr "  cannot host: %s@." msg);
+    true
+  | [ "unhost"; id ] ->
+    if Serve.Wstore.drop ~id then Fmt.pr "  %S unhosted@." id
+    else Fmt.pr "  no hosted network %S@." id;
+    true
   | cmd :: _ ->
     Fmt.pr "unknown command %S (try: help)@." cmd;
     true
@@ -434,6 +451,12 @@ let execute ss line =
 let close ss =
   ignore (serve_off ss);
   ignore (trace_off ss);
+  (* withdraw any write-API hosting of this session's network *)
+  List.iter
+    (fun e ->
+      if Serve.Wstore.net e == Stem.Env.cnet ss.ss_env then
+        ignore (Serve.Wstore.drop ~id:(Serve.Wstore.id e)))
+    (Serve.Wstore.list ());
   Obs.Provenance.detach ss.ss_prov;
   Obs.Board.detach (Stem.Env.cnet ss.ss_env)
 

@@ -126,21 +126,27 @@ let save env =
   List.iter (save_cell buf) (Env.cells env);
   Buffer.contents buf
 
-(* Crash-safe: render to a temp file in the target directory, then
-   rename over the destination.  A crash mid-write leaves the previous
-   database intact; the stray temp file is removed on any exit path. *)
-let save_to_file env path =
-  let text = save env in
+(* Crash-safe write: render to a temp file in the target directory,
+   then rename over the destination.  A crash mid-write leaves the
+   previous file intact; the stray temp file is removed on any exit
+   path.  [fsync] forces the bytes to disk before the rename, so the
+   rename can never install a file whose content is still only in the
+   page cache (the write-ahead snapshot layer in [Serve.Wstore] needs
+   that ordering; the cell-library save keeps the cheaper default). *)
+let write_atomic ?(fsync = false) path text =
   let tmp =
     Filename.temp_file ~temp_dir:(Filename.dirname path) ".stemdb" ".tmp"
   in
   Fun.protect
     ~finally:(fun () -> if Sys.file_exists tmp then Sys.remove tmp)
     (fun () ->
-      Out_channel.with_open_text tmp (fun oc ->
+      Out_channel.with_open_bin tmp (fun oc ->
           Out_channel.output_string oc text;
-          Out_channel.flush oc);
+          Out_channel.flush oc;
+          if fsync then Unix.fsync (Unix.descr_of_out_channel oc));
       Sys.rename tmp path)
+
+let save_to_file env path = write_atomic path (save env)
 
 (* ------------------------------------------------------------------ *)
 (* Reader                                                              *)

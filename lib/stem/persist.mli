@@ -38,4 +38,13 @@ val load : string -> env * violation list
     an interrupted save never truncates or corrupts an existing file. *)
 val save_to_file : env -> string -> unit
 
+(** The temp-file-plus-rename idiom behind {!save_to_file}, for any
+    caller that needs an all-or-nothing file write (the write-side
+    service snapshots through it). [fsync] (default [false]) flushes
+    the temp file to disk before the rename, so after a power loss the
+    destination is either the old content or the complete new content,
+    never a torn mix. The stray temp file is removed on every exit
+    path. *)
+val write_atomic : ?fsync:bool -> string -> string -> unit
+
 val load_from_file : string -> env * violation list

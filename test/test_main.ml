@@ -19,6 +19,7 @@ let () =
       Test_stem_more.suite;
       Test_shell.suite;
       Test_serve.suite;
+      Test_durable.suite;
       Test_persist.suite;
       Test_structural.suite;
       Test_misc.suite;
