@@ -1,0 +1,146 @@
+(* E21: wakeup counts under the two activation disciplines.
+
+   The timing side of the story lives in bench/main.exe's "wakeup"
+   group; this runner measures the thing the discipline is actually
+   about — how many constraint wakeups each episode delivers — and
+   verifies that narrowing them changes nothing observable.
+
+   Two workloads, each run for [--episodes] episodes under eager
+   input-watching and under two-watch rotation:
+
+     fanout   k wide n-ary sums sharing two hot inputs, cold inputs
+              never set: the pathological broadcast case. Every hot
+              assignment wakes all k sums eagerly; two-watch parks the
+              watches on cold inputs after one rotation and the hot
+              path goes quiet.  The claim under test: >= 2x fewer
+              wakeups per episode (in practice it is ~k x).
+
+     ripple   a fully-driven 16-bit ripple adder, low bit toggling:
+              the dense case where every argument is set, two-watch
+              grounds out to watch-everything, and the discipline must
+              not change the wakeup count materially.
+
+   Both runs must end in identical final states (every sum/carry/bit
+   variable equal), which this runner checks and reports.
+
+     dune exec bench/e21.exe -- --episodes 200
+     dune exec bench/e21.exe -- --out BENCH_e21.json *)
+
+open Constraint_kernel
+
+let episodes = ref 200
+
+let fanout_k = ref 64
+
+let fanout_n = ref 32
+
+let bits = ref 16
+
+let out = ref ""
+
+let speclist =
+  [
+    ("--episodes", Arg.Set_int episodes, "N  episodes per run (default 200)");
+    ("--fanout-k", Arg.Set_int fanout_k, "N  sums in the fanout net (default 64)");
+    ("--fanout-n", Arg.Set_int fanout_n, "N  cold inputs per sum (default 32)");
+    ("--bits", Arg.Set_int bits, "N  ripple adder width (default 16)");
+    ("--out", Arg.Set_string out, "FILE  write a JSON summary");
+  ]
+
+type row = {
+  r_workload : string;
+  r_eager_wakeups : float;  (* per episode *)
+  r_two_watch_wakeups : float;
+  r_suppressed : float;  (* per episode, two-watch run *)
+  r_reduction : float;
+  r_states_equal : bool;
+}
+
+let per_episode n = float_of_int n /. float_of_int !episodes
+
+(* Run [run] for the configured episode count and return
+   (wakeups, suppressed, final-state). *)
+let drive net run state =
+  Engine.reset_stats net;
+  for _ = 1 to !episodes do
+    run ()
+  done;
+  let s = Engine.stats net in
+  (s.Types.st_wakeups, s.Types.st_suppressed, state ())
+
+let fanout_row () =
+  let k = !fanout_k and n = !fanout_n in
+  let build two_watch =
+    let net, run = Workloads.wakeup_fanout ~two_watch ~k ~n () in
+    (* final state: the sums never compute; record every variable *)
+    let state () = List.map (fun v -> v.Types.v_value) net.Types.net_vars in
+    drive net run state
+  in
+  let ew, _, estate = build false in
+  let ww, sup, wstate = build true in
+  {
+    r_workload = Printf.sprintf "fanout k=%d n=%d" k n;
+    r_eager_wakeups = per_episode ew;
+    r_two_watch_wakeups = per_episode ww;
+    r_suppressed = per_episode sup;
+    r_reduction = (if ww = 0 then infinity else float_of_int ew /. float_of_int ww);
+    r_states_equal = estate = wstate;
+  }
+
+let ripple_row () =
+  let build two_watch =
+    let net, run, state = Workloads.wakeup_ripple ~two_watch ~bits:!bits () in
+    drive net run state
+  in
+  let ew, _, estate = build false in
+  let ww, sup, wstate = build true in
+  {
+    r_workload = Printf.sprintf "ripple %d-bit" !bits;
+    r_eager_wakeups = per_episode ew;
+    r_two_watch_wakeups = per_episode ww;
+    r_suppressed = per_episode sup;
+    r_reduction = (if ww = 0 then infinity else float_of_int ew /. float_of_int ww);
+    r_states_equal = estate = wstate;
+  }
+
+let pp_row r =
+  Fmt.pr "  %-20s eager %8.1f wk/ep   two-watch %8.1f wk/ep   (%.1fx, %0.1f suppressed/ep)  states %s@."
+    r.r_workload r.r_eager_wakeups r.r_two_watch_wakeups r.r_reduction
+    r.r_suppressed
+    (if r.r_states_equal then "identical" else "DIVERGED")
+
+let json_row buf i r =
+  if i > 0 then Buffer.add_string buf ",\n";
+  Buffer.add_string buf
+    (Printf.sprintf
+       "  {\"workload\":\"%s\",\"eager_wakeups_per_episode\":%.2f,\"two_watch_wakeups_per_episode\":%.2f,\"suppressed_per_episode\":%.2f,\"reduction\":%.2f,\"states_equal\":%b}"
+       (Obs.Jsonl.escape r.r_workload)
+       r.r_eager_wakeups r.r_two_watch_wakeups r.r_suppressed
+       (if r.r_reduction = infinity then 1e9 else r.r_reduction)
+       r.r_states_equal)
+
+let () =
+  Arg.parse speclist
+    (fun a -> raise (Arg.Bad ("unexpected argument " ^ a)))
+    "e21 [--episodes N] [--out FILE]";
+  Fmt.pr "E21: wakeups per episode, eager input-watching vs two-watch@.";
+  Fmt.pr "(%d episodes per run)@.@." !episodes;
+  let rows = [ fanout_row (); ripple_row () ] in
+  List.iter pp_row rows;
+  let fan = List.hd rows in
+  let ok =
+    List.for_all (fun r -> r.r_states_equal) rows && fan.r_reduction >= 2.0
+  in
+  Fmt.pr "@.claim (fanout reduction >= 2x, all states identical): %s@."
+    (if ok then "HOLDS" else "FAILS");
+  if !out <> "" then begin
+    let buf = Buffer.create 512 in
+    Buffer.add_string buf "[\n";
+    List.iteri (json_row buf) rows;
+    Buffer.add_string buf "\n]\n";
+    let oc = open_out !out in
+    output_string oc (Buffer.contents buf);
+    close_out oc;
+    Fmt.pr "summary written to %s@." !out
+  end;
+  exit (if ok then 0 else 1)

@@ -335,6 +335,31 @@ let end_to_end =
   in
   Test.make_grouped ~name:"end-to-end" ~fmt:"%s %s" [ mk_acc; mk_sel ]
 
+(* E21: the wakeup discipline — eager input-watching vs two-watch
+   rotation on the wide-fanout and ripple-adder workloads.  The
+   wakeups-per-episode reduction itself is measured (and the identical
+   final states verified) by bench/e21.exe; these timings track what
+   the suppression machinery costs (fanout) and must not cost
+   (ripple). *)
+let wakeup_discipline =
+  let mk label build =
+    let _, run = build in
+    Test.make ~name:label (Staged.stage run)
+  in
+  let mk3 label build =
+    let _, run, _ = build in
+    Test.make ~name:label (Staged.stage run)
+  in
+  Test.make_grouped ~name:"wakeup" ~fmt:"%s %s"
+    [
+      mk "E21 fanout k=64 n=32 eager" (Workloads.wakeup_fanout ~k:64 ~n:32 ());
+      mk "E21 fanout k=64 n=32 two-watch"
+        (Workloads.wakeup_fanout ~two_watch:true ~k:64 ~n:32 ());
+      mk3 "E21 ripple 16-bit eager" (Workloads.wakeup_ripple ~bits:16 ());
+      mk3 "E21 ripple 16-bit two-watch"
+        (Workloads.wakeup_ripple ~two_watch:true ~bits:16 ());
+    ]
+
 (* E20: write-path durability overhead — one acknowledged set with no
    durability configured, against the same set journaled under each
    fsync policy.  The full sweep (interval policies, multi-tenant
@@ -399,6 +424,7 @@ let () =
         incremental_vs_batch;
         erasure;
         end_to_end;
+        wakeup_discipline;
         durability_writes;
       ]
   in

@@ -349,3 +349,81 @@ let chain_observed n ~attach =
   let net, run = equality_chain n in
   attach net;
   (net, run)
+
+(* ------------------------------------------------------------------ *)
+(* E21: wakeup discipline — watched activation vs wake-all             *)
+(* ------------------------------------------------------------------ *)
+
+(* [k] wide n-ary sums sharing two hot inputs plus [n] cold inputs each
+   that never receive a value, so no sum can ever compute.  Under the
+   eager watch-the-inputs discipline every hot assignment wakes all [k]
+   sums just so each can notice it still cannot fire; under
+   [~two_watch:true] the first rotation parks each sum's watches on
+   cold inputs and the hot path stops delivering wakeups entirely (the
+   satisfaction sweep still marks and checks every constraint). *)
+let wakeup_fanout ?(two_watch = false) ~k ~n () =
+  let net = Engine.create_network ~name:"wakeup-fanout" () in
+  let hot1 = ivar net "hot1" and hot2 = ivar net "hot2" in
+  for j = 0 to k - 1 do
+    let colds =
+      List.init n (fun i -> ivar net (Printf.sprintf "cold%d_%d" j i))
+    in
+    let r = ivar net (Printf.sprintf "sum%d" j) in
+    let _ =
+      Clib.functional ~two_watch ~kind:"wide-sum" ~f:sum ~result:r net
+        (hot1 :: hot2 :: colds)
+    in
+    ()
+  done;
+  let tick = ref 0 in
+  let run () =
+    incr tick;
+    ignore (Engine.set net hot1 !tick);
+    ignore (Engine.set net hot2 (- !tick))
+  in
+  (net, run)
+
+(* A [bits]-wide ripple adder out of functional constraints (bit sum and
+   carry per stage), fully driven, re-toggling the low input bit each
+   run so the carry chain re-propagates.  The dense counterpart of the
+   fanout workload: every argument ends up set, two-watch grounds out to
+   watch-everything, and the discipline must not cost anything. *)
+let wakeup_ripple ?(two_watch = false) ~bits () =
+  let net = Engine.create_network ~name:"wakeup-ripple" () in
+  let mk fmt = Array.init bits (fun i -> ivar net (Printf.sprintf fmt i)) in
+  let a = mk "a%d" and b = mk "b%d" and s = mk "s%d" in
+  let c = Array.init (bits + 1) (fun i -> ivar net (Printf.sprintf "c%d" i)) in
+  let bit_sum = function
+    | [ x; y; z ] -> Some ((x + y + z) land 1)
+    | _ -> None
+  in
+  let carry = function
+    | [ x; y; z ] -> Some (if x + y + z >= 2 then 1 else 0)
+    | _ -> None
+  in
+  for i = 0 to bits - 1 do
+    let args = [ a.(i); b.(i); c.(i) ] in
+    let _ =
+      Clib.functional ~two_watch ~kind:"bit-sum" ~f:bit_sum ~result:s.(i) net
+        args
+    in
+    let _ =
+      Clib.functional ~two_watch ~kind:"bit-carry" ~f:carry ~result:c.(i + 1)
+        net args
+    in
+    ()
+  done;
+  (* drive a = 0101…, b = 0011…, cin = 0 *)
+  Array.iteri (fun i v -> ignore (Engine.set net v (i land 1))) a;
+  Array.iteri (fun i v -> ignore (Engine.set net v ((i lsr 1) land 1))) b;
+  ignore (Engine.set net c.(0) 0);
+  let tick = ref 0 in
+  let run () =
+    incr tick;
+    ignore (Engine.set net a.(0) (!tick land 1))
+  in
+  let state () =
+    Array.to_list (Array.map Var.value s)
+    @ Array.to_list (Array.map Var.value c)
+  in
+  (net, run, state)

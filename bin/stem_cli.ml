@@ -441,6 +441,7 @@ let run_health edits window_eps dot_file json =
   else begin
   Fmt.pr "== health: net '%s' ==@.%a@." net.Types.net_name Obs.Board.pp_health
     board;
+  Fmt.pr "%a@." Constraint_kernel.Editor.pp_agenda net;
   (match Obs.Board.sampler board with
   | Some sam -> (
     match Obs.Sampler.slowest sam with

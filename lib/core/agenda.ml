@@ -1,48 +1,128 @@
 open Types
 
+(* One bit of [ag_live] per stratum; OCaml ints give us 62 usable bits,
+   comfortably beyond the three cost classes plus any custom
+   priorities. *)
+let max_strata = Sys.int_size - 1
+
 let create () =
-  { ag_queues = Hashtbl.create 7; ag_members = Hashtbl.create 32; ag_priorities = [] }
+  {
+    ag_prios = [||];
+    ag_slots = [||];
+    ag_live = 0;
+    ag_members = Hashtbl.create 32;
+    ag_pushed = [||];
+    ag_popped = [||];
+    ag_hwm = [||];
+  }
 
 let member_key c var =
   (c.c_id, match var with None -> -1 | Some v -> v.v_id)
+
+(* Slot of [priority], registering a new stratum if needed.  Strata are
+   few and registration is rare, so the lookup is a linear scan of a
+   small int array (cheaper than hashing at this size) and insertion
+   rebuilds the arrays. *)
+let slot_of a priority =
+  let n = Array.length a.ag_prios in
+  let rec find i =
+    if i >= n then -1 else if a.ag_prios.(i) = priority then i else find (i + 1)
+  in
+  let s = find 0 in
+  if s >= 0 then s
+  else begin
+    if n >= max_strata then
+      invalid_arg
+        (Printf.sprintf "Agenda: more than %d distinct priorities" max_strata);
+    (* insertion point keeping ascending priority order *)
+    let rec point i =
+      if i >= n || a.ag_prios.(i) > priority then i else point (i + 1)
+    in
+    let at = point 0 in
+    let insert pad arr v =
+      let out = Array.make (n + 1) pad in
+      Array.blit arr 0 out 0 at;
+      out.(at) <- v;
+      Array.blit arr at out (at + 1) (n - at);
+      out
+    in
+    a.ag_prios <- insert 0 a.ag_prios priority;
+    a.ag_slots <- insert (Queue.create ()) a.ag_slots (Queue.create ());
+    a.ag_pushed <- insert 0 a.ag_pushed 0;
+    a.ag_popped <- insert 0 a.ag_popped 0;
+    a.ag_hwm <- insert 0 a.ag_hwm 0;
+    (* live bits at or above the insertion point shift up by one *)
+    let low = a.ag_live land ((1 lsl at) - 1) in
+    let high = a.ag_live lxor low in
+    a.ag_live <- low lor (high lsl 1);
+    at
+  end
 
 let schedule a ~priority c ~var =
   let key = member_key c var in
   if Hashtbl.mem a.ag_members key then false
   else begin
-    let q =
-      match Hashtbl.find_opt a.ag_queues priority with
-      | Some q -> q
-      | None ->
-        let q = Queue.create () in
-        Hashtbl.add a.ag_queues priority q;
-        a.ag_priorities <- List.sort compare (priority :: a.ag_priorities);
-        q
-    in
+    let s = slot_of a priority in
+    let q = a.ag_slots.(s) in
     Queue.add { e_cstr = c; e_var = var } q;
     Hashtbl.add a.ag_members key ();
+    a.ag_live <- a.ag_live lor (1 lsl s);
+    a.ag_pushed.(s) <- a.ag_pushed.(s) + 1;
+    let depth = Queue.length q in
+    if depth > a.ag_hwm.(s) then a.ag_hwm.(s) <- depth;
     true
   end
 
-let pop a =
-  let rec go = function
-    | [] -> None
-    | p :: rest -> (
-      match Hashtbl.find_opt a.ag_queues p with
-      | None -> go rest
-      | Some q ->
-        if Queue.is_empty q then go rest
-        else
-          let e = Queue.pop q in
-          Hashtbl.remove a.ag_members (member_key e.e_cstr e.e_var);
-          Some e)
-  in
-  go a.ag_priorities
+(* Index of the least-significant set bit.  [m land -m] isolates the
+   bit; the shift loop then runs for the bit's position only, which for
+   the checking/functional/implicit strata is 0-2 iterations. *)
+let lsb_index m =
+  let b = m land -m in
+  let rec go i b = if b land 1 = 1 then i else go (i + 1) (b lsr 1) in
+  go 0 b
 
-let is_empty a = Hashtbl.length a.ag_members = 0
+let pop a =
+  if a.ag_live = 0 then None
+  else begin
+    let s = lsb_index a.ag_live in
+    let q = a.ag_slots.(s) in
+    let e = Queue.pop q in
+    if Queue.is_empty q then a.ag_live <- a.ag_live land lnot (1 lsl s);
+    a.ag_popped.(s) <- a.ag_popped.(s) + 1;
+    Hashtbl.remove a.ag_members (member_key e.e_cstr e.e_var);
+    Some e
+  end
+
+let is_empty a = a.ag_live = 0
 
 let length a = Hashtbl.length a.ag_members
 
+type stratum_stats = {
+  sa_priority : int;
+  sa_label : string;
+  sa_depth : int; (* entries currently pending in this stratum *)
+  sa_pushed : int;
+  sa_popped : int;
+  sa_hwm : int;
+}
+
+let stats a =
+  List.filter_map
+    (fun s ->
+      if a.ag_pushed.(s) = 0 && Queue.is_empty a.ag_slots.(s) then None
+      else
+        Some
+          {
+            sa_priority = a.ag_prios.(s);
+            sa_label = stratum_label a.ag_prios.(s);
+            sa_depth = Queue.length a.ag_slots.(s);
+            sa_pushed = a.ag_pushed.(s);
+            sa_popped = a.ag_popped.(s);
+            sa_hwm = a.ag_hwm.(s);
+          })
+    (List.init (Array.length a.ag_prios) Fun.id)
+
 let clear a =
   Hashtbl.reset a.ag_members;
-  Hashtbl.iter (fun _ q -> Queue.clear q) a.ag_queues
+  Array.iter Queue.clear a.ag_slots;
+  a.ag_live <- 0

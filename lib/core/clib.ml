@@ -58,7 +58,8 @@ let compatible ?(attach = true) ?label ?(kind = "compatible") ~compat net vars =
   let c = Cstr.make net ~kind ?label ~propagate:copy_inference ~satisfied vars in
   finish ~attach net c
 
-let functional ?(attach = true) ?label ?strength ~kind ~f ~result net inputs =
+let functional ?(attach = true) ?label ?strength ?(two_watch = false) ~kind ~f
+    ~result net inputs =
   let input_values () = List.map (fun v -> v.v_value) inputs in
   let computed () =
     let vals = input_values () in
@@ -75,9 +76,6 @@ let functional ?(attach = true) ?label ?strength ~kind ~f ~result net inputs =
     | Some actual, Some expected -> result.v_equal actual expected
     | None, _ | _, None -> true
   in
-  let wants_schedule _c changed =
-    match changed with Some v -> not (Var.equal v result) | None -> true
-  in
   let in_dependency _c record arg =
     match record with
     | All_arguments -> not (Var.equal arg result)
@@ -90,10 +88,18 @@ let functional ?(attach = true) ?label ?strength ~kind ~f ~result net inputs =
     | Some r -> Engine.poke net result r ~just:Application
     | None -> ()
   in
+  (* A functional constraint never needs to wake on its own result; with
+     [~two_watch:true] it also sleeps through input changes while two or
+     more arguments are still unset (it cannot compute until one input
+     remains), at the cost of watch rotation. *)
+  let activation =
+    Cstr.activation
+      ~wake:(if two_watch then Two_watch else Watch inputs)
+      ~schedule:(On_agenda functional_priority) ~in_dependency ()
+  in
   let c =
-    Cstr.make net ~kind ?label ~schedule:(On_agenda functional_priority)
-      ~wants_schedule ~in_dependency ~recompute ?strength ~propagate ~satisfied
-      (result :: inputs)
+    Cstr.make net ~kind ?label ~activation ~recompute ?strength ~propagate
+      ~satisfied (result :: inputs)
   in
   finish ~attach net c
 
@@ -102,7 +108,7 @@ let predicate ?(attach = true) ?label ~kind ~pred net vars =
   let satisfied c = pred (List.map (fun v -> v.v_value) c.c_args) in
   let c =
     Cstr.make net ~kind ?label
-      ~in_dependency:(fun _ _ _ -> false)
+      ~activation:(Cstr.activation ~in_dependency:(fun _ _ _ -> false) ())
       ~propagate ~satisfied vars
   in
   finish ~attach net c
@@ -124,7 +130,7 @@ let update ?(attach = true) ?label ~sources ~targets net =
   let satisfied _c = true in
   let c =
     Cstr.make net ~kind:"update" ?label ~fires_on_reset:true
-      ~in_dependency:(fun _ _ _ -> false)
+      ~activation:(Cstr.activation ~in_dependency:(fun _ _ _ -> false) ())
       ~propagate ~satisfied (sources @ targets)
   in
   finish ~attach net c

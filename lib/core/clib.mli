@@ -27,11 +27,20 @@ val compatible :
   compat:('a -> 'a -> bool) -> 'a network -> 'a var list -> 'a attached
 
 (** Functional (unidirectional) constraint: [result = f inputs]. Delays
-    propagation on the functional agenda so transient recomputation is
-    avoided (§4.2.1); activated by its own result variable it only
-    checks. [f] returns [None] when not computable. *)
+    propagation on the functional agenda stratum so transient
+    recomputation is avoided (§4.2.1); it watches its inputs only
+    ([Watch inputs]), so a change of its own result never wakes it (the
+    final sweep still checks it). [f] returns [None] when not
+    computable.
+
+    @param two_watch use the rotating [Two_watch] discipline instead:
+      the constraint additionally sleeps through input changes while two
+      or more arguments remain unset — it cannot compute until one input
+      is left — waking only when a watched argument moves. Worthwhile
+      for wide fan-out over mostly-unset pools; default [false]. *)
 val functional :
-  ?attach:bool -> ?label:string -> ?strength:int -> kind:string ->
+  ?attach:bool -> ?label:string -> ?strength:int -> ?two_watch:bool ->
+  kind:string ->
   f:('a list -> 'a option) -> result:'a var -> 'a network -> 'a var list ->
   'a attached
 

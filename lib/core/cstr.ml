@@ -7,10 +7,40 @@ let default_in_dependency _c record arg =
   | Some_vars ws -> List.exists (Var.equal arg) ws
   | Opaque -> false
 
-let make net ~kind ?label ?(schedule = Immediate)
-    ?(wants_schedule = fun _ _ -> true) ?(keyed_by_var = false)
-    ?(in_dependency = default_in_dependency) ?(fires_on_reset = false)
-    ?recompute ?(strength = 0) ~propagate ~satisfied args =
+let activation ?(wake = Wake_all) ?(schedule = Immediate)
+    ?(keyed_by_var = false) ?in_dependency () =
+  {
+    act_wake = wake;
+    act_schedule = schedule;
+    act_keyed_by_var = keyed_by_var;
+    act_in_dependency = in_dependency;
+  }
+
+let wake_all =
+  {
+    act_wake = Wake_all;
+    act_schedule = Immediate;
+    act_keyed_by_var = false;
+    act_in_dependency = None;
+  }
+
+let make net ~kind ?label ?activation:act ?schedule ?wants_schedule
+    ?keyed_by_var ?in_dependency ?(fires_on_reset = false) ?recompute
+    ?(strength = 0) ~propagate ~satisfied args =
+  let act =
+    match act with
+    | Some a -> a (* the first-class spec wins over the deprecated shim *)
+    | None ->
+      {
+        act_wake =
+          (match wants_schedule with
+          | None -> Wake_all
+          | Some f -> Custom f);
+        act_schedule = Option.value schedule ~default:Immediate;
+        act_keyed_by_var = Option.value keyed_by_var ~default:false;
+        act_in_dependency = in_dependency;
+      }
+  in
   let c =
     {
       c_id = net.net_next_cstr_id;
@@ -19,12 +49,13 @@ let make net ~kind ?label ?(schedule = Immediate)
       c_label = (match label with Some l -> l | None -> kind);
       c_args = args;
       c_enabled = true;
-      c_schedule = schedule;
-      c_wants_schedule = wants_schedule;
-      c_schedule_keyed_by_var = keyed_by_var;
+      c_activation = act;
+      c_watching = [];
+      c_mark = 0;
       c_propagate = propagate;
       c_satisfied = satisfied;
-      c_in_dependency = in_dependency;
+      c_in_dependency =
+        Option.value act.act_in_dependency ~default:default_in_dependency;
       c_fires_on_reset = fires_on_reset;
       c_recompute = recompute;
       c_strength = strength;
@@ -35,6 +66,38 @@ let make net ~kind ?label ?(schedule = Immediate)
   net.net_next_cstr_id <- net.net_next_cstr_id + 1;
   net.net_cstrs <- c :: net.net_cstrs;
   c
+
+(* ------------------------------------------------------------------ *)
+(* Watch-list maintenance                                              *)
+(* ------------------------------------------------------------------ *)
+
+let unwatch c =
+  List.iter
+    (fun v ->
+      v.v_watchers <- List.filter (fun c' -> c'.c_id <> c.c_id) v.v_watchers)
+    c.c_watching;
+  c.c_watching <- []
+
+(* The watch set the spec asks for, against the current arguments and
+   values.  [Watch vs] is intersected with the arguments so an editor
+   rewire that removes a declared variable degrades to not watching it
+   (and [rewatch] after [add_argument] re-admits it). *)
+let desired_watches c =
+  match c.c_activation.act_wake with
+  | Wake_all | Custom _ -> c.c_args
+  | Watch vs -> List.filter (fun v -> List.exists (Var.equal v) c.c_args) vs
+  | Two_watch -> (
+    match List.filter (fun v -> v.v_value = None) c.c_args with
+    | a :: b :: _ -> [ a; b ]
+    | _ -> c.c_args (* fewer than two unset: ground fallback, wake on all *))
+
+let rewatch c =
+  unwatch c;
+  let ws = desired_watches c in
+  c.c_watching <- ws;
+  List.iter (fun v -> v.v_watchers <- c :: v.v_watchers) ws
+
+let watching c = c.c_watching
 
 let strength c = c.c_strength
 

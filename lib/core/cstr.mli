@@ -4,22 +4,81 @@
     procedure ([immediateInferenceByChanging:]) and its satisfaction test
     ([isSatisfied]); new kinds of constraints are made by supplying
     different closures to [make] (the OCaml rendering of subclassing).
-    Ready-made kinds live in {!Clib}. *)
+    Ready-made kinds live in {!Clib}.
+
+    {1 Activation specs}
+
+    How a constraint is woken and scheduled is declared up front in an
+    {!Types.activation} record rather than scattered over optional
+    closures:
+
+    {[
+      Cstr.make net ~kind:"sum"
+        ~activation:
+          (Cstr.activation ~wake:Two_watch
+             ~schedule:(On_agenda Types.functional_priority) ())
+        ~propagate ~satisfied args
+    ]}
+
+    The [wake] component says which argument changes run the inference
+    procedure:
+    - [Wake_all] — every change (the paper's discipline; the default).
+    - [Watch vs] — only changes of the listed arguments. Sound whenever
+      changes of the other arguments can never enable new inference
+      (e.g. a functional constraint need not wake on its own result).
+    - [Two_watch] — the rotating discipline of SAT watched literals:
+      sound for constraints that cannot infer anything while two or more
+      arguments are unset. The engine watches two unset arguments,
+      rotates a watch instead of waking when one gets a value, and falls
+      back to waking on every argument once fewer than two remain unset.
+      Rotations are episode-scoped (undone on rollback).
+    - [Custom f] — a dynamic predicate, consulted on every touch.
+
+    Watching narrows {e inference only}: every attached constraint of a
+    changed variable is still marked for the final [is_satisfied] sweep,
+    so a narrow spec can never hide a violation.
+
+    {2 Migrating from the deprecated optionals}
+
+    [?schedule]/[?wants_schedule]/[?keyed_by_var]/[?in_dependency] are
+    retained for one release and map onto an activation as follows:
+
+    - [~schedule:s] → [Cstr.activation ~schedule:s ()]
+    - [~wants_schedule:f] → [~wake:(Custom f)]
+    - [~keyed_by_var:true] → [~keyed_by_var:true]
+    - [~in_dependency:f] → [~in_dependency:f]
+
+    When [?activation] is given it wins and the deprecated optionals are
+    ignored. *)
 
 open Types
 
+(** Build an activation spec. Defaults: [Wake_all], [Immediate],
+    [keyed_by_var:false], generic dependency interpretation. *)
+val activation :
+  ?wake:'a wake ->
+  ?schedule:schedule ->
+  ?keyed_by_var:bool ->
+  ?in_dependency:('a cstr -> 'a dependency -> 'a var -> bool) ->
+  unit ->
+  'a activation
+
+(** [activation ()] — immediate, wake on every argument change. *)
+val wake_all : 'a activation
+
 (** [make net ~kind ~propagate ~satisfied args] builds and registers a
     constraint. It does {e not} attach the constraint to its argument
-    variables — use {!Network.add_constraint}, which also performs the
-    re-initialising propagation of §4.2.5.
+    variables — use {!Network.add_constraint}, which also installs the
+    watch lists and performs the re-initialising propagation of §4.2.5.
 
-    @param schedule default [Immediate].
-    @param wants_schedule default: always [true] (only consulted for
-      agenda constraints).
-    @param keyed_by_var agenda-entry deduplication key includes the
-      changed variable (default [false]).
-    @param in_dependency default: interpret the dependency record
-      generically ([All_arguments] means every argument).
+    @param activation the wake/schedule spec; default
+      [Cstr.activation ()] (immediate, wake-all), or the spec implied by
+      the deprecated optionals below.
+    @param schedule deprecated — use [~activation].
+    @param wants_schedule deprecated — use [~activation] with
+      [~wake:(Custom f)].
+    @param keyed_by_var deprecated — use [~activation].
+    @param in_dependency deprecated — use [~activation].
     @param fires_on_reset default [false].
     @param recompute direct recomputation procedure for the network
       compiler (set by {!Clib.functional}); default [None].
@@ -29,6 +88,7 @@ val make :
   'a network ->
   kind:string ->
   ?label:string ->
+  ?activation:'a activation ->
   ?schedule:schedule ->
   ?wants_schedule:('a cstr -> 'a var option -> bool) ->
   ?keyed_by_var:bool ->
@@ -43,6 +103,21 @@ val make :
 
 (** The generic dependency-record interpretation. *)
 val default_in_dependency : 'a cstr -> 'a dependency -> 'a var -> bool
+
+(** {1 Watch lists} *)
+
+(** [rewatch c] recomputes [c]'s watch set from its activation spec and
+    current arguments/values, and reindexes the per-variable watcher
+    lists. Called by {!Network} on attach and on every editor rewire
+    ([add_argument]/[remove_argument]); the engine calls it when a
+    quarantine lifts and after structural reloads. *)
+val rewatch : 'a cstr -> unit
+
+(** Remove [c] from every watcher list (detachment teardown). *)
+val unwatch : 'a cstr -> unit
+
+(** The variables whose change currently wakes [c]. *)
+val watching : 'a cstr -> 'a var list
 
 val strength : 'a cstr -> int
 

@@ -37,12 +37,38 @@ let unsatisfied net =
       && not (Cstr.is_satisfied_safe c))
     (List.rev net.net_cstrs)
 
+(* Wakeup-discipline and per-stratum agenda traffic, for `health`
+   surfaces. *)
+let pp_agenda ppf net =
+  let totals =
+    Hashtbl.fold (fun p t acc -> (p, t) :: acc) net.net_agenda_totals []
+    |> List.sort (fun (a, _) (b, _) -> compare a b)
+  in
+  let s = net.net_stats in
+  let touched = s.k_wakeups + s.k_suppressed in
+  let pct =
+    if touched = 0 then 0.
+    else 100. *. float_of_int s.k_suppressed /. float_of_int touched
+  in
+  Fmt.pf ppf "@[<v>wakeups: %d delivered, %d suppressed (%.1f%% saved)"
+    s.k_wakeups s.k_suppressed pct;
+  if totals = [] then Fmt.pf ppf "@,agenda: no strata used"
+  else
+    List.iter
+      (fun (p, t) ->
+        Fmt.pf ppf "@,agenda[%s p%d]: pushed %d popped %d hwm %d"
+          (stratum_label p) p t.at_pushed t.at_popped t.at_hwm)
+      totals;
+  Fmt.pf ppf "@]"
+
 let pp_stats ppf s =
   Fmt.pf ppf
     "propagations=%d assignments=%d inferences=%d scheduled=%d checks=%d \
-     violations=%d trapped=%d quarantined=%d sink_errors=%d"
+     violations=%d trapped=%d quarantined=%d sink_errors=%d wakeups=%d \
+     suppressed=%d"
     s.st_propagations s.st_assignments s.st_inferences s.st_scheduled s.st_checks
-    s.st_violations s.st_trapped s.st_quarantined s.st_sink_errors
+    s.st_violations s.st_trapped s.st_quarantined s.st_sink_errors s.st_wakeups
+    s.st_suppressed
 
 let dump_network ppf net =
   let bad = unsatisfied net in

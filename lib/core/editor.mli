@@ -45,3 +45,8 @@ val find_cstr : 'a network -> int -> 'a cstr option
 val grep_vars : 'a network -> string -> 'a var list
 
 val pp_stats : Format.formatter -> stats -> unit
+
+(** Wakeup-discipline totals ([st_wakeups]/[st_suppressed]) and
+    per-stratum agenda traffic (pushed/popped/high-water mark per
+    priority), as the `health` surfaces print them. *)
+val pp_agenda : Format.formatter -> 'a network -> unit

@@ -23,6 +23,8 @@ let create_network ?(name = "network") () =
     net_clock = Unix.gettimeofday;
     net_next_episode = 0;
     net_cur_episode = 0;
+    net_next_stamp = 0;
+    net_agenda_totals = Hashtbl.create 7;
     net_next_seq = 0;
     net_next_var_id = 0;
     net_next_cstr_id = 0;
@@ -100,7 +102,16 @@ let reset_stats net =
   s.k_propagations <- 0;
   s.k_trapped <- 0;
   s.k_quarantined <- 0;
-  s.k_sink_errors <- 0
+  s.k_sink_errors <- 0;
+  s.k_wakeups <- 0;
+  s.k_suppressed <- 0;
+  Hashtbl.reset net.net_agenda_totals
+
+(* Cumulative per-stratum agenda accounting (ascending by priority),
+   merged from every finished episode's agenda. *)
+let agenda_totals net =
+  Hashtbl.fold (fun p t acc -> (p, t) :: acc) net.net_agenda_totals []
+  |> List.sort (fun (a, _) (b, _) -> compare a b)
 
 (* A throwing sink is an observability failure, never a propagation
    failure: trap, count, log, keep going — both to the remaining sinks
@@ -188,16 +199,18 @@ let check_integrity = Integrity.check_integrity
 (* ------------------------------------------------------------------ *)
 
 let new_ctx net =
+  net.net_next_stamp <- net.net_next_stamp + 1;
   {
     cx_net = net;
     cx_visited_vars = Hashtbl.create 32;
     cx_change_counts = Hashtbl.create 32;
     cx_visited_order = [];
-    cx_visited_cstrs = Hashtbl.create 32;
+    cx_stamp = net.net_next_stamp;
     cx_cstr_order = [];
     cx_agenda = Agenda.create ();
     cx_steps = 0;
     cx_agenda_hwm = 0;
+    cx_watch_undo = [];
   }
 
 let save_state ctx v =
@@ -212,7 +225,17 @@ let visited ctx v = Hashtbl.mem ctx.cx_visited_vars v.v_id
 (* Restoration must complete no matter what the change hooks do: a
    throwing [v_on_change] is counted and logged, never allowed to leave
    later variables unrestored. *)
+(* Rolling back an episode also rolls back its 2-watch rotations: a
+   rotation was chosen against values the restore is about to erase, so
+   keeping it could leave a watch on a set variable while two arguments
+   are unset — exactly the state in which a suppressed wakeup misses an
+   inference. *)
+let undo_watches ctx =
+  List.iter (fun f -> f ()) ctx.cx_watch_undo;
+  ctx.cx_watch_undo <- []
+
 let restore ctx =
+  undo_watches ctx;
   List.iter
     (fun v ->
       match Hashtbl.find_opt ctx.cx_visited_vars v.v_id with
@@ -233,9 +256,11 @@ let restore ctx =
 let cstr_enabled ctx c =
   c.c_enabled && not (List.mem c.c_kind ctx.cx_net.net_disabled_kinds)
 
+(* O(1) visited-marking via episode stamps: no hashing, one int compare
+   and (at most) one store per touch. *)
 let mark_cstr ctx c =
-  if not (Hashtbl.mem ctx.cx_visited_cstrs c.c_id) then begin
-    Hashtbl.add ctx.cx_visited_cstrs c.c_id ();
+  if c.c_mark <> ctx.cx_stamp then begin
+    c.c_mark <- ctx.cx_stamp;
     ctx.cx_cstr_order <- c :: ctx.cx_cstr_order
   end
 
@@ -264,23 +289,40 @@ let run_inference ctx c changed =
            ~where:(Printf.sprintf "propagate of %s#%d" c.c_kind c.c_id)
            e))
 
+(* Deliver a wakeup: mark the constraint, consult its wake spec, then
+   run the inference now or push it on its agenda stratum.  On the hot
+   path ([propagate_from]) watch-based gating has already happened
+   through the per-variable watcher index, and the membership test here
+   merely re-confirms it; the test is what keeps direct activations
+   ([propagate_along] during re-initialisation, [changed = Some v])
+   faithful to the spec — e.g. a functional constraint asserts nothing
+   through its own result variable.  [changed = None] always wakes. *)
 let activate ctx c ~changed =
   if not (cstr_enabled ctx c) then Ok ()
   else begin
     mark_cstr ctx c;
-    match c.c_schedule with
-    | Immediate -> run_inference ctx c changed
-    | On_agenda priority ->
-      if c.c_wants_schedule c changed then begin
-        let var = if c.c_schedule_keyed_by_var then changed else None in
+    let wanted =
+      match c.c_activation.act_wake with
+      | Wake_all -> true
+      | Custom f -> f c changed
+      | Watch _ | Two_watch -> (
+        match changed with
+        | None -> true
+        | Some v -> List.exists (Var.equal v) c.c_watching)
+    in
+    if not wanted then Ok ()
+    else
+      match c.c_activation.act_schedule with
+      | Immediate -> run_inference ctx c changed
+      | On_agenda priority ->
+        let var = if c.c_activation.act_keyed_by_var then changed else None in
         if Agenda.schedule ctx.cx_agenda ~priority c ~var then begin
           ctx.cx_net.net_stats.k_scheduled <- ctx.cx_net.net_stats.k_scheduled + 1;
           let depth = Agenda.length ctx.cx_agenda in
           if depth > ctx.cx_agenda_hwm then ctx.cx_agenda_hwm <- depth;
           if tracing ctx.cx_net then trace ctx.cx_net (T_schedule (c, priority))
-        end
-      end;
-      Ok ()
+        end;
+        Ok ()
   end
 
 (* The implicit-constraint hook is user code too: trap it so a broken
@@ -295,20 +337,127 @@ let constraints_of ctx v =
          (Printf.sprintf "exception in implicit-constraint hook of %s.%s"
             v.v_owner v.v_name))
 
+let implicits_of ctx v =
+  match v.v_implicit v with
+  | cs -> Ok cs
+  | exception e ->
+    ctx.cx_net.net_stats.k_trapped <- ctx.cx_net.net_stats.k_trapped + 1;
+    Error
+      (violation ~var:v ~exn:e
+         (Printf.sprintf "exception in implicit-constraint hook of %s.%s"
+            v.v_owner v.v_name))
+
+(* 2-watch rotation: [v], watched by [c], just received a value.  Try to
+   move the watch to an unset, currently-unwatched argument; succeed =
+   the wakeup is suppressed.  With no replacement available fewer than
+   two arguments remain unset — promote to watching every argument
+   (ground fallback) and wake, since [c] may now be able to infer.
+   Every mutation is logged for episode rollback: the rotation was
+   chosen against values a restore would erase. *)
+let rotate_watch ctx c v =
+  if List.compare_lengths c.c_watching c.c_args >= 0 then false
+  else begin
+    let watched u = List.exists (Var.equal u) c.c_watching in
+    let old_watching = c.c_watching in
+    match
+      List.find_opt (fun u -> u.v_value = None && not (watched u)) c.c_args
+    with
+    | Some u ->
+      c.c_watching <- u :: List.filter (fun w -> not (Var.equal w v)) old_watching;
+      v.v_watchers <- List.filter (fun c' -> c'.c_id <> c.c_id) v.v_watchers;
+      u.v_watchers <- u.v_watchers @ [ c ];
+      ctx.cx_watch_undo <-
+        (fun () ->
+          c.c_watching <- old_watching;
+          u.v_watchers <- List.filter (fun c' -> c'.c_id <> c.c_id) u.v_watchers;
+          if not (List.exists (fun c' -> c'.c_id = c.c_id) v.v_watchers) then
+            v.v_watchers <- v.v_watchers @ [ c ])
+        :: ctx.cx_watch_undo;
+      true
+    | None ->
+      c.c_watching <- c.c_args;
+      let added =
+        List.filter
+          (fun u -> not (List.exists (fun c' -> c'.c_id = c.c_id) u.v_watchers))
+          c.c_args
+      in
+      List.iter (fun u -> u.v_watchers <- u.v_watchers @ [ c ]) added;
+      ctx.cx_watch_undo <-
+        (fun () ->
+          c.c_watching <- old_watching;
+          List.iter
+            (fun u ->
+              u.v_watchers <-
+                List.filter (fun c' -> c'.c_id <> c.c_id) u.v_watchers)
+            added)
+        :: ctx.cx_watch_undo;
+      false
+  end
+
+(* A variable changed.  Two walks:
+
+   - the {e mark-walk} touches every attached constraint so it joins the
+     final is_satisfied sweep — watching narrows inference, never
+     checking (a functional constraint whose result is overwritten must
+     still be checked even though it is not woken);
+   - the {e wake-walk} runs inference for the watching constraints only
+     (plus the implicit hierarchy constraints, which are derived from
+     structure and always wake).
+
+   The gap between the two walks is what [k_suppressed] counts — the
+   wakeups the paper's wake-all discipline would have delivered. *)
 let propagate_from ctx v ~except =
+  let net = ctx.cx_net in
   let skip c =
     match except with None -> false | Some e -> e.c_id = c.c_id
   in
-  let rec go = function
+  let eligible = ref 0 in
+  List.iter
+    (fun c ->
+      if (not (skip c)) && cstr_enabled ctx c then begin
+        mark_cstr ctx c;
+        incr eligible
+      end)
+    v.v_cstrs;
+  let woken = ref 0 in
+  let rec wake = function
     | [] -> Ok ()
     | c :: rest ->
-      if skip c then go rest
-      else
-        let* () = activate ctx c ~changed:(Some v) in
-        go rest
+      if not (cstr_enabled ctx c) then wake rest
+      else begin
+        (* rotation bookkeeping runs even for the source constraint:
+           its watch must leave the variable it just set *)
+        let suppressed =
+          match c.c_activation.act_wake with
+          | Two_watch -> rotate_watch ctx c v
+          | Wake_all | Watch _ | Custom _ -> false
+        in
+        if suppressed || skip c then wake rest
+        else begin
+          incr woken;
+          let* () = activate ctx c ~changed:(Some v) in
+          wake rest
+        end
+      end
   in
-  let* cs = constraints_of ctx v in
-  go cs
+  (* snapshot: rotation mutates the live watcher list *)
+  let result = wake v.v_watchers in
+  net.net_stats.k_wakeups <- net.net_stats.k_wakeups + !woken;
+  net.net_stats.k_suppressed <-
+    net.net_stats.k_suppressed + max 0 (!eligible - !woken);
+  let* () = result in
+  let* implicit = implicits_of ctx v in
+  let rec wake_implicit = function
+    | [] -> Ok ()
+    | c :: rest ->
+      if skip c || not (cstr_enabled ctx c) then wake_implicit rest
+      else begin
+        net.net_stats.k_wakeups <- net.net_stats.k_wakeups + 1;
+        let* () = activate ctx c ~changed:(Some v) in
+        wake_implicit rest
+      end
+  in
+  wake_implicit implicit
 
 let drain ctx =
   let rec go () =
@@ -587,7 +736,26 @@ let begin_episode net ~label =
 let pop_ambient () =
   match !ambient_stack with [] -> () | _ :: rest -> ambient_stack := rest
 
+(* Fold the episode-local agenda's per-stratum counters into the
+   network's cumulative totals. *)
+let merge_agenda_totals net ag =
+  List.iter
+    (fun (s : Agenda.stratum_stats) ->
+      let t =
+        match Hashtbl.find_opt net.net_agenda_totals s.Agenda.sa_priority with
+        | Some t -> t
+        | None ->
+          let t = { at_pushed = 0; at_popped = 0; at_hwm = 0 } in
+          Hashtbl.add net.net_agenda_totals s.Agenda.sa_priority t;
+          t
+      in
+      t.at_pushed <- t.at_pushed + s.Agenda.sa_pushed;
+      t.at_popped <- t.at_popped + s.Agenda.sa_popped;
+      if s.Agenda.sa_hwm > t.at_hwm then t.at_hwm <- s.Agenda.sa_hwm)
+    (Agenda.stats ag)
+
 let end_episode net (id, prev) ~label ~outcome ~timings ~ctx =
+  merge_agenda_totals net ctx.cx_agenda;
   pop_ambient ();
   trace net
     (T_episode_end

@@ -131,6 +131,11 @@ val check_integrity : 'a network -> string list
     sink. *)
 val stats : 'a network -> stats
 
+(** Cumulative per-stratum agenda accounting — [(priority, totals)]
+    ascending by priority, merged from every finished episode's agenda.
+    Cleared by {!reset_stats}. *)
+val agenda_totals : 'a network -> (int * agenda_totals) list
+
 val reset_stats : 'a network -> unit
 
 (** {1 Top-level assignment} *)
@@ -189,11 +194,15 @@ val reset_by_constraint : 'a ctx -> 'a var -> source:'a cstr -> (unit, 'a violat
 
 (** Activate one constraint as if [changed] had just changed
     ([propagateVariable:]): run its inference immediately or schedule it
-    on its agenda. *)
+    on its agenda stratum. Direct activation bypasses the watch
+    discipline (only a [Custom] wake predicate is still consulted). *)
 val activate : 'a ctx -> 'a cstr -> changed:'a var option -> (unit, 'a violation) result
 
-(** Activate every constraint of [v] (stored and implicit), except
-    [except]. *)
+(** [v] changed: mark every attached constraint for the final
+    [is_satisfied] sweep, wake the constraints watching [v] (rotating
+    2-watch sets as needed) plus the implicit hierarchy constraints,
+    except [except]. The difference between marked and woken constraints
+    is counted as [st_suppressed]. *)
 val propagate_from : 'a ctx -> 'a var -> except:'a cstr option -> (unit, 'a violation) result
 
 (** [propagate_along ctx v c] — the paper's [propagateAlongConstraint:]:

@@ -184,6 +184,9 @@ let livelock net ~bump a b =
     in
     Var.attach from_ c;
     Var.attach to_ c;
+    (* attached directly (no reinitialising episode wanted here), so the
+       watch index must be built by hand too *)
+    Cstr.rewatch c;
     c
   in
   (mk a b, mk b a)

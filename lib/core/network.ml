@@ -32,11 +32,13 @@ let reinitialize net c =
 
 let add_constraint net c =
   List.iter (fun v -> Var.attach v c) c.c_args;
+  Cstr.rewatch c;
   reinitialize net c
 
 let add_argument net c v =
   if not (List.exists (Var.equal v) c.c_args) then c.c_args <- c.c_args @ [ v ];
   Var.attach v c;
+  Cstr.rewatch c;
   reinitialize net c
 
 let erase_vars vars =
@@ -69,10 +71,12 @@ let remove_argument net c v =
   end;
   Var.detach v c;
   c.c_args <- List.filter (fun a -> not (Var.equal a v)) c.c_args;
+  Cstr.rewatch c;
   reinitialize net c
 
 let remove_constraint net c =
   erase_vars (Dependency.dependents_of_constraint c);
+  Cstr.unwatch c;
   List.iter (fun v -> Var.detach v c) c.c_args;
   c.c_args <- [];
   c.c_enabled <- false;
@@ -104,4 +108,7 @@ let clear_quarantine net c =
   c.c_quarantined <- None;
   c.c_failures <- 0;
   c.c_enabled <- true;
+  (* values may have moved while the constraint was out of service, so a
+     2-watch set chosen before the quarantine could be stale *)
+  Cstr.rewatch c;
   reinitialize net c

@@ -21,12 +21,35 @@ type overwrite_decision = Accept | Ignore | Reject of string
    integer = higher priority (§4.2.1, §5.1.2). *)
 type schedule = Immediate | On_agenda of int
 
+(* The agenda is stratified by cost class: cheap satisfaction-only
+   checking constraints drain before functional recomputation, which
+   drains before the implicit hierarchy constraints that cross design
+   levels.  Apt's generic-iteration result (commuting, inflationary
+   propagators reach the same fixpoint under any fair ordering) is what
+   licenses ordering by cost without changing semantics. *)
+let checking_priority = 1
+
 (* Functional constraints delay until their arguments have settled. *)
 let functional_priority = 10
 
 (* Implicit hierarchy constraints are lowest priority so each level of
    the design hierarchy settles before propagation crosses levels. *)
 let implicit_priority = 100
+
+(* Human name of an agenda stratum, for stats and metrics. *)
+let stratum_label p =
+  if p = checking_priority then "checking"
+  else if p = functional_priority then "functional"
+  else if p = implicit_priority then "implicit"
+  else Printf.sprintf "p%d" p
+
+(* Cumulative per-stratum agenda accounting, merged into the network at
+   the end of every episode (the agenda itself is episode-local). *)
+type agenda_totals = {
+  mutable at_pushed : int; (* entries enqueued (after dedup) *)
+  mutable at_popped : int; (* entries drained *)
+  mutable at_hwm : int; (* max simultaneous depth of this stratum *)
+}
 
 type 'a violation = {
   viol_message : string;
@@ -54,6 +77,8 @@ type counters = {
   mutable k_trapped : int; (* exceptions trapped in user closures *)
   mutable k_quarantined : int; (* constraints auto-disabled for failures *)
   mutable k_sink_errors : int; (* exceptions trapped in trace sinks *)
+  mutable k_wakeups : int; (* constraints woken by a variable change *)
+  mutable k_suppressed : int; (* wakeups avoided by the watch discipline *)
 }
 
 (* Immutable statistics snapshot (what [Engine.stats] returns). *)
@@ -67,6 +92,8 @@ type stats = {
   st_trapped : int;
   st_quarantined : int;
   st_sink_errors : int;
+  st_wakeups : int;
+  st_suppressed : int;
 }
 
 (* ------------------------------------------------------------------ *)
@@ -151,6 +178,13 @@ and 'a var = {
   mutable v_value : 'a option;
   mutable v_just : 'a justification;
   mutable v_cstrs : 'a cstr list;
+  (* The watched-variable activation index: the subset of [v_cstrs]
+     whose activation spec currently watches this variable.  A change
+     of [v] runs inference only for these; every attached constraint is
+     still marked for the final is_satisfied sweep.  Maintained by
+     [Cstr.rewatch] (attachment, editor rewires) and by the engine's
+     2-watch rotation. *)
+  mutable v_watchers : 'a cstr list;
   (* Overwrite rule consulted when a propagated value differs from the
      current one. *)
   mutable v_overwrite : 'a var -> proposed:'a -> overwrite_decision;
@@ -161,6 +195,47 @@ and 'a var = {
   (* Hook run after the variable's value changes (assign or reset);
      used by property variables and views for erasure notification. *)
   mutable v_on_change : 'a var -> unit;
+}
+
+(* Which argument changes wake a constraint's inference procedure.
+   Watching is about *inference only*: every attached constraint of a
+   changed variable is still marked for the final is_satisfied sweep,
+   so a spec narrower than [Wake_all] never hides a violation — it
+   asserts that unwatched changes cannot require new propagation.
+
+   [Two_watch] is the rotating discipline of SAT watched literals,
+   transposed to value propagation: sound for constraints that cannot
+   infer anything while two or more of their arguments are unset
+   (n-ary functional sums, bidirectional arithmetic).  The engine
+   watches two unset arguments; when a watched one gets a value it
+   rotates the watch to another unset argument and suppresses the
+   wakeup, falling back to waking on every argument once fewer than two
+   remain unset.  Rotations are episode-scoped: a rolled-back episode
+   restores the watch lists it moved. *)
+and 'a wake =
+  | Wake_all (* every argument change wakes (the paper's discipline) *)
+  | Watch of 'a var list (* only these arguments wake *)
+  | Two_watch (* rotating 2-watch over unset arguments *)
+  | Custom of ('a cstr -> 'a var option -> bool)
+    (* dynamic predicate, consulted on every touch ([None] = a direct
+       activation with no changed variable) *)
+
+(* The first-class activation spec: what wakes a constraint, when its
+   inference runs (immediately or on an agenda stratum), how agenda
+   entries deduplicate, and how its dependency records are interpreted.
+   Replaces the [?wants_schedule]/[?keyed_by_var]/[?in_dependency]
+   optional-closure grab-bag of [Cstr.make]. *)
+and 'a activation = {
+  act_wake : 'a wake;
+  act_schedule : schedule;
+  (* Agenda entries are deduplicated.  Functional constraints schedule
+     with no variable (one recomputation regardless of how many inputs
+     changed); implicit hierarchy constraints key the entry by the
+     changed variable because their inference direction depends on it. *)
+  act_keyed_by_var : bool;
+  (* testMembershipOf:inDependency: — [None] means the generic
+     interpretation ([All_arguments] = every argument). *)
+  act_in_dependency : ('a cstr -> 'a dependency -> 'a var -> bool) option;
 }
 
 and 'a cstr = {
@@ -174,16 +249,15 @@ and 'a cstr = {
   mutable c_label : string;
   mutable c_args : 'a var list;
   mutable c_enabled : bool;
-  c_schedule : schedule;
-  (* For agenda constraints: propagate later for this activation?  A
-     functional constraint answers [false] when activated by its own
-     result variable (Fig. 4.7). *)
-  c_wants_schedule : 'a cstr -> 'a var option -> bool;
-  (* Agenda entries are deduplicated.  Functional constraints schedule
-     with no variable (one recomputation regardless of how many inputs
-     changed); implicit hierarchy constraints key the entry by the
-     changed variable because their inference direction depends on it. *)
-  c_schedule_keyed_by_var : bool;
+  c_activation : 'a activation;
+  (* The variables whose change currently wakes this constraint —
+     [c_args] for [Wake_all]/[Custom], the static subset for [Watch],
+     the two rotating unset arguments (or all, after the ground
+     fallback) for [Two_watch].  Mirrored by the [v_watchers] lists. *)
+  mutable c_watching : 'a var list;
+  (* Episode stamp for O(1) visited-marking (no hashing): [c] is marked
+     in the episode whose stamp equals [c_mark]. *)
+  mutable c_mark : int;
   (* immediateInferenceByChanging: — examine the changed variable (or
      [None] for a scheduled run) and assign inferred values through
      [Engine.set_by_constraint].  Mutable so the fault-injection harness
@@ -219,11 +293,20 @@ and 'a saved = { sv_var : 'a var; sv_value : 'a option; sv_just : 'a justificati
 
 and 'a agenda_entry = { e_cstr : 'a cstr; e_var : 'a var option }
 
+(* Priority-stratified agenda: one FIFO queue per stratum held in a
+   dense array sorted by priority, with a bitmask of non-empty slots so
+   [pop] finds the most urgent stratum in O(1) instead of scanning a
+   priority list.  Strata are registered on first use; an agenda
+   supports at most [Sys.int_size - 1] distinct priorities (far beyond
+   the three cost classes in practice). *)
 and 'a agenda = {
-  ag_queues : (int, 'a agenda_entry Queue.t) Hashtbl.t;
-  (* FIFO queues without duplicates, keyed by priority *)
+  mutable ag_prios : int array; (* sorted ascending; slot -> priority *)
+  mutable ag_slots : 'a agenda_entry Queue.t array; (* slot -> FIFO *)
+  mutable ag_live : int; (* bitmask: bit i set <=> slot i non-empty *)
   ag_members : (int * int, unit) Hashtbl.t; (* (cstr id, var id or -1) *)
-  mutable ag_priorities : int list; (* sorted ascending *)
+  mutable ag_pushed : int array; (* per-slot entries enqueued *)
+  mutable ag_popped : int array; (* per-slot entries drained *)
+  mutable ag_hwm : int array; (* per-slot depth high-water mark *)
 }
 
 and 'a network = {
@@ -248,6 +331,10 @@ and 'a network = {
   mutable net_clock : unit -> float;
   mutable net_next_episode : int; (* episode ids handed out so far *)
   mutable net_cur_episode : int; (* id of the episode in flight; 0 = none *)
+  mutable net_next_stamp : int; (* visited-mark stamps handed out (ctx) *)
+  (* Cumulative per-stratum agenda accounting, keyed by priority;
+     merged from the episode-local agenda at every episode end. *)
+  net_agenda_totals : (int, agenda_totals) Hashtbl.t;
   mutable net_next_seq : int; (* global event sequence number *)
   mutable net_next_var_id : int;
   mutable net_next_cstr_id : int;
@@ -306,11 +393,15 @@ and 'a ctx = {
   cx_visited_vars : (int, 'a saved) Hashtbl.t;
   cx_change_counts : (int, int) Hashtbl.t; (* var id -> changes this episode *)
   mutable cx_visited_order : 'a var list; (* reverse visit order *)
-  cx_visited_cstrs : (int, unit) Hashtbl.t;
+  cx_stamp : int; (* this episode's visited-mark stamp (c_mark) *)
   mutable cx_cstr_order : 'a cstr list; (* reverse activation order *)
   cx_agenda : 'a agenda;
   mutable cx_steps : int; (* inference runs this episode (step budget) *)
   mutable cx_agenda_hwm : int; (* agenda depth high-water mark *)
+  (* Watch rotations performed this episode (2-watch), most recent
+     first; replayed on rollback so the watch lists are restored along
+     with the values they were chosen against. *)
+  mutable cx_watch_undo : (unit -> unit) list;
 }
 
 let fresh_counters () =
@@ -324,6 +415,8 @@ let fresh_counters () =
     k_trapped = 0;
     k_quarantined = 0;
     k_sink_errors = 0;
+    k_wakeups = 0;
+    k_suppressed = 0;
   }
 
 let snapshot_stats (k : counters) : stats =
@@ -337,6 +430,8 @@ let snapshot_stats (k : counters) : stats =
     st_trapped = k.k_trapped;
     st_quarantined = k.k_quarantined;
     st_sink_errors = k.k_sink_errors;
+    st_wakeups = k.k_wakeups;
+    st_suppressed = k.k_suppressed;
   }
 
 (* Convenience constructor over the boxed event form; fine for tests

@@ -17,6 +17,7 @@ let create net ~owner ~name ~equal ~pp ?(overwrite = default_overwrite) ?value (
       v_value = value;
       v_just = Default;
       v_cstrs = [];
+      v_watchers = [];
       v_overwrite = overwrite;
       v_implicit = (fun _ -> []);
       v_on_change = (fun _ -> ());
@@ -71,7 +72,11 @@ let attach v c =
   if not (List.exists (fun c' -> c'.c_id = c.c_id) v.v_cstrs) then
     v.v_cstrs <- v.v_cstrs @ [ c ]
 
-let detach v c = v.v_cstrs <- List.filter (fun c' -> c'.c_id <> c.c_id) v.v_cstrs
+let detach v c =
+  v.v_cstrs <- List.filter (fun c' -> c'.c_id <> c.c_id) v.v_cstrs;
+  v.v_watchers <- List.filter (fun c' -> c'.c_id <> c.c_id) v.v_watchers
+
+let watchers v = v.v_watchers
 
 let all_constraints v = v.v_cstrs @ v.v_implicit v
 

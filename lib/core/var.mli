@@ -80,6 +80,13 @@ val attach : 'a var -> 'a cstr -> unit
 
 val detach : 'a var -> 'a cstr -> unit
 
+(** The constraints whose activation spec currently watches this variable
+    — the subset of {!constraints} whose inference runs when the variable
+    changes. Maintained by [Cstr.rewatch] and the engine's 2-watch
+    rotation; every attached constraint is still checked in the final
+    sweep regardless. *)
+val watchers : 'a var -> 'a cstr list
+
 (** All constraints to activate on a change: stored ones plus the implicit
     constraints contributed by the [v_implicit] hook (§5.1.1). *)
 val all_constraints : 'a var -> 'a cstr list

@@ -68,6 +68,17 @@ let sink ?net b =
   let ring = b.b_ring in
   let ks = Metrics.kernel_set b.b_metrics in
   let p = b.b_profiler in
+  (* wakeup-discipline gauges mirror the network's cumulative counters
+     once per episode — two float stores, nothing on the event bulk *)
+  let note_wakeups =
+    match net with
+    | None -> fun () -> ()
+    | Some n ->
+      fun () ->
+        let s = n.Types.net_stats in
+        Metrics.set_gauge ks.ks_wakeups (float_of_int s.Types.k_wakeups);
+        Metrics.set_gauge ks.ks_suppressed (float_of_int s.Types.k_suppressed)
+  in
   let base ep seq ev =
     ignore ep;
     ignore seq;
@@ -78,8 +89,8 @@ let sink ?net b =
       Metrics.tick ks.ks_activate;
       let e = Profiler.entry_of_cstr p c in
       e.Profiler.e_activations <- e.Profiler.e_activations + 1
-    | T_schedule (c, _) ->
-      Metrics.tick ks.ks_schedule;
+    | T_schedule (c, priority) ->
+      Metrics.tick_schedule ks priority;
       let e = Profiler.entry_of_cstr p c in
       e.Profiler.e_scheduled <- e.Profiler.e_scheduled + 1
     | T_check (c, ok) ->
@@ -101,7 +112,9 @@ let sink ?net b =
       let e = Profiler.entry_of_cstr p c in
       e.Profiler.e_quarantines <- e.Profiler.e_quarantines + 1
     | T_episode_start _ -> Metrics.tick ks.ks_ep_total
-    | T_episode_end sp -> Metrics.observe_span ks sp
+    | T_episode_end sp ->
+      note_wakeups ();
+      Metrics.observe_span ks sp
   in
   let emit =
     match b.b_monitor with

@@ -367,6 +367,16 @@ type kernel_set = {
   ks_restore_time : histogram;
   ks_steps : histogram;
   ks_agenda : histogram;
+  (* per-stratum agenda pushes (checking/functional/implicit cost
+     classes; [ks_sched_other] catches custom priorities) *)
+  ks_sched_checking : counter;
+  ks_sched_functional : counter;
+  ks_sched_implicit : counter;
+  ks_sched_other : counter;
+  (* wakeup-discipline gauges, set from the network's counters at every
+     episode end by sinks that know their network (the fused board) *)
+  ks_wakeups : gauge;
+  ks_suppressed : gauge;
 }
 
 let kernel_set t =
@@ -391,7 +401,21 @@ let kernel_set t =
     ks_restore_time = histogram t "episode.restore_us";
     ks_steps = histogram ~bounds:default_size_bounds t "episode.steps";
     ks_agenda = histogram ~bounds:default_size_bounds t "episode.agenda_depth";
+    ks_sched_checking = counter t "agenda.scheduled.checking";
+    ks_sched_functional = counter t "agenda.scheduled.functional";
+    ks_sched_implicit = counter t "agenda.scheduled.implicit";
+    ks_sched_other = counter t "agenda.scheduled.other";
+    ks_wakeups = gauge t "wakeups.total";
+    ks_suppressed = gauge t "wakeups.suppressed";
   }
+
+(* One agenda push: the total plus the stratum's own counter. *)
+let tick_schedule ks priority =
+  tick ks.ks_schedule;
+  if priority = checking_priority then tick ks.ks_sched_checking
+  else if priority = functional_priority then tick ks.ks_sched_functional
+  else if priority = implicit_priority then tick ks.ks_sched_implicit
+  else tick ks.ks_sched_other
 
 let observe_span ks sp =
   (match sp.es_outcome with
@@ -415,7 +439,7 @@ let kernel_sink ?(name = "metrics") t =
     | T_assign _ -> tick ks.ks_assign
     | T_reset _ -> tick ks.ks_reset
     | T_activate _ -> tick ks.ks_activate
-    | T_schedule _ -> tick ks.ks_schedule
+    | T_schedule (_, priority) -> tick_schedule ks priority
     | T_check _ -> tick ks.ks_check
     | T_violation _ -> tick ks.ks_violation
     | T_restore _ -> tick ks.ks_restore

@@ -142,10 +142,21 @@ type kernel_set = {
   ks_restore_time : histogram;
   ks_steps : histogram;
   ks_agenda : histogram;
+  ks_sched_checking : counter;  (** agenda pushes, checking stratum *)
+  ks_sched_functional : counter;  (** agenda pushes, functional stratum *)
+  ks_sched_implicit : counter;  (** agenda pushes, implicit stratum *)
+  ks_sched_other : counter;  (** agenda pushes, custom priorities *)
+  ks_wakeups : gauge;  (** [st_wakeups], mirrored at episode end *)
+  ks_suppressed : gauge;  (** [st_suppressed], mirrored at episode end *)
 }
 
 (** Find-or-create the whole set in [t] (idempotent). *)
 val kernel_set : t -> kernel_set
+
+(** Record one agenda push at [priority]: ticks [ks_schedule] plus the
+    matching per-stratum counter ([Types.checking_priority] /
+    [functional_priority] / [implicit_priority], else [ks_sched_other]). *)
+val tick_schedule : kernel_set -> int -> unit
 
 (** Record one completed episode: outcome counter plus every span
     histogram. *)

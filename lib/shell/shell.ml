@@ -277,6 +277,7 @@ let execute ss line =
   | [ "health" ] ->
     Obs.Board.checkpoint ss.ss_board;
     Fmt.pr "%a@." Obs.Board.pp_health ss.ss_board;
+    Fmt.pr "%a@." Editor.pp_agenda cnet;
     true
   | "window" :: rest ->
     (match Obs.Board.window ss.ss_board with

@@ -31,16 +31,17 @@ let link_property env ~kind ?label ~class_var ~inst_var ~adjust ~check () =
     | Some cv, Some iv -> check cv iv
     | None, _ | _, None -> true
   in
-  let wants_schedule _c changed =
-    match changed with Some v -> Var.equal v class_var | None -> false
-  in
   let c =
-    Cstr.make env.env_cnet ~kind ?label ~schedule:(On_agenda implicit_priority)
-      ~wants_schedule ~keyed_by_var:true
-      ~in_dependency:(fun _ record arg ->
-        match record with
-        | Single_var w -> Var.equal w arg
-        | All_arguments | Some_vars _ | Opaque -> false)
+    Cstr.make env.env_cnet ~kind ?label
+      ~activation:
+        (Cstr.activation
+           ~wake:(Watch [ class_var ]) (* instance -> class: check only *)
+           ~schedule:(On_agenda implicit_priority) ~keyed_by_var:true
+           ~in_dependency:(fun _ record arg ->
+             match record with
+             | Single_var w -> Var.equal w arg
+             | All_arguments | Some_vars _ | Opaque -> false)
+           ())
       ~propagate ~satisfied [ class_var; inst_var ]
   in
   ignore (Network.add_constraint env.env_cnet c);
@@ -55,10 +56,13 @@ let link_parameter env ~range_var ~value_var ?default () =
   in
   let propagate _ctx _c _changed = Ok () in
   let c =
-    Cstr.make env.env_cnet ~kind:"param-range" ~schedule:(On_agenda implicit_priority)
-      ~wants_schedule:(fun _ _ -> false)
-      ~keyed_by_var:true
-      ~in_dependency:(fun _ _ _ -> false)
+    Cstr.make env.env_cnet ~kind:"param-range"
+      ~activation:
+        (Cstr.activation
+           ~wake:(Watch []) (* satisfaction-only: never needs inference *)
+           ~schedule:(On_agenda implicit_priority) ~keyed_by_var:true
+           ~in_dependency:(fun _ _ _ -> false)
+           ())
       ~propagate ~satisfied [ range_var; value_var ]
   in
   ignore (Network.add_constraint env.env_cnet c);
@@ -122,13 +126,13 @@ let bridge env ~kind ?label ~from_ ~to_env ~to_ ?(adjust = fun v -> Some v) () =
       match adjust fv with None -> true | Some want -> Dval.equal want tv)
     | None, _ | _, None -> true
   in
-  let wants_schedule _c changed =
-    match changed with Some v -> Var.equal v from_ | None -> false
-  in
   let c =
-    Cstr.make env.env_cnet ~kind ?label ~schedule:(On_agenda implicit_priority)
-      ~wants_schedule ~keyed_by_var:true
-      ~in_dependency:(fun _ _ _ -> false)
+    Cstr.make env.env_cnet ~kind ?label
+      ~activation:
+        (Cstr.activation ~wake:(Watch [ from_ ])
+           ~schedule:(On_agenda implicit_priority) ~keyed_by_var:true
+           ~in_dependency:(fun _ _ _ -> false)
+           ())
       ~propagate ~satisfied [ from_ ]
   in
   ignore (Network.add_constraint env.env_cnet c);

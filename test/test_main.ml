@@ -14,6 +14,7 @@ let () =
       Test_dclib.suite;
       Test_kernel_edge.suite;
       Test_faults.suite;
+      Test_wakeup.suite;
       Test_obs.suite;
       Test_monitor.suite;
       Test_stem_more.suite;

@@ -133,7 +133,7 @@ let prop_dependency_duality =
 
 let prop_agenda_priority_fifo =
   QCheck.Test.make ~name:"agenda pops by priority then FIFO" ~count:100
-    QCheck.(list_of_size Gen.(int_range 1 30) (int_range 0 3))
+    QCheck.(list_of_size Gen.(int_range 1 30) (int_range 0 40))
     (fun priorities ->
       let net = Engine.create_network ~name:"a" () in
       let v = ivar net "v" in
@@ -165,6 +165,190 @@ let prop_agenda_priority_fifo =
       let popped = drain [] in
       List.length popped = List.length expected
       && List.for_all2 (fun c (_, _, c') -> Cstr.equal c c') popped expected)
+
+(* ------------------------------------------------------------------ *)
+(* Wakeup discipline: watched activation vs wake-all                   *)
+(* ------------------------------------------------------------------ *)
+
+(* An n-ary sum built directly on [Cstr.make] so the wake spec is the
+   only thing that differs between the compared networks. *)
+let nary_sum ~wake net inputs result =
+  let computed () =
+    let vals = List.map (fun v -> v.Types.v_value) inputs in
+    if List.exists Option.is_none vals then None
+    else Some (List.fold_left (fun acc v -> acc + Option.get v) 0 vals)
+  in
+  let propagate ctx c _changed =
+    match computed () with
+    | None -> Ok ()
+    | Some r ->
+      Engine.set_by_constraint ctx result r ~source:c ~record:Types.All_arguments
+  in
+  let satisfied _c =
+    match (result.Types.v_value, computed ()) with
+    | Some actual, Some expected -> actual = expected
+    | None, _ | _, None -> true
+  in
+  let activation =
+    Cstr.activation ~wake ~schedule:(On_agenda Types.functional_priority) ()
+  in
+  let c =
+    Cstr.make net ~kind:"nsum" ~activation ~propagate ~satisfied
+      (result :: inputs)
+  in
+  ignore (Network.add_constraint net c);
+  c
+
+(* Distinct argument pools for k sums over n shared inputs, derived from
+   one deterministic stream so every compared network gets the same
+   topology. *)
+let sum_topology ~n ~k rand_int =
+  List.init k (fun _ ->
+      let arity = 2 + rand_int 4 in
+      let rec pick acc = function
+        | 0 -> acc
+        | m ->
+          let i = rand_int n in
+          if List.mem i acc then pick acc m else pick (i :: acc) (m - 1)
+      in
+      pick [] (min arity n))
+
+let build_sum_net ~wake ~n ~pools =
+  let net = Engine.create_network ~name:"wakeup" () in
+  let inputs = Array.init n (fun i -> ivar net (Printf.sprintf "x%d" i)) in
+  let results =
+    List.mapi
+      (fun j pool ->
+        let r = ivar net (Printf.sprintf "s%d" j) in
+        ignore (nary_sum ~wake net (List.map (fun i -> inputs.(i)) pool) r);
+        r)
+      pools
+  in
+  (net, inputs, results)
+
+let apply_ops net (inputs : int Types.var array) ops =
+  let n = Array.length inputs in
+  List.iter
+    (fun (idx, value) ->
+      let v = inputs.(idx mod n) in
+      match (idx + value) mod 3 with
+      | 0 | 1 -> ignore (Engine.set net v value)
+      | _ -> ignore (Engine.reset net v))
+    ops
+
+let values inputs results =
+  Array.to_list (Array.map Var.value inputs) @ List.map Var.value results
+
+(* The tentpole invariant: watching narrows which constraints are woken,
+   never the fixpoint reached. Wake-all, explicit watch lists and the
+   rotating two-watch discipline must agree on every variable after any
+   episode sequence — and the watched runs must never deliver more
+   wakeups than wake-all does. *)
+let prop_watched_matches_wakeall =
+  QCheck.Test.make ~name:"watched/two-watch fixpoints = wake-all" ~count:60
+    QCheck.(
+      quad (int_range 2 10) (int_range 1 5) (int_range 0 97)
+        (list_of_size Gen.(int_range 1 30) (pair (int_range 0 9) (int_range (-9) 9))))
+    (fun (n, k, salt, ops) ->
+      let mk_rand () =
+        let seed = ref (salt + 3) in
+        fun m ->
+          seed := ((!seed * 1103515245) + 12345) land 0x3fffffff;
+          !seed mod m
+      in
+      let pools = sum_topology ~n ~k (mk_rand ()) in
+      let run wake =
+        let net, inputs, results = build_sum_net ~wake ~n ~pools in
+        apply_ops net inputs ops;
+        (values inputs results, (Engine.stats net).st_wakeups, all_satisfied net)
+      in
+      let base, wake_all_wakeups, ok0 = run Types.Wake_all in
+      let watched, watched_wakeups, ok1 =
+        (* watch exactly the inputs of each sum: rebuild per-net vars *)
+        let net, inputs, results =
+          let net = Engine.create_network ~name:"wakeup" () in
+          let inputs = Array.init n (fun i -> ivar net (Printf.sprintf "x%d" i)) in
+          let results =
+            List.mapi
+              (fun j pool ->
+                let r = ivar net (Printf.sprintf "s%d" j) in
+                let args = List.map (fun i -> inputs.(i)) pool in
+                ignore (nary_sum ~wake:(Types.Watch args) net args r);
+                r)
+              pools
+          in
+          (net, inputs, results)
+        in
+        apply_ops net inputs ops;
+        (values inputs results, (Engine.stats net).st_wakeups, all_satisfied net)
+      in
+      let two_watch, two_watch_wakeups, ok2 = run Types.Two_watch in
+      base = watched && base = two_watch && ok0 && ok1 && ok2
+      && watched_wakeups <= wake_all_wakeups
+      && two_watch_wakeups <= wake_all_wakeups)
+
+(* Watch rotation under probes: [can_be_set_to] rolls the episode back,
+   which must also roll back any watch rotations, so a probe is
+   observationally free — the final states still agree with wake-all and
+   with a probe-free replay. *)
+let prop_rotation_survives_probes =
+  QCheck.Test.make ~name:"two-watch rotation unwinds across probes" ~count:60
+    QCheck.(
+      pair (int_range 3 8)
+        (list_of_size Gen.(int_range 1 25)
+           (triple (int_range 0 7) (int_range (-9) 9) bool)))
+    (fun (n, ops) ->
+      let pools = [ List.init n (fun i -> i) ] in
+      let run wake ~probe =
+        let net, inputs, results = build_sum_net ~wake ~n ~pools in
+        List.iter
+          (fun (idx, value, probe_first) ->
+            let v = inputs.(idx mod n) in
+            if probe && probe_first then
+              ignore (Engine.can_be_set_to net v (value * 2));
+            if value mod 3 = 0 then ignore (Engine.reset net v)
+            else ignore (Engine.set net v value))
+          ops;
+        (values inputs results, all_satisfied net)
+      in
+      let base, ok0 = run Types.Wake_all ~probe:false in
+      let plain, ok1 = run Types.Two_watch ~probe:false in
+      let probed, ok2 = run Types.Two_watch ~probe:true in
+      base = plain && base = probed && ok0 && ok1 && ok2)
+
+(* Select through an index variable: the data-dependent n-ary case where
+   which argument matters changes as values move — rotation must not
+   starve the constraint of the wakeups it needs. *)
+let prop_watched_select =
+  QCheck.Test.make ~name:"watched select tracks index and slots" ~count:80
+    QCheck.(
+      pair (int_range 2 6)
+        (list_of_size Gen.(int_range 1 20) (pair (int_range 0 6) (int_range 0 30))))
+    (fun (slots, ops) ->
+      let run two_watch =
+        let net = Engine.create_network ~name:"sel" () in
+        let index = ivar net "idx" in
+        let cells = Array.init slots (fun i -> ivar net (Printf.sprintf "c%d" i)) in
+        let out = ivar net "out" in
+        let f = function
+          | idx :: cells -> List.nth_opt cells (idx mod slots)
+          | [] -> None
+        in
+        let _ =
+          Clib.functional ~two_watch ~kind:"select" ~f ~result:out net
+            (index :: Array.to_list cells)
+        in
+        List.iter
+          (fun (i, x) ->
+            if i = 0 then ignore (Engine.set net index x)
+            else ignore (Engine.set net cells.((i - 1) mod slots) x))
+          ops;
+        ( Var.value out,
+          Var.value index,
+          Array.to_list (Array.map Var.value cells),
+          all_satisfied net )
+      in
+      run false = run true)
 
 (* ------------------------------------------------------------------ *)
 (* Dval algebra and parser                                             *)
@@ -264,6 +448,9 @@ let suite =
       QCheck_alcotest.to_alcotest prop_compile_matches_propagation;
       QCheck_alcotest.to_alcotest prop_dependency_duality;
       QCheck_alcotest.to_alcotest prop_agenda_priority_fifo;
+      QCheck_alcotest.to_alcotest prop_watched_matches_wakeall;
+      QCheck_alcotest.to_alcotest prop_rotation_survives_probes;
+      QCheck_alcotest.to_alcotest prop_watched_select;
       QCheck_alcotest.to_alcotest prop_dval_add_commutes;
       QCheck_alcotest.to_alcotest prop_dval_max_assoc;
       QCheck_alcotest.to_alcotest prop_dval_compatible_symmetric;
