@@ -13,6 +13,13 @@
    --no-normalize compares raw ratios against 1.0 instead (only
    meaningful on the machine that recorded the baseline).
 
+   Interference bursts on a shared host contaminate individual
+   workloads of a single suite run — and only ever *inflate* them — so
+   --current may be given several times: the guard takes each
+   workload's minimum across the runs, which converges on the
+   intrinsic cost from above (the same estimator bench/e22.exe uses;
+   see the E22 methodology note in EXPERIMENTS.md).
+
      dune exec bench/guard.exe -- --baseline bench/baseline.json \
        --current BENCH_core.json --tolerance 30
 
@@ -22,7 +29,7 @@
 
 let baseline = ref "bench/baseline.json"
 
-let current = ref "BENCH_core.json"
+let currents = ref []
 
 let tolerance = ref 30.0
 
@@ -31,7 +38,9 @@ let no_normalize = ref false
 let speclist =
   [
     ("--baseline", Arg.Set_string baseline, "FILE  committed reference (default bench/baseline.json)");
-    ("--current", Arg.Set_string current, "FILE  fresh results (default BENCH_core.json)");
+    ( "--current",
+      Arg.String (fun f -> currents := f :: !currents),
+      "FILE  fresh results (default BENCH_core.json); repeatable — per-workload min is taken" );
     ("--tolerance", Arg.Set_float tolerance, "PCT  allowed slowdown vs the suite median (default 30)");
     ("--no-normalize", Arg.Set no_normalize, "  compare raw ratios (same-machine baselines only)");
   ]
@@ -74,14 +83,31 @@ let median xs =
 let () =
   Arg.parse speclist
     (fun a -> raise (Arg.Bad (Printf.sprintf "unexpected argument %S" a)))
-    "guard [--baseline FILE] [--current FILE] [--tolerance PCT] [--no-normalize]";
-  let base = load !baseline and cur = load !current in
+    "guard [--baseline FILE] [--current FILE]... [--tolerance PCT] [--no-normalize]";
+  let current_files =
+    match List.rev !currents with [] -> [ "BENCH_core.json" ] | fs -> fs
+  in
+  let base = load !baseline in
+  (* Per-workload min across the current runs: external interference
+     only adds time, so the min is the least-contaminated sample. *)
+  let cur =
+    List.fold_left
+      (fun acc file ->
+        List.fold_left
+          (fun acc (name, ns) ->
+            match List.assoc_opt name acc with
+            | Some prev when prev <= ns -> acc
+            | _ -> (name, ns) :: List.remove_assoc name acc)
+          acc (load file))
+      [] current_files
+  in
   if base = [] then begin
     Fmt.epr "guard: no entries in baseline %s@." !baseline;
     exit 2
   end;
   if cur = [] then begin
-    Fmt.epr "guard: no entries in current %s@." !current;
+    Fmt.epr "guard: no entries in current %s@."
+      (String.concat ", " current_files);
     exit 2
   end;
   let paired =
@@ -100,7 +126,8 @@ let () =
         Fmt.pr "  (new workload %S: no baseline yet)@." name)
     cur;
   if paired = [] then begin
-    Fmt.epr "guard: no common workloads between %s and %s@." !baseline !current;
+    Fmt.epr "guard: no common workloads between %s and %s@." !baseline
+      (String.concat ", " current_files);
     exit 2
   end;
   let m =

@@ -402,6 +402,68 @@ let durability_writes =
       Test.make ~name:"E20 set journal fsync=always" (Staged.stage always);
     ]
 
+(* E22: request-tracing overhead on the journaled write path — the
+   same fsync=never set untraced, against the full per-request span
+   load (root + parse + admit spans, traced episode with phase
+   children, journal append span) with the kernel sink attached.  The
+   claim gate (enabled within +10% of disabled) lives in
+   bench/e22.exe; these two land in BENCH_core.json so the guard
+   tracks both sides release over release. *)
+let tracing_overhead =
+  let spec = "var a.x\nvar a.y = 1\nvar a.sum\nsum a.sum a.x a.y\n" in
+  let entry id =
+    match Serve.Wstore.create ~id ~spec () with
+    | Ok e -> e
+    | Error msg -> failwith ("e22 fixture: " ^ msg)
+  in
+  (* the E20 group above already configured the journal dir; only the
+     fsync policy changes, baked into each entry at creation *)
+  Serve.Wstore.configure ~fsync:Serve.Journal.Never ();
+  let e_off = entry "e22-off" in
+  let e_on = entry "e22-on" in
+  let tr =
+    Obs.Tracing.create ~capacity:4096 ~stage_prefix:"serve.stage."
+      ~stages:[ "parse"; "admit"; "episode"; "append"; "fsync" ]
+      ()
+  in
+  Obs.Tracing.set_enabled tr true;
+  Constraint_kernel.Engine.add_sink
+    (Serve.Wstore.net e_on)
+    (Obs.Tracing.kernel_sink tr ~net:"e22-on");
+  let untraced =
+    let i = ref 0 in
+    fun () ->
+      incr i;
+      ignore
+        (Serve.Wstore.apply_set e_off ~path:"a.x"
+           ~value:(Dval.Int (!i land 1023))
+           ~just:Constraint_kernel.Types.User)
+  in
+  let traced =
+    let i = ref 0 in
+    fun () ->
+      incr i;
+      let t0 = Obs.Tracing.now tr in
+      let ctx = Obs.Tracing.new_trace tr in
+      let root = Obs.Tracing.start ~at:t0 tr ~parent:ctx "POST /nets/:id/set" in
+      let rctx = Obs.Tracing.ctx_of root in
+      Obs.Tracing.span tr ~parent:rctx ~name:"parse" ~start:t0
+        ~stop:(Obs.Tracing.now tr) ~note:"";
+      let t1 = Obs.Tracing.now tr in
+      Obs.Tracing.span tr ~parent:rctx ~name:"admit" ~start:t1
+        ~stop:(Obs.Tracing.now tr) ~note:"admitted";
+      ignore
+        (Serve.Wstore.apply_set ~trace:(tr, rctx) e_on ~path:"a.x"
+           ~value:(Dval.Int (!i land 1023))
+           ~just:Constraint_kernel.Types.User);
+      Obs.Tracing.finish tr root ~note:"200"
+  in
+  Test.make_grouped ~name:"tracing" ~fmt:"%s %s"
+    [
+      Test.make ~name:"E22 set fsync=never untraced" (Staged.stage untraced);
+      Test.make ~name:"E22 set fsync=never traced" (Staged.stage traced);
+    ]
+
 let () =
   Fmt.pr "STEM constraint propagation — experiment harness@.";
   Fmt.pr "(figure reproductions, then Bechamel timings; see EXPERIMENTS.md)@.";
@@ -426,6 +488,7 @@ let () =
         end_to_end;
         wakeup_discipline;
         durability_writes;
+        tracing_overhead;
       ]
   in
   write_bench_json "BENCH_core.json" results (measured_steps ());

@@ -296,12 +296,28 @@ let faults_cmd =
    A few edits — including one the adder's internal spec rejects and
    one tentative probe — give the spans, hotspots and histograms
    something to show. *)
-let run_trace jsonl edits verify =
+let run_trace jsonl chrome edits verify =
   setup_logs ();
   let open Constraint_kernel in
   let env = Stem.Env.create () in
   let net = env.env_cnet in
   let board = Obs.Board.attach net in
+  let span_tracer =
+    match chrome with
+    | None -> None
+    | Some _ ->
+      (* hierarchical spans for the Perfetto export: the kernel sink
+         turns each episode into an "episode" span with its
+         propagate/drain/check/restore phases as children *)
+      let tr =
+        Obs.Tracing.create ~stage_prefix:"kernel.stage."
+          ~stages:[ "episode" ] ()
+      in
+      Obs.Tracing.set_enabled tr true;
+      Engine.add_sink net
+        (Obs.Tracing.kernel_sink tr ~net:net.Types.net_name);
+      Some tr
+  in
   let jsonl_oc =
     match jsonl with
     | None -> None
@@ -329,6 +345,16 @@ let run_trace jsonl edits verify =
     (Obs.Board.profiler board);
   Fmt.pr "@.== metrics ==@.%a@." Obs.Metrics.render (Obs.Board.metrics board);
   Fmt.pr "@.== kernel stats ==@.%a@." Editor.pp_stats (Engine.stats net);
+  (match (chrome, span_tracer) with
+  | Some file, Some tr ->
+    let oc = open_out file in
+    output_string oc (Obs.Tracing.chrome_json tr);
+    close_out oc;
+    Fmt.pr
+      "@.chrome trace written to %s (load it in Perfetto or \
+       chrome://tracing)@."
+      file
+  | _ -> ());
   match jsonl_oc with
   | None ->
     if verify then begin
@@ -367,6 +393,13 @@ let trace_cmd =
     Arg.(value & opt (some string) None
          & info [ "jsonl" ] ~docv:"FILE" ~doc:"Export the trace as JSON lines.")
   in
+  let chrome =
+    Arg.(value & opt (some string) None
+         & info [ "chrome" ] ~docv:"FILE"
+             ~doc:"Export the episode spans (with propagate/drain/check \
+                   phase children) as Chrome trace-event JSON — loads in \
+                   Perfetto or chrome://tracing.")
+  in
   let edits =
     Arg.(value & opt int 4 & info [ "edits" ] ~docv:"N" ~doc:"Edit rounds to run.")
   in
@@ -379,7 +412,7 @@ let trace_cmd =
   Cmd.v
     (Cmd.info "trace"
        ~doc:"Observability demo: episode spans, metrics and hotspots")
-    Term.(const run_trace $ jsonl $ edits $ verify)
+    Term.(const run_trace $ jsonl $ chrome $ edits $ verify)
 
 (* ---------------- health / top ---------------- *)
 
@@ -551,7 +584,8 @@ let top_cmd =
    HTTP server exposes /metrics, /healthz, /events &c.  SIGINT/SIGTERM
    stop it gracefully (server drained and joined, summary printed) —
    the CI smoke test drives exactly this. *)
-let run_serve bind port rate duration window_eps data fsync verify_replay =
+let run_serve bind port rate duration window_eps data fsync verify_replay
+    tracing =
   setup_logs ();
   (* the workload violates one spec per round by design (so windows and
      exemplars always have content); at 50 rounds/s that would flood
@@ -596,6 +630,9 @@ let run_serve bind port rate duration window_eps data fsync verify_replay =
         Serve.expose ~name:id ~pp_value:Serve.Wstore.pp_value
           ~board:(Serve.Wstore.board e) (Serve.Wstore.net e))
       recoveries);
+  (* after recovery, so every recovered net gets its episode->span
+     kernel sink too *)
+  if tracing then Serve.set_tracing true;
   let _env, net, board, round =
     health_setup ~window_width:(Obs.Window.Episodes window_eps)
   in
@@ -611,9 +648,10 @@ let run_serve bind port rate duration window_eps data fsync verify_replay =
     (try Sys.set_signal Sys.sigterm on_signal with Invalid_argument _ -> ());
     Fmt.pr
       "telemetry server on http://%s:%d (net '%s'; /metrics /healthz /alerts \
-       /exemplars /spans /topo.dot /events) — Ctrl-C to stop@."
+       /exemplars /spans /topo.dot /events%s) — Ctrl-C to stop@."
       bind (Serve.port sv)
-      net.Constraint_kernel.Types.net_name;
+      net.Constraint_kernel.Types.net_name
+      (if tracing then " /trace" else "");
     let t0 = Unix.gettimeofday () in
     let period = if rate <= 0.0 then 0.02 else 1.0 /. rate in
     let tick = ref 0 in
@@ -686,13 +724,21 @@ let serve_cmd =
              ~doc:"Differentially check each recovered network against \
                    its own replayed episode trace (Obs.Replay.diff_live).")
   in
+  let tracing =
+    Arg.(value & opt bool true
+         & info [ "tracing" ] ~docv:"BOOL"
+             ~doc:"End-to-end request tracing: parse/admit/episode/append/\
+                   fsync spans per request, exported at GET /trace as \
+                   Chrome trace-event JSON and as serve.stage.* \
+                   histograms in /metrics.")
+  in
   Cmd.v
     (Cmd.info "serve"
        ~doc:"Run the demo workload under the HTTP telemetry server \
              (Prometheus /metrics, /healthz, live /events NDJSON) with \
              an optional crash-safe write API (--data)")
     Term.(const run_serve $ bind $ port $ rate $ duration $ window $ data
-          $ fsync $ verify_replay)
+          $ fsync $ verify_replay $ tracing)
 
 (* In-tree scrape client, so tests and CI never need curl. *)
 let run_scrape host port path out =

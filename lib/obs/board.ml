@@ -24,9 +24,29 @@ type 'a t = {
 
 let sink_name = "board"
 
+(* OCaml runtime gauges, refreshed from [Gc.quick_stat] (the cheap,
+   non-forcing variant).  Registered on monitored boards only and
+   sampled once at creation plus once per window rotation, so the
+   propagation hot path never reads GC statistics. *)
+let register_gc_gauges metrics w =
+  let minor = Metrics.gauge metrics "runtime.gc.minor_collections" in
+  let major = Metrics.gauge metrics "runtime.gc.major_collections" in
+  let heap = Metrics.gauge metrics "runtime.gc.heap_words" in
+  let compactions = Metrics.gauge metrics "runtime.gc.compactions" in
+  let sample () =
+    let s = Gc.quick_stat () in
+    Metrics.set_gauge minor (float_of_int s.Gc.minor_collections);
+    Metrics.set_gauge major (float_of_int s.Gc.major_collections);
+    Metrics.set_gauge heap (float_of_int s.Gc.heap_words);
+    Metrics.set_gauge compactions (float_of_int s.Gc.compactions)
+  in
+  sample ();
+  Window.on_rotate w (fun _ -> sample ())
+
 let create ?(ring_capacity = 256) ?(monitor = false) ?window_width ?rules
     ?slow_k ?head_every () =
   let ring = Ring.create ~name:"ring" ~capacity:ring_capacity () in
+  let metrics = Metrics.create () in
   let mon =
     if not monitor then None
     else begin
@@ -42,12 +62,13 @@ let create ?(ring_capacity = 256) ?(monitor = false) ?window_width ?rules
       (* every window boundary: fresh slow top-K, then rule evaluation *)
       Window.on_rotate w (fun _ -> Sampler.rotate sampler);
       Watchdog.watch wd w;
+      register_gc_gauges metrics w;
       Some { mon_window = w; mon_sampler = sampler; mon_watchdog = wd }
     end
   in
   {
     b_ring = ring;
-    b_metrics = Metrics.create ();
+    b_metrics = metrics;
     b_profiler = Profiler.create ();
     b_monitor = mon;
     b_sink_errs_seen = 0;

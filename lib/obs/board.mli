@@ -23,7 +23,12 @@ type 'a t
 (** Build a board without attaching it. Defaults: ring capacity 256; no
     monitor. With [~monitor:true]: [window_width] defaults to
     [Window.Episodes 32], [rules] to {!Watchdog.default_rules},
-    [slow_k]/[head_every] to the {!Sampler.create} defaults. *)
+    [slow_k]/[head_every] to the {!Sampler.create} defaults. Monitored
+    boards also carry OCaml runtime gauges
+    ([runtime.gc.minor_collections], [runtime.gc.major_collections],
+    [runtime.gc.heap_words], [runtime.gc.compactions]) refreshed from
+    [Gc.quick_stat] once per window rotation — never on the event
+    path. *)
 val create :
   ?ring_capacity:int ->
   ?monitor:bool ->

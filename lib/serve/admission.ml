@@ -40,6 +40,11 @@ type tenant = {
   mutable tn_admitted : int;
   mutable tn_rejected : int;
   mutable tn_over_budget : int;
+  (* rejection counts by ladder rung, for the per-reason Prometheus
+     series (tn_rejected stays the sum, for /admission compatibility) *)
+  mutable tn_rej_busy : int;
+  mutable tn_rej_overloaded : int;
+  mutable tn_rej_quarantined : int;
 }
 
 type t = {
@@ -77,6 +82,9 @@ let tenant_of t name =
         tn_admitted = 0;
         tn_rejected = 0;
         tn_over_budget = 0;
+        tn_rej_busy = 0;
+        tn_rej_overloaded = 0;
+        tn_rej_quarantined = 0;
       }
     in
     Hashtbl.replace t.ad_tenants name tn;
@@ -88,14 +96,17 @@ let admit t ~tenant:name =
       let tn = tenant_of t name in
       if tn.tn_cooldown_until > now then begin
         tn.tn_rejected <- tn.tn_rejected + 1;
+        tn.tn_rej_quarantined <- tn.tn_rej_quarantined + 1;
         Quarantined (tn.tn_cooldown_until -. now)
       end
       else if tn.tn_inflight >= t.ad_cfg.ac_max_inflight then begin
         tn.tn_rejected <- tn.tn_rejected + 1;
+        tn.tn_rej_busy <- tn.tn_rej_busy + 1;
         Busy t.ad_cfg.ac_deadline
       end
       else if t.ad_total_inflight >= t.ad_cfg.ac_max_total then begin
         tn.tn_rejected <- tn.tn_rejected + 1;
+        tn.tn_rej_overloaded <- tn.tn_rej_overloaded + 1;
         Overloaded t.ad_cfg.ac_deadline
       end
       else begin
@@ -153,3 +164,57 @@ let stats_json t =
         t.ad_total_inflight t.ad_cfg.ac_max_inflight t.ad_cfg.ac_max_total
         t.ad_cfg.ac_step_budget t.ad_cfg.ac_deadline
         (String.concat "," tenants))
+
+(* Prometheus label values: backslash, double quote and newline must be
+   escaped (tenant names arrive from request headers). *)
+let label_escape s =
+  let buf = Buffer.create (String.length s) in
+  String.iter
+    (fun c ->
+      match c with
+      | '\\' -> Buffer.add_string buf "\\\\"
+      | '"' -> Buffer.add_string buf "\\\""
+      | '\n' -> Buffer.add_string buf "\\n"
+      | c -> Buffer.add_char buf c)
+    s;
+  Buffer.contents buf
+
+(* Per-tenant counters in Prometheus exposition format, appended after
+   the registry-backed families by the server's /metrics handler.
+   Tenants are dynamic label values, which Obs.Metrics deliberately
+   does not model, so these families render here. *)
+let render_prometheus ?(namespace = "stem") t buf =
+  with_lock t (fun () ->
+      let tenants =
+        Hashtbl.fold (fun name tn acc -> (name, tn) :: acc) t.ad_tenants []
+        |> List.sort compare
+      in
+      if tenants <> [] then begin
+        let req = namespace ^ "_serve_tenant_requests_total" in
+        let rej = namespace ^ "_serve_tenant_rejected_total" in
+        Printf.bprintf buf
+          "# HELP %s Write-side requests per tenant (admitted plus \
+           rejected).\n\
+           # TYPE %s counter\n"
+          req req;
+        List.iter
+          (fun (name, tn) ->
+            Printf.bprintf buf "%s{tenant=\"%s\"} %d\n" req
+              (label_escape name)
+              (tn.tn_admitted + tn.tn_rejected))
+          tenants;
+        Printf.bprintf buf
+          "# HELP %s Admission rejections per tenant, by ladder rung.\n\
+           # TYPE %s counter\n"
+          rej rej;
+        List.iter
+          (fun (name, tn) ->
+            let e = label_escape name in
+            Printf.bprintf buf "%s{tenant=\"%s\",reason=\"busy\"} %d\n" rej e
+              tn.tn_rej_busy;
+            Printf.bprintf buf "%s{tenant=\"%s\",reason=\"overloaded\"} %d\n"
+              rej e tn.tn_rej_overloaded;
+            Printf.bprintf buf "%s{tenant=\"%s\",reason=\"quarantined\"} %d\n"
+              rej e tn.tn_rej_quarantined)
+          tenants
+      end)

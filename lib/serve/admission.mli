@@ -61,3 +61,12 @@ val elapsed : t -> ticket -> float
 
 (** Per-tenant counters as a JSON object (the [/admission] endpoint). *)
 val stats_json : t -> string
+
+(** Per-tenant counters in Prometheus exposition format:
+    [<ns>_serve_tenant_requests_total{tenant=...}] and
+    [<ns>_serve_tenant_rejected_total{tenant=...,reason=
+    "busy"|"overloaded"|"quarantined"}]. Tenant names are dynamic
+    label values (out of scope for [Obs.Metrics] registries), so the
+    server appends this block after the registry-backed families on
+    [/metrics]. Writes nothing while no tenant has been seen. *)
+val render_prometheus : ?namespace:string -> t -> Buffer.t -> unit

@@ -30,6 +30,15 @@ let help_table =
     ("serve_events_published_total", "NDJSON lines fanned out to /events subscribers.");
     ("serve_events_dropped_total", "NDJSON lines dropped by slow /events subscribers.");
     ("serve_events_subscribers", "Live /events subscribers.");
+    ("serve_stage_parse", "Request parse stage latency, microseconds.");
+    ("serve_stage_admit", "Admission decision stage latency, microseconds.");
+    ("serve_stage_episode", "Write episode stage latency, microseconds.");
+    ("serve_stage_append", "Journal append stage latency, microseconds.");
+    ("serve_stage_fsync", "Journal fsync stage latency, microseconds.");
+    ("runtime_gc_minor_collections", "OCaml minor GC collections (gauge, sampled per window).");
+    ("runtime_gc_major_collections", "OCaml major GC cycles (gauge, sampled per window).");
+    ("runtime_gc_heap_words", "OCaml major heap size in words (gauge, sampled per window).");
+    ("runtime_gc_compactions", "OCaml heap compactions (gauge, sampled per window).");
   ]
 
 let help_for fam =

@@ -13,6 +13,10 @@ type request = {
       (* path parameters bound by a pattern route (Router) *)
   mutable rq_body : string;
       (* request body, read separately by [read_body] *)
+  mutable rq_route : string;
+      (* matched route pattern, bound by Router.dispatch *)
+  mutable rq_ctx : Obs.Tracing.ctx option;
+      (* request trace context when tracing is enabled *)
 }
 
 type parse_error = Closed | Truncated | Too_large | Bad of string
@@ -119,6 +123,8 @@ let parse_head head =
           rq_headers = headers;
           rq_params = [];
           rq_body = "";
+          rq_route = "";
+          rq_ctx = None;
         })
 
 (* End of a request head: CRLFCRLF (tolerating bare LFLF from hand-

@@ -18,6 +18,12 @@ type request = {
       (** path parameters bound by a [Router] pattern route
           ([/nets/:id/...]) *)
   mutable rq_body : string;  (** body, filled in by {!read_body} *)
+  mutable rq_route : string;
+      (** matched route pattern ([""] until [Router.dispatch] binds
+          one) — the low-cardinality name a trace span gets *)
+  mutable rq_ctx : Obs.Tracing.ctx option;
+      (** trace context for this request, threaded by the server when
+          tracing is enabled; handlers pass it down the write path *)
 }
 
 type parse_error =

@@ -192,20 +192,44 @@ let sync_locked j fd =
   (try Unix.fsync fd with Unix.Unix_error _ -> ());
   j.j_last_sync <- Unix.gettimeofday ()
 
-let append j payload =
+let append ?trace j payload =
+  (* The trace brackets are open-coded handle-free spans (no
+     bracketing closures, no Fun.protect) to stay inside the E22
+     overhead budget.  If the write or fsync raises, the span is
+     simply never recorded — the trace then shows an in-flight
+     request, which the exporter tolerates, and the exception carries
+     the real story. *)
   with_lock j (fun () ->
       match j.j_fd with
       | None -> invalid_arg "Journal.append: closed journal"
       | Some fd ->
         let f = frame payload in
-        write_all fd f;
-        j.j_size <- j.j_size + String.length f;
-        j.j_appended <- j.j_appended + 1;
+        (match trace with
+        | None ->
+          write_all fd f;
+          j.j_size <- j.j_size + String.length f;
+          j.j_appended <- j.j_appended + 1
+        | Some (t, ctx) ->
+          let t0 = Obs.Tracing.now t in
+          write_all fd f;
+          j.j_size <- j.j_size + String.length f;
+          j.j_appended <- j.j_appended + 1;
+          Obs.Tracing.span t ~parent:ctx ~name:"append" ~start:t0
+            ~stop:(Obs.Tracing.now t) ~note:"");
+        let sync_span () =
+          match trace with
+          | None -> sync_locked j fd
+          | Some (t, ctx) ->
+            let t0 = Obs.Tracing.now t in
+            sync_locked j fd;
+            Obs.Tracing.span t ~parent:ctx ~name:"fsync" ~start:t0
+              ~stop:(Obs.Tracing.now t) ~note:""
+        in
         (match j.j_fsync with
-        | Always -> sync_locked j fd
+        | Always -> sync_span ()
         | Never -> ()
         | Interval s ->
-          if Unix.gettimeofday () -. j.j_last_sync >= s then sync_locked j fd))
+          if Unix.gettimeofday () -. j.j_last_sync >= s then sync_span ()))
 
 let flush j =
   with_lock j (fun () ->

@@ -53,8 +53,12 @@ type t
 val open_append : ?fsync:fsync_policy -> string -> t * (int * string) list
 
 (** Append one framed record, applying the fsync policy. The appender
-    is thread-safe. Raises [Invalid_argument] on a closed journal. *)
-val append : t -> string -> unit
+    is thread-safe. Raises [Invalid_argument] on a closed journal.
+    [?trace] brackets the disk write as an ["append"] span and any
+    policy-triggered fsync as an ["fsync"] span under the given
+    context (an [Interval] append that skips the sync records no fsync
+    span — the trace shows the durability actually bought). *)
+val append : ?trace:Obs.Tracing.t * Obs.Tracing.ctx -> t -> string -> unit
 
 (** Force an fsync now (graceful-drain path). *)
 val flush : t -> unit

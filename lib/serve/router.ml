@@ -53,12 +53,13 @@ let dispatch t rq =
       if m <> meth then find rest
       else
         match match_pattern p path with
-        | Some params -> Some (params, h)
+        | Some params -> Some (p, params, h)
         | None -> find rest)
   in
   match find (List.rev t.rt_routes) with
-  | Some (params, h) ->
+  | Some (pattern, params, h) ->
     rq.Http.rq_params <- params;
+    rq.Http.rq_route <- pattern;
     h rq
   | None ->
     let allowed =

@@ -20,6 +20,9 @@ val create : unit -> t
 
 val add : t -> meth:string -> path:string -> (Http.request -> reply) -> unit
 
+(** Route the request: binds [rq_params] and [rq_route] (the matched
+    pattern, the low-cardinality name tracing uses) before calling the
+    handler; 404/405 otherwise. *)
 val dispatch : t -> Http.request -> reply
 
 (** Registered [(method, path)] pairs, registration order. *)

@@ -53,6 +53,53 @@ let sync_self () =
 
 let requests_served () = Obs.Metrics.count self_requests
 
+(* One process-global admission controller guards every write route.
+   Tests swap in their own instance (tiny budgets, injected clock).
+   Defined up here because /metrics renders its per-tenant counters. *)
+let admission = ref (Admission.create ())
+
+let set_admission a = admission := a
+
+(* ---------------- request tracing ---------------- *)
+
+(* One process-global tracer, off by default: a disabled tracer costs
+   each request one boolean load.  When enabled, every request gets a
+   root span named by its matched route, with parse / admit / episode
+   (+ propagate/drain/check children, via the kernel sink) / append /
+   fsync stages under one trace id, and the per-stage latency
+   histograms below join /metrics. *)
+let tracer =
+  Obs.Tracing.create ~capacity:4096 ~stage_prefix:"serve.stage."
+    ~stages:[ "parse"; "admit"; "episode"; "append"; "fsync" ]
+    ()
+
+let tracing () = Obs.Tracing.enabled tracer
+
+let trace_json () = Obs.Tracing.chrome_json tracer
+
+let attach_trace_sink e =
+  Engine.add_sink (Wstore.net e)
+    (Obs.Tracing.kernel_sink tracer ~net:(Wstore.id e))
+
+let set_tracing on =
+  Obs.Tracing.set_enabled tracer on;
+  (* swing the episode->span kernel sink on every hosted net; newly
+     created nets attach in create_handler while tracing is on *)
+  List.iter
+    (fun e ->
+      if on then attach_trace_sink e
+      else
+        ignore
+          (Engine.remove_sink (Wstore.net e) Obs.Tracing.kernel_sink_name))
+    (Wstore.list ())
+
+(* The (tracer, ctx) pair handlers thread into Wstore/Journal, if this
+   request is being traced. *)
+let trace_of rq =
+  match rq.Http.rq_ctx with
+  | Some ctx when Obs.Tracing.enabled tracer -> Some (tracer, ctx)
+  | _ -> None
+
 (* ---------------- the exposure registry ---------------- *)
 
 (* Closures erase the network's value type, so heterogeneous networks
@@ -215,9 +262,14 @@ let render_metrics () =
   sync_self ();
   let sources =
     List.map (fun e -> (e.en_name, e.en_metrics)) (entries ())
-    @ [ ("", self) ]
+    @ [ ("", self); ("", Obs.Tracing.metrics tracer) ]
   in
-  Exposition.render sources
+  let buf = Buffer.create 512 in
+  Buffer.add_string buf (Exposition.render sources);
+  (* per-tenant admission counters: dynamic label values, rendered by
+     the controller itself rather than a Metrics registry *)
+  Admission.render_prometheus !admission buf;
+  Buffer.contents buf
 
 let healthz_status () = if Obs.Watchdog.healthy () then 200 else 503
 
@@ -280,12 +332,6 @@ let topo_dot ?net () =
 
 (* ---------------- the write API ---------------- *)
 
-(* One process-global admission controller guards every write route.
-   Tests swap in their own instance (tiny budgets, injected clock). *)
-let admission = ref (Admission.create ())
-
-let set_admission a = admission := a
-
 let tenant_of rq =
   match Http.header rq "x-tenant" with
   | Some t when t <> "" -> t
@@ -311,11 +357,29 @@ let rejection = function
     Router.json ~status:429 ~headers:(retry_after s)
       (err_json "tenant quarantined, cooling down")
 
+let rejection_note = function
+  | Admission.Admitted _ -> "admitted"
+  | Admission.Busy _ -> "rejected: busy (429)"
+  | Admission.Overloaded _ -> "rejected: overloaded (503)"
+  | Admission.Quarantined _ -> "rejected: quarantined (429)"
+
 (* Admission bracket.  The handler gets the ticket (for deadline
    checks) and an [over] cell; setting it records a strike on
-   finish. *)
+   finish.  Under tracing, the decision is an "admit" span — a
+   rejection finishes it as an annotated terminal span, so a 429/503
+   still yields a complete trace. *)
 let with_admission rq f =
-  match Admission.admit !admission ~tenant:(tenant_of rq) with
+  let tr = trace_of rq in
+  let t0 =
+    match tr with Some (t, _) -> Obs.Tracing.now t | None -> 0.0
+  in
+  let d = Admission.admit !admission ~tenant:(tenant_of rq) in
+  (match tr with
+  | Some (t, ctx) ->
+    Obs.Tracing.span t ~parent:ctx ~name:"admit" ~start:t0
+      ~stop:(Obs.Tracing.now t) ~note:(rejection_note d)
+  | None -> ());
+  match d with
   | Admission.Admitted ticket ->
     let over = ref false in
     Fun.protect
@@ -425,6 +489,7 @@ let create_handler rq =
              joins /metrics, /spans, /events like any exposed net *)
           expose ~name:id ~pp_value:Wstore.pp_value ~board:(Wstore.board e)
             (Wstore.net e);
+          if tracing () then attach_trace_sink e;
           Router.json ~status:201 (entry_obj e))
 
 let set_handler rq =
@@ -455,7 +520,9 @@ let set_handler rq =
                   emit
                     (Printf.sprintf "{\"ok\":false,\"error\":%s}" (jstr msg))
                 | Ok (path, value, just) -> (
-                  match Wstore.apply_set e ~path ~value ~just with
+                  match
+                    Wstore.apply_set ?trace:(trace_of rq) e ~path ~value ~just
+                  with
                   | Ok () ->
                     incr applied;
                     emit
@@ -614,7 +681,9 @@ let routes sv =
          GET /spans      completed episode spans, JSON\n\
          GET /topo.dot   constraint graph, DOT (?net= selects)\n\
          GET /events     live trace stream, chunked NDJSON\n\
-        \                (?net= filter, ?cap= queue bound, ?max= line limit)\n\n\
+        \                (?net= filter, ?cap= queue bound, ?max= line limit)\n\
+         GET /trace      request spans, Chrome trace-event JSON\n\
+        \                (open in Perfetto / chrome://tracing)\n\n\
          Write API (tenant = x-tenant header or ?tenant=, default anon):\n\
          GET  /nets            hosted networks, JSON\n\
          POST /nets?id=NAME    create from a spec body (201; 409 duplicate)\n\
@@ -639,6 +708,7 @@ let routes sv =
       | Some dot -> Router.text ~content_type:"text/vnd.graphviz" dot
       | None -> Router.text ~status:404 "no exposed network\n");
   get "/events" (fun _ -> Router.Stream_reply (events_handler sv));
+  get "/trace" (fun _ -> Router.json (trace_json ()));
   get "/nets" (fun _ -> Router.json (nets_json ()));
   post "/nets" create_handler;
   get "/nets/:id/state" (fun rq ->
@@ -654,6 +724,10 @@ let routes sv =
   r
 
 let rec serve_requests sv conn =
+  (* one boolean load per request when tracing is off; the clock is
+     only read on the traced path *)
+  let tr = Obs.Tracing.enabled tracer in
+  let t0 = if tr then Obs.Tracing.now tracer else 0.0 in
   match Http.read_request conn with
   | Error Http.Closed | Error Http.Truncated -> ()
   | Error Http.Too_large ->
@@ -677,14 +751,47 @@ let rec serve_requests sv conn =
         ~body:(msg ^ "\n")
     | Error (Http.Closed | Http.Truncated) -> ()
     | Ok () -> (
+    (* root span opens at [t0] (first byte), so head+body parsing is
+       inside the trace; its final name is the matched route pattern
+       (low cardinality), bound by dispatch below *)
+    let root =
+      if tr then begin
+        let h =
+          Obs.Tracing.start ~at:t0 tracer
+            ~parent:(Obs.Tracing.new_trace tracer)
+            rq.Http.rq_method
+        in
+        let ctx = Obs.Tracing.ctx_of h in
+        rq.Http.rq_ctx <- Some ctx;
+        Obs.Tracing.span tracer ~parent:ctx ~name:"parse" ~start:t0
+          ~stop:(Obs.Tracing.now tracer) ~note:"";
+        Some h
+      end
+      else None
+    in
+    let finish_root note =
+      Option.iter
+        (fun h ->
+          let route =
+            if rq.Http.rq_route <> "" then rq.Http.rq_route
+            else rq.Http.rq_path
+          in
+          Obs.Tracing.finish tracer h
+            ~name:(rq.Http.rq_method ^ " " ^ route)
+            ~note)
+        root
+    in
     match Router.dispatch sv.sv_router rq with
-    | Router.Stream_reply f -> f (Http.fd conn) rq
+    | Router.Stream_reply f ->
+      f (Http.fd conn) rq;
+      finish_root "stream"
     | Router.Reply { status; headers; body } ->
       let keep = Http.keep_alive rq && sv.sv_running in
       Http.write_response (Http.fd conn) ~status
         ~headers:
           (headers @ [ ("connection", if keep then "keep-alive" else "close") ])
         ~body;
+      finish_root (string_of_int status);
       if keep then serve_requests sv conn))
 
 let handle_connection sv fd =

@@ -157,3 +157,31 @@ val topo_dot : ?net:string -> unit -> string option
 (** Swap the process-global admission controller (tests use tiny
     budgets and an injected clock). *)
 val set_admission : Admission.t -> unit
+
+(** {1 Request tracing}
+
+    End-to-end spans across the write path, off by default. When
+    enabled, every request carries a trace context from the first
+    parsed byte to the journal fsync: a root span named by the matched
+    route, with [parse], [admit] (rejections finish it as an annotated
+    terminal span), [episode] (the engine's episode bracket, with
+    propagate/drain/check children from the phase timings), [append]
+    and [fsync] stages under one trace id. [GET /trace] serves the
+    ring as Chrome trace-event JSON (open in Perfetto or
+    chrome://tracing), and the per-stage latency histograms
+    ([serve.stage.parse|admit|episode|append|fsync], µs) join
+    [/metrics]. Disabled, the whole machinery costs each request one
+    boolean load. *)
+
+(** The process-global request tracer. *)
+val tracer : Obs.Tracing.t
+
+(** Enable/disable request tracing; enabling attaches the tracing
+    kernel sink to every currently hosted network (nets created later
+    attach on creation), disabling detaches it. *)
+val set_tracing : bool -> unit
+
+val tracing : unit -> bool
+
+(** The [/trace] body: the tracer's ring as Chrome trace-event JSON. *)
+val trace_json : unit -> string

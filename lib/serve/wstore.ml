@@ -316,19 +316,28 @@ let over_budget_message msg =
 (* One set: engine episode, then journal append, then Ok — the ack
    ordering the durability guarantee rests on.  Caller holds no locks;
    the episode lock is taken here. *)
-let apply_set e ~path ~value ~just =
+let apply_set ?trace e ~path ~value ~just =
   with_episode_lock (fun () ->
       match Editor.find_var e.e_net path with
       | None -> Error (Unknown_var path)
       | Some v -> (
-        match Engine.set ~just e.e_net v value with
+        (* Engine.set runs under the request's ambient trace context so
+           the tracing kernel sink parents the episode span (and its
+           propagate/drain/check children) under this request. *)
+        let run () = Engine.set ~just e.e_net v value in
+        let result =
+          match trace with
+          | None -> run ()
+          | Some (t, ctx) -> Obs.Tracing.with_ambient t ctx run
+        in
+        match result with
         | Error viol ->
           let message = Fmt.str "%a" Types.pp_violation viol in
           Error
             (Violation { message; over_budget = over_budget_message message })
         | Ok () ->
           (match e.e_journal with
-          | Some j -> Journal.append j (set_record ~path ~value ~just)
+          | Some j -> Journal.append ?trace j (set_record ~path ~value ~just)
           | None -> ());
           e.e_acked <- e.e_acked + 1;
           e.e_since_snapshot <- e.e_since_snapshot + 1;

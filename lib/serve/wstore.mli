@@ -113,8 +113,12 @@ val set_error_message : set_error -> string
 
 (** [apply_set e ~path ~value ~just] — one write episode under the
     global lock, journaled after commit, acknowledged after the
-    journal append. *)
+    journal append. [?trace] threads a request trace context through
+    the write: the engine episode runs under it as the ambient context
+    (so the tracing kernel sink parents the episode span here) and the
+    journal append/fsync record as child spans. *)
 val apply_set :
+  ?trace:Obs.Tracing.t * Obs.Tracing.ctx ->
   entry ->
   path:string ->
   value:Dval.t ->

@@ -84,6 +84,8 @@ let help_text =
   \  unserve                stop the telemetry server\n\
   \  host ID [TENANT]       offer this network to the HTTP write API as ID\n\
   \  unhost ID              withdraw it from the write API\n\
+  \  tracing [on|off]       end-to-end request tracing for hosted-net writes\n\
+  \  chrome FILE            write collected request spans as Chrome trace JSON\n\
   \  help                   this text\n\
   \  quit                   leave the editor"
 
@@ -444,6 +446,29 @@ let execute ss line =
   | [ "unhost"; id ] ->
     if Serve.Wstore.drop ~id then Fmt.pr "  %S unhosted@." id
     else Fmt.pr "  no hosted network %S@." id;
+    true
+  | [ "tracing"; ("on" | "off") as sw ] ->
+    Serve.set_tracing (sw = "on");
+    if sw = "on" then
+      Fmt.pr
+        "  request tracing on: hosted-net writes record \
+         parse/admit/episode/append spans (GET /trace, chrome FILE)@."
+    else Fmt.pr "  request tracing off@.";
+    true
+  | [ "tracing" ] ->
+    Fmt.pr "  request tracing is %s@."
+      (if Serve.tracing () then "on" else "off");
+    true
+  | [ "chrome"; file ] ->
+    (match Out_channel.with_open_text file (fun oc ->
+         Out_channel.output_string oc (Serve.trace_json ()))
+     with
+    | () ->
+      Fmt.pr
+        "  chrome trace written to %s (load it in Perfetto or \
+         chrome://tracing)@."
+        file
+    | exception Sys_error msg -> Fmt.pr "  cannot write %s: %s@." file msg);
     true
   | cmd :: _ ->
     Fmt.pr "unknown command %S (try: help)@." cmd;

@@ -21,6 +21,7 @@ let () =
       Test_shell.suite;
       Test_serve.suite;
       Test_durable.suite;
+      Test_tracing.suite;
       Test_persist.suite;
       Test_structural.suite;
       Test_misc.suite;
