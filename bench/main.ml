@@ -464,6 +464,42 @@ let tracing_overhead =
       Test.make ~name:"E22 set fsync=never traced" (Staged.stage traced);
     ]
 
+(* E23: history-sampling overhead on the same journaled write path —
+   one entry bare, one with a Tsdb wired into its board (sampling per
+   window rotation, never per event).  The claim gate (enabled within
+   +5% of disabled, smoke compression >= 8x, torn-tail recovery) lives
+   in bench/e23.exe; these two land in BENCH_core.json so the guard
+   tracks both sides release over release. *)
+let history_overhead =
+  let spec = "var a.x\nvar a.y = 1\nvar a.sum\nsum a.sum a.x a.y\n" in
+  let entry id =
+    match Serve.Wstore.create ~id ~spec () with
+    | Ok e -> e
+    | Error msg -> failwith ("e23 fixture: " ^ msg)
+  in
+  Serve.Wstore.configure ~fsync:Serve.Journal.Never ();
+  let e_off = entry "e23-off" in
+  let e_on = entry "e23-on" in
+  let dir = Filename.temp_file "stem-bench-e23" ".d" in
+  Sys.remove dir;
+  Sys.mkdir dir 0o700;
+  let ts = Obs.Tsdb.open_ dir in
+  Obs.Board.set_history ~prefix:"e23-on" (Serve.Wstore.board e_on) (Some ts);
+  let mk e =
+    let i = ref 0 in
+    fun () ->
+      incr i;
+      ignore
+        (Serve.Wstore.apply_set e ~path:"a.x"
+           ~value:(Dval.Int (!i land 1023))
+           ~just:Constraint_kernel.Types.User)
+  in
+  Test.make_grouped ~name:"history" ~fmt:"%s %s"
+    [
+      Test.make ~name:"E23 set fsync=never no-history" (Staged.stage (mk e_off));
+      Test.make ~name:"E23 set fsync=never sampled" (Staged.stage (mk e_on));
+    ]
+
 let () =
   Fmt.pr "STEM constraint propagation — experiment harness@.";
   Fmt.pr "(figure reproductions, then Bechamel timings; see EXPERIMENTS.md)@.";
@@ -489,6 +525,7 @@ let () =
         wakeup_discipline;
         durability_writes;
         tracing_overhead;
+        history_overhead;
       ]
   in
   write_bench_json "BENCH_core.json" results (measured_steps ());

@@ -585,7 +585,7 @@ let top_cmd =
    stop it gracefully (server drained and joined, summary printed) —
    the CI smoke test drives exactly this. *)
 let run_serve bind port rate duration window_eps data fsync verify_replay
-    tracing =
+    tracing history history_flush =
   setup_logs ();
   (* the workload violates one spec per round by design (so windows and
      exemplars always have content); at 50 rounds/s that would flood
@@ -637,6 +637,17 @@ let run_serve bind port rate duration window_eps data fsync verify_replay
     health_setup ~window_width:(Obs.Window.Episodes window_eps)
   in
   Serve.expose ~pp_value:Dval.to_string ~board net;
+  (* after every expose: enabling wires each exposed board's sampler *)
+  (match history with
+  | None -> ()
+  | Some dir ->
+    let ts = Serve.enable_history dir in
+    List.iter
+      (fun w -> Fmt.pr "history recovery: %s@." w)
+      (Obs.Tsdb.recovery_warnings ts);
+    let st = Obs.Tsdb.stats ts in
+    Fmt.pr "history in %s (%d points on disk; GET /query /series /slo)@." dir
+      st.Obs.Tsdb.st_points);
   match Serve.start ~bind_addr:bind ~port () with
   | exception Unix.Unix_error (e, _, _) ->
     Fmt.epr "cannot bind %s:%d: %s@." bind port (Unix.error_message e);
@@ -655,6 +666,8 @@ let run_serve bind port rate duration window_eps data fsync verify_replay
     let t0 = Unix.gettimeofday () in
     let period = if rate <= 0.0 then 0.02 else 1.0 /. rate in
     let tick = ref 0 in
+    let last_sample = ref t0 in
+    let last_flush = ref t0 in
     while
       (not !stopping)
       && (duration <= 0.0 || Unix.gettimeofday () -. t0 < duration)
@@ -664,6 +677,19 @@ let run_serve bind port rate duration window_eps data fsync verify_replay
          the write API is live, the demo loop's episodes must
          serialize with HTTP write episodes *)
       Serve.Wstore.with_episode_lock (fun () -> round !tick);
+      (* serve counters + per-tenant totals + SLO evaluation, 1 Hz *)
+      let now = Unix.gettimeofday () in
+      if now -. !last_sample >= 1.0 then begin
+        last_sample := now;
+        Serve.history_tick ~now ();
+        (* bound the kill -9 data-loss window: seal + fsync open blocks
+           every --history-flush seconds (sealing early trades a little
+           compression for durability, exactly like --fsync interval) *)
+        if history_flush > 0.0 && now -. !last_flush >= history_flush then begin
+          last_flush := now;
+          Option.iter Obs.Tsdb.flush (Serve.history_store ())
+        end
+      end;
       try Unix.sleepf period with Unix.Unix_error (EINTR, _, _) -> ()
     done;
     Obs.Board.checkpoint board;
@@ -676,6 +702,12 @@ let run_serve bind port rate duration window_eps data fsync verify_replay
       List.iter (fun id -> ignore (Serve.unexpose id)) ids;
       Fmt.pr "flushed and snapshotted: %s@." (String.concat ", " ids));
     ignore (Serve.unexpose net.Constraint_kernel.Types.net_name);
+    (* seal + fsync every open block so a restart recovers the series *)
+    if history <> None then begin
+      Serve.history_tick ();
+      Serve.disable_history ();
+      Fmt.pr "history sealed@."
+    end;
     let st = Serve.stream_stats () in
     Fmt.pr
       "stopped after %.1fs: %d edit round(s), %d request(s) served, %d event \
@@ -732,13 +764,32 @@ let serve_cmd =
                    Chrome trace-event JSON and as serve.stage.* \
                    histograms in /metrics.")
   in
+  let history =
+    Arg.(value & opt (some string) None
+         & info [ "history" ] ~docv:"DIR"
+             ~doc:"Long-horizon telemetry: sample every exposed board's \
+                   instruments (plus serve counters and per-tenant SLO \
+                   burn rates) into a compressed on-disk time-series \
+                   store under DIR, served at GET /query, /series and \
+                   /slo. Crash-safe: a restart recovers every sealed \
+                   block.")
+  in
+  let history_flush =
+    Arg.(value & opt float 60.0
+         & info [ "history-flush" ] ~docv:"SECONDS"
+             ~doc:"Seal and fsync open history blocks every SECONDS \
+                   (bounds kill -9 data loss; 0 disables the periodic \
+                   flush — blocks then seal only when full or on \
+                   graceful shutdown). Default 60.")
+  in
   Cmd.v
     (Cmd.info "serve"
        ~doc:"Run the demo workload under the HTTP telemetry server \
              (Prometheus /metrics, /healthz, live /events NDJSON) with \
-             an optional crash-safe write API (--data)")
+             an optional crash-safe write API (--data) and long-horizon \
+             history (--history)")
     Term.(const run_serve $ bind $ port $ rate $ duration $ window $ data
-          $ fsync $ verify_replay $ tracing)
+          $ fsync $ verify_replay $ tracing $ history $ history_flush)
 
 (* In-tree scrape client, so tests and CI never need curl. *)
 let run_scrape host port path out =
@@ -954,6 +1005,79 @@ let why_cmd =
              back to the designer entry that caused it")
     Term.(const run_why $ width)
 
+(* ---------------- report ---------------- *)
+
+(* Offline soak-run summary: open a --history directory (no server
+   needed) and print per-series statistics with a terminal sparkline.
+   The read path tolerates a torn tail, so this works on the directory
+   of a kill -9'd server. *)
+let run_report dir seconds =
+  setup_logs ();
+  if not (Sys.file_exists dir && Sys.is_directory dir) then begin
+    Fmt.epr "no such directory: %s@." dir;
+    2
+  end
+  else begin
+    let ts = Obs.Tsdb.open_ dir in
+    List.iter
+      (fun w -> Fmt.pr "recovery: %s@." w)
+      (Obs.Tsdb.recovery_warnings ts);
+    let st = Obs.Tsdb.stats ts in
+    Fmt.pr
+      "history %s: %d segment(s), %d block(s), %d point(s), %d bytes on disk \
+       (%.1fx compression)@.@."
+      dir st.Obs.Tsdb.st_segments st.Obs.Tsdb.st_blocks st.Obs.Tsdb.st_points
+      st.Obs.Tsdb.st_disk_bytes st.Obs.Tsdb.st_ratio;
+    let rows = Obs.Tsdb.series ts in
+    if rows = [] then Fmt.pr "no series recorded@."
+    else begin
+      Fmt.pr "%-44s %8s %12s %12s %12s  %s@." "series" "points" "min" "max"
+        "last" "last window";
+      List.iter
+        (fun (name, points, first, last) ->
+          let from_ = if seconds > 0.0 then last -. seconds else first in
+          let pts = Obs.Tsdb.query ts ~series:name ~from_ ~to_:last in
+          let vs = List.map snd pts in
+          let spark =
+            if List.length vs <= 40 || last -. from_ <= 0.0 then
+              Obs.Tsdb.sparkline vs
+            else
+              Obs.Tsdb.sparkline
+                (List.map
+                   (fun b -> b.Obs.Tsdb.bk_avg)
+                   (Obs.Tsdb.query_range ts ~series:name ~from_ ~to_:last
+                      ~step:((last -. from_) /. 40.)))
+          in
+          let mn = List.fold_left min infinity vs
+          and mx = List.fold_left max neg_infinity vs
+          and lv =
+            match List.rev vs with v :: _ -> v | [] -> nan
+          in
+          Fmt.pr "%-44s %8d %12g %12g %12g  %s@." name points mn mx lv spark)
+        rows
+    end;
+    Obs.Tsdb.close ts;
+    0
+  end
+
+let report_cmd =
+  let dir =
+    Arg.(required & pos 0 (some string) None
+         & info [] ~docv:"DIR" ~doc:"A --history directory.")
+  in
+  let seconds =
+    Arg.(value & opt float 0.0
+         & info [ "seconds" ] ~docv:"S"
+             ~doc:"Sparkline window: only the last S seconds of each series \
+                   (0 = everything).")
+  in
+  Cmd.v
+    (Cmd.info "report"
+       ~doc:"Offline summary of a --history time-series directory: \
+             per-series min/max/last with unicode sparklines, store and \
+             compression statistics, recovery warnings")
+    Term.(const run_report $ dir $ seconds)
+
 (* ---------------- ripple ---------------- *)
 
 let run_ripple bits =
@@ -994,7 +1118,7 @@ let main_cmd =
     [
       accumulator_cmd; select_cmd; simulate_cmd; inspect_cmd; check_cmd;
       edit_cmd; ripple_cmd; faults_cmd; trace_cmd; why_cmd; health_cmd;
-      top_cmd; serve_cmd; scrape_cmd; put_cmd;
+      top_cmd; serve_cmd; scrape_cmd; put_cmd; report_cmd;
     ]
 
 let () = exit (Cmd.eval' main_cmd)

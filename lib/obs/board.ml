@@ -20,33 +20,106 @@ type 'a t = {
   (* network sink-error total at the last episode end, for per-window
      deltas (only maintained when attached with a monitor) *)
   mutable b_sink_errs_seen : int;
+  (* long-horizon history sink; sampled at each window rotation (a
+     ref cell: the rotation callback closes over it before the board
+     record exists) *)
+  b_history : (Tsdb.t * string) option ref;
 }
 
 let sink_name = "board"
+
+let process_started = Unix.gettimeofday ()
 
 (* OCaml runtime gauges, refreshed from [Gc.quick_stat] (the cheap,
    non-forcing variant).  Registered on monitored boards only and
    sampled once at creation plus once per window rotation, so the
    propagation hot path never reads GC statistics. *)
+(* Resident set size from /proc/self/statm (field 2, in pages; statm
+   reports pages of the historical 4 KiB size regardless of the
+   kernel's actual page size only on some archs, so we scale by the
+   real page size when getconf-style probing is unavailable: 4096 is
+   correct on every platform this runs on).  [None] off Linux. *)
+let read_rss_bytes () =
+  match In_channel.with_open_text "/proc/self/statm" In_channel.input_line with
+  | Some line -> (
+    match String.split_on_char ' ' line with
+    | _ :: resident :: _ -> (
+      match int_of_string_opt resident with
+      | Some pages -> Some (float_of_int pages *. 4096.)
+      | None -> None)
+    | _ -> None)
+  | None -> None
+  | exception Sys_error _ -> None
+
 let register_gc_gauges metrics w =
   let minor = Metrics.gauge metrics "runtime.gc.minor_collections" in
   let major = Metrics.gauge metrics "runtime.gc.major_collections" in
   let heap = Metrics.gauge metrics "runtime.gc.heap_words" in
   let compactions = Metrics.gauge metrics "runtime.gc.compactions" in
+  let uptime = Metrics.gauge metrics "runtime.uptime_seconds" in
+  (* process gauges ride the same tick; rss is registered only where
+     /proc exists, so non-Linux hosts carry no dead gauge *)
+  let rss =
+    match read_rss_bytes () with
+    | Some _ -> Some (Metrics.gauge metrics "runtime.os.rss_bytes")
+    | None -> None
+  in
   let sample () =
     let s = Gc.quick_stat () in
     Metrics.set_gauge minor (float_of_int s.Gc.minor_collections);
     Metrics.set_gauge major (float_of_int s.Gc.major_collections);
     Metrics.set_gauge heap (float_of_int s.Gc.heap_words);
-    Metrics.set_gauge compactions (float_of_int s.Gc.compactions)
+    Metrics.set_gauge compactions (float_of_int s.Gc.compactions);
+    Metrics.set_gauge uptime (Unix.gettimeofday () -. process_started);
+    match rss with
+    | Some g -> (
+      match read_rss_bytes () with
+      | Some bytes -> Metrics.set_gauge g bytes
+      | None -> ())
+    | None -> ()
   in
   sample ();
   Window.on_rotate w (fun _ -> sample ())
+
+(* One window tick's worth of history samples: every registered
+   instrument (counters as running totals, gauges at their last value,
+   histograms as p50/p95/p99) plus the completed window's own derived
+   rates.  The sample timestamp is the window's close time, derived
+   from the window's clock so test clocks yield deterministic
+   series. *)
+let sample_history metrics ts prefix (snap : Window.snapshot) =
+  let now = snap.Window.w_opened +. snap.Window.w_duration in
+  let name n = if prefix = "" then n else prefix ^ "." ^ n in
+  let put n v = Tsdb.append ts ~series:(name n) ~t:now ~v in
+  List.iter
+    (fun it ->
+      let n = Metrics.item_name it in
+      match it with
+      | Metrics.Counter c -> put n (float_of_int (Metrics.count c))
+      | Metrics.Gauge g -> put n (Metrics.gauge_last g)
+      | Metrics.Histogram h ->
+        if Metrics.samples h > 0 then begin
+          put (n ^ ".p50") (Metrics.quantile h 0.5);
+          put (n ^ ".p95") (Metrics.quantile h 0.95);
+          put (n ^ ".p99") (Metrics.quantile h 0.99)
+        end)
+    (Metrics.items metrics);
+  put "window.episodes" (float_of_int snap.Window.w_episodes);
+  put "window.committed" (float_of_int snap.Window.w_committed);
+  put "window.violations" (float_of_int snap.Window.w_violations);
+  put "window.episode_rate" (Window.episode_rate snap);
+  put "window.violation_rate" (Window.violation_rate snap);
+  if snap.Window.w_episodes > 0 then begin
+    put "window.p50_us" (Window.p50 snap);
+    put "window.p95_us" (Window.p95 snap);
+    put "window.p99_us" (Window.p99 snap)
+  end
 
 let create ?(ring_capacity = 256) ?(monitor = false) ?window_width ?rules
     ?slow_k ?head_every () =
   let ring = Ring.create ~name:"ring" ~capacity:ring_capacity () in
   let metrics = Metrics.create () in
+  let history = ref None in
   let mon =
     if not monitor then None
     else begin
@@ -63,6 +136,12 @@ let create ?(ring_capacity = 256) ?(monitor = false) ?window_width ?rules
       Window.on_rotate w (fun _ -> Sampler.rotate sampler);
       Watchdog.watch wd w;
       register_gc_gauges metrics w;
+      (* registered once here — [set_history] only swings the cell, so
+         repeated enable/disable cannot stack rotation callbacks *)
+      Window.on_rotate w (fun snap ->
+          match !history with
+          | Some (ts, prefix) -> sample_history metrics ts prefix snap
+          | None -> ());
       Some { mon_window = w; mon_sampler = sampler; mon_watchdog = wd }
     end
   in
@@ -72,6 +151,7 @@ let create ?(ring_capacity = 256) ?(monitor = false) ?window_width ?rules
     b_profiler = Profiler.create ();
     b_monitor = mon;
     b_sink_errs_seen = 0;
+    b_history = history;
   }
 
 (* The consumers are fused into one subscription: a single closure
@@ -202,6 +282,11 @@ let metrics b = b.b_metrics
 let profiler b = b.b_profiler
 
 let monitored b = b.b_monitor <> None
+
+let set_history ?(prefix = "") b ts =
+  b.b_history := Option.map (fun t -> (t, prefix)) ts
+
+let history b = Option.map fst !(b.b_history)
 
 let window b = Option.map (fun m -> m.mon_window) b.b_monitor
 

@@ -28,7 +28,9 @@ type 'a t
     ([runtime.gc.minor_collections], [runtime.gc.major_collections],
     [runtime.gc.heap_words], [runtime.gc.compactions]) refreshed from
     [Gc.quick_stat] once per window rotation — never on the event
-    path. *)
+    path — plus process gauges: [runtime.uptime_seconds] and, on
+    Linux, [runtime.os.rss_bytes] (from [/proc/self/statm]; the gauge
+    is simply absent where that file is). *)
 val create :
   ?ring_capacity:int ->
   ?monitor:bool ->
@@ -70,6 +72,21 @@ val metrics : 'a t -> Metrics.t
 val profiler : 'a t -> Profiler.t
 
 val monitored : 'a t -> bool
+
+(** Long-horizon history: once set (on a monitored board), every
+    window rotation samples each registered instrument into [ts] —
+    counters as running totals, gauges at their last value, histograms
+    as [.p50]/[.p95]/[.p99] — plus the completed window's derived
+    readings ([window.episodes], [window.episode_rate],
+    [window.p99_us], …), each series name under [prefix ^ "."] when a
+    prefix is given. Sampling cost is per window tick, never per
+    event; sample timestamps come from the window's own clock.
+    [set_history b None] stops sampling (repeated set/unset never
+    stacks callbacks). Without a monitor there are no ticks, so this
+    is a no-op. *)
+val set_history : ?prefix:string -> 'a t -> Tsdb.t option -> unit
+
+val history : 'a t -> Tsdb.t option
 
 (** The monitor pieces; [None] unless built with [~monitor:true]. *)
 val window : 'a t -> Window.t option

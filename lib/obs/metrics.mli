@@ -72,6 +72,9 @@ val find : t -> string -> item option
 (** Instruments in creation order. *)
 val items : t -> item list
 
+(** The name an instrument was registered under. *)
+val item_name : item -> string
+
 val pp_item : Format.formatter -> item -> unit
 
 val render : Format.formatter -> t -> unit

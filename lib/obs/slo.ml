@@ -1,0 +1,140 @@
+(* Multi-window burn-rate evaluation over Tsdb series.  The watchdog
+   machinery wants rules over window snapshots; an SLO's verdict is
+   computed from the time-series store instead, so the rule closure
+   just reads the verdict cell [evaluate] fills in — the transition
+   logging, registry roll-up and /alerts rendering all come along for
+   free. *)
+
+type kind =
+  | Error_ratio of { total : string; errors : string }
+  | Latency_above of { series : string; limit : float }
+
+type objective = {
+  ob_name : string;
+  ob_kind : kind;
+  ob_target : float;
+  ob_windows : (float * float) list;
+}
+
+let default_windows = [ (60., 2.0); (300., 1.0) ]
+
+let availability ?(target = 0.99) ?(windows = default_windows) ~name ~total
+    ~errors () =
+  {
+    ob_name = name;
+    ob_kind = Error_ratio { total; errors };
+    ob_target = target;
+    ob_windows = windows;
+  }
+
+let latency ?(target = 0.99) ?(windows = default_windows) ~name ~series ~limit
+    () =
+  {
+    ob_name = name;
+    ob_kind = Latency_above { series; limit };
+    ob_target = target;
+    ob_windows = windows;
+  }
+
+type t = {
+  sl_ob : objective;
+  sl_ts : Tsdb.t;
+  sl_verdict : string option ref;
+  sl_wd : Watchdog.t;
+  sl_win : Window.t; (* private: only advances the evaluation index *)
+  sl_key : string;
+}
+
+let create ts ob =
+  let verdict = ref None in
+  let key = "slo:" ^ ob.ob_name in
+  let wd =
+    Watchdog.create ~name:key
+      [ Watchdog.rule ~name:"burn_rate" (fun _ -> !verdict) ]
+  in
+  Watchdog.register key wd;
+  {
+    sl_ob = ob;
+    sl_ts = ts;
+    sl_verdict = verdict;
+    sl_wd = wd;
+    sl_win = Window.create ~slots:1 ~width:(Window.Episodes 1) ();
+    sl_key = key;
+  }
+
+let objective t = t.sl_ob
+
+(* Counters only move forward, so the window delta is last - first of
+   the samples inside it; a counter that did not move (or a window
+   with fewer than two samples) burns nothing. *)
+let counter_delta pts =
+  match pts with
+  | [] | [ _ ] -> 0.
+  | (_, first) :: rest ->
+    let _, last = List.nth rest (List.length rest - 1) in
+    max 0. (last -. first)
+
+let bad_fraction t ~from_ ~to_ =
+  match t.sl_ob.ob_kind with
+  | Error_ratio { total; errors } ->
+    let d_total = counter_delta (Tsdb.query t.sl_ts ~series:total ~from_ ~to_) in
+    if d_total <= 0. then 0.
+    else
+      let d_err =
+        counter_delta (Tsdb.query t.sl_ts ~series:errors ~from_ ~to_)
+      in
+      min 1. (d_err /. d_total)
+  | Latency_above { series; limit } -> (
+    match Tsdb.query t.sl_ts ~series ~from_ ~to_ with
+    | [] -> 0.
+    | pts ->
+      let bad = List.length (List.filter (fun (_, v) -> v > limit) pts) in
+      float_of_int bad /. float_of_int (List.length pts))
+
+let burn_rates t ~now =
+  let budget = max 1e-9 (1. -. t.sl_ob.ob_target) in
+  List.map
+    (fun (w, thr) ->
+      let bad = bad_fraction t ~from_:(now -. w) ~to_:now in
+      (w, thr, bad /. budget))
+    t.sl_ob.ob_windows
+
+let pp_burns burns =
+  String.concat ", "
+    (List.map
+       (fun (w, thr, b) -> Printf.sprintf "%.1fx/%gs (thr %g)" b w thr)
+       burns)
+
+let evaluate t ~now =
+  let burns = burn_rates t ~now in
+  let exceeded =
+    burns <> [] && List.for_all (fun (_, thr, b) -> b >= thr) burns
+  in
+  t.sl_verdict :=
+    (if exceeded then
+       Some
+         (Printf.sprintf "budget burn %s (target %g)" (pp_burns burns)
+            t.sl_ob.ob_target)
+     else None);
+  (* each evaluation advances the private window's index, so alert
+     records order evaluations the way real watchdogs order windows *)
+  Window.rotate t.sl_win;
+  ignore (Watchdog.evaluate t.sl_wd (Window.current t.sl_win))
+
+let firing t = not (Watchdog.ok t.sl_wd)
+
+let status_json t ~now =
+  let burns = burn_rates t ~now in
+  Printf.sprintf
+    "{\"name\":\"%s\",\"target\":%g,\"firing\":%b,\"windows\":[%s]}"
+    (Jsonl.escape t.sl_ob.ob_name)
+    t.sl_ob.ob_target (firing t)
+    (String.concat ","
+       (List.map
+          (fun (w, thr, b) ->
+            Printf.sprintf
+              "{\"seconds\":%g,\"threshold\":%g,\"burn\":%g}" w thr
+              (if Float.is_finite b then b else -1.))
+          burns))
+
+let remove t = Watchdog.unregister t.sl_key

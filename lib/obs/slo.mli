@@ -1,0 +1,75 @@
+(** Service-level objectives evaluated as multi-window burn rates over
+    {!Tsdb} data, firing through the {!Watchdog} registry.
+
+    An objective states a target fraction of good outcomes (e.g.
+    99% of writes accepted, or 99% of windows with p99 under a bound).
+    The {e error budget} is [1 - target]; the {e burn rate} over a
+    lookback window is the observed bad fraction divided by that
+    budget — burn 1.0 spends the budget exactly at the objective
+    horizon, burn 14 exhausts a 30-day budget in ~2 days. An
+    objective fires only when {e every} configured window exceeds its
+    threshold (the classic fast-burn/slow-burn pairing: a short window
+    for responsiveness, a long one so a transient spike cannot page).
+
+    Each {!t} owns a watchdog registered as ["slo:<name>"], so firing
+    objectives surface on [/alerts] and flip [/healthz] to 503 with no
+    extra plumbing. *)
+
+type kind =
+  | Error_ratio of { total : string; errors : string }
+      (** two counter series: bad fraction = Δerrors / Δtotal over the
+          window (0 when the total did not move) *)
+  | Latency_above of { series : string; limit : float }
+      (** a sampled quantile series: bad fraction = fraction of
+          samples above [limit] *)
+
+type objective = {
+  ob_name : string;  (** registry key suffix: ["slo:<ob_name>"] *)
+  ob_kind : kind;
+  ob_target : float;  (** good-fraction target, e.g. [0.99] *)
+  ob_windows : (float * float) list;
+      (** [(lookback seconds, burn threshold)] — all must exceed *)
+}
+
+(** Availability objective over request/error counters. Defaults:
+    target 0.99, windows [(60, 2.0); (300, 1.0)]. *)
+val availability :
+  ?target:float ->
+  ?windows:(float * float) list ->
+  name:string ->
+  total:string ->
+  errors:string ->
+  unit ->
+  objective
+
+(** Latency objective over a sampled quantile series (same defaults). *)
+val latency :
+  ?target:float ->
+  ?windows:(float * float) list ->
+  name:string ->
+  series:string ->
+  limit:float ->
+  unit ->
+  objective
+
+type t
+
+(** Create and register the backing watchdog as ["slo:<ob_name>"]. *)
+val create : Tsdb.t -> objective -> t
+
+val objective : t -> objective
+
+(** [(lookback, threshold, burn)] per configured window at [now]. *)
+val burn_rates : t -> now:float -> (float * float * float) list
+
+(** Evaluate at [now] and push the firing/cleared transition through
+    the watchdog (visible in [Watchdog.health ()] and the alert log). *)
+val evaluate : t -> now:float -> unit
+
+val firing : t -> bool
+
+(** One-line JSON status object (burns, thresholds, firing). *)
+val status_json : t -> now:float -> string
+
+(** Unregister the backing watchdog. *)
+val remove : t -> unit

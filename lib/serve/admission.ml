@@ -142,6 +142,14 @@ let deadline_exceeded t ticket =
 
 let elapsed t ticket = t.ad_now () -. ticket.tk_start
 
+let tenants t =
+  with_lock t (fun () ->
+      Hashtbl.fold
+        (fun name tn acc ->
+          (name, tn.tn_admitted, tn.tn_rejected, tn.tn_over_budget) :: acc)
+        t.ad_tenants []
+      |> List.sort compare)
+
 let jstr s = "\"" ^ Obs.Jsonl.escape s ^ "\""
 
 let stats_json t =

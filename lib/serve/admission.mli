@@ -59,6 +59,11 @@ val deadline_exceeded : t -> ticket -> bool
 
 val elapsed : t -> ticket -> float
 
+(** Every tenant seen so far as [(name, admitted, rejected,
+    over_budget)] running totals, sorted by name — the counters the
+    history sampler feeds into the time-series store. *)
+val tenants : t -> (string * int * int * int) list
+
 (** Per-tenant counters as a JSON object (the [/admission] endpoint). *)
 val stats_json : t -> string
 

@@ -39,6 +39,8 @@ let help_table =
     ("runtime_gc_major_collections", "OCaml major GC cycles (gauge, sampled per window).");
     ("runtime_gc_heap_words", "OCaml major heap size in words (gauge, sampled per window).");
     ("runtime_gc_compactions", "OCaml heap compactions (gauge, sampled per window).");
+    ("runtime_uptime_seconds", "Process uptime in seconds (gauge, sampled per window).");
+    ("runtime_os_rss_bytes", "Resident set size from /proc/self/statm (gauge, sampled per window; Linux only).");
   ]
 
 let help_for fam =

@@ -252,20 +252,21 @@ let write_all fd s =
   in
   go 0
 
-let response_string ?(headers = []) ~status ~body () =
+let response_string ?(head_only = false) ?(headers = []) ~status ~body () =
   let buf = Buffer.create (String.length body + 256) in
   Buffer.add_string buf
     (Printf.sprintf "HTTP/1.1 %d %s\r\n" status (status_text status));
   List.iter
     (fun (k, v) -> Buffer.add_string buf (Printf.sprintf "%s: %s\r\n" k v))
     headers;
+  (* HEAD answers carry the content-length the GET would have *)
   Buffer.add_string buf
     (Printf.sprintf "content-length: %d\r\n\r\n" (String.length body));
-  Buffer.add_string buf body;
+  if not head_only then Buffer.add_string buf body;
   Buffer.contents buf
 
-let write_response ?headers ~status ~body fd =
-  write_all fd (response_string ?headers ~status ~body ())
+let write_response ?head_only ?headers ~status ~body fd =
+  write_all fd (response_string ?head_only ?headers ~status ~body ())
 
 let write_chunked_head ?(headers = []) ~status fd =
   let buf = Buffer.create 256 in

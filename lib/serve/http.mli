@@ -76,11 +76,20 @@ val status_text : int -> string
 val write_all : Unix.file_descr -> string -> unit
 
 (** A full response with [Content-Length]. [headers] come after the
-    status line verbatim (lowercase names by convention). *)
+    status line verbatim (lowercase names by convention).
+    [~head_only:true] (for answering HEAD) emits the status line and
+    headers — including the [Content-Length] the body would have —
+    but omits the body itself. *)
 val response_string :
-  ?headers:(string * string) list -> status:int -> body:string -> unit -> string
+  ?head_only:bool ->
+  ?headers:(string * string) list ->
+  status:int ->
+  body:string ->
+  unit ->
+  string
 
 val write_response :
+  ?head_only:bool ->
   ?headers:(string * string) list ->
   status:int ->
   body:string ->

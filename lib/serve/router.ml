@@ -47,16 +47,25 @@ let match_pattern pattern path =
 
 let dispatch t rq =
   let meth = rq.Http.rq_method and path = rq.Http.rq_path in
-  let rec find = function
+  let rec find meth = function
     | [] -> None
     | (m, p, h) :: rest -> (
-      if m <> meth then find rest
+      if m <> meth then find meth rest
       else
         match match_pattern p path with
         | Some params -> Some (p, params, h)
-        | None -> find rest)
+        | None -> find meth rest)
   in
-  match find (List.rev t.rt_routes) with
+  let routes = List.rev t.rt_routes in
+  let hit =
+    match find meth routes with
+    | Some _ as hit -> hit
+    | None ->
+      (* HEAD is answered by the GET handler; the server suppresses the
+         body at write time, keeping the computed content-length *)
+      if meth = "HEAD" then find "GET" routes else None
+  in
+  match hit with
   | Some (pattern, params, h) ->
     rq.Http.rq_params <- params;
     rq.Http.rq_route <- pattern;
@@ -66,7 +75,10 @@ let dispatch t rq =
       List.filter_map
         (fun (m, p, _) ->
           if match_pattern p path <> None then Some m else None)
-        (List.rev t.rt_routes)
+        routes
+    in
+    let allowed =
+      if List.mem "GET" allowed then "HEAD" :: allowed else allowed
     in
     if allowed = [] then
       text ~status:404 (Printf.sprintf "no such endpoint: %s\n" path)

@@ -4,7 +4,10 @@
     path segment as a parameter ([/nets/:id/state] matches
     [/nets/alu/state], binding [id = "alu"]; read it back with
     [Http.param]). Misses follow HTTP semantics: unknown path → 404;
-    known path, wrong method → 405 with an [allow] header. A handler
+    known path, wrong method → 405 with an [allow] header. [HEAD]
+    falls back to the matching [GET] route (the server suppresses the
+    body at write time, preserving the [Content-Length]), and [allow]
+    lists [HEAD] wherever [GET] is registered. A handler
     answers either a buffered {!reply} or takes over the connection
     for streaming ([/events]). *)
 

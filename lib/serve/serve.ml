@@ -60,6 +60,32 @@ let admission = ref (Admission.create ())
 
 let set_admission a = admission := a
 
+(* ---------------- long-horizon history ---------------- *)
+
+(* One process-global time-series store, off by default.  When
+   enabled, every exposed board samples its instruments into it on
+   window rotation (prefixed by the network name), and the server's
+   own tick (see [history_tick]) adds what no board owns: the serve
+   counters and per-tenant admission totals, plus per-tenant SLO
+   evaluation over the stored series. *)
+
+type history = {
+  hs_ts : Obs.Tsdb.t;
+  hs_slos : (string, Obs.Slo.t) Hashtbl.t;  (* tenant -> availability SLO *)
+}
+
+let history_mu = Mutex.create ()
+
+let history_v : history option ref = ref None
+
+let history_get () =
+  Mutex.lock history_mu;
+  let h = !history_v in
+  Mutex.unlock history_mu;
+  h
+
+let history_store () = Option.map (fun h -> h.hs_ts) (history_get ())
+
 (* ---------------- request tracing ---------------- *)
 
 (* One process-global tracer, off by default: a disabled tracer costs
@@ -113,6 +139,7 @@ type entry = {
   en_topo : unit -> string;  (* DOT document *)
   en_sink_on : unit -> unit;  (* attach the /events kernel sink *)
   en_sink_off : unit -> unit;  (* detach it again *)
+  en_history : Obs.Tsdb.t option -> unit;  (* wire the board's sampler *)
 }
 
 let reg_mu = Mutex.create ()
@@ -181,6 +208,7 @@ let detach_locked name =
   | None -> false
   | Some e ->
     e.en_sink_off ();
+    e.en_history None;
     Hashtbl.remove registry name;
     true
 
@@ -237,13 +265,116 @@ let expose ?name ?pp_value ~board net =
             sink_live := false;
             ignore (Engine.remove_sink net events_sink_name)
           end);
+      en_history =
+        (fun ts -> Obs.Board.set_history ~prefix:name board ts);
     }
   in
+  (* read the history state before taking [reg_mu]: enable/disable
+     take the locks in the other order *)
+  let hist = history_store () in
   with_registry (fun () ->
       ignore (detach_locked name);
       Hashtbl.replace registry name entry;
       (* a subscriber may already be streaming when the net appears *)
-      if Stream.active hub then entry.en_sink_on ())
+      if Stream.active hub then entry.en_sink_on ();
+      (* likewise, history may already be on when the net appears *)
+      match hist with None -> () | Some _ -> entry.en_history hist)
+
+(* ---------------- history lifecycle ---------------- *)
+
+let enable_history ?seg_bytes ?retain_bytes dir =
+  let ts = Obs.Tsdb.open_ ?seg_bytes ?retain_bytes dir in
+  Mutex.lock history_mu;
+  let prev = !history_v in
+  history_v := Some { hs_ts = ts; hs_slos = Hashtbl.create 8 };
+  Mutex.unlock history_mu;
+  (match prev with
+  | None -> ()
+  | Some h ->
+    Hashtbl.iter (fun _ slo -> Obs.Slo.remove slo) h.hs_slos;
+    Obs.Tsdb.close h.hs_ts);
+  with_registry (fun () ->
+      Hashtbl.iter (fun _ e -> e.en_history (Some ts)) registry);
+  ts
+
+let disable_history () =
+  Mutex.lock history_mu;
+  let prev = !history_v in
+  history_v := None;
+  Mutex.unlock history_mu;
+  match prev with
+  | None -> ()
+  | Some h ->
+    with_registry (fun () ->
+        Hashtbl.iter (fun _ e -> e.en_history None) registry);
+    Hashtbl.iter (fun _ slo -> Obs.Slo.remove slo) h.hs_slos;
+    (* flush-then-close: every open block is sealed, framed and
+       fsynced, so a drain on SIGTERM loses nothing *)
+    Obs.Tsdb.close h.hs_ts
+
+(* Per-tenant availability objective: admitted+rejected as the request
+   total, rejections as the bad events.  Applied to tenants as they
+   appear in the admission table. *)
+let slo_target = ref 0.99
+
+let slo_windows = ref [ (60., 2.0); (300., 1.0) ]
+
+let set_slo ?(target = 0.99) ?(windows = [ (60., 2.0); (300., 1.0) ]) () =
+  slo_target := target;
+  slo_windows := windows
+
+let tenant_slo h tenant =
+  match Hashtbl.find_opt h.hs_slos tenant with
+  | Some slo -> slo
+  | None ->
+    let p = "serve.tenant." ^ tenant in
+    let slo =
+      Obs.Slo.create h.hs_ts
+        (Obs.Slo.availability ~target:!slo_target ~windows:!slo_windows
+           ~name:("tenant-" ^ tenant) ~total:(p ^ ".requests")
+           ~errors:(p ^ ".rejected") ())
+    in
+    Hashtbl.replace h.hs_slos tenant slo;
+    slo
+
+(* The server's own sampling tick: board instruments ride their
+   windows' rotations; this covers what no board owns (serve counters,
+   per-tenant admission totals) and then evaluates the SLOs.  Driven
+   by the CLI's serve loop (once a second) or directly by tests with
+   an injected [now]. *)
+let history_tick ?now () =
+  match history_get () with
+  | None -> ()
+  | Some h ->
+    let now = match now with Some t -> t | None -> Unix.gettimeofday () in
+    sync_self ();
+    let app series v = Obs.Tsdb.append h.hs_ts ~series ~t:now ~v in
+    app "serve.requests" (float_of_int (Obs.Metrics.count self_requests));
+    app "serve.events_published"
+      (float_of_int (Obs.Metrics.count self_published));
+    app "serve.events_dropped" (float_of_int (Obs.Metrics.count self_dropped));
+    List.iter
+      (fun (tenant, admitted, rejected, over) ->
+        let p = "serve.tenant." ^ tenant in
+        app (p ^ ".requests") (float_of_int (admitted + rejected));
+        app (p ^ ".rejected") (float_of_int rejected);
+        app (p ^ ".over_budget") (float_of_int over);
+        Obs.Slo.evaluate (tenant_slo h tenant) ~now)
+      (Admission.tenants !admission)
+
+let slos_json ?now () =
+  match history_get () with
+  | None -> "[]"
+  | Some h ->
+    let now = match now with Some t -> t | None -> Unix.gettimeofday () in
+    let rows =
+      Hashtbl.fold (fun _ slo acc -> slo :: acc) h.hs_slos []
+      |> List.sort (fun a b ->
+             compare (Obs.Slo.objective a).Obs.Slo.ob_name
+               (Obs.Slo.objective b).Obs.Slo.ob_name)
+    in
+    "[" ^ String.concat "," (List.map (fun s -> Obs.Slo.status_json s ~now) rows)
+    ^ "]"
 
 (* Swing every exposed net's sink on the 0<->1 subscriber edges.  The
    hook runs outside the hub lock precisely so taking [reg_mu] here
@@ -309,6 +440,60 @@ let alerts_ndjson () =
         (Obs.Watchdog.alerts wd))
     (Obs.Watchdog.registered ());
   Buffer.contents buf
+
+(* JSON numbers must be finite; series data can hold anything *)
+let jnum v =
+  if Float.is_finite v then Printf.sprintf "%.17g" v
+  else if Float.is_nan v then "\"nan\""
+  else if v > 0. then "\"inf\""
+  else "\"-inf\""
+
+let series_json () =
+  match history_store () with
+  | None -> None
+  | Some ts ->
+    let st = Obs.Tsdb.stats ts in
+    let rows =
+      List.map
+        (fun (name, points, first, last) ->
+          Printf.sprintf
+            "{\"series\":%s,\"points\":%d,\"first\":%s,\"last\":%s}" (jstr name)
+            points (jnum first) (jnum last))
+        (Obs.Tsdb.series ts)
+    in
+    Some
+      (Printf.sprintf
+         "{\"dir\":%s,\"segments\":%d,\"blocks\":%d,\"points\":%d,\"disk_bytes\":%d,\"compression\":%s,\"series\":[%s]}"
+         (jstr (Obs.Tsdb.dir ts))
+         st.Obs.Tsdb.st_segments st.Obs.Tsdb.st_blocks st.Obs.Tsdb.st_points
+         st.Obs.Tsdb.st_disk_bytes
+         (jnum st.Obs.Tsdb.st_ratio)
+         (String.concat "," rows))
+
+let query_json ts ~series ~from_ ~to_ ~step =
+  match step with
+  | Some step ->
+    let buckets = Obs.Tsdb.query_range ts ~series ~from_ ~to_ ~step in
+    Printf.sprintf
+      "{\"metric\":%s,\"from\":%s,\"to\":%s,\"step\":%s,\"buckets\":[%s]}"
+      (jstr series) (jnum from_) (jnum to_) (jnum step)
+      (String.concat ","
+         (List.map
+            (fun b ->
+              Printf.sprintf
+                "{\"t\":%s,\"min\":%s,\"max\":%s,\"avg\":%s,\"count\":%d}"
+                (jnum b.Obs.Tsdb.bk_t) (jnum b.Obs.Tsdb.bk_min)
+                (jnum b.Obs.Tsdb.bk_max) (jnum b.Obs.Tsdb.bk_avg)
+                b.Obs.Tsdb.bk_count)
+            buckets))
+  | None ->
+    let pts = Obs.Tsdb.query ts ~series ~from_ ~to_ in
+    Printf.sprintf "{\"metric\":%s,\"from\":%s,\"to\":%s,\"points\":[%s]}"
+      (jstr series) (jnum from_) (jnum to_)
+      (String.concat ","
+         (List.map
+            (fun (t, v) -> Printf.sprintf "[%s,%s]" (jnum t) (jnum v))
+            pts))
 
 let spans_json () =
   "["
@@ -684,6 +869,12 @@ let routes sv =
         \                (?net= filter, ?cap= queue bound, ?max= line limit)\n\
          GET /trace      request spans, Chrome trace-event JSON\n\
         \                (open in Perfetto / chrome://tracing)\n\n\
+         Long-horizon history (404 until served with --history DIR):\n\
+         GET /series     stored series + store statistics, JSON\n\
+         GET /query      ?metric= range read, JSON\n\
+        \                (?from= ?to= unix seconds, default last hour;\n\
+        \                 ?step= buckets with min/max/avg, else raw points)\n\
+         GET /slo        per-tenant burn rates and firing state, JSON\n\n\
          Write API (tenant = x-tenant header or ?tenant=, default anon):\n\
          GET  /nets            hosted networks, JSON\n\
          POST /nets?id=NAME    create from a spec body (201; 409 duplicate)\n\
@@ -709,6 +900,38 @@ let routes sv =
       | None -> Router.text ~status:404 "no exposed network\n");
   get "/events" (fun _ -> Router.Stream_reply (events_handler sv));
   get "/trace" (fun _ -> Router.json (trace_json ()));
+  get "/series" (fun _ ->
+      match series_json () with
+      | Some body -> Router.json body
+      | None ->
+        Router.json ~status:404
+          (err_json "history disabled (serve with --history DIR)"));
+  get "/query" (fun rq ->
+      let qfloat name = Option.bind (Http.query rq name) float_of_string_opt in
+      match history_store () with
+      | None ->
+        Router.json ~status:404
+          (err_json "history disabled (serve with --history DIR)")
+      | Some ts -> (
+        match Http.query rq "metric" with
+        | None -> Router.json ~status:422 (err_json "missing ?metric=")
+        | Some series -> (
+          let to_ =
+            match qfloat "to" with Some t -> t | None -> Unix.gettimeofday ()
+          in
+          let from_ =
+            match qfloat "from" with Some t -> t | None -> to_ -. 3600.
+          in
+          match Http.query rq "step" with
+          | Some raw -> (
+            match float_of_string_opt raw with
+            | Some step when step > 0. ->
+              Router.json (query_json ts ~series ~from_ ~to_ ~step:(Some step))
+            | _ ->
+              Router.json ~status:422
+                (err_json "step must be a positive number"))
+          | None -> Router.json (query_json ts ~series ~from_ ~to_ ~step:None))));
+  get "/slo" (fun _ -> Router.json (slos_json ()));
   get "/nets" (fun _ -> Router.json (nets_json ()));
   post "/nets" create_handler;
   get "/nets/:id/state" (fun rq ->
@@ -781,13 +1004,24 @@ let rec serve_requests sv conn =
             ~note)
         root
     in
+    let head_only = rq.Http.rq_method = "HEAD" in
     match Router.dispatch sv.sv_router rq with
+    | Router.Stream_reply _ when head_only ->
+      (* a stream has no fixed length; answer the head and stop *)
+      Http.write_response (Http.fd conn) ~status:200
+        ~headers:
+          [
+            ("content-type", "application/x-ndjson");
+            ("connection", "close");
+          ]
+        ~body:"";
+      finish_root "stream-head"
     | Router.Stream_reply f ->
       f (Http.fd conn) rq;
       finish_root "stream"
     | Router.Reply { status; headers; body } ->
       let keep = Http.keep_alive rq && sv.sv_running in
-      Http.write_response (Http.fd conn) ~status
+      Http.write_response ~head_only (Http.fd conn) ~status
         ~headers:
           (headers @ [ ("connection", if keep then "keep-alive" else "close") ])
         ~body;

@@ -158,6 +158,55 @@ val topo_dot : ?net:string -> unit -> string option
     budgets and an injected clock). *)
 val set_admission : Admission.t -> unit
 
+(** {1 Long-horizon history}
+
+    An embedded time-series store ({!Obs.Tsdb}), off by default. When
+    enabled, every exposed board samples its instruments into it on
+    each window rotation (series prefixed by the network name), and
+    {!history_tick} adds the server's own counters plus per-tenant
+    admission totals — then evaluates one availability SLO per tenant
+    ({!Obs.Slo}, firing through the watchdog registry onto [/alerts]
+    and [/healthz]). Read side:
+
+    - [GET /series] — stored series and store statistics, JSON.
+    - [GET /query?metric=&from=&to=&step=] — range read; with [step],
+      per-bucket min/max/avg downsampling, else raw points. Defaults:
+      the last hour. 404 while history is disabled, 422 on a missing
+      metric or bad step.
+    - [GET /slo] — per-tenant burn rates and firing state, JSON. *)
+
+(** Open (or re-open, recovering any torn tail) a store under [dir]
+    and wire every exposed board into it. Returns the store so callers
+    can report {!Obs.Tsdb.recovery_warnings}. Replaces (and closes) a
+    previously enabled store. *)
+val enable_history :
+  ?seg_bytes:int -> ?retain_bytes:int -> string -> Obs.Tsdb.t
+
+(** Unwire the boards, remove the per-tenant SLOs, seal and fsync every
+    open block, close the store. Idempotent — the SIGTERM drain calls
+    this so a restart recovers the full series. *)
+val disable_history : unit -> unit
+
+(** The enabled store, if any. *)
+val history_store : unit -> Obs.Tsdb.t option
+
+(** One sampling tick: serve counters and per-tenant admission totals
+    into the store (timestamps from [now], default wall clock), then
+    per-tenant SLO evaluation. No-op while history is disabled. The
+    CLI's serve loop calls this once a second. *)
+val history_tick : ?now:float -> unit -> unit
+
+(** Override the per-tenant availability objective applied to tenants
+    as they first appear (default: target 0.99, windows 60 s at burn 2
+    and 300 s at burn 1). Affects tenants seen after the call. *)
+val set_slo : ?target:float -> ?windows:(float * float) list -> unit -> unit
+
+(** The [/slo] body. *)
+val slos_json : ?now:float -> unit -> string
+
+(** The [/series] body; [None] while history is disabled. *)
+val series_json : unit -> string option
+
 (** {1 Request tracing}
 
     End-to-end spans across the write path, off by default. When

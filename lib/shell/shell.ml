@@ -84,6 +84,8 @@ let help_text =
   \  unserve                stop the telemetry server\n\
   \  host ID [TENANT]       offer this network to the HTTP write API as ID\n\
   \  unhost ID              withdraw it from the write API\n\
+  \  history [DIR|off]      long-horizon telemetry store: status / enable / seal\n\
+  \  sparkline SERIES [SEC] unicode sparkline of a stored series (default last 300 s)\n\
   \  tracing [on|off]       end-to-end request tracing for hosted-net writes\n\
   \  chrome FILE            write collected request spans as Chrome trace JSON\n\
   \  help                   this text\n\
@@ -447,6 +449,75 @@ let execute ss line =
     if Serve.Wstore.drop ~id then Fmt.pr "  %S unhosted@." id
     else Fmt.pr "  no hosted network %S@." id;
     true
+  | [ "history" ] ->
+    (match Serve.history_store () with
+    | None -> Fmt.pr "  history off (history DIR to enable)@."
+    | Some ts ->
+      let st = Obs.Tsdb.stats ts in
+      Fmt.pr
+        "  history in %s: %d series, %d points, %d segments, %d bytes on \
+         disk (%.1fx compression)@."
+        (Obs.Tsdb.dir ts)
+        (List.length (Obs.Tsdb.series ts))
+        st.Obs.Tsdb.st_points st.Obs.Tsdb.st_segments
+        st.Obs.Tsdb.st_disk_bytes st.Obs.Tsdb.st_ratio);
+    true
+  | [ "history"; "off" ] ->
+    (match Serve.history_store () with
+    | None -> Fmt.pr "  history already off@."
+    | Some _ ->
+      Obs.Board.set_history ss.ss_board None;
+      Serve.disable_history ();
+      Fmt.pr "  history off, store sealed@.");
+    true
+  | [ "history"; dir ] ->
+    (match Serve.enable_history dir with
+    | ts ->
+      List.iter
+        (fun w -> Fmt.pr "  recovery: %s@." w)
+        (Obs.Tsdb.recovery_warnings ts);
+      Obs.Board.set_history ~prefix:cnet.Types.net_name ss.ss_board (Some ts);
+      let st = Obs.Tsdb.stats ts in
+      Fmt.pr
+        "  history in %s (%d points on disk); sampling every window tick@."
+        dir st.Obs.Tsdb.st_points
+    | exception Unix.Unix_error (e, _, _) ->
+      Fmt.pr "  cannot open %s: %s@." dir (Unix.error_message e));
+    true
+  | "sparkline" :: series :: rest ->
+    (match Serve.history_store () with
+    | None -> Fmt.pr "  history off (history DIR first)@."
+    | Some ts -> (
+      let secs =
+        match rest with [ s ] -> float_of_string_opt s | _ -> Some 300.
+      in
+      match secs with
+      | None | Some 0. -> Fmt.pr "  seconds must be a positive number@."
+      | Some secs -> (
+        let to_ = Unix.gettimeofday () in
+        let from_ = to_ -. secs in
+        match Obs.Tsdb.query ts ~series ~from_ ~to_ with
+        | [] ->
+          Fmt.pr "  no samples for %S in the last %gs@." series secs
+        | pts ->
+          let vs = List.map snd pts in
+          (* one glyph per time bucket keeps the line terminal-width *)
+          let line =
+            if List.length pts <= 60 then Obs.Tsdb.sparkline vs
+            else
+              Obs.Tsdb.sparkline
+                (List.map
+                   (fun b -> b.Obs.Tsdb.bk_avg)
+                   (Obs.Tsdb.query_range ts ~series ~from_ ~to_
+                      ~step:(secs /. 60.)))
+          in
+          let mn = List.fold_left min infinity vs
+          and mx = List.fold_left max neg_infinity vs in
+          Fmt.pr "  %s@.  min %g  max %g  last %g  (%d samples / last %gs)@."
+            line mn mx
+            (List.nth vs (List.length vs - 1))
+            (List.length pts) secs)));
+    true
   | [ "tracing"; ("on" | "off") as sw ] ->
     Serve.set_tracing (sw = "on");
     if sw = "on" then
@@ -477,6 +548,8 @@ let execute ss line =
 let close ss =
   ignore (serve_off ss);
   ignore (trace_off ss);
+  (* stop sampling into a store that may be closed after this session *)
+  Obs.Board.set_history ss.ss_board None;
   (* withdraw any write-API hosting of this session's network *)
   List.iter
     (fun e ->
